@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``benchmarks/test_*`` module regenerates one of the paper's tables
+or figures (DESIGN.md has the per-experiment index), prints the same
+rows/series the paper reports, and sanity-checks the shape.
+
+Scale selection: set ``REPRO_BENCH_SCALE`` to ``quick`` (default),
+``standard``, or ``full``.  Shape assertions that need steady-state
+behaviour only engage at ``standard`` and above; ``quick`` runs verify
+the machinery end to end in seconds.
+"""
+
+import os
+
+import pytest
+
+from repro.workloads import Scale
+
+
+def _selected_scale() -> Scale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick").upper()
+    try:
+        return Scale[name]
+    except KeyError:
+        raise RuntimeError(
+            f"REPRO_BENCH_SCALE={name!r} is not one of "
+            + ", ".join(s.name.lower() for s in Scale)
+        )
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    """The trace scale every bench in this session runs at."""
+    return _selected_scale()
+
+
+@pytest.fixture(scope="session")
+def strict(scale) -> bool:
+    """Whether steady-state shape assertions should be enforced."""
+    return scale is not Scale.QUICK
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Experiments are deterministic and internally cached, so repeated
+    timing rounds would only measure the cache; one round reflects the
+    real regeneration cost.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

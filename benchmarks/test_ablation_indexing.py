@@ -1,0 +1,56 @@
+"""Ablation: PHT index function — truncated add (Figure 9) vs XOR fold.
+
+The paper's Section 6 suggests harvesting branch-predictor indexing
+lessons; gshare-style XOR folding is the natural candidate.  This bench
+compares both hash functions at the TCP-8K design point on the
+memory-bound subset.
+"""
+
+from conftest import run_once
+
+from repro.core import IndexFunction, tcp_with_pht
+from repro.core.pht import PHTConfig
+from repro.core.tcp import TagCorrelatingPrefetcher, TCPConfig
+from repro.sim import SimulationConfig, simulate
+from repro.sim.config import register_prefetcher
+from repro.util.stats import geometric_mean
+from repro.util.tables import format_table
+
+WORKLOADS = ("swim", "applu", "art", "lucas", "mgrid", "wupwise")
+KB = 1024
+
+
+def _gain(name: str, scale) -> float:
+    ratios = []
+    for workload in WORKLOADS:
+        base = simulate(workload, SimulationConfig.baseline(), scale)
+        result = simulate(workload, SimulationConfig.for_prefetcher(name), scale)
+        ratios.append(result.ipc / base.ipc)
+    return (geometric_mean(ratios) - 1.0) * 100.0
+
+
+def _register(function: IndexFunction) -> str:
+    def factory(fn=function):
+        pht = PHTConfig(sets=256, ways=8, index_function=fn)
+        return TagCorrelatingPrefetcher(TCPConfig(pht=pht))
+
+    return register_prefetcher(f"abl-index-{function.value}", factory)
+
+
+def test_ablation_index_functions(benchmark, scale):
+    def study():
+        rows = []
+        for function in IndexFunction:
+            name = _register(function)
+            rows.append([function.value, _gain(name, scale)])
+        return rows
+
+    rows = run_once(benchmark, study)
+    print()
+    print(format_table(["index function", "geomean IPC gain %"], rows,
+                       title="PHT index-function ablation (8KB PHT)"))
+    gains = {label: value for label, value in rows}
+    # Both hashes must extract most of the correlation signal; neither
+    # should collapse relative to the other.
+    assert gains["truncated-add"] > 0
+    assert gains["xor-fold"] > 0.3 * gains["truncated-add"]

@@ -1,0 +1,50 @@
+"""Ablation: L2 insertion policy for prefetched blocks.
+
+Prefetch fills can enter the L2's recency order at MRU (classic) or at
+LRU (low-priority insertion).  LRU insertion bounds the damage of
+wrong prefetches — they are the first lines evicted — at the cost of
+slightly shorter lifetimes for correct ones.  This bench measures both
+policies on a polluting workload (parser: chase + hash, working set
+close to the L2 size) and a clean one (applu: regular sweeps).
+"""
+
+from conftest import run_once
+
+from repro.sim import SimulationConfig, simulate
+from repro.util.tables import format_table
+
+WORKLOADS = ("parser", "applu", "twolf")
+
+
+def test_ablation_prefetch_insert_policy(benchmark, scale):
+    def study():
+        rows = []
+        for policy in ("lru", "mru"):
+            for workload in WORKLOADS:
+                base = simulate(
+                    workload,
+                    SimulationConfig.baseline().with_hierarchy(
+                        prefetch_insert_policy=policy
+                    ),
+                    scale,
+                )
+                config = SimulationConfig.for_prefetcher("tcp-8k").with_hierarchy(
+                    prefetch_insert_policy=policy
+                )
+                result = simulate(workload, config, scale)
+                rows.append([policy, workload, result.improvement_over(base)])
+        return rows
+
+    rows = run_once(benchmark, study)
+    print()
+    print(format_table(
+        ["insert policy", "workload", "TCP-8K IPC gain %"],
+        rows,
+        title="Prefetch L2-insertion-policy ablation",
+    ))
+    gains = {(row[0], row[1]): row[2] for row in rows}
+    # LRU insertion must not wreck the clean sweeps...
+    assert gains[("lru", "applu")] > 0.6 * max(gains[("mru", "applu")], 0.1)
+    # ...and must bound pollution damage at least as well as MRU on the
+    # noisy workloads.
+    assert gains[("lru", "twolf")] >= gains[("mru", "twolf")] - 2.0

@@ -1,0 +1,53 @@
+"""Ablation: the paper's Section 6 future-work TCP variants.
+
+* Multi-target PHT entries (after Joseph & Grunwald): higher coverage,
+  more traffic.
+* Stride-filtered TCP: a tiny per-set stride detector handles strided
+  sequences so the shared PHT keeps its capacity for irregular ones.
+* Confidence-filtered TCP: two-bit counters suppress unconfirmed
+  predictions (the branch-predictor lesson of Section 6).
+* Lookahead TCP: the PHT is walked transitively two steps per miss.
+"""
+
+from conftest import run_once
+
+from repro.sim import SimulationConfig, simulate
+from repro.util.stats import geometric_mean
+from repro.util.tables import format_table
+
+WORKLOADS = ("swim", "applu", "art", "lucas", "mgrid", "mcf")
+VARIANTS = ("tcp-8k", "tcp-multi2", "tcp-stride", "tcp-conf", "tcp-look2")
+
+
+def test_ablation_section6_variants(benchmark, scale):
+    def study():
+        rows = []
+        for name in VARIANTS:
+            ratios = []
+            traffic = 0
+            for workload in WORKLOADS:
+                base = simulate(workload, SimulationConfig.baseline(), scale)
+                result = simulate(workload, SimulationConfig.for_prefetcher(name), scale)
+                ratios.append(result.ipc / base.ipc)
+                traffic += result.memory.prefetches_issued
+            gain = (geometric_mean(ratios) - 1.0) * 100.0
+            rows.append([name, gain, traffic])
+        return rows
+
+    rows = run_once(benchmark, study)
+    print()
+    print(format_table(
+        ["variant", "geomean IPC gain %", "prefetches issued"],
+        rows,
+        title="Section 6 variant ablation",
+    ))
+    gains = {row[0]: row[1] for row in rows}
+    traffic = {row[0]: row[2] for row in rows}
+    assert all(value > 0 for value in gains.values())
+    # Multi-target issues at least as much traffic as single-target,
+    # and the confidence filter strictly reduces it.
+    assert traffic["tcp-multi2"] >= traffic["tcp-8k"]
+    assert traffic["tcp-conf"] <= traffic["tcp-8k"]
+    # Every variant stays in the same performance class as the base TCP.
+    for name in ("tcp-multi2", "tcp-stride", "tcp-conf", "tcp-look2"):
+        assert gains[name] > 0.3 * gains["tcp-8k"], (name, gains)

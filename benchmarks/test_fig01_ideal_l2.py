@@ -1,0 +1,30 @@
+"""Regenerate Figure 1: IPC potential with an ideal L2 data cache."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+from repro.util.tables import format_barchart
+
+LOW_GROUP = ("fma3d", "eon", "equake")
+HIGH_GROUP = ("swim", "ammp", "mcf", "mgrid")
+
+
+def test_fig01_ideal_l2_potential(benchmark, scale, strict):
+    result = run_once(benchmark, run_experiment, "fig1", scale)
+    print()
+    print(result.render())
+    print()
+    print(format_barchart(result.series["potential"],
+                          title="IPC improvement with ideal L2 (%)", unit="%"))
+
+    potential = result.series["potential"]
+    assert set(potential) >= set(LOW_GROUP) | set(HIGH_GROUP)
+    # Potentials are non-negative improvements (tiny numeric noise aside).
+    assert all(value > -2.0 for value in potential.values())
+    if strict:
+        # The paper's defining shape: compute-bound benchmarks gain
+        # little from a perfect L2; memory-bound ones gain enormously.
+        low = max(potential[name] for name in LOW_GROUP)
+        high = min(potential[name] for name in HIGH_GROUP)
+        assert high > low, f"memory-bound floor {high:.0f}% <= compute ceiling {low:.0f}%"
+        assert max(potential.values()) > 100.0, "suite should span >100% potential"

@@ -1,0 +1,26 @@
+"""Regenerate Figure 2: unique tags and recurrences per tag."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig02_tag_recurrence(benchmark, scale, strict):
+    result = run_once(benchmark, run_experiment, "fig2", scale)
+    print()
+    print(result.render())
+
+    unique = result.series["unique_tags"]
+    occurrences = result.series["mean_tag_occurrences"]
+    # Every benchmark's miss stream has at least a handful of tags, and
+    # tags recur (each appears more than once on average).
+    assert all(value >= 2 for value in unique.values())
+    assert all(value > 1.0 for value in occurrences.values())
+    # The art-analogue's signature (paper: 98 tags recurring millions of
+    # times): a small tag set with very heavy recurrence.
+    assert unique["art"] < 100
+    assert occurrences["art"] > 100
+    if strict:
+        # Large-working-set benchmarks carry the most tags (paper names
+        # apsi, gap, wupwise, lucas, applu, swim as the heavy group).
+        assert unique["wupwise"] > unique["art"]

@@ -1,0 +1,28 @@
+"""Regenerate Figure 3: unique addresses and recurrences per address."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig03_address_recurrence(benchmark, scale):
+    fig2 = run_experiment("fig2", scale)
+    result = run_once(benchmark, run_experiment, "fig3", scale)
+    print()
+    print(result.render())
+
+    unique_blocks = result.series["unique_blocks"]
+    unique_tags = fig2.series["unique_tags"]
+    block_occ = result.series["mean_block_occurrences"]
+    tag_occ = fig2.series["mean_tag_occurrences"]
+
+    for name in unique_blocks:
+        # The paper's central asymmetry, per benchmark: many more unique
+        # addresses than tags...
+        assert unique_blocks[name] > unique_tags[name]
+        # ...and each tag recurs more often than each address.
+        assert tag_occ[name] > block_occ[name]
+
+    # Suite-wide the gap is at least an order of magnitude for the
+    # tag-friendly benchmarks.
+    assert unique_blocks["swim"] / unique_tags["swim"] > 50

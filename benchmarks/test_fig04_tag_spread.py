@@ -1,0 +1,24 @@
+"""Regenerate Figure 4: tag spread across sets, recurrence within sets."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig04_tag_spread(benchmark, scale, strict):
+    result = run_once(benchmark, run_experiment, "fig4", scale)
+    print()
+    print(result.render())
+
+    spread = result.series["sets_per_tag"]
+    per_set = result.series["occurrences_per_tag_set"]
+    # Bounds: a tag can at most appear in every one of the 1024 sets.
+    assert all(1.0 <= value <= 1024.0 for value in spread.values())
+    assert all(value >= 1.0 for value in per_set.values())
+    if strict:
+        # Sweeping benchmarks spread each tag across most of the cache
+        # (the paper's gzip/apsi/wupwise/lucas/swim approach the 1024
+        # limit); the art-analogue recurs heavily within sets.
+        assert spread["swim"] > 400
+        assert spread["wupwise"] > 400
+        assert per_set["art"] > 20

@@ -1,0 +1,24 @@
+"""Regenerate Figure 5: unique 3-tag sequences vs the random limit."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig05_sequence_fraction(benchmark, scale, strict):
+    result = run_once(benchmark, run_experiment, "fig5", scale)
+    print()
+    print(result.render())
+
+    fraction = result.series["fraction_of_limit"]
+    assert all(0.0 <= value <= 1.0 for value in fraction.values())
+    if strict:
+        # Strong correlation: the structured scientific benchmarks sit
+        # far below the random limit...
+        for name in ("swim", "applu", "wupwise", "art"):
+            assert fraction[name] < 0.05, f"{name} at {fraction[name]:.2%}"
+        # ...while the random-scan benchmarks (paper: crafty, twolf)
+        # have visibly more random sequences than the structured ones.
+        structured_max = max(fraction[n] for n in ("swim", "applu", "art"))
+        assert fraction["twolf"] > structured_max
+        assert fraction["crafty"] > structured_max

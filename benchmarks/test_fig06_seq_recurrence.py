@@ -1,0 +1,23 @@
+"""Regenerate Figure 6: unique 3-tag sequences and recurrences."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig06_sequence_recurrence(benchmark, scale, strict):
+    result = run_once(benchmark, run_experiment, "fig6", scale)
+    print()
+    print(result.render())
+
+    unique = result.series["unique_sequences"]
+    occurrences = result.series["mean_sequence_occurrences"]
+    assert all(value >= 1 for value in unique.values())
+    assert all(value >= 1.0 for value in occurrences.values())
+    if strict:
+        # The art-analogue's tiny looped tag set produces the paper's
+        # signature: few unique sequences, each recurring heavily.
+        assert occurrences["art"] > 20
+        # The pointer-chasing mcf-analogue has the opposite profile:
+        # many unique sequences (paper: mcf has the most, 7M+).
+        assert unique["mcf"] > unique["art"]

@@ -1,0 +1,24 @@
+"""Regenerate Figure 7: 3-tag sequence sharing across cache sets."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig07_sequence_spread(benchmark, scale, strict):
+    result = run_once(benchmark, run_experiment, "fig7", scale)
+    print()
+    print(result.render())
+
+    spread = result.series["sets_per_sequence"]
+    per_set = result.series["occurrences_per_sequence_set"]
+    assert all(1.0 <= value <= 1024.0 for value in spread.values())
+    assert all(value >= 1.0 for value in per_set.values())
+    if strict:
+        # The paper's key number: swim's sequences appear in hundreds of
+        # sets (264 of 1024) — one PHT entry serves them all.
+        assert spread["swim"] > 50
+        # Pointer chases give each set private history: sequences stay
+        # confined to very few sets.
+        assert spread["mcf"] < 4
+        assert spread["swim"] > 10 * spread["mcf"]

@@ -1,0 +1,29 @@
+"""Regenerate Figure 12: the three categories of L2 accesses."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig12_l2_access_categories(benchmark, scale, strict):
+    result = run_once(benchmark, run_experiment, "fig12", scale)
+    print()
+    print(result.render())
+
+    for label in ("tcp-8k", "tcp-8m"):
+        covered = result.series[f"{label}:prefetched_original"]
+        uncovered = result.series[f"{label}:non_prefetched_original"]
+        extra = result.series[f"{label}:prefetched_extra"]
+        for name in covered:
+            # The two original categories always partition the demand
+            # accesses (100% total), and extra is non-negative.
+            assert covered[name] + uncovered[name] == pytest.approx(100.0, abs=0.1)
+            assert extra[name] >= 0.0
+
+    if strict:
+        covered_8k = result.series["tcp-8k:prefetched_original"]
+        # Where Figure 11 shows big TCP-8K wins, coverage must be
+        # substantial; where it shows nothing, coverage must be small.
+        assert covered_8k["lucas"] > 30.0
+        assert covered_8k["twolf"] < 20.0

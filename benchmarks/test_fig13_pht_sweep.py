@@ -1,0 +1,35 @@
+"""Regenerate Figure 13: PHT size sweep and miss-index-bit sweep.
+
+This is the most expensive bench (16 configurations x the suite); at
+the default quick scale it completes in around a minute.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig13_pht_design_sweeps(benchmark, scale, strict):
+    result = run_once(benchmark, run_experiment, "fig13", scale)
+    print()
+    print(result.render())
+
+    shared = result.series["shared_pht_ipc"]
+    bits = result.series["index_bits_ipc"]
+    assert len(shared) == 7
+    assert len(bits) == 4
+    assert all(value > 0 for value in shared.values())
+
+    if strict:
+        # Growing the shared PHT never hurts meaningfully...
+        assert shared["8KB"] >= shared["2KB"] * 0.995
+        assert shared["8192KB"] >= shared["8KB"] * 0.99
+        # ...but the paper's knee: most of the 2KB->8MB gain arrives by 8KB.
+        total_gain = shared["8192KB"] - shared["2KB"]
+        by_8k = shared["8KB"] - shared["2KB"]
+        if total_gain > 0.01:
+            assert by_8k >= 0.4 * total_gain, (by_8k, total_gain)
+        # Index bits: 0 and 1 comparable; 3 bits no better than 0
+        # (sub-tables too small, the paper's degradation).
+        assert bits["1"] >= bits["0"] * 0.97
+        assert bits["3"] <= bits["0"] * 1.02

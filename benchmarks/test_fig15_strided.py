@@ -1,0 +1,21 @@
+"""Regenerate Figure 15: percentage of strided three-tag sequences."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig15_strided_sequences(benchmark, scale, strict):
+    result = run_once(benchmark, run_experiment, "fig15", scale)
+    print()
+    print(result.render())
+
+    fractions = result.series["strided_fraction"]
+    assert all(0.0 <= value <= 100.0 for value in fractions.values())
+    if strict:
+        # The paper's shape: swim is the clear maximum (>12%), most
+        # benchmarks stay tiny (<2%).
+        assert fractions["swim"] == max(fractions.values())
+        assert fractions["swim"] > 8.0
+        small = sum(1 for value in fractions.values() if value < 3.0)
+        assert small >= len(fractions) // 2, fractions

@@ -1,0 +1,19 @@
+"""Regenerate Table 1: the simulated machine configuration."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table1_machine_configuration(benchmark, scale):
+    result = run_once(benchmark, run_experiment, "table1", scale)
+    print()
+    print(result.render())
+    values = dict(result.rows)
+    assert values["Issue width"].startswith("8")
+    assert "128-RUU" in values["Instruction window"]
+    assert "32KB, direct-mapped, 32B blocks" in values["L1 Dcache"]
+    assert "64 MSHRs" in values["L1 Dcache"]
+    assert "1024KB, 4-way, 64B blocks" in values["L2 I/D"]
+    assert "12-cycle" in values["L2 I/D"]
+    assert values["Memory latency"] == "70 cycles"

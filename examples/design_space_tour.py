@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Tour the TCP design space: sizes, indexing, and Section 6 variants.
+
+Four mini-studies on a memory-bound subset of the suite:
+
+1. PHT size (the Figure 13 knee at 8 KB);
+2. miss-index bits (sharing vs separating pattern history);
+3. THT depth k (how much history the correlation needs);
+4. the paper's Section 6 future-work designs — multi-target entries
+   and the stride-filtered TCP — against the base design.
+
+Usage: ``python examples/design_space_tour.py [scale]``
+"""
+
+import sys
+
+from repro import Scale, SimulationConfig, simulate
+from repro.core import MultiTargetTCP, StrideFilteredTCP, TCPConfig, tcp_with_pht
+from repro.core.pht import PHTConfig
+from repro.core.tcp import TagCorrelatingPrefetcher
+from repro.sim.config import register_prefetcher
+from repro.util.stats import geometric_mean
+from repro.util.tables import format_table
+
+WORKLOADS = ("swim", "applu", "art", "mgrid", "lucas")
+KB = 1024
+
+
+def geomean_gain(prefetcher_name: str, scale: Scale) -> float:
+    """Suite-subset geomean IPC improvement for one registered prefetcher."""
+    ratios = []
+    for workload in WORKLOADS:
+        base = simulate(workload, SimulationConfig.baseline(), scale)
+        result = simulate(workload, SimulationConfig.for_prefetcher(prefetcher_name), scale)
+        ratios.append(result.ipc / base.ipc)
+    return (geometric_mean(ratios) - 1.0) * 100.0
+
+
+def main() -> int:
+    scale = Scale[(sys.argv[1] if len(sys.argv) > 1 else "quick").upper()]
+    rows = []
+
+    for size_kb in (2, 8, 32, 128):
+        name = register_prefetcher(
+            f"tour-size-{size_kb}k", lambda s=size_kb: tcp_with_pht(s * KB)
+        )
+        rows.append(["PHT size", f"{size_kb}KB shared", geomean_gain(name, scale)])
+
+    for bits in (0, 1, 2, 3):
+        name = register_prefetcher(
+            f"tour-bits-{bits}",
+            lambda n=bits: tcp_with_pht(8 * KB, miss_index_bits=n),
+        )
+        rows.append(["index bits", f"8KB PHT, n={bits}", geomean_gain(name, scale)])
+
+    for depth in (1, 2, 3):
+        name = register_prefetcher(
+            f"tour-depth-{depth}",
+            lambda k=depth: TagCorrelatingPrefetcher(
+                TCPConfig(history_length=k, pht=PHTConfig(sets=256, ways=8))
+            ),
+        )
+        rows.append(["THT depth", f"k={depth}", geomean_gain(name, scale)])
+
+    register_prefetcher("tour-multi2", lambda: MultiTargetTCP(targets=2))
+    register_prefetcher("tour-stride", StrideFilteredTCP)
+    rows.append(["variant", "base TCP-8K", geomean_gain("tcp-8k", scale)])
+    rows.append(["variant", "multi-target (2)", geomean_gain("tour-multi2", scale)])
+    rows.append(["variant", "stride-filtered", geomean_gain("tour-stride", scale)])
+
+    print(
+        format_table(
+            ["study", "design point", "geomean IPC gain %"],
+            rows,
+            title=(
+                "TCP design-space tour on "
+                + ", ".join(WORKLOADS)
+                + f" (scale={scale.name.lower()})"
+            ),
+        )
+    )
+    print(
+        "\nExpected shapes: the size curve flattens past 8KB; 0-1 index bits\n"
+        "are comparable and more degrade; k=2 is the paper's sweet spot; the\n"
+        "Section 6 variants trade traffic (multi-target) or PHT capacity\n"
+        "(stride filter) for coverage."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

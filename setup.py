@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` needs `wheel` to build editable metadata; fully
+offline environments may lack it.  `python setup.py develop` (or adding
+`src/` to a .pth file) installs the package equivalently.
+"""
+from setuptools import setup
+
+setup()

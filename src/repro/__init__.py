@@ -1,0 +1,68 @@
+"""repro — a reproduction of "TCP: Tag Correlating Prefetchers" (HPCA 2003).
+
+The package implements the paper's Tag Correlating Prefetcher and the
+entire evaluation platform around it — a trace-driven out-of-order core,
+the Table 1 memory hierarchy with bus contention, baseline prefetchers
+(DBCP, stride, stream buffers, Markov), a timekeeping dead-block
+predictor, a synthetic SPEC CPU2000-analogue workload suite, the
+Section 3 miss-stream analyses, and one experiment module per paper
+table/figure.
+
+Quick start::
+
+    from repro import simulate, SimulationConfig, Scale
+
+    base = simulate("swim", SimulationConfig.baseline(), Scale.QUICK)
+    tcp = simulate("swim", SimulationConfig.for_prefetcher("tcp-8k"), Scale.QUICK)
+    print(f"TCP-8K speeds up swim by {tcp.improvement_over(base):+.1f}%")
+
+Or from the shell: ``repro-tcp run fig11``.
+"""
+
+from repro.core import (
+    HybridTCP,
+    MultiTargetTCP,
+    StrideFilteredTCP,
+    TagCorrelatingPrefetcher,
+    TCPConfig,
+    hybrid_8k,
+    tcp_8k,
+    tcp_8m,
+    tcp_with_pht,
+)
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.sim import (
+    PREFETCHERS,
+    SimResult,
+    SimulationConfig,
+    simulate,
+    simulate_suite,
+)
+from repro.workloads import BENCHMARK_ORDER, SUITE, Scale, Trace, generate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCHMARK_ORDER",
+    "EXPERIMENTS",
+    "HybridTCP",
+    "MultiTargetTCP",
+    "PREFETCHERS",
+    "SUITE",
+    "Scale",
+    "SimResult",
+    "SimulationConfig",
+    "StrideFilteredTCP",
+    "TCPConfig",
+    "TagCorrelatingPrefetcher",
+    "Trace",
+    "__version__",
+    "generate",
+    "hybrid_8k",
+    "run_experiment",
+    "simulate",
+    "simulate_suite",
+    "tcp_8k",
+    "tcp_8m",
+    "tcp_with_pht",
+]

@@ -1,0 +1,32 @@
+"""Miss-stream characterisation (the paper's Section 3 analyses).
+
+The paper motivates TCP with a profiling study of the L1 data-cache
+miss stream: how often tags recur (Figure 2) versus full addresses
+(Figure 3), how tags spread across sets (Figure 4), and the same
+questions for per-set three-tag *sequences* (Figures 5–7), plus the
+share of strided sequences (Figure 15, via
+:func:`repro.core.strided.strided_fraction`).
+
+:func:`repro.analysis.miss_stream.capture_miss_stream` replays a trace
+through a bare L1 and returns the miss stream; the stats modules
+compute the figures' metrics from it.
+"""
+
+from repro.analysis.livetime import LiveTimeStats, live_time_stats
+from repro.analysis.miss_stream import MissStream, capture_miss_stream
+from repro.analysis.prediction import PredictionScore, score_prefetcher
+from repro.analysis.sequence_stats import SequenceStats, sequence_stats
+from repro.analysis.tag_stats import TagStats, tag_stats
+
+__all__ = [
+    "LiveTimeStats",
+    "MissStream",
+    "PredictionScore",
+    "SequenceStats",
+    "TagStats",
+    "capture_miss_stream",
+    "live_time_stats",
+    "score_prefetcher",
+    "sequence_stats",
+    "tag_stats",
+]

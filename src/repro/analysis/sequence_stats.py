@@ -1,0 +1,104 @@
+"""Per-set tag-sequence statistics (Figures 5–7 of the paper).
+
+A *three-tag sequence* is a window of three consecutive miss tags
+observed at one cache set — the correlation unit of a k = 2 TCP.  From
+a workload's miss stream this module computes:
+
+* Figure 5: the number of unique sequences as a fraction of the
+  ``unique_tags ** length`` upper limit (small fraction = strong
+  correlation; crafty/twolf-style random scans approach the limit);
+* Figure 6: the absolute number of unique sequences and the mean
+  number of times each recurs;
+* Figure 7: the mean number of distinct sets each sequence appears in
+  (the inter-set sharing that lets one PHT entry serve many sets) and
+  the mean recurrences per (sequence, set) pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+from repro.analysis.miss_stream import MissStream, capture_miss_stream
+from repro.workloads import Scale, Trace
+
+__all__ = ["SequenceStats", "sequence_stats"]
+
+
+@dataclass(frozen=True)
+class SequenceStats:
+    """Tag-sequence recurrence metrics of one workload's miss stream."""
+
+    workload: str
+    length: int
+    #: total sequence windows observed (≈ misses − warm sets × (k−1)).
+    windows: int
+    # --- Figure 5/6 ---
+    unique_sequences: int
+    unique_tags: int
+    mean_sequence_occurrences: float
+    # --- Figure 7 ---
+    mean_sets_per_sequence: float
+    mean_occurrences_per_sequence_set: float
+
+    @property
+    def fraction_of_upper_limit(self) -> float:
+        """Unique sequences over the ``tags ** length`` random limit."""
+        limit = self.unique_tags ** self.length
+        if limit == 0:
+            return 0.0
+        return min(1.0, self.unique_sequences / limit)
+
+
+def sequence_stats(
+    workload: Union[str, Trace, MissStream],
+    scale: Scale = Scale.STANDARD,
+    length: int = 3,
+) -> SequenceStats:
+    """Compute Figure 5/6/7 metrics for ``workload``.
+
+    ``length`` is the sequence window (the paper analyses 3).
+    """
+    if length < 1:
+        raise ValueError(f"sequence length must be positive, got {length}")
+    if isinstance(workload, MissStream):
+        stream = workload
+    else:
+        stream = capture_miss_stream(workload, scale)
+
+    seq_counts: Dict[Tuple[int, ...], int] = {}
+    seq_set_counts: Dict[Tuple[Tuple[int, ...], int], int] = {}
+    unique_tags = set()
+    history: Dict[int, Tuple[int, ...]] = {}
+    windows = 0
+
+    indices = stream.indices
+    tags = stream.tags
+    for position in range(len(stream)):
+        index = int(indices[position])
+        tag = int(tags[position])
+        unique_tags.add(tag)
+        window = history.get(index, ()) + (tag,)
+        if len(window) > length:
+            window = window[1:]
+        history[index] = window
+        if len(window) == length:
+            windows += 1
+            seq_counts[window] = seq_counts.get(window, 0) + 1
+            key = (window, index)
+            seq_set_counts[key] = seq_set_counts.get(key, 0) + 1
+
+    unique = len(seq_counts)
+    if unique == 0:
+        return SequenceStats(stream.workload, length, 0, 0, len(unique_tags), 0.0, 0.0, 0.0)
+
+    return SequenceStats(
+        workload=stream.workload,
+        length=length,
+        windows=windows,
+        unique_sequences=unique,
+        unique_tags=len(unique_tags),
+        mean_sequence_occurrences=windows / unique,
+        mean_sets_per_sequence=len(seq_set_counts) / unique,
+        mean_occurrences_per_sequence_set=windows / len(seq_set_counts),
+    )

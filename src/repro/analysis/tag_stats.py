@@ -1,0 +1,96 @@
+"""Single-tag and single-address recurrence statistics (Figures 2–4).
+
+From a workload's L1 miss stream this module computes:
+
+* Figure 2: the number of unique tags and the mean number of times
+  each tag (re)appears;
+* Figure 3: the same for full block addresses — expected to show
+  orders of magnitude *more* unique items recurring far *less* often,
+  the asymmetry that motivates tag-based correlation;
+* Figure 4: the mean number of distinct sets each tag appears in
+  (spatial spread) and the mean number of appearances per (tag, set)
+  pair (temporal recurrence within a set).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Union
+
+from repro.analysis.miss_stream import MissStream, capture_miss_stream
+from repro.workloads import Scale, Trace
+
+__all__ = ["TagStats", "tag_stats"]
+
+
+@dataclass(frozen=True)
+class TagStats:
+    """Recurrence metrics of one workload's miss stream."""
+
+    workload: str
+    misses: int
+    # --- Figure 2 ---
+    unique_tags: int
+    mean_tag_occurrences: float
+    # --- Figure 3 ---
+    unique_blocks: int
+    mean_block_occurrences: float
+    # --- Figure 4 ---
+    mean_sets_per_tag: float
+    mean_occurrences_per_tag_set: float
+
+    @property
+    def block_to_tag_ratio(self) -> float:
+        """How many distinct addresses share one tag, on average.
+
+        The paper's space argument: this is the factor by which a
+        tag-indexed table can be smaller than an address-indexed one.
+        """
+        if self.unique_tags == 0:
+            return 0.0
+        return self.unique_blocks / self.unique_tags
+
+
+def tag_stats(
+    workload: Union[str, Trace, MissStream],
+    scale: Scale = Scale.STANDARD,
+) -> TagStats:
+    """Compute Figure 2/3/4 metrics for ``workload``."""
+    if isinstance(workload, MissStream):
+        stream = workload
+    else:
+        stream = capture_miss_stream(workload, scale)
+
+    misses = len(stream)
+    if misses == 0:
+        return TagStats(stream.workload, 0, 0, 0.0, 0, 0.0, 0.0, 0.0)
+
+    tag_counts: Counter = Counter()
+    block_counts: Counter = Counter()
+    tag_set_counts: Counter = Counter()
+    tags = stream.tags
+    blocks = stream.blocks
+    indices = stream.indices
+    for position in range(misses):
+        tag = int(tags[position])
+        tag_counts[tag] += 1
+        block_counts[int(blocks[position])] += 1
+        tag_set_counts[(tag, int(indices[position]))] += 1
+
+    unique_tags = len(tag_counts)
+    unique_blocks = len(block_counts)
+    sets_per_tag: Counter = Counter()
+    for (tag, _index) in tag_set_counts:
+        sets_per_tag[tag] += 1
+
+    return TagStats(
+        workload=stream.workload,
+        misses=misses,
+        unique_tags=unique_tags,
+        mean_tag_occurrences=misses / unique_tags,
+        unique_blocks=unique_blocks,
+        mean_block_occurrences=misses / unique_blocks,
+        mean_sets_per_tag=sum(sets_per_tag.values()) / unique_tags,
+        mean_occurrences_per_tag_set=misses / len(tag_set_counts),
+    )

@@ -1,0 +1,54 @@
+"""TCP: the Tag Correlating Prefetcher (the paper's contribution).
+
+The prefetcher has the two-level structure of Figure 8:
+
+* :class:`repro.core.tht.TagHistoryTable` — one row per L1 set,
+  holding the last *k* miss tags seen at that set;
+* :class:`repro.core.pht.PatternHistoryTable` — an 8-way associative
+  table mapping a tag-sequence (hashed with the truncated-add scheme of
+  Figure 9, optionally mixed with miss-index bits) to the predicted
+  next tag.
+
+:class:`repro.core.tcp.TagCorrelatingPrefetcher` glues them together
+behind the common :class:`repro.prefetchers.base.Prefetcher` interface;
+``tcp_8k()`` and ``tcp_8m()`` build the paper's two evaluated
+configurations.  :mod:`repro.core.hybrid` adds the Section 5.2.2
+prefetch-into-L1 hybrid (dead-block gated), and :mod:`repro.core.variants`
+implements the Section 6 future-work designs (multi-target entries and
+stride-augmented TCP).  :mod:`repro.core.strided` detects the strided
+tag sequences of Figure 15.
+"""
+
+from repro.core.hybrid import HybridTCP, hybrid_8k
+from repro.core.indexing import IndexFunction, PHTIndexScheme
+from repro.core.pht import PatternHistoryTable, PHTConfig
+from repro.core.strided import StridedSequenceDetector, strided_fraction
+from repro.core.tcp import TagCorrelatingPrefetcher, TCPConfig, tcp_8k, tcp_8m, tcp_with_pht
+from repro.core.tht import TagHistoryTable
+from repro.core.variants import (
+    ConfidenceFilteredTCP,
+    LookaheadTCP,
+    MultiTargetTCP,
+    StrideFilteredTCP,
+)
+
+__all__ = [
+    "ConfidenceFilteredTCP",
+    "HybridTCP",
+    "LookaheadTCP",
+    "IndexFunction",
+    "MultiTargetTCP",
+    "PHTConfig",
+    "PHTIndexScheme",
+    "PatternHistoryTable",
+    "StrideFilteredTCP",
+    "StridedSequenceDetector",
+    "TCPConfig",
+    "TagCorrelatingPrefetcher",
+    "TagHistoryTable",
+    "hybrid_8k",
+    "strided_fraction",
+    "tcp_8k",
+    "tcp_8m",
+    "tcp_with_pht",
+]

@@ -1,0 +1,93 @@
+"""The hybrid prefetcher of Section 5.2.2: TCP + dead-block gated L1 fill.
+
+The base TCP stops at L2 because L1 is small and easily polluted.  The
+paper's hybrid goes further: "after a prediction is made, the predicted
+data is prefetched into L2 immediately, but will update L1 only after
+the corresponding cache line is predicted dead", with a dedicated
+L1/L2 prefetch bus so prefetch traffic does not compete with demand
+traffic.
+
+Mechanically, this class is a :class:`TagCorrelatingPrefetcher` that
+
+* marks its requests ``into_l1=True`` (the hierarchy records them as
+  pending per-set promotions);
+* exposes ``l1_promotion_gate`` — the hierarchy calls it before
+  displacing an L1 line with a promoted block, and the gate consults
+  the timekeeping dead-block predictor;
+* consumes L1 eviction events to train that predictor.
+
+Run it with ``HierarchyParams(dedicated_prefetch_bus=True)`` to match
+the paper's configuration (``hybrid_8k`` + the simulator's
+``SimulationConfig`` do this automatically).
+"""
+
+from __future__ import annotations
+
+from repro.core.tcp import TagCorrelatingPrefetcher, TCPConfig, tcp_8k
+from repro.deadblock import DeadBlockConfig, TimekeepingDeadBlockPredictor
+from repro.memory.cache import CacheLine
+from repro.prefetchers.base import EvictionEvent
+
+__all__ = ["HybridTCP", "hybrid_8k"]
+
+
+class HybridTCP(TagCorrelatingPrefetcher):
+    """TCP prefetching into L2 immediately and into L1 when safe."""
+
+    needs_eviction_stream = True
+
+    def __init__(
+        self,
+        config: TCPConfig = TCPConfig(),
+        deadblock: DeadBlockConfig = DeadBlockConfig(),
+        name: str = "hybrid",
+    ) -> None:
+        super().__init__(config, name=name)
+        self.into_l1 = True
+        self.deadblock = TimekeepingDeadBlockPredictor(deadblock)
+        self.promotions_approved = 0
+        self.promotions_denied = 0
+
+    # ------------------------------------------------------------------
+    # Hooks consumed by the memory hierarchy
+    # ------------------------------------------------------------------
+
+    def l1_promotion_gate(self, victim: CacheLine, index: int, now: float) -> bool:
+        """May a pending promotion evict ``victim`` from set ``index``?
+
+        Every victim — prefetched lines included — must be predicted
+        dead by the timekeeping predictor: evicting a line that is still
+        live trades one miss for another and, worse, injects a spurious
+        miss into the per-set tag history that the TCP itself learns
+        from.
+        """
+        index_bits = self.tht.rows.bit_length() - 1
+        block = (victim.tag << index_bits) | index
+        dead = self.deadblock.is_dead(block, victim.fill_time, victim.last_access, now)
+        if dead:
+            self.promotions_approved += 1
+        else:
+            self.promotions_denied += 1
+        return dead
+
+    def observe_eviction(self, evt: EvictionEvent) -> None:
+        """Train the dead-block predictor with the victim's live time."""
+        self.deadblock.observe_eviction(evt)
+
+    # ------------------------------------------------------------------
+
+    def storage_bytes(self) -> int:
+        """THT + PHT + dead-block history budget."""
+        return super().storage_bytes() + self.deadblock.storage_bytes()
+
+    def reset(self) -> None:
+        super().reset()
+        self.deadblock.reset()
+        self.promotions_approved = 0
+        self.promotions_denied = 0
+
+
+def hybrid_8k() -> HybridTCP:
+    """The paper's Hybrid-8K: the TCP-8K tables plus the dead-block gate."""
+    base = tcp_8k()
+    return HybridTCP(base.config, name="hybrid-8K")

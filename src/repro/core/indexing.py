@@ -1,0 +1,100 @@
+"""The PHT indexing scheme of the paper's Figure 9.
+
+The Pattern History Table set index is built from two components::
+
+        +------------------------------+-------------+
+        | (tag1 + ... + tagk)[1:m]     | index[1:n]  |
+        +------------------------------+-------------+
+
+* the high ``m`` bits come from a *truncated addition* of all tags in
+  the indexing sequence (lossy but cheap, exactly as in DBCP
+  signatures);
+* the low ``n`` bits come from the miss index.
+
+``n`` trades sharing against separation (Section 4): ``n = 0`` lets all
+cache sets share every PHT entry (the paper's TCP-8K); ``n = 10`` (the
+full miss index of a 1024-set L1) gives each set private pattern
+history (TCP-8M).  Figure 13 (bottom) sweeps ``n`` for a fixed 8 KB
+PHT and shows that more than 1 bit hurts — the sub-tables get too small.
+
+Section 6 suggests harvesting branch-predictor indexing lessons, so the
+scheme also offers a gshare-style XOR fold as an ablation alternative
+(:class:`IndexFunction`), exercised by the ablation benches.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.util.bitops import fold_xor, mask
+
+__all__ = ["IndexFunction", "PHTIndexScheme"]
+
+
+class IndexFunction(enum.Enum):
+    """How the tag sequence is hashed into the high index bits."""
+
+    #: the paper's truncated addition (Figure 9).
+    TRUNCATED_ADD = "truncated-add"
+    #: gshare-style XOR fold of the concatenated tags (ablation).
+    XOR_FOLD = "xor-fold"
+
+
+@dataclass(frozen=True)
+class PHTIndexScheme:
+    """Computes PHT set indices from (tag sequence, miss index).
+
+    Parameters
+    ----------
+    total_index_bits:
+        ``log2`` of the PHT set count (``m + n``).
+    miss_index_bits:
+        ``n``, the number of low bits taken from the miss index.
+    function:
+        the hash applied to the tag sequence for the top ``m`` bits.
+    """
+
+    total_index_bits: int
+    miss_index_bits: int
+    function: IndexFunction = IndexFunction.TRUNCATED_ADD
+
+    def __post_init__(self) -> None:
+        if self.total_index_bits < 0:
+            raise ValueError("total index bits must be non-negative")
+        if not 0 <= self.miss_index_bits <= self.total_index_bits:
+            raise ValueError(
+                f"miss index bits ({self.miss_index_bits}) must lie in "
+                f"[0, {self.total_index_bits}]"
+            )
+
+    @property
+    def sequence_bits(self) -> int:
+        """``m``: bits contributed by the hashed tag sequence."""
+        return self.total_index_bits - self.miss_index_bits
+
+    def compute(self, tag_sequence: Sequence[int], miss_index: int) -> int:
+        """Return the PHT set index for this (sequence, miss index)."""
+        m = self.sequence_bits
+        n = self.miss_index_bits
+        if self.function is IndexFunction.TRUNCATED_ADD:
+            total = 0
+            for tag in tag_sequence:
+                total += tag
+            high = total & mask(m)
+        else:
+            concatenated = 0
+            for tag in tag_sequence:
+                concatenated = (concatenated << 20) | (tag & mask(20))
+            high = fold_xor(concatenated, m) if m > 0 else 0
+        if n == 0:
+            return high
+        return (high << n) | (miss_index & mask(n))
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``sum(tags)[1:8] ++ index[1:0]``."""
+        return (
+            f"{self.function.value}(tags)[1:{self.sequence_bits}]"
+            f" ++ index[1:{self.miss_index_bits}]"
+        )

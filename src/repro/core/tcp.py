@@ -1,0 +1,159 @@
+"""The Tag Correlating Prefetcher (Section 4 of the paper).
+
+On every L1 data-cache miss with split ``(miss_index, miss_tag)`` the
+prefetcher performs the paper's two operations:
+
+**Update** — refresh the history so the tables stay current:
+
+1. ``miss_index`` selects the THT row, yielding the previous tag
+   sequence ``(tag1 .. tagk)`` at this set;
+2. that sequence indexes the PHT (Figure 9 hash) and the entry tagged
+   with its most recent tag gets its *next-tag* field set to
+   ``miss_tag`` — the table has now learned
+   ``(tag1 .. tagk) -> miss_tag``;
+3. the THT row shifts to ``(tag2 .. tagk, miss_tag)``.
+
+**Lookup** — predict the tag that will follow the current miss:
+
+1. the *new* THT sequence ``(tag2 .. tagk, miss_tag)`` indexes the PHT;
+2. the entry tagged ``miss_tag`` supplies the predicted next tag
+   ``tag'``;
+3. ``tag'`` combined with ``miss_index`` reconstructs a full cache-line
+   address, which is prefetched into L2.
+
+With ``k = 2`` the learned patterns are exactly the paper's three-tag
+sequences (``tag1, tag2 -> tag3``), and because the PHT is shared
+across cache sets (when ``miss_index_bits = 0``) a single pattern
+serves every set in which the tag sequence recurs — the space saving
+that lets 8 KB of PHT outperform megabyte-scale address correlation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.pht import PatternHistoryTable, PHTConfig
+from repro.core.tht import TagHistoryTable
+from repro.prefetchers.base import MissEvent, Prefetcher, PrefetchRequest
+
+__all__ = ["TCPConfig", "TagCorrelatingPrefetcher", "tcp_8k", "tcp_8m", "tcp_with_pht"]
+
+
+@dataclass(frozen=True)
+class TCPConfig:
+    """Full TCP configuration: THT geometry + PHT geometry."""
+
+    #: THT rows; must equal the L1 data cache's set count.
+    tht_rows: int = 1024
+    #: k — previous tags kept per set (the paper evaluates k = 2).
+    history_length: int = 2
+    tht_tag_bytes: int = 2
+    pht: PHTConfig = field(default_factory=PHTConfig)
+
+    def __post_init__(self) -> None:
+        if self.history_length <= 0:
+            raise ValueError("history length (k) must be positive")
+
+
+class TagCorrelatingPrefetcher(Prefetcher):
+    """Two-level tag correlating prefetcher (THT + PHT)."""
+
+    def __init__(self, config: TCPConfig = TCPConfig(), name: str = "") -> None:
+        pht_kb = config.pht.storage_bytes() / 1024
+        label = name or (
+            f"tcp-{pht_kb:g}K" if pht_kb < 1024 else f"tcp-{pht_kb / 1024:g}M"
+        )
+        super().__init__(label)
+        self.config = config
+        self.tht = TagHistoryTable(
+            config.tht_rows, config.history_length, config.tht_tag_bytes
+        )
+        self.pht = PatternHistoryTable(config.pht)
+        #: prefetch into L1 as well (set by the hybrid subclass).
+        self.into_l1 = False
+
+    # ------------------------------------------------------------------
+
+    def observe_miss(self, miss: MissEvent) -> List[PrefetchRequest]:
+        """The paper's update + lookup, producing at most ``targets``
+        prefetch requests."""
+        self.stats.lookups += 1
+        index = miss.index
+        tag = miss.tag
+
+        # --- update -----------------------------------------------------
+        old_sequence = self.tht.read(index)
+        self.pht.update(old_sequence, index, tag)
+        new_sequence = self.tht.push(index, tag)
+        self.stats.updates += 1
+
+        # --- lookup -----------------------------------------------------
+        predicted = self.pht.predict(new_sequence, index)
+        if not predicted:
+            return []
+        index_bits = self.tht.rows.bit_length() - 1
+        requests: List[PrefetchRequest] = []
+        for next_tag in predicted:
+            block = (next_tag << index_bits) | index
+            if block == miss.block:
+                continue  # that block is already being demand-fetched
+            requests.append(PrefetchRequest(block, into_l1=self.into_l1))
+        self.stats.predictions += len(requests)
+        return requests
+
+    # ------------------------------------------------------------------
+
+    def storage_bytes(self) -> int:
+        """THT + PHT hardware budget."""
+        return self.tht.storage_bytes() + self.pht.storage_bytes()
+
+    def reset(self) -> None:
+        super().reset()
+        self.tht.reset()
+        self.pht.reset()
+
+
+def tcp_8k(**pht_overrides: object) -> TagCorrelatingPrefetcher:
+    """The paper's TCP-8K: 256-set, 8-way PHT, no miss-index bits.
+
+    All cache sets share the single 8 KB pattern store — the realistic
+    design point of Figure 11.
+    """
+    pht = PHTConfig(sets=256, ways=8, miss_index_bits=0, **pht_overrides)  # type: ignore[arg-type]
+    return TagCorrelatingPrefetcher(TCPConfig(pht=pht), name="tcp-8K")
+
+
+def tcp_8m(**pht_overrides: object) -> TagCorrelatingPrefetcher:
+    """The paper's TCP-8M: 262144-set, 8-way PHT using the full miss index.
+
+    Every L1 set gets private pattern history.  The paper includes it
+    as an idealised no-sequence-sharing reference, not a realistic
+    design.
+    """
+    pht = PHTConfig(sets=262144, ways=8, miss_index_bits=10, **pht_overrides)  # type: ignore[arg-type]
+    return TagCorrelatingPrefetcher(TCPConfig(pht=pht), name="tcp-8M")
+
+
+def tcp_with_pht(
+    pht_bytes: int,
+    miss_index_bits: int = 0,
+    ways: int = 8,
+    field_bytes: int = 2,
+) -> TagCorrelatingPrefetcher:
+    """Build a TCP with a PHT of ``pht_bytes`` total (Figure 13 sweeps).
+
+    ``pht_bytes`` must decompose into a power-of-two set count at the
+    given associativity and field width.
+    """
+    entry_bytes = 2 * field_bytes
+    sets = pht_bytes // (ways * entry_bytes)
+    config = PHTConfig(
+        sets=sets, ways=ways, miss_index_bits=miss_index_bits, field_bytes=field_bytes
+    )
+    if config.storage_bytes() != pht_bytes:
+        raise ValueError(
+            f"PHT of {pht_bytes}B is not realisable with {ways} ways and "
+            f"{field_bytes}B fields"
+        )
+    return TagCorrelatingPrefetcher(TCPConfig(pht=config))

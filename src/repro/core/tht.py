@@ -1,0 +1,66 @@
+"""The Tag History Table (first level of the TCP, Figure 8).
+
+The THT has one row per L1 data-cache set, indexed directly by the miss
+index so lookup can proceed in parallel with the L1 lookup itself.
+Each row stores the last ``k`` miss tags observed at that set, oldest
+first.  THT size is ``rows × k × tag_bytes`` (the paper's formula in
+Section 4); the evaluated design uses ``k = 2``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.util.bitops import is_power_of_two
+
+__all__ = ["TagHistoryTable"]
+
+
+class TagHistoryTable:
+    """Per-set shift registers of recent miss tags."""
+
+    def __init__(self, rows: int, depth: int, tag_bytes: int = 2) -> None:
+        if not is_power_of_two(rows):
+            raise ValueError(f"THT row count must be a power of two, got {rows}")
+        if depth <= 0:
+            raise ValueError(f"THT depth (k) must be positive, got {depth}")
+        if tag_bytes <= 0:
+            raise ValueError(f"tag storage width must be positive, got {tag_bytes}")
+        self.rows = rows
+        self.depth = depth
+        self.tag_bytes = tag_bytes
+        # Row storage: a flat list of lists; row i holds [tag1..tagk],
+        # index 0 oldest.  Initialised to zeros, matching cold hardware.
+        self._history: List[List[int]] = [[0] * depth for _ in range(rows)]
+
+    def read(self, index: int) -> Tuple[int, ...]:
+        """Return the tag sequence at ``index`` (oldest first)."""
+        return tuple(self._history[index])
+
+    def push(self, index: int, tag: int) -> Tuple[int, ...]:
+        """Shift ``tag`` into row ``index``; return the NEW sequence.
+
+        This is the THT half of the paper's update operation: the row
+        ``(tag1 .. tagk)`` becomes ``(tag2 .. tagk, miss_tag)``,
+        establishing the miss tag as the most recent history.
+        """
+        row = self._history[index]
+        row.pop(0)
+        row.append(tag)
+        return tuple(row)
+
+    def storage_bytes(self) -> int:
+        """Hardware budget: rows × k × bytes-per-tag."""
+        return self.rows * self.depth * self.tag_bytes
+
+    def reset(self) -> None:
+        """Zero all rows."""
+        for row in self._history:
+            for position in range(self.depth):
+                row[position] = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"TagHistoryTable(rows={self.rows}, k={self.depth}, "
+            f"{self.storage_bytes()}B)"
+        )

@@ -1,0 +1,218 @@
+"""TCP design variants from the paper's Section 6 (future work).
+
+Four extensions the paper sketches are implemented so the ablation
+benches can quantify them:
+
+``MultiTargetTCP``
+    "In the design of tag correlating prefetchers, there is a similar
+    trade-off for storing multiple targets" (after Joseph & Grunwald's
+    Markov prefetcher).  The PHT keeps the most recent ``targets``
+    successors per pattern and the prefetcher issues all of them —
+    higher coverage, more traffic.
+
+``StrideFilteredTCP``
+    "One possible future work is to further investigate strided and
+    other special sequences and exploit them to improve the performance
+    or hardware-efficiency of tag correlating prefetchers."  A tiny
+    per-set stride detector handles strided sequences directly; the
+    PHT is consulted — and updated — only for non-strided patterns, so
+    strided workloads stop polluting the shared pattern store.
+
+``ConfidenceFilteredTCP``
+    The paper's critical-miss-filter discussion points at suppressing
+    low-value prefetches.  This variant attaches a two-bit saturating
+    confidence counter to every PHT entry (the standard
+    branch-predictor device the paper's Section 6 invites): a pattern
+    must re-confirm its successor before its predictions are issued,
+    trading a little coverage for much cleaner traffic.
+
+``LookaheadTCP``
+    Runs the PHT transitively: the predicted next tag is pushed back
+    through the index to predict the tag after it, issuing a chain of
+    ``degree`` prefetches per miss — deeper timeliness at the cost of
+    compounding misprediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Tuple
+
+from repro.core.strided import StridedSequenceDetector
+from repro.core.tcp import TagCorrelatingPrefetcher, TCPConfig
+from repro.prefetchers.base import MissEvent, PrefetchRequest
+
+__all__ = [
+    "ConfidenceFilteredTCP",
+    "LookaheadTCP",
+    "MultiTargetTCP",
+    "StrideFilteredTCP",
+]
+
+
+class MultiTargetTCP(TagCorrelatingPrefetcher):
+    """TCP whose PHT entries store several successor tags."""
+
+    def __init__(self, config: TCPConfig = TCPConfig(), targets: int = 2) -> None:
+        if targets < 2:
+            raise ValueError("MultiTargetTCP needs at least 2 targets; use the base TCP for 1")
+        widened = replace(config, pht=replace(config.pht, targets=targets))
+        super().__init__(widened, name=f"tcp-multi{targets}")
+        self.targets = targets
+
+
+class StrideFilteredTCP(TagCorrelatingPrefetcher):
+    """TCP with a stride fast path in front of the PHT.
+
+    Per miss: the stride detector observes the (index, tag) pair.  If
+    the per-set tag stream is in a confirmed stride, the prediction is
+    ``tag + stride`` at zero PHT cost and the PHT is left untouched
+    (neither updated nor queried), preserving its capacity for the
+    irregular patterns only it can capture.
+    """
+
+    def __init__(self, config: TCPConfig = TCPConfig()) -> None:
+        super().__init__(config, name="tcp-stride")
+        self.detector = StridedSequenceDetector(config.tht_rows, depth=3)
+        self.stride_predictions = 0
+
+    def observe_miss(self, miss: MissEvent) -> List[PrefetchRequest]:
+        predicted_tag = self.detector.observe(miss.index, miss.tag)
+        if predicted_tag is not None:
+            # Keep the THT current so the PHT path has fresh history
+            # when the stride eventually breaks.
+            self.tht.push(miss.index, miss.tag)
+            self.stats.lookups += 1
+            if predicted_tag < 0:
+                return []
+            self.stride_predictions += 1
+            self.stats.predictions += 1
+            index_bits = self.tht.rows.bit_length() - 1
+            block = (predicted_tag << index_bits) | miss.index
+            return [PrefetchRequest(block, into_l1=self.into_l1)]
+        return super().observe_miss(miss)
+
+    def storage_bytes(self) -> int:
+        # Detector state: last tag (2B) + stride (2B) + 2-bit counter
+        # per set, rounded to 5 bytes.
+        return super().storage_bytes() + self.detector.sets * 5
+
+    def reset(self) -> None:
+        super().reset()
+        self.detector.reset()
+        self.stride_predictions = 0
+
+
+class ConfidenceFilteredTCP(TagCorrelatingPrefetcher):
+    """TCP whose predictions must earn confidence before issuing.
+
+    A two-bit saturating counter rides alongside each PHT entry, keyed
+    by (PHT set, entry tag).  On update, a successor that matches the
+    stored prediction strengthens the counter; a mismatch weakens it.
+    Predictions are issued only at or above ``threshold``.
+    """
+
+    def __init__(
+        self,
+        config: TCPConfig = TCPConfig(),
+        threshold: int = 2,
+        maximum: int = 3,
+    ) -> None:
+        if not 1 <= threshold <= maximum:
+            raise ValueError(
+                f"confidence threshold must lie in [1, {maximum}], got {threshold}"
+            )
+        super().__init__(config, name="tcp-conf")
+        self.threshold = threshold
+        self.maximum = maximum
+        self._confidence: Dict[Tuple[int, int], int] = {}
+        self.suppressed = 0
+
+    def observe_miss(self, miss: MissEvent) -> List[PrefetchRequest]:
+        self.stats.lookups += 1
+        index = miss.index
+        tag = miss.tag
+
+        # Update with confidence training: did the old prediction for
+        # the sequence that just resolved come true?
+        old_sequence = self.tht.read(index)
+        key = (self.pht.set_index(old_sequence, index), old_sequence[-1])
+        previous = self.pht.predict(old_sequence, index)
+        confidence = self._confidence.get(key, 0)
+        if previous is not None and previous[0] == tag:
+            confidence = min(self.maximum, confidence + 1)
+        else:
+            confidence = max(0, confidence - 1)
+        self._confidence[key] = confidence
+        self.pht.update(old_sequence, index, tag)
+        new_sequence = self.tht.push(index, tag)
+        self.stats.updates += 1
+
+        # Lookup, gated by the target entry's confidence.
+        predicted = self.pht.predict(new_sequence, index)
+        if not predicted:
+            return []
+        target_key = (self.pht.set_index(new_sequence, index), new_sequence[-1])
+        if self._confidence.get(target_key, 0) < self.threshold:
+            self.suppressed += 1
+            return []
+        index_bits = self.tht.rows.bit_length() - 1
+        requests = []
+        for next_tag in predicted:
+            block = (next_tag << index_bits) | index
+            if block != miss.block:
+                requests.append(PrefetchRequest(block, into_l1=self.into_l1))
+        self.stats.predictions += len(requests)
+        return requests
+
+    def storage_bytes(self) -> int:
+        # 2 bits per PHT entry, rounded up to whole bytes.
+        cfg = self.pht.config
+        return super().storage_bytes() + (cfg.sets * cfg.ways * 2 + 7) // 8
+
+    def reset(self) -> None:
+        super().reset()
+        self._confidence.clear()
+        self.suppressed = 0
+
+
+class LookaheadTCP(TagCorrelatingPrefetcher):
+    """TCP that walks the pattern table ``degree`` steps ahead.
+
+    After the normal lookup predicts tag', the history is advanced as
+    if tag' had missed and the PHT consulted again for tag'', and so
+    on.  Duplicate targets along the chain are issued once.
+    """
+
+    def __init__(self, config: TCPConfig = TCPConfig(), degree: int = 2) -> None:
+        if degree < 1:
+            raise ValueError(f"lookahead degree must be positive, got {degree}")
+        super().__init__(config, name=f"tcp-look{degree}")
+        self.degree = degree
+
+    def observe_miss(self, miss: MissEvent) -> List[PrefetchRequest]:
+        self.stats.lookups += 1
+        index = miss.index
+
+        old_sequence = self.tht.read(index)
+        self.pht.update(old_sequence, index, miss.tag)
+        sequence = self.tht.push(index, miss.tag)
+        self.stats.updates += 1
+
+        index_bits = self.tht.rows.bit_length() - 1
+        requests: List[PrefetchRequest] = []
+        seen = {miss.block}
+        for _step in range(self.degree):
+            predicted = self.pht.predict(sequence, index)
+            if not predicted:
+                break
+            next_tag = predicted[0]
+            block = (next_tag << index_bits) | index
+            if block in seen:
+                break  # the chain closed on itself
+            seen.add(block)
+            requests.append(PrefetchRequest(block, into_l1=self.into_l1))
+            # advance the speculative history without touching the THT
+            sequence = tuple(sequence[1:]) + (next_tag,)
+        self.stats.predictions += len(requests)
+        return requests

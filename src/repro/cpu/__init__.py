@@ -1,0 +1,23 @@
+"""The out-of-order processor timing model.
+
+The paper evaluates on an aggressive 8-issue out-of-order SimpleScalar
+core (128-entry RUU, 128-entry LSQ, Table 1).  What that core does to
+memory latency — and what this package reproduces — is:
+
+* overlap independent long-latency misses up to the capacity of the
+  instruction window (memory-level parallelism);
+* serialize *dependent* misses (pointer chasing defeats the window);
+* tolerate L2-hit latency almost entirely ("the overall latency is
+  10 cycles, which can usually be tolerated"), while L2 misses "fill
+  the instruction window up with dependent instructions and thus stall
+  the whole processor" (Section 5.1).
+
+:class:`repro.cpu.core.OutOfOrderCore` is a trace-driven timing model
+implementing exactly those mechanisms: in-order dispatch at the issue
+width, a window occupancy limit, dependence-driven issue, and in-order
+commit.  IPC falls out of the final commit time.
+"""
+
+from repro.cpu.core import CoreParams, CoreResult, OutOfOrderCore
+
+__all__ = ["CoreParams", "CoreResult", "OutOfOrderCore"]

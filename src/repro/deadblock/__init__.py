@@ -1,0 +1,21 @@
+"""Dead-block prediction.
+
+Prefetching into L1 is only safe when the line being displaced is
+already dead (Section 5.2.2 of the paper): evicting a live line trades
+one miss for another.  The paper's hybrid prefetcher therefore fills L1
+"only after the corresponding cache line is predicted dead", using the
+timekeeping dead-block predictor of Hu, Kaxiras & Martonosi (ISCA'02).
+
+:class:`repro.deadblock.timekeeping.TimekeepingDeadBlockPredictor`
+implements that mechanism: a block's *live time* (fill to last access)
+is highly repetitive across generations, so once a block has gone
+unaccessed for longer than its historical live time, it is predicted
+dead.
+"""
+
+from repro.deadblock.timekeeping import (
+    DeadBlockConfig,
+    TimekeepingDeadBlockPredictor,
+)
+
+__all__ = ["DeadBlockConfig", "TimekeepingDeadBlockPredictor"]

@@ -1,0 +1,110 @@
+"""Timekeeping dead-block predictor (Hu, Kaxiras & Martonosi, ISCA 2002).
+
+The observation behind timekeeping: a cache block's **live time** — the
+interval from fill to last access before eviction — is strongly
+repetitive across the block's generations.  A block that has gone
+unaccessed for longer than (a small multiple of) its historical live
+time is therefore very likely dead.
+
+The predictor keeps a small LRU table of per-block live-time history.
+On every L1 eviction it records the victim's observed live time; when
+asked whether a resident line is dead it compares the line's idle time
+against the recorded live time for that block (scaled by
+``dead_factor``), falling back to a fixed idle threshold for blocks
+with no history yet.
+
+The hybrid TCP (Section 5.2.2 of the TCP paper) uses this as the gate
+for promoting prefetched data from L2 into L1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.prefetchers.base import EvictionEvent
+from repro.util.bitops import is_power_of_two
+from repro.util.lruset import LRUSet
+
+__all__ = ["DeadBlockConfig", "TimekeepingDeadBlockPredictor"]
+
+
+@dataclass(frozen=True)
+class DeadBlockConfig:
+    """Live-time history table geometry and decision thresholds."""
+
+    sets: int = 512
+    ways: int = 8
+    #: a line is dead when idle for ``dead_factor`` × its past live time.
+    dead_factor: float = 2.0
+    #: idle-cycles threshold for blocks with no recorded history.
+    default_idle_threshold: float = 4096.0
+    #: never declare a line dead before it has been idle this long.
+    min_idle: float = 256.0
+    #: bytes per history entry (block tag + live time).
+    entry_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.sets):
+            raise ValueError(f"history sets must be a power of two, got {self.sets}")
+        if self.dead_factor <= 0:
+            raise ValueError("dead_factor must be positive")
+
+    @property
+    def entries(self) -> int:
+        return self.sets * self.ways
+
+
+class TimekeepingDeadBlockPredictor:
+    """Per-block live-time history with an idle-time death test."""
+
+    def __init__(self, config: DeadBlockConfig = DeadBlockConfig()) -> None:
+        self.config = config
+        self._history = [LRUSet(config.ways) for _ in range(config.sets)]
+        self.evictions_recorded = 0
+        self.queries = 0
+        self.dead_verdicts = 0
+
+    def _lookup(self, block: int) -> LRUSet:
+        return self._history[block & (self.config.sets - 1)]
+
+    def observe_eviction(self, evt: EvictionEvent) -> None:
+        """Record the victim's live time for its next generation.
+
+        A smoothing average (old + new) / 2 damps one-off outliers, the
+        same stabilisation the timekeeping paper applies.
+        """
+        live_time = max(0.0, evt.last_access - evt.fill_time)
+        lru = self._lookup(evt.block)
+        previous = lru.peek(evt.block)
+        if previous is not None:
+            live_time = (previous + live_time) / 2.0
+        lru.put(evt.block, live_time)
+        self.evictions_recorded += 1
+
+    def is_dead(self, block: int, fill_time: float, last_access: float, now: float) -> bool:
+        """Decide whether a resident line is dead at time ``now``."""
+        self.queries += 1
+        cfg = self.config
+        idle = now - last_access
+        if idle < cfg.min_idle:
+            return False
+        history = self._lookup(block).peek(block)
+        if history is None:
+            dead = idle > cfg.default_idle_threshold
+        else:
+            dead = idle > max(cfg.min_idle, history * cfg.dead_factor)
+        if dead:
+            self.dead_verdicts += 1
+        return dead
+
+    def storage_bytes(self) -> int:
+        """History-table hardware budget."""
+        return self.config.entries * self.config.entry_bytes
+
+    def reset(self) -> None:
+        """Drop all learned live times."""
+        for lru in self._history:
+            lru.clear()
+        self.evictions_recorded = 0
+        self.queries = 0
+        self.dead_verdicts = 0

@@ -1,0 +1,53 @@
+"""Shared experiment plumbing: the result container and helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.util.tables import format_table
+from repro.workloads import BENCHMARK_ORDER
+
+__all__ = ["ExperimentResult", "suite_order"]
+
+
+def suite_order(benchmarks: Optional[Sequence[str]] = None) -> Tuple[str, ...]:
+    """Resolve the benchmark list (default: the paper's Figure 1 order)."""
+    if benchmarks is None:
+        return BENCHMARK_ORDER
+    unknown = [name for name in benchmarks if name not in BENCHMARK_ORDER]
+    if unknown:
+        raise KeyError(f"unknown benchmarks: {unknown}")
+    return tuple(benchmarks)
+
+
+@dataclass
+class ExperimentResult:
+    """The reproduced content of one paper table/figure.
+
+    ``rows`` is the tabular data (first column is usually the
+    benchmark); ``series`` holds the same data keyed for programmatic
+    consumers (benches assert on it); ``notes`` records derived
+    headline numbers and paper-comparison remarks.
+    """
+
+    experiment: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]]
+    series: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Full plain-text rendering: table plus notes."""
+        parts = [format_table(self.headers, self.rows, title=f"[{self.experiment}] {self.title}")]
+        for note in self.notes:
+            parts.append(f"  * {note}")
+        return "\n".join(parts)
+
+    def column(self, header: str) -> Dict[str, object]:
+        """Extract one column keyed by the first column's values."""
+        if header not in self.headers:
+            raise KeyError(f"no column {header!r} in {self.headers}")
+        position = self.headers.index(header)
+        return {row[0]: row[position] for row in self.rows}

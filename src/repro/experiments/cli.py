@@ -1,0 +1,156 @@
+"""``repro-tcp``: the command-line front end for the reproduction.
+
+Examples
+--------
+List everything::
+
+    repro-tcp list
+
+Regenerate one figure at the standard scale::
+
+    repro-tcp run fig11
+
+Regenerate the whole evaluation at full scale (what EXPERIMENTS.md
+records)::
+
+    repro-tcp run all --scale full
+
+Simulate one benchmark under one prefetcher::
+
+    repro-tcp simulate swim --prefetcher tcp-8k --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.sim import PREFETCHERS, SimulationConfig, simulate
+from repro.workloads import BENCHMARK_ORDER, SUITE, Scale
+
+__all__ = ["main"]
+
+
+def _parse_scale(text: str) -> Scale:
+    try:
+        return Scale[text.upper()]
+    except KeyError:
+        raise argparse.ArgumentTypeError(
+            f"unknown scale {text!r}; choose from "
+            + ", ".join(s.name.lower() for s in Scale)
+        )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tcp",
+        description="Reproduction of 'TCP: Tag Correlating Prefetchers' (HPCA 2003)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    listing = sub.add_parser("list", help="list experiments, benchmarks, prefetchers")
+    listing.set_defaults(func=_cmd_list)
+
+    run = sub.add_parser("run", help="regenerate a paper table/figure")
+    run.add_argument("experiment", help="fig1..fig15, table1, or 'all'")
+    run.add_argument("--scale", type=_parse_scale, default=Scale.STANDARD,
+                     help="quick | standard | full (default standard)")
+    run.add_argument("--benchmarks", nargs="*", default=None,
+                     help="subset of benchmarks (default: whole suite)")
+    run.add_argument("--jobs", type=int, default=1,
+                     help="parallel workers to pre-warm simulations (0 = cpus)")
+    run.set_defaults(func=_cmd_run)
+
+    simulate_cmd = sub.add_parser("simulate", help="simulate one benchmark")
+    simulate_cmd.add_argument("benchmark", choices=sorted(SUITE))
+    simulate_cmd.add_argument("--prefetcher", default="none",
+                              choices=sorted(PREFETCHERS))
+    simulate_cmd.add_argument("--scale", type=_parse_scale, default=Scale.STANDARD)
+    simulate_cmd.set_defaults(func=_cmd_simulate)
+
+    trace_cmd = sub.add_parser(
+        "trace", help="export a benchmark's memory trace to a .npz file"
+    )
+    trace_cmd.add_argument("benchmark", choices=sorted(SUITE))
+    trace_cmd.add_argument("--scale", type=_parse_scale, default=Scale.STANDARD)
+    trace_cmd.add_argument("--output", default=None,
+                           help="output path (default <benchmark>-<scale>.npz)")
+    trace_cmd.set_defaults(func=_cmd_trace)
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("experiments:")
+    for name in EXPERIMENTS:
+        print(f"  {name}")
+    print("\nbenchmarks (paper's Figure 1 order):")
+    for name in BENCHMARK_ORDER:
+        print(f"  {name:10s} {SUITE[name].summary}")
+    print("\nprefetchers:")
+    for name in sorted(PREFETCHERS):
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names: List[str] = (
+        list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    )
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"error: unknown experiment {name!r}", file=sys.stderr)
+            return 2
+    if args.jobs != 1:
+        from repro.sim import prewarm
+
+        started = time.time()
+        executed = prewarm(scale=args.scale, benchmarks=args.benchmarks,
+                           jobs=args.jobs)
+        print(f"pre-warmed {executed} simulations in "
+              f"{time.time() - started:.1f}s with jobs={args.jobs}\n")
+    for name in names:
+        started = time.time()
+        result = run_experiment(name, scale=args.scale, benchmarks=args.benchmarks)
+        print(result.render())
+        print(f"  ({time.time() - started:.1f}s at scale={args.scale.name.lower()})\n")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    base = simulate(args.benchmark, SimulationConfig.baseline(), args.scale)
+    config = SimulationConfig.for_prefetcher(args.prefetcher)
+    result = simulate(args.benchmark, config, args.scale)
+    print(base.summary())
+    print(result.summary())
+    if args.prefetcher != "none":
+        print(f"IPC improvement over baseline: {result.improvement_over(base):+.1f}%")
+        breakdown = result.memory.breakdown_vs_original()
+        print(
+            "L2 access taxonomy: "
+            + ", ".join(f"{key}={value:.1%}" for key, value in breakdown.items())
+        )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.workloads import generate, save_trace
+
+    trace = generate(args.benchmark, args.scale)
+    output = args.output or f"{args.benchmark}-{args.scale.name.lower()}.npz"
+    path = save_trace(trace, output)
+    print(f"wrote {path} ({trace.describe()})")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (console script ``repro-tcp``)."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Registry mapping paper labels to experiment runners."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.experiments import (
+    figure01,
+    figure02,
+    figure03,
+    figure04,
+    figure05,
+    figure06,
+    figure07,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+    table01,
+)
+from repro.experiments.base import ExperimentResult
+from repro.workloads import Scale
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+Runner = Callable[..., ExperimentResult]
+
+EXPERIMENTS: Dict[str, Runner] = {
+    "table1": table01.run,
+    "fig1": figure01.run,
+    "fig2": figure02.run,
+    "fig3": figure03.run,
+    "fig4": figure04.run,
+    "fig5": figure05.run,
+    "fig6": figure06.run,
+    "fig7": figure07.run,
+    "fig11": figure11.run,
+    "fig12": figure12.run,
+    "fig13": figure13.run,
+    "fig14": figure14.run,
+    "fig15": figure15.run,
+}
+
+
+def run_experiment(
+    name: str,
+    scale: Scale = Scale.STANDARD,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    """Run one experiment by its paper label (e.g. ``"fig11"``)."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(scale=scale, benchmarks=benchmarks)

@@ -1,0 +1,56 @@
+"""Shared driver for the Section 3 profiling figures (2-7 and 15).
+
+All six figures are different projections of the same L1D miss-stream
+profile, so they share one cached computation per (benchmark, scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.analysis import (
+    MissStream,
+    SequenceStats,
+    TagStats,
+    capture_miss_stream,
+    sequence_stats,
+    tag_stats,
+)
+from repro.core.strided import strided_fraction
+from repro.workloads import Scale
+
+__all__ = ["MissProfile", "profile"]
+
+_CACHE: Dict[Tuple[str, int], "MissProfile"] = {}
+
+
+@dataclass(frozen=True)
+class MissProfile:
+    """Everything Section 3 reports about one benchmark's miss stream."""
+
+    workload: str
+    stream_length: int
+    miss_rate: float
+    tags: TagStats
+    sequences: SequenceStats
+    strided_fraction: float
+
+
+def profile(name: str, scale: Scale = Scale.STANDARD) -> MissProfile:
+    """Compute (or fetch) the full Section 3 profile of a benchmark."""
+    key = (name, scale.accesses)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    stream: MissStream = capture_miss_stream(name, scale)
+    result = MissProfile(
+        workload=name,
+        stream_length=len(stream),
+        miss_rate=stream.miss_rate,
+        tags=tag_stats(stream),
+        sequences=sequence_stats(stream),
+        strided_fraction=strided_fraction(stream.indices, stream.tags),
+    )
+    _CACHE[key] = result
+    return result

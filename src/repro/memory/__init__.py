@@ -1,0 +1,33 @@
+"""The memory-system substrate: caches, buses, DRAM, and the hierarchy.
+
+This package implements everything below the core that the paper's
+evaluation machine contains (Table 1 of the paper): a 32 KB
+direct-mapped L1 data cache with 32 B blocks and 64 MSHRs, a 1 MB 4-way
+L2 with 64 B blocks and 12-cycle latency, 70-cycle main memory, and
+occupancy-modelled L1/L2 and L2/memory buses (plus the optional
+dedicated prefetch bus used by the hybrid prefetcher of Section 5.2.2).
+
+The top-level object is :class:`repro.memory.hierarchy.MemoryHierarchy`,
+which the CPU timing model calls once per memory access and which feeds
+L1 miss events to whatever prefetcher is attached.
+"""
+
+from repro.memory.address import CacheGeometry
+from repro.memory.bus import Bus
+from repro.memory.cache import CacheLine, Eviction, SetAssociativeCache
+from repro.memory.dram import MainMemory
+from repro.memory.hierarchy import AccessResult, HierarchyParams, MemoryHierarchy
+from repro.memory.mshr import MSHRFile
+
+__all__ = [
+    "AccessResult",
+    "Bus",
+    "CacheGeometry",
+    "CacheLine",
+    "Eviction",
+    "HierarchyParams",
+    "MSHRFile",
+    "MainMemory",
+    "MemoryHierarchy",
+    "SetAssociativeCache",
+]

@@ -1,0 +1,111 @@
+"""Main memory model.
+
+The paper's machine has a flat 70-cycle memory latency (Table 1) behind
+the L2/memory bus.  We model exactly that — a fixed access latency plus
+bus occupancy for the data transfer — with an optional bank-level
+concurrency limit so that a burst of prefetches cannot fetch unbounded
+blocks in parallel (a mild but realistic throttle on prefetch storms).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.memory.bus import Bus
+
+__all__ = ["MainMemory"]
+
+
+class MainMemory:
+    """Fixed-latency DRAM behind a split-transaction bus.
+
+    The L2/memory link is modelled as two channels, matching real
+    split-transaction buses: a narrow *address* channel carrying
+    commands (one beat each) and a *data* channel carrying block
+    transfers.  Splitting them matters for correctness of the queueing
+    model: commands are issued at request time while data returns are
+    scheduled ``latency`` cycles later, so a single FIFO for both would
+    make new commands spuriously queue behind earlier fetches' future
+    data beats.
+
+    Parameters
+    ----------
+    latency:
+        Cycles from command acceptance to data available (the paper's
+        70-cycle memory).
+    data_bus:
+        The data channel; every fetch/writeback occupies it for the
+        block transfer.
+    addr_bus:
+        The command channel (one beat per request).
+    max_concurrent:
+        Maximum overlapping DRAM accesses (channel/bank parallelism).
+    """
+
+    def __init__(
+        self,
+        latency: int,
+        data_bus: Bus,
+        addr_bus: Bus,
+        max_concurrent: int = 8,
+    ) -> None:
+        if latency <= 0:
+            raise ValueError(f"memory latency must be positive, got {latency}")
+        if max_concurrent <= 0:
+            raise ValueError(f"concurrency must be positive, got {max_concurrent}")
+        self.latency = latency
+        self.data_bus = data_bus
+        self.addr_bus = addr_bus
+        self.max_concurrent = max_concurrent
+        self._completions: List[float] = []
+        self.accesses = 0
+
+    def fetch(self, now: float, block_bytes: int) -> float:
+        """Fetch one block; return the completion time.
+
+        The command arbitrates for the address channel, waits for a
+        DRAM slot if all banks are busy, spends ``latency`` cycles in
+        the array, and finally transfers the block over the data
+        channel.
+        """
+        start = self.addr_bus.request(now, 0) + 1
+        completions = self._completions
+        if len(completions) >= self.max_concurrent:
+            completions.sort()
+            earliest = completions[0]
+            if earliest > start:
+                start = earliest
+            # keep only slots still busy at the chosen start time
+            self._completions = completions = [t for t in completions if t > start]
+        data_ready = start + self.latency
+        transfer_start = self.data_bus.request(data_ready, block_bytes)
+        done = transfer_start + self.data_bus.beats(block_bytes)
+        completions.append(done)
+        self.accesses += 1
+        return done
+
+    def writeback(self, now: float, block_bytes: int) -> float:
+        """Write a dirty block back; returns when the data transfer ends.
+
+        Writebacks occupy the data channel (stealing bandwidth from
+        fetch returns) but complete in the write buffer, so callers
+        normally ignore the returned time.
+        """
+        start = self.data_bus.request(now, block_bytes)
+        return start + self.data_bus.beats(block_bytes)
+
+    def backlog(self, now: float) -> float:
+        """Cycles of data-channel work booked beyond the earliest time a
+        request issued at ``now`` could need it.
+
+        This is the congestion signal low-priority prefetches consult:
+        positive values mean demand traffic has the data channel booked
+        past this request's natural slot.
+        """
+        horizon = now + 1 + self.latency
+        return self.data_bus.next_free - horizon
+
+    def reset(self) -> None:
+        """Clear in-flight state and statistics (buses reset separately)."""
+        self._completions.clear()
+        self.accesses = 0

@@ -1,0 +1,579 @@
+"""The simulated memory hierarchy of the paper's Table 1.
+
+This module wires the caches, MSHRs, buses, and DRAM into the machine
+the CPU timing model talks to:
+
+* 32 KB direct-mapped L1 data cache, 32 B blocks, 64 MSHRs;
+* 32 KB 4-way L1 instruction cache, 32 B blocks;
+* separate 1 MB 4-way L2 instruction and data caches, 64 B blocks,
+  12-cycle latency;
+* 70-cycle main memory;
+* a 32-byte-wide L1/L2 bus clocked at the core frequency, a narrower
+  L2/memory bus, and (for the hybrid prefetcher of Section 5.2.2) an
+  optional dedicated L1/L2 prefetch bus.
+
+The hierarchy is also the observation point for prefetchers (Figure 10
+of the paper): every L1 demand miss is reported to the attached
+prefetcher, whose prefetch requests fill **L2 only** — except for the
+hybrid's explicitly gated promotions into L1, which wait until the
+dead-block predictor declares the victim line dead.
+
+Statistics follow the paper's Figure 12 taxonomy of L2 accesses:
+
+``prefetched original``
+    demand L2 accesses that were covered by a prefetch (they hit on a
+    block carrying the prefetch bit, or merge with an in-flight
+    prefetch);
+``non-prefetched original``
+    the remaining demand L2 accesses;
+``prefetched extra``
+    prefetch work that never covered a demand access — redundant
+    prefetches to resident blocks, prefetched blocks evicted unused,
+    and prefetched blocks still unused when the run ends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.memory.address import CacheGeometry
+from repro.memory.bus import Bus
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.dram import MainMemory
+from repro.memory.mshr import MSHRFile
+from repro.prefetchers.base import (
+    AccessEvent,
+    EvictionEvent,
+    MissEvent,
+    Prefetcher,
+    PrefetchRequest,
+)
+
+__all__ = ["AccessResult", "HierarchyParams", "HierarchyStats", "MemoryHierarchy"]
+
+#: Gate deciding whether a pending L1 promotion may evict ``victim`` now.
+#: Signature: (victim_line, set_index, now) -> bool.
+L1PromotionGate = Callable[[object, int, float], bool]
+
+
+@dataclass(frozen=True)
+class HierarchyParams:
+    """Machine parameters (defaults reproduce the paper's Table 1)."""
+
+    l1d: CacheGeometry = CacheGeometry(32 * 1024, 1, 32)
+    l1i: CacheGeometry = CacheGeometry(32 * 1024, 4, 32)
+    l2: CacheGeometry = CacheGeometry(1024 * 1024, 4, 64)
+    l1_hit_latency: int = 2
+    l2_hit_latency: int = 12
+    memory_latency: int = 70
+    l1l2_bus_bytes_per_cycle: int = 32
+    mem_bus_bytes_per_cycle: int = 32
+    mshr_entries: int = 64
+    memory_concurrency: int = 12
+    #: outstanding-prefetch cap; excess predictions are dropped (the
+    #: "overflow the outgoing prefetch buffer" effect of Section 5.2.2).
+    max_outstanding_prefetches: int = 32
+    #: cycles between observing a miss and launching its prefetches.
+    prefetch_issue_delay: int = 2
+    #: prefetches have low priority: when the memory bus backlog exceeds
+    #: this many cycles the prefetch is cancelled rather than queued
+    #: behind demand traffic (Section 5.2.2: low-priority prefetches can
+    #: be "delayed, canceled, superseded by accesses").
+    prefetch_busy_threshold: float = 60.0
+    #: a pending L1 promotion is abandoned after this many cycles: once
+    #: the prediction horizon has passed, the demand access has already
+    #: been served through the normal path and installing the block
+    #: would only displace newer data.
+    promotion_ttl: float = 8192.0
+    #: recency position for prefetch fills in L2: "lru" (low-priority
+    #: insertion — a useless prefetch is evicted first and cannot
+    #: displace the demand working set) or "mru" (classic insertion).
+    prefetch_insert_policy: str = "lru"
+    #: dedicated L1/L2 prefetch bus (hybrid prefetcher only).
+    dedicated_prefetch_bus: bool = False
+    #: force every L2 data access to hit (the paper's Figure 1 study).
+    ideal_l2: bool = False
+    #: model the instruction-fetch path (L1I/L2I).
+    model_icache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.l2.block_bytes < self.l1d.block_bytes:
+            raise ValueError("L2 blocks must be at least as large as L1 blocks")
+        if self.l2.block_bytes % self.l1d.block_bytes != 0:
+            raise ValueError("L2 block size must be a multiple of L1 block size")
+        if self.prefetch_insert_policy not in ("lru", "mru"):
+            raise ValueError(
+                f"prefetch insert policy must be 'lru' or 'mru', "
+                f"got {self.prefetch_insert_policy!r}"
+            )
+
+
+@dataclass
+class HierarchyStats:
+    """Counters accumulated over one simulation run."""
+
+    demand_accesses: int = 0
+    loads: int = 0
+    stores: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_demand_accesses: int = 0
+    l2_demand_hits: int = 0
+    l2_demand_misses: int = 0
+    prefetched_original: int = 0
+    prefetches_requested: int = 0
+    prefetches_issued: int = 0
+    prefetch_redundant: int = 0
+    prefetch_dropped_queue: int = 0
+    prefetch_dropped_busy: int = 0
+    prefetch_evicted_unused: int = 0
+    prefetch_residual_unused: int = 0
+    useful_prefetches: int = 0
+    l1_promotions: int = 0
+    l1_promotion_hits: int = 0
+    writebacks_l1: int = 0
+    writebacks_l2: int = 0
+    ifetch_accesses: int = 0
+    ifetch_misses: int = 0
+    mshr_merges: int = 0
+    mshr_full_stalls: int = 0
+
+    def snapshot(self) -> "HierarchyStats":
+        """Copy of the current counters (taken at the end of warmup)."""
+        return HierarchyStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def since(self, warmup: "HierarchyStats") -> "HierarchyStats":
+        """Counters accumulated after the ``warmup`` snapshot."""
+        return HierarchyStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(warmup, f.name)
+                for f in fields(self)
+            }
+        )
+
+    @property
+    def non_prefetched_original(self) -> int:
+        """Demand L2 accesses not covered by a prefetch."""
+        return self.l2_demand_accesses - self.prefetched_original
+
+    @property
+    def prefetched_extra(self) -> int:
+        """Prefetch work that never covered a demand access."""
+        return (
+            self.prefetch_redundant
+            + self.prefetch_evicted_unused
+            + self.prefetch_residual_unused
+        )
+
+    @property
+    def l1_miss_rate(self) -> float:
+        """L1D demand miss rate."""
+        if self.demand_accesses == 0:
+            return 0.0
+        return self.l1_misses / self.demand_accesses
+
+    @property
+    def l2_demand_miss_rate(self) -> float:
+        """L2 miss rate over demand accesses only."""
+        if self.l2_demand_accesses == 0:
+            return 0.0
+        return self.l2_demand_misses / self.l2_demand_accesses
+
+    def breakdown_vs_original(self) -> Dict[str, float]:
+        """Figure 12's three categories, normalised to original accesses."""
+        original = max(self.l2_demand_accesses, 1)
+        return {
+            "prefetched_original": self.prefetched_original / original,
+            "non_prefetched_original": self.non_prefetched_original / original,
+            "prefetched_extra": self.prefetched_extra / original,
+        }
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one demand access (returned to the CPU model)."""
+
+    completion: float
+    l1_hit: bool
+    l2_hit: bool = True
+
+
+class MemoryHierarchy:
+    """L1D/L1I + L2 + memory with buses, MSHRs, and a prefetch port."""
+
+    def __init__(self, params: Optional[HierarchyParams] = None) -> None:
+        self.params = params or HierarchyParams()
+        p = self.params
+        self.l1d = SetAssociativeCache(p.l1d, "L1D")
+        self.l1i = SetAssociativeCache(p.l1i, "L1I")
+        self.l2d = SetAssociativeCache(p.l2, "L2D")
+        self.l2i = SetAssociativeCache(p.l2, "L2I")
+        # Split-transaction links: separate address (command) and data
+        # channels per bus, so commands never queue behind data beats
+        # scheduled for future return times.
+        self.l1l2_addr_bus = Bus("L1/L2-addr", p.l1l2_bus_bytes_per_cycle)
+        self.l1l2_data_bus = Bus("L1/L2-data", p.l1l2_bus_bytes_per_cycle)
+        self.mem_addr_bus = Bus("L2/mem-addr", p.mem_bus_bytes_per_cycle)
+        self.mem_data_bus = Bus("L2/mem-data", p.mem_bus_bytes_per_cycle)
+        self.memory = MainMemory(
+            p.memory_latency, self.mem_data_bus, self.mem_addr_bus, p.memory_concurrency
+        )
+        self.mshr = MSHRFile(p.mshr_entries)
+        self.prefetch_bus: Optional[Bus] = None
+        if p.dedicated_prefetch_bus:
+            self.prefetch_bus = Bus("L1/L2-prefetch", p.l1l2_bus_bytes_per_cycle)
+        self.stats = HierarchyStats()
+
+        # L1-block-number -> L2 split precomputation.
+        self._l2_shift = p.l2.offset_bits - p.l1d.offset_bits
+        self._l2_index_mask = p.l2.sets - 1
+
+        self.prefetcher: Optional[Prefetcher] = None
+        self._needs_access = False
+        self._needs_evict = False
+        self._l1_gate: Optional[L1PromotionGate] = None
+        self._promotions_enabled = False
+        #: per-L1-set pending promotion: set index -> (l1 block, ready time)
+        self._pending_l1: Dict[int, Tuple[int, float]] = {}
+        #: completion times of in-flight prefetch fetches (bounded queue)
+        self._pf_inflight: List[float] = []
+        self._last_ifetch_block = -1
+        #: snapshot of the counters at the end of warmup (None = no warmup).
+        self.warmup_stats: Optional[HierarchyStats] = None
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+
+    def attach_prefetcher(self, prefetcher: Optional[Prefetcher]) -> None:
+        """Attach (or detach, with None) the prefetch engine."""
+        self.prefetcher = prefetcher
+        self._needs_access = bool(prefetcher and prefetcher.needs_access_stream)
+        self._needs_evict = bool(prefetcher and prefetcher.needs_eviction_stream)
+        gate = getattr(prefetcher, "l1_promotion_gate", None)
+        self._l1_gate = gate
+        self._promotions_enabled = gate is not None
+
+    # ------------------------------------------------------------------
+    # Demand access path
+    # ------------------------------------------------------------------
+
+    def access(
+        self,
+        now: float,
+        index: int,
+        tag: int,
+        block: int,
+        is_write: bool,
+        pc: int,
+    ) -> AccessResult:
+        """Perform one demand data access; return its completion time.
+
+        ``index``/``tag``/``block`` are the L1-geometry split of the
+        address (precomputed by the simulator's vectorised front end).
+        """
+        stats = self.stats
+        stats.demand_accesses += 1
+        if is_write:
+            stats.stores += 1
+        else:
+            stats.loads += 1
+
+        if self._promotions_enabled and self._pending_l1:
+            self._try_promote(index, now)
+
+        line = self.l1d.lookup(index, tag, is_write, now)
+        if line is not None:
+            stats.l1_hits += 1
+            if self._promotions_enabled and line.prefetched:
+                line.prefetched = False
+                stats.l1_promotion_hits += 1
+                # A hit on a promoted line is a miss the prefetcher
+                # prevented: train it as a virtual miss so the chain of
+                # predictions continues instead of starving once its own
+                # promotions hide the miss stream.
+                if self.prefetcher is not None:
+                    self._run_prefetcher(MissEvent(index, tag, block, pc, is_write, now))
+            if self._needs_access:
+                requests = self.prefetcher.observe_access(  # type: ignore[union-attr]
+                    AccessEvent(index, tag, block, pc, is_write, True, now)
+                )
+                if requests:
+                    for request in requests:
+                        self.issue_prefetch(request, now + self.params.prefetch_issue_delay)
+            return AccessResult(now + self.params.l1_hit_latency, True)
+
+        # ----- L1 miss -------------------------------------------------
+        stats.l1_misses += 1
+        if self._needs_access:
+            requests = self.prefetcher.observe_access(  # type: ignore[union-attr]
+                AccessEvent(index, tag, block, pc, is_write, False, now)
+            )
+            if requests:
+                for request in requests:
+                    self.issue_prefetch(request, now + self.params.prefetch_issue_delay)
+
+        if self._promotions_enabled:
+            pending = self._pending_l1.get(index)
+            if pending is not None and pending[0] == block:
+                # The demand beat the promotion; the normal fill below
+                # supersedes it.  Promoting later would only displace
+                # whatever replaced this block in the meantime.
+                del self._pending_l1[index]
+
+        merged = self.mshr.lookup(block, now)
+        if merged is not None:
+            stats.mshr_merges += 1
+            return AccessResult(merged, False)
+
+        start = self.mshr.acquire(now)
+        data_ready, l2_hit = self._demand_l2(start, block)
+        # Data return to L1 over the L1/L2 data channel.
+        xfer = self.l1l2_data_bus.request(data_ready, self.params.l1d.block_bytes)
+        completion = xfer + self.l1l2_data_bus.beats(self.params.l1d.block_bytes)
+        self.mshr.register(block, completion)
+
+        self._fill_l1(index, tag, completion, prefetched=False, dirty=is_write)
+
+        if self.prefetcher is not None:
+            self._run_prefetcher(MissEvent(index, tag, block, pc, is_write, now))
+        return AccessResult(completion, False, l2_hit)
+
+    def _demand_l2(self, now: float, l1_block: int) -> Tuple[float, bool]:
+        """Demand-fetch an L1 block from L2 (or memory through L2).
+
+        Returns ``(time data is available at the L2 port, l2_hit)``.
+        """
+        p = self.params
+        stats = self.stats
+        request_start = self.l1l2_addr_bus.request(now + p.l1_hit_latency, 0)
+        arrival = request_start + 1
+        stats.l2_demand_accesses += 1
+
+        l2_block = l1_block >> self._l2_shift
+        l2_index = l2_block & self._l2_index_mask
+        l2_tag = l2_block >> p.l2.index_bits
+
+        line = self.l2d.lookup(l2_index, l2_tag, False, arrival)
+        if line is not None or p.ideal_l2:
+            stats.l2_demand_hits += 1
+            data_ready = arrival + p.l2_hit_latency
+            if line is not None:
+                if line.prefetched:
+                    line.prefetched = False
+                    stats.prefetched_original += 1
+                    stats.useful_prefetches += 1
+                if line.fill_time > arrival:
+                    # Prefetch (or earlier demand fill) still in flight:
+                    # the demand merges with it.
+                    data_ready = max(data_ready, line.fill_time)
+            return data_ready, True
+
+        # ----- L2 miss: fetch from main memory -------------------------
+        stats.l2_demand_misses += 1
+        done = self.memory.fetch(arrival + p.l2_hit_latency, p.l2.block_bytes)
+        self._fill_l2(l2_index, l2_tag, done, prefetched=False)
+        return done, False
+
+    def _fill_l1(
+        self, index: int, tag: int, now: float, prefetched: bool, dirty: bool
+    ) -> None:
+        """Install a block in L1D, handling eviction side effects."""
+        eviction = self.l1d.fill(index, tag, now, prefetched=prefetched, dirty=dirty)
+        if eviction is None:
+            return
+        if eviction.dirty:
+            self.stats.writebacks_l1 += 1
+            self.l1l2_data_bus.request(now, self.params.l1d.block_bytes)
+        if self._needs_evict:
+            victim = eviction.line
+            block = (victim.tag << self.params.l1d.index_bits) | index
+            self.prefetcher.observe_eviction(  # type: ignore[union-attr]
+                EvictionEvent(
+                    index, victim.tag, block, now, victim.fill_time, victim.last_access
+                )
+            )
+
+    def _fill_l2(self, index: int, tag: int, now: float, prefetched: bool) -> None:
+        """Install a block in L2D, handling eviction side effects.
+
+        Prefetch fills insert at the LRU position (low-priority
+        insertion): a wrong prefetch is the first thing evicted instead
+        of displacing the demand working set's recency order.
+        """
+        lru_insert = prefetched and self.params.prefetch_insert_policy == "lru"
+        eviction = self.l2d.fill(index, tag, now, prefetched=prefetched,
+                                 lru_insert=lru_insert)
+        if eviction is None:
+            return
+        if eviction.line.prefetched:
+            self.stats.prefetch_evicted_unused += 1
+        if eviction.dirty:
+            self.stats.writebacks_l2 += 1
+            self.memory.writeback(now, self.params.l2.block_bytes)
+
+    # ------------------------------------------------------------------
+    # Instruction fetch path
+    # ------------------------------------------------------------------
+
+    def instruction_fetch(self, now: float, pc: int) -> float:
+        """Fetch the instruction block holding ``pc``.
+
+        Returns the extra frontend latency (0 for the common sequential
+        hit).  Instruction misses go to the dedicated L2I (Table 1 has
+        separate 1 MB L2 I and D caches) and then to memory.
+        """
+        p = self.params
+        block = pc >> p.l1i.offset_bits
+        if block == self._last_ifetch_block:
+            return 0.0
+        self._last_ifetch_block = block
+        self.stats.ifetch_accesses += 1
+        index = block & (p.l1i.sets - 1)
+        tag = block >> p.l1i.index_bits
+        if self.l1i.lookup(index, tag, False, now) is not None:
+            return 0.0
+        self.stats.ifetch_misses += 1
+        l2_block = block >> self._l2_shift
+        l2_index = l2_block & self._l2_index_mask
+        l2_tag = l2_block >> p.l2.index_bits
+        arrival = self.l1l2_addr_bus.request(now, 0) + 1
+        if self.l2i.lookup(l2_index, l2_tag, False, arrival) is not None:
+            ready = arrival + p.l2_hit_latency
+        else:
+            ready = self.memory.fetch(arrival + p.l2_hit_latency, p.l2.block_bytes)
+            self.l2i.fill(l2_index, l2_tag, ready)
+        self.l1i.fill(index, tag, ready)
+        return max(0.0, ready - now)
+
+    # ------------------------------------------------------------------
+    # Prefetch path
+    # ------------------------------------------------------------------
+
+    def _run_prefetcher(self, miss: MissEvent) -> None:
+        """Feed one miss to the prefetcher and issue what it predicts."""
+        requests = self.prefetcher.observe_miss(miss)  # type: ignore[union-attr]
+        if not requests:
+            return
+        launch = miss.now + self.params.prefetch_issue_delay
+        for request in requests:
+            self.issue_prefetch(request, launch)
+
+    def issue_prefetch(self, request: PrefetchRequest, now: float) -> bool:
+        """Issue one prefetch into L2; returns True if a fetch started.
+
+        The request is dropped (with accounting) when the target is
+        already resident or in flight, or when the outstanding-prefetch
+        queue is full.
+        """
+        p = self.params
+        stats = self.stats
+        stats.prefetches_requested += 1
+        l1_block = request.block
+        l2_block = l1_block >> self._l2_shift
+        l2_index = l2_block & self._l2_index_mask
+        l2_tag = l2_block >> p.l2.index_bits
+
+        resident = self.l2d.probe(l2_index, l2_tag)
+        if resident is not None:
+            stats.prefetch_redundant += 1
+            if request.into_l1 and self._promotions_enabled:
+                # Already in L2 — only the L1 promotion remains useful.
+                ready = max(now, resident.fill_time)
+                self._pending_l1[l1_block & (p.l1d.sets - 1)] = (l1_block, ready)
+            return False
+
+        inflight = self._pf_inflight
+        if inflight:
+            self._pf_inflight = inflight = [t for t in inflight if t > now]
+        if len(inflight) >= p.max_outstanding_prefetches:
+            stats.prefetch_dropped_queue += 1
+            return False
+        # The prefetch's data return would want the memory data channel
+        # around now + command + array latency; anything booked beyond
+        # that horizon is genuine backlog from demand traffic, and a
+        # low-priority prefetch yields to it (Section 5.2.2).
+        if self.memory.backlog(now) > p.prefetch_busy_threshold:
+            stats.prefetch_dropped_busy += 1
+            return False
+
+        # The predictor sits at the L2 controller (Figure 10); an
+        # L2-only prefetch touches just the L2/memory link.
+        done = self.memory.fetch(now + p.l2_hit_latency, p.l2.block_bytes)
+        inflight.append(done)
+        stats.prefetches_issued += 1
+        self._fill_l2(l2_index, l2_tag, done, prefetched=True)
+        if request.into_l1 and self._promotions_enabled:
+            self._pending_l1[l1_block & (p.l1d.sets - 1)] = (l1_block, done)
+        return True
+
+    def _try_promote(self, index: int, now: float) -> None:
+        """Attempt the pending L2→L1 promotion for set ``index``.
+
+        The promotion happens only when the prefetched data has arrived
+        in L2 and the dead-block gate approves evicting the current L1
+        victim (Section 5.2.2: "update L1 only after the corresponding
+        cache line is predicted dead").
+        """
+        pending = self._pending_l1.get(index)
+        if pending is None:
+            return
+        l1_block, ready = pending
+        if ready > now:
+            return
+        p = self.params
+        if now - ready > p.promotion_ttl:
+            del self._pending_l1[index]
+            return
+        l2_block = l1_block >> self._l2_shift
+        l2_index = l2_block & self._l2_index_mask
+        l2_tag = l2_block >> p.l2.index_bits
+        if self.l2d.probe(l2_index, l2_tag) is None:
+            del self._pending_l1[index]
+            return
+        tag = l1_block >> p.l1d.index_bits
+        if self.l1d.probe(index, tag) is not None:
+            del self._pending_l1[index]
+            return
+        victim = self.l1d.victim_line(index)
+        if victim is not None and not self._l1_gate(victim, index, now):  # type: ignore[misc]
+            return  # victim still live; retry on a later access
+        # The promotion reads the block out of L2: refresh its recency
+        # and consume the prefetch bit (the prefetch is now useful).
+        l2_line = self.l2d.lookup(l2_index, l2_tag, False, now)
+        if l2_line is not None and l2_line.prefetched:
+            l2_line.prefetched = False
+            self.stats.useful_prefetches += 1
+        bus = self.prefetch_bus if self.prefetch_bus is not None else self.l1l2_data_bus
+        start = bus.request(now, p.l1d.block_bytes)
+        self._fill_l1(index, tag, start + bus.beats(p.l1d.block_bytes), prefetched=True, dirty=False)
+        self.stats.l1_promotions += 1
+        del self._pending_l1[index]
+
+    # ------------------------------------------------------------------
+    # Run lifecycle
+    # ------------------------------------------------------------------
+
+    def mark_warmup_end(self) -> None:
+        """Snapshot the counters; ``measured_stats`` subtracts them."""
+        self.warmup_stats = self.stats.snapshot()
+
+    def measured_stats(self) -> HierarchyStats:
+        """Counters for the measurement window (post-warmup)."""
+        if self.warmup_stats is None:
+            return self.stats
+        return self.stats.since(self.warmup_stats)
+
+    def finalize(self) -> None:
+        """Account for prefetched blocks still unused at end of run."""
+        residual = 0
+        for index in range(self.params.l2.sets):
+            for line in self.l2d.resident_lines(index):
+                if line.prefetched:
+                    residual += 1
+        self.stats.prefetch_residual_unused += residual
+
+    def reset(self) -> None:
+        """Re-create all state for a fresh run (same configuration)."""
+        self.__init__(self.params)  # type: ignore[misc]

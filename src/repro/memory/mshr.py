@@ -1,0 +1,92 @@
+"""Miss Status Holding Registers (MSHRs).
+
+The paper's L1 data cache has 64 MSHRs (Table 1).  MSHRs bound the
+number of outstanding misses — the memory-level parallelism the
+out-of-order core can actually exploit — and merge secondary misses to
+a block that is already being fetched.
+
+The model is timestamp-based to match the trace-driven simulator: an
+entry is "outstanding" while the current time is before its completion
+time.  The protocol is two-phase because the miss latency is not known
+until the request has traversed the buses:
+
+1. ``lookup`` — is this block already in flight?  If so the caller
+   merges (waits on the existing fetch) instead of re-fetching.
+2. ``acquire`` — reserve a register; returns the time the request can
+   start (later than ``now`` only when all 64 registers are busy).
+3. ``register`` — record the fetch's completion time so later misses
+   can merge with it and so occupancy is tracked.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["MSHRFile"]
+
+
+class MSHRFile:
+    """A bounded file of in-flight misses keyed by block address."""
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise ValueError(f"MSHR count must be positive, got {entries}")
+        self.entries = entries
+        self._inflight: Dict[int, float] = {}
+        #: number of primary misses that found the file full and stalled
+        self.full_stalls = 0
+        #: number of secondary misses merged into an existing entry
+        self.merges = 0
+
+    def _reap(self, now: float) -> None:
+        """Drop entries whose fetch has completed by ``now``."""
+        inflight = self._inflight
+        if not inflight:
+            return
+        done = [block for block, t in inflight.items() if t <= now]
+        for block in done:
+            del inflight[block]
+
+    def lookup(self, block: int, now: float) -> Optional[float]:
+        """Return the completion time of an in-flight fetch of ``block``.
+
+        Returns None when no fetch of this block is outstanding.  A hit
+        is counted as a merge: the secondary miss shares the primary's
+        register and data return.
+        """
+        completion = self._inflight.get(block)
+        if completion is None or completion <= now:
+            return None
+        self.merges += 1
+        return completion
+
+    def acquire(self, now: float) -> float:
+        """Reserve a register; return the earliest time a fetch can start.
+
+        Returns ``now`` when a register is free.  When all registers
+        hold in-flight misses, the new miss stalls until the earliest
+        outstanding fetch completes — the structural hazard the paper's
+        64-entry file exists to make rare (``full_stalls`` counts it).
+        """
+        self._reap(now)
+        if len(self._inflight) < self.entries:
+            return now
+        start = min(self._inflight.values())
+        self.full_stalls += 1
+        self._reap(start)
+        return start
+
+    def register(self, block: int, completion: float) -> None:
+        """Record that ``block``'s fetch will complete at ``completion``."""
+        self._inflight[block] = completion
+
+    def outstanding(self, now: float) -> int:
+        """Number of misses still in flight at ``now``."""
+        self._reap(now)
+        return len(self._inflight)
+
+    def clear(self) -> None:
+        """Drop all state (between simulation runs)."""
+        self._inflight.clear()
+        self.full_stalls = 0
+        self.merges = 0

@@ -1,0 +1,42 @@
+"""Hardware prefetchers: the common interface and the baselines.
+
+The paper compares TCP against the Dead-Block Correlating Prefetcher
+(DBCP, Lai et al. ISCA'01) and discusses stride prefetchers (Baer &
+Chen), stream buffers (Jouppi), and Markov prefetchers (Joseph &
+Grunwald) as related work.  All of them are implemented here behind one
+interface (:class:`repro.prefetchers.base.Prefetcher`) so the simulator
+and the benchmark harness can swap them freely.  TCP itself — the
+paper's contribution — lives in :mod:`repro.core`.
+"""
+
+from repro.prefetchers.base import (
+    AccessEvent,
+    EvictionEvent,
+    MissEvent,
+    Prefetcher,
+    PrefetchRequest,
+)
+from repro.prefetchers.dbcp import DBCPConfig, DeadBlockCorrelatingPrefetcher
+from repro.prefetchers.markov import MarkovConfig, MarkovPrefetcher
+from repro.prefetchers.nextline import NextLinePrefetcher
+from repro.prefetchers.null import NullPrefetcher
+from repro.prefetchers.stream import StreamBufferConfig, StreamBufferPrefetcher
+from repro.prefetchers.stride import StrideConfig, StridePrefetcher
+
+__all__ = [
+    "AccessEvent",
+    "DBCPConfig",
+    "DeadBlockCorrelatingPrefetcher",
+    "EvictionEvent",
+    "MarkovConfig",
+    "MarkovPrefetcher",
+    "MissEvent",
+    "NextLinePrefetcher",
+    "NullPrefetcher",
+    "Prefetcher",
+    "PrefetchRequest",
+    "StreamBufferConfig",
+    "StreamBufferPrefetcher",
+    "StrideConfig",
+    "StridePrefetcher",
+]

@@ -1,0 +1,162 @@
+"""The prefetcher interface shared by TCP and every baseline.
+
+The paper positions all the prefetchers it studies between the L1 data
+cache and the L2 (Figure 10): they observe the **L1 miss address
+stream** and issue prefetches that fill **L2 only** (the hybrid variant
+additionally promotes blocks into L1, but that path is driven by the
+hierarchy, not by this interface).
+
+Design notes
+------------
+* The primary hook is :meth:`Prefetcher.observe_miss`, called once per
+  L1 demand miss with the split ``(tag, index)`` — exactly the
+  information a prefetcher sitting on the L1 miss port would see.
+* DBCP additionally needs the PC of *every* L1 access (hits included)
+  to build its per-block reference traces, and the dead-block
+  predictors need eviction notifications.  Those hooks exist but are
+  gated by the ``needs_access_stream`` / ``needs_eviction_stream``
+  flags so that the common case (TCP, stride, ...) pays nothing for
+  them in the hot simulation loop.
+* Every prefetcher reports its table budget via ``storage_bytes`` —
+  the paper's space-efficiency claims ("8KB TCP beats 2MB DBCP") are
+  asserted against these numbers in the test suite.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = [
+    "AccessEvent",
+    "EvictionEvent",
+    "MissEvent",
+    "Prefetcher",
+    "PrefetchRequest",
+]
+
+
+@dataclass(frozen=True)
+class MissEvent:
+    """One L1 demand miss, as seen at the L1 miss port.
+
+    ``tag`` and ``index`` are split using the **L1** geometry — that
+    split is the whole point of the paper.  ``block`` is the L1 block
+    address number (``tag << index_bits | index``).
+    """
+
+    index: int
+    tag: int
+    block: int
+    pc: int
+    is_write: bool
+    now: float
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One L1 access (hit or miss); delivered only to prefetchers that
+    set ``needs_access_stream`` (e.g. DBCP's PC-trace accumulation)."""
+
+    index: int
+    tag: int
+    block: int
+    pc: int
+    is_write: bool
+    hit: bool
+    now: float
+
+
+@dataclass(frozen=True)
+class EvictionEvent:
+    """An L1 eviction; delivered only when ``needs_eviction_stream``.
+
+    ``fill_time`` and ``last_access`` are the victim line's lifetime
+    timestamps — the raw material of the timekeeping dead-block
+    predictor (live time = ``last_access - fill_time``).
+    """
+
+    index: int
+    tag: int
+    block: int
+    now: float
+    fill_time: float = 0.0
+    last_access: float = 0.0
+
+
+@dataclass(frozen=True)
+class PrefetchRequest:
+    """A prefetch the hierarchy should issue.
+
+    ``block`` is an L1-geometry block address number (the hierarchy
+    converts to byte addresses / L2 blocks as needed).  ``into_l1``
+    requests promotion to L1 once the hybrid's dead-block condition is
+    met; plain requests fill L2 only.
+    """
+
+    block: int
+    into_l1: bool = False
+
+
+@dataclass
+class PrefetcherStats:
+    """Counters every prefetcher maintains uniformly."""
+
+    lookups: int = 0
+    predictions: int = 0
+    updates: int = 0
+
+    def reset(self) -> None:
+        self.lookups = 0
+        self.predictions = 0
+        self.updates = 0
+
+
+class Prefetcher(ABC):
+    """Abstract base class for L1-miss-stream prefetchers."""
+
+    #: set True when the prefetcher must see every L1 access (DBCP).
+    needs_access_stream: bool = False
+    #: set True when the prefetcher must see L1 evictions.
+    needs_eviction_stream: bool = False
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.stats = PrefetcherStats()
+
+    @abstractmethod
+    def observe_miss(self, miss: MissEvent) -> List[PrefetchRequest]:
+        """Process one L1 demand miss; return prefetches to issue."""
+
+    def observe_access(self, access: AccessEvent) -> Optional[List[PrefetchRequest]]:
+        """Process one L1 access (only called if ``needs_access_stream``).
+
+        May return prefetch requests: DBCP predicts a block dead — and
+        prefetches its correlated successor — the moment the block's
+        PC-trace signature matches a learned death signature, which can
+        happen on a *hit*, not only on a miss.
+        """
+        return None
+
+    def observe_eviction(self, evt: EvictionEvent) -> None:
+        """Process one L1 eviction (only called if ``needs_eviction_stream``)."""
+
+    @abstractmethod
+    def storage_bytes(self) -> int:
+        """Total hardware table budget in bytes."""
+
+    def reset(self) -> None:
+        """Clear all learned state (between simulation runs)."""
+        self.stats.reset()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name}, {self.storage_bytes()}B)"
+
+
+@dataclass
+class _NullStats:
+    """Placeholder kept for API symmetry in tests."""
+
+    issued: int = 0
+    notes: List[str] = field(default_factory=list)

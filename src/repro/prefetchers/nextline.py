@@ -1,0 +1,33 @@
+"""Sequential next-line prefetching.
+
+The simplest hardware prefetcher: on a miss to block B, prefetch
+B+1..B+degree.  It needs no tables at all and serves as the sanity
+baseline that any correlation prefetcher must beat on non-sequential
+workloads (and that is hard to beat on purely sequential ones).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.prefetchers.base import MissEvent, Prefetcher, PrefetchRequest
+
+__all__ = ["NextLinePrefetcher"]
+
+
+class NextLinePrefetcher(Prefetcher):
+    """Prefetch the ``degree`` blocks following each miss."""
+
+    def __init__(self, degree: int = 1) -> None:
+        if degree <= 0:
+            raise ValueError(f"prefetch degree must be positive, got {degree}")
+        super().__init__(f"nextline-{degree}")
+        self.degree = degree
+
+    def observe_miss(self, miss: MissEvent) -> List[PrefetchRequest]:
+        self.stats.lookups += 1
+        self.stats.predictions += self.degree
+        return [PrefetchRequest(miss.block + offset) for offset in range(1, self.degree + 1)]
+
+    def storage_bytes(self) -> int:
+        return 0

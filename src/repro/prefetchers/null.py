@@ -1,0 +1,29 @@
+"""The no-op prefetcher: the experimental baseline.
+
+Attaching :class:`NullPrefetcher` is equivalent to attaching nothing,
+but keeps the simulator code path identical across configurations so
+baseline and prefetching runs differ only in predictions, never in
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.prefetchers.base import MissEvent, Prefetcher, PrefetchRequest
+
+__all__ = ["NullPrefetcher"]
+
+
+class NullPrefetcher(Prefetcher):
+    """Observes misses and never prefetches."""
+
+    def __init__(self) -> None:
+        super().__init__("none")
+
+    def observe_miss(self, miss: MissEvent) -> List[PrefetchRequest]:
+        self.stats.lookups += 1
+        return []
+
+    def storage_bytes(self) -> int:
+        return 0

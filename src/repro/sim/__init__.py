@@ -1,0 +1,31 @@
+"""The simulation driver: wiring workloads, core, hierarchy, prefetchers.
+
+:func:`repro.sim.runner.simulate` is the single entry point every
+example, test, and experiment uses: give it a workload name (or a
+:class:`~repro.workloads.trace.Trace`), a prefetcher factory, and a
+machine configuration; it returns a :class:`repro.sim.results.SimResult`
+with IPC, miss rates, the Figure 12 L2-access taxonomy, and prefetcher
+statistics.  :mod:`repro.sim.sweep` runs labelled configuration
+matrices over the suite with a process-level result cache (experiments
+share baseline runs).
+"""
+
+from repro.sim.config import PREFETCHERS, SimulationConfig, prefetcher_factory
+from repro.sim.parallel import experiment_configs, prewarm
+from repro.sim.results import SimResult, SuiteResult
+from repro.sim.runner import simulate, simulate_suite
+from repro.sim.sweep import Sweep, improvement_table
+
+__all__ = [
+    "PREFETCHERS",
+    "experiment_configs",
+    "prewarm",
+    "SimResult",
+    "SimulationConfig",
+    "SuiteResult",
+    "Sweep",
+    "improvement_table",
+    "prefetcher_factory",
+    "simulate",
+    "simulate_suite",
+]

@@ -1,0 +1,126 @@
+"""Simulation configuration: machine + prefetcher selection.
+
+``SimulationConfig`` bundles the core and hierarchy parameters (whose
+defaults are the paper's Table 1) with a prefetcher factory.  Factories
+— rather than instances — are used throughout so that every run gets a
+cold prefetcher, and so configurations are picklable/hashable for the
+sweep cache.
+
+``PREFETCHERS`` is the registry of named factories used by the CLI,
+the benches, and the examples: ``none``, ``tcp-8k``, ``tcp-8m``,
+``dbcp-2m``, ``hybrid-8k``, ``stride``, ``stream``, ``markov``,
+``nextline``, ``tcp-stride``, ``tcp-multi2``, ``tcp-conf``, ``tcp-look2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional
+
+from repro.core import (
+    ConfidenceFilteredTCP,
+    LookaheadTCP,
+    MultiTargetTCP,
+    StrideFilteredTCP,
+    hybrid_8k,
+    tcp_8k,
+    tcp_8m,
+)
+from repro.cpu import CoreParams
+from repro.memory import HierarchyParams
+from repro.prefetchers import (
+    DeadBlockCorrelatingPrefetcher,
+    MarkovPrefetcher,
+    NextLinePrefetcher,
+    NullPrefetcher,
+    Prefetcher,
+    StreamBufferPrefetcher,
+    StridePrefetcher,
+)
+
+__all__ = ["PREFETCHERS", "SimulationConfig", "prefetcher_factory"]
+
+PrefetcherFactory = Callable[[], Prefetcher]
+
+PREFETCHERS: Dict[str, PrefetcherFactory] = {
+    "none": NullPrefetcher,
+    "nextline": NextLinePrefetcher,
+    "stride": StridePrefetcher,
+    "stream": StreamBufferPrefetcher,
+    "markov": MarkovPrefetcher,
+    "dbcp-2m": DeadBlockCorrelatingPrefetcher,
+    "tcp-8k": tcp_8k,
+    "tcp-8m": tcp_8m,
+    "hybrid-8k": hybrid_8k,
+    "tcp-stride": StrideFilteredTCP,
+    "tcp-multi2": MultiTargetTCP,
+    "tcp-conf": ConfidenceFilteredTCP,
+    "tcp-look2": LookaheadTCP,
+}
+
+
+def prefetcher_factory(name: str) -> PrefetcherFactory:
+    """Resolve a registry name to its factory (KeyError lists options)."""
+    try:
+        return PREFETCHERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown prefetcher {name!r}; choose from {sorted(PREFETCHERS)}"
+        ) from None
+
+
+def register_prefetcher(name: str, factory: PrefetcherFactory) -> str:
+    """Add (or replace) a named prefetcher factory.
+
+    Experiments that sweep prefetcher parameters (e.g. the Figure 13
+    PHT sizes) register one factory per design point; the name keeps
+    :class:`SimulationConfig` hashable for the result cache.  Returns
+    the name for chaining.
+    """
+    PREFETCHERS[name] = factory
+    return name
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything needed to run one simulation."""
+
+    prefetcher: str = "none"
+    core: CoreParams = field(default_factory=CoreParams)
+    hierarchy: HierarchyParams = field(default_factory=HierarchyParams)
+    #: label used in result tables; defaults to the prefetcher name.
+    label: Optional[str] = None
+
+    def resolved_label(self) -> str:
+        return self.label if self.label is not None else self.prefetcher
+
+    def build_prefetcher(self) -> Prefetcher:
+        """Instantiate a cold prefetcher for one run."""
+        return prefetcher_factory(self.prefetcher)()
+
+    def with_hierarchy(self, **overrides: object) -> "SimulationConfig":
+        """Copy with hierarchy parameter overrides."""
+        return replace(self, hierarchy=replace(self.hierarchy, **overrides))  # type: ignore[arg-type]
+
+    @staticmethod
+    def baseline() -> "SimulationConfig":
+        """No prefetching, paper's Table 1 machine."""
+        return SimulationConfig(prefetcher="none", label="base")
+
+    @staticmethod
+    def ideal_l2() -> "SimulationConfig":
+        """The Figure 1 machine: every L2 data access hits."""
+        config = SimulationConfig(prefetcher="none", label="ideal-l2")
+        return config.with_hierarchy(ideal_l2=True)
+
+    @staticmethod
+    def for_prefetcher(name: str) -> "SimulationConfig":
+        """Standard machine with the named prefetcher attached.
+
+        The hybrid gets the dedicated L1/L2 prefetch bus the paper adds
+        in Section 5.2.2; everything else uses the shared bus.
+        """
+        config = SimulationConfig(prefetcher=name)
+        if name.startswith("hybrid"):
+            config = config.with_hierarchy(dedicated_prefetch_bus=True)
+        return config

@@ -1,0 +1,91 @@
+"""Parallel pre-warming of the simulation result cache.
+
+A full-scale regeneration of the paper's evaluation is ~150 independent
+(workload, configuration) simulations; they share nothing at runtime
+except the result cache, so they parallelise embarrassingly.
+
+``prewarm`` runs a batch of simulations in a process pool and installs
+the results into this process's cache
+(:mod:`repro.sim.runner`); afterwards the experiments replay from cache
+at zero cost.  The CLI exposes it as ``repro-tcp run ... --jobs N``.
+
+Workers re-derive everything from the (workload name, config, scale)
+key — traces are regenerated deterministically per worker — so nothing
+large crosses process boundaries except the finished
+:class:`~repro.sim.results.SimResult` objects.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.config import SimulationConfig
+from repro.sim.results import SimResult
+from repro.sim.runner import _RESULT_CACHE, simulate
+from repro.workloads import BENCHMARK_ORDER, Scale
+
+__all__ = ["experiment_configs", "prewarm"]
+
+Job = Tuple[str, SimulationConfig, int]
+
+
+def _run_job(job: Job) -> Tuple[Job, SimResult]:
+    """Worker entry point: run one simulation, return its result."""
+    workload, config, accesses = job
+    result = simulate(workload, config, Scale(accesses))
+    return job, result
+
+
+def experiment_configs() -> List[SimulationConfig]:
+    """The configurations the main experiments (fig 1/11/12/14) need.
+
+    Figure 13's sweep points are registered dynamically and excluded
+    here; prewarming the seven standing configurations already covers
+    the bulk of a full regeneration.
+    """
+    return [
+        SimulationConfig.baseline(),
+        SimulationConfig.ideal_l2(),
+        SimulationConfig.for_prefetcher("tcp-8k"),
+        SimulationConfig.for_prefetcher("tcp-8m"),
+        SimulationConfig.for_prefetcher("dbcp-2m"),
+        SimulationConfig.for_prefetcher("hybrid-8k"),
+    ]
+
+
+def prewarm(
+    configs: Optional[Iterable[SimulationConfig]] = None,
+    scale: Scale = Scale.STANDARD,
+    benchmarks: Optional[Sequence[str]] = None,
+    jobs: int = 0,
+) -> int:
+    """Fill the result cache for ``configs`` x ``benchmarks`` in parallel.
+
+    ``jobs``: worker processes (0 = cpu count).  Returns the number of
+    simulations executed (cached entries are skipped).  With ``jobs=1``
+    the work runs in-process, which keeps the function usable where
+    multiprocessing is unavailable.
+    """
+    config_list = list(configs) if configs is not None else experiment_configs()
+    names = tuple(benchmarks) if benchmarks is not None else BENCHMARK_ORDER
+    pending: List[Job] = []
+    for config in config_list:
+        for name in names:
+            if (name, scale.accesses, config) not in _RESULT_CACHE:
+                pending.append((name, config, scale.accesses))
+    if not pending:
+        return 0
+
+    if jobs == 1 or len(pending) == 1:
+        for job in pending:
+            _run_job(job)  # simulate() itself installs the cache entry
+        return len(pending)
+
+    workers = jobs if jobs > 0 else (multiprocessing.cpu_count() or 2)
+    workers = min(workers, len(pending))
+    with multiprocessing.get_context("fork").Pool(workers) as pool:
+        for job, result in pool.imap_unordered(_run_job, pending):
+            workload, config, accesses = job
+            _RESULT_CACHE[(workload, accesses, config)] = result
+    return len(pending)

@@ -1,0 +1,94 @@
+"""Result containers for simulation runs.
+
+``SimResult`` captures one (workload, configuration) run: the CPU
+timing outcome, the hierarchy statistics (including the Figure 12
+L2-access taxonomy), and the prefetcher's own counters.  ``SuiteResult``
+aggregates per-benchmark results for one configuration across the suite
+and computes the paper's suite-wide metrics (geometric-mean IPC and
+improvement over a baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.cpu.core import CoreResult
+from repro.memory.hierarchy import HierarchyStats
+from repro.util.stats import geometric_mean, percent_change
+
+__all__ = ["SimResult", "SuiteResult"]
+
+
+@dataclass
+class SimResult:
+    """Outcome of simulating one workload under one configuration."""
+
+    workload: str
+    config_label: str
+    core: CoreResult
+    memory: HierarchyStats
+    prefetcher_name: str
+    prefetcher_storage_bytes: int
+    prefetcher_predictions: int
+
+    @property
+    def ipc(self) -> float:
+        return self.core.ipc
+
+    def improvement_over(self, baseline: "SimResult") -> float:
+        """IPC improvement in percent relative to ``baseline``."""
+        if baseline.workload != self.workload:
+            raise ValueError(
+                f"cannot compare {self.workload} against baseline "
+                f"{baseline.workload}"
+            )
+        return percent_change(baseline.ipc, self.ipc)
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        m = self.memory
+        return (
+            f"{self.workload:<10} {self.config_label:<10} ipc={self.ipc:6.3f} "
+            f"l1mr={m.l1_miss_rate:6.2%} l2mr={m.l2_demand_miss_rate:6.2%} "
+            f"pf={m.prefetches_issued}"
+        )
+
+
+@dataclass
+class SuiteResult:
+    """Per-benchmark results of one configuration over the whole suite."""
+
+    config_label: str
+    runs: Dict[str, SimResult]
+
+    def ipc(self, workload: str) -> float:
+        return self.runs[workload].ipc
+
+    def geomean_ipc(self, order: Optional[Iterable[str]] = None) -> float:
+        names = list(order) if order is not None else list(self.runs)
+        return geometric_mean(self.runs[name].ipc for name in names)
+
+    def improvements_over(self, baseline: "SuiteResult") -> Dict[str, float]:
+        """Per-benchmark IPC improvement (%) over ``baseline``."""
+        return {
+            name: run.improvement_over(baseline.runs[name])
+            for name, run in self.runs.items()
+            if name in baseline.runs
+        }
+
+    def geomean_improvement(self, baseline: "SuiteResult") -> float:
+        """Suite-wide improvement (%): geomean of per-benchmark IPC
+        ratios, expressed as a percentage — the paper's headline metric."""
+        ratios = [
+            run.ipc / baseline.runs[name].ipc
+            for name, run in self.runs.items()
+            if name in baseline.runs
+        ]
+        return (geometric_mean(ratios) - 1.0) * 100.0
+
+    def l2_breakdowns(self) -> Mapping[str, Mapping[str, float]]:
+        """Figure 12 taxonomy per benchmark (fractions of original)."""
+        return {
+            name: run.memory.breakdown_vs_original() for name, run in self.runs.items()
+        }

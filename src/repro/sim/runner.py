@@ -1,0 +1,94 @@
+"""The simulate() entry point.
+
+One call = one cold machine + one workload + one prefetcher, run to
+completion.  A process-level result cache keyed by (workload, scale,
+configuration) lets experiments share runs — Figure 11, Figure 12 and
+the headline numbers all reuse the same TCP-8K runs, exactly as one
+simulation campaign would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+from repro.cpu import OutOfOrderCore
+from repro.memory import MemoryHierarchy
+from repro.sim.config import SimulationConfig
+from repro.sim.results import SimResult, SuiteResult
+from repro.workloads import BENCHMARK_ORDER, Scale, Trace, generate
+
+__all__ = ["clear_cache", "simulate", "simulate_suite"]
+
+_RESULT_CACHE: Dict[Tuple[str, int, SimulationConfig], SimResult] = {}
+
+
+def clear_cache() -> None:
+    """Drop all memoised simulation results (tests use this)."""
+    _RESULT_CACHE.clear()
+
+
+#: fraction of each trace used to warm caches/predictors before
+#: measurement starts (the analogue of the paper's 1B skipped
+#: instructions before its 2B measured ones).
+WARMUP_FRACTION = 0.25
+
+
+def simulate(
+    workload: Union[str, Trace],
+    config: Optional[SimulationConfig] = None,
+    scale: Scale = Scale.STANDARD,
+    use_cache: bool = True,
+    warmup_fraction: float = WARMUP_FRACTION,
+) -> SimResult:
+    """Run one workload under one configuration; return its result.
+
+    ``workload`` may be a suite benchmark name (generated at ``scale``)
+    or a prebuilt :class:`Trace`.  Results for named workloads are
+    memoised per process unless ``use_cache=False``.  The first
+    ``warmup_fraction`` of the trace trains state without being counted.
+    """
+    config = config or SimulationConfig.baseline()
+    if not 0 <= warmup_fraction < 1:
+        raise ValueError(f"warmup fraction must be in [0, 1), got {warmup_fraction}")
+
+    if isinstance(workload, str):
+        key = (workload, scale.accesses, config)
+        if use_cache and key in _RESULT_CACHE:
+            return _RESULT_CACHE[key]
+        trace = generate(workload, scale)
+    else:
+        key = None
+        trace = workload
+
+    hierarchy = MemoryHierarchy(config.hierarchy)
+    prefetcher = config.build_prefetcher()
+    hierarchy.attach_prefetcher(prefetcher)
+    core = OutOfOrderCore(config.core)
+
+    core_result = core.run(trace, hierarchy, warmup=int(len(trace) * warmup_fraction))
+    hierarchy.finalize()
+
+    result = SimResult(
+        workload=trace.name,
+        config_label=config.resolved_label(),
+        core=core_result,
+        memory=hierarchy.measured_stats(),
+        prefetcher_name=prefetcher.name,
+        prefetcher_storage_bytes=prefetcher.storage_bytes(),
+        prefetcher_predictions=prefetcher.stats.predictions,
+    )
+    if key is not None and use_cache:
+        _RESULT_CACHE[key] = result
+    return result
+
+
+def simulate_suite(
+    config: Optional[SimulationConfig] = None,
+    scale: Scale = Scale.STANDARD,
+    benchmarks: Optional[Tuple[str, ...]] = None,
+) -> SuiteResult:
+    """Run one configuration over the whole suite (Figure 1 order)."""
+    config = config or SimulationConfig.baseline()
+    names = benchmarks if benchmarks is not None else BENCHMARK_ORDER
+    runs = {name: simulate(name, config, scale) for name in names}
+    return SuiteResult(config.resolved_label(), runs)

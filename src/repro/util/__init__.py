@@ -1,0 +1,45 @@
+"""Shared low-level utilities for the TCP reproduction.
+
+This package contains the non-architectural helpers that the rest of
+the simulator is built from: bit manipulation (:mod:`repro.util.bitops`),
+least-recently-used tracking (:mod:`repro.util.lruset`), running
+statistics and summary math (:mod:`repro.util.stats`), plain-text table
+and bar-chart rendering for experiment output (:mod:`repro.util.tables`),
+and deterministic random number generator construction
+(:mod:`repro.util.rng`).
+"""
+
+from repro.util.bitops import (
+    bit_slice,
+    fold_xor,
+    is_power_of_two,
+    log2_exact,
+    mask,
+    truncated_add,
+)
+from repro.util.lruset import LRUSet
+from repro.util.rng import make_rng
+from repro.util.stats import (
+    RunningStat,
+    geometric_mean,
+    harmonic_mean,
+    percent_change,
+)
+from repro.util.tables import format_barchart, format_table
+
+__all__ = [
+    "LRUSet",
+    "RunningStat",
+    "bit_slice",
+    "fold_xor",
+    "format_barchart",
+    "format_table",
+    "geometric_mean",
+    "harmonic_mean",
+    "is_power_of_two",
+    "log2_exact",
+    "make_rng",
+    "mask",
+    "percent_change",
+    "truncated_add",
+]

@@ -1,0 +1,143 @@
+"""Summary statistics used by the analysis and experiment layers.
+
+The paper reports geometric means over the benchmark suite (the
+"average 14% improvement" headline is a geomean of per-benchmark IPC
+ratios) plus a large number of per-benchmark averages.  This module
+centralises that math so every experiment computes it the same way.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = [
+    "RunningStat",
+    "geometric_mean",
+    "harmonic_mean",
+    "percent_change",
+]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Return the geometric mean of positive ``values``.
+
+    The paper's suite-wide speedups are geometric means of per-benchmark
+    ratios.  Raises :class:`ValueError` on an empty input or any
+    non-positive value (a non-positive ratio indicates a bug upstream,
+    not data to be averaged).
+    """
+    total = 0.0
+    count = 0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geometric mean requires positive values, got {value}")
+        total += math.log(value)
+        count += 1
+    if count == 0:
+        raise ValueError("geometric mean of an empty sequence")
+    return math.exp(total / count)
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Return the harmonic mean of positive ``values``.
+
+    Appropriate for averaging rates (e.g. IPC across equal instruction
+    counts); provided for the ablation reports.
+    """
+    total = 0.0
+    count = 0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"harmonic mean requires positive values, got {value}")
+        total += 1.0 / value
+        count += 1
+    if count == 0:
+        raise ValueError("harmonic mean of an empty sequence")
+    return count / total
+
+
+def percent_change(baseline: float, measured: float) -> float:
+    """Return the relative change from ``baseline`` to ``measured`` in percent.
+
+    ``percent_change(2.0, 2.28)`` is ``14.0...``.  This is the metric on
+    the y-axis of the paper's Figures 1, 11, and 14.
+    """
+    if baseline == 0:
+        raise ValueError("percent change from a zero baseline is undefined")
+    return (measured - baseline) / baseline * 100.0
+
+
+class RunningStat:
+    """Single-pass mean/variance/min/max accumulator (Welford).
+
+    Used by the analysis passes, which stream millions of miss records
+    and cannot afford to buffer them just to compute a mean.
+    """
+
+    __slots__ = ("count", "_mean", "_m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def extend(self, values: Sequence[float]) -> None:
+        """Fold a batch of observations into the accumulator."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations so far (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the observations so far."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStat") -> None:
+        """Fold another accumulator into this one (parallel combine)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunningStat(count={self.count}, mean={self.mean:.4g}, "
+            f"stddev={self.stddev:.4g})"
+        )

@@ -1,0 +1,97 @@
+"""Plain-text rendering of experiment output.
+
+Every experiment module prints its results as an aligned ASCII table
+(the paper's tables) and, where the paper uses a bar chart, an ASCII
+bar chart so the series shape is visible directly in terminal output
+and in the committed EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+__all__ = ["format_barchart", "format_table"]
+
+
+def _cell(value: object) -> str:
+    """Render one cell: floats get 4 significant digits, rest via str."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        magnitude = abs(value)
+        if magnitude != 0 and (magnitude >= 1e6 or magnitude < 1e-3):
+            return f"{value:.3e}"
+        return f"{value:,.4g}" if magnitude >= 1000 else f"{value:.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Column widths adapt to content; numeric cells are right-aligned and
+    text cells left-aligned, matching conventional table typography.
+    """
+    rendered = [[_cell(value) for value in row] for row in rows]
+    numeric = [
+        all(isinstance(row[col], (int, float)) for row in rows if col < len(row))
+        for col in range(len(headers))
+    ]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for col, text in enumerate(row):
+            if col < len(widths):
+                widths[col] = max(widths[col], len(text))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for col, text in enumerate(cells):
+            width = widths[col] if col < len(widths) else len(text)
+            parts.append(text.rjust(width) if numeric[col] and rows else text.ljust(width))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def format_barchart(
+    series: Mapping[str, float],
+    title: Optional[str] = None,
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Render a horizontal ASCII bar chart of ``label -> value``.
+
+    Bars are scaled to the maximum absolute value; negative values
+    render with a ``-`` bar so regressions (e.g. a prefetcher hurting a
+    benchmark, as in the paper's Figure 11) stand out.
+    """
+    if width <= 0:
+        raise ValueError(f"chart width must be positive, got {width}")
+    lines = []
+    if title:
+        lines.append(title)
+    if not series:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    label_width = max(len(label) for label in series)
+    peak = max(abs(value) for value in series.values())
+    scale = width / peak if peak > 0 else 0.0
+    for label, value in series.items():
+        bar_len = int(round(abs(value) * scale))
+        bar_char = "#" if value >= 0 else "-"
+        bar = bar_char * bar_len
+        lines.append(f"{label.ljust(label_width)} |{bar.ljust(width)} {value:9.3f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Synthetic workloads standing in for SPEC CPU2000.
+
+The paper simulates the full SPEC2000 suite; reference binaries and
+inputs are not redistributable, so this package provides 26 synthetic
+workload generators — one per SPEC2000 benchmark name — each tuned to
+reproduce the memory behaviour the paper itself documents for that
+benchmark (working-set size and tag-locality profile from Figures 2–7,
+memory-boundedness ordering from Figure 1, strided-sequence share from
+Figure 15).  See DESIGN.md §2 for the substitution argument.
+
+A workload is a :class:`repro.workloads.trace.Trace`: numpy arrays of
+(pc, address, load/store flag, dependence distance, non-memory
+instruction gap) plus an ILP parameter, which is everything the CPU
+timing model and memory hierarchy need.
+"""
+
+from repro.workloads.io import load_trace, save_trace
+from repro.workloads.kernels import TraceBuilder
+from repro.workloads.suite import (
+    BENCHMARK_ORDER,
+    SUITE,
+    BenchmarkSpec,
+    generate,
+    generate_all,
+)
+from repro.workloads.trace import Scale, Trace
+
+__all__ = [
+    "BENCHMARK_ORDER",
+    "BenchmarkSpec",
+    "SUITE",
+    "Scale",
+    "Trace",
+    "TraceBuilder",
+    "generate",
+    "generate_all",
+    "load_trace",
+    "save_trace",
+]

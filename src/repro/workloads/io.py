@@ -1,0 +1,98 @@
+"""Trace persistence: save and load traces as ``.npz`` files.
+
+Downstream users of the simulator often want to run the same trace
+through many configurations, hand traces between machines, or feed in
+traces captured from real programs (e.g. converted Pin/Valgrind logs).
+This module defines the on-disk format:
+
+* a compressed numpy ``.npz`` archive with the five trace arrays
+  (``addrs``, ``pcs``, ``is_load``, ``gaps``, ``deps``);
+* a JSON-encoded metadata entry (``meta``) carrying the trace name,
+  its ILP parameter, and a format version for forward compatibility.
+
+``save_trace``/``load_trace`` round-trip exactly; ``load_trace``
+validates the arrays through the normal :class:`Trace` constructor, so
+corrupt or inconsistent files fail loudly rather than simulating
+garbage.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.workloads.trace import Trace
+
+__all__ = ["FORMAT_VERSION", "load_trace", "save_trace"]
+
+#: bump when the on-disk layout changes incompatibly.
+FORMAT_VERSION = 1
+
+_REQUIRED_KEYS = ("addrs", "pcs", "is_load", "gaps", "deps", "meta")
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
+    """Write ``trace`` to ``path`` (``.npz`` appended if missing).
+
+    Returns the path actually written.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    meta = json.dumps(
+        {
+            "version": FORMAT_VERSION,
+            "name": trace.name,
+            "base_ipc": trace.base_ipc,
+            "accesses": len(trace),
+            "instructions": trace.instruction_count,
+        }
+    )
+    np.savez_compressed(
+        path,
+        addrs=trace.addrs,
+        pcs=trace.pcs,
+        is_load=trace.is_load,
+        gaps=trace.gaps,
+        deps=trace.deps,
+        meta=np.frombuffer(meta.encode("utf-8"), dtype=np.uint8),
+    )
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace written by :func:`save_trace`.
+
+    Raises :class:`ValueError` on missing arrays, version mismatch, or
+    any inconsistency the :class:`Trace` constructor detects.
+    """
+    path = Path(path)
+    with np.load(path) as archive:
+        missing = [key for key in _REQUIRED_KEYS if key not in archive.files]
+        if missing:
+            raise ValueError(f"{path} is not a trace file (missing {missing})")
+        meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+        version = meta.get("version")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"{path} has trace-format version {version}; this library "
+                f"reads version {FORMAT_VERSION}"
+            )
+        trace = Trace(
+            name=str(meta["name"]),
+            addrs=archive["addrs"].astype(np.uint64),
+            pcs=archive["pcs"].astype(np.uint64),
+            is_load=archive["is_load"].astype(bool),
+            gaps=archive["gaps"].astype(np.uint16),
+            deps=archive["deps"].astype(np.int32),
+            base_ipc=float(meta["base_ipc"]),
+        )
+    declared = meta.get("accesses")
+    if declared is not None and declared != len(trace):
+        raise ValueError(
+            f"{path} declares {declared} accesses but contains {len(trace)}"
+        )
+    return trace

@@ -1,0 +1,359 @@
+"""Memory-access kernel generators and the trace builder.
+
+Each kernel produces the access pattern of one program idiom — strided
+array sweeps, pointer chasing, hash probing, hot-loop compute, random
+scans — as vectorised numpy arrays appended to a :class:`TraceBuilder`.
+The benchmark suite (:mod:`repro.workloads.suite`) composes kernels
+into 26 SPEC2000-like workloads.
+
+Design notes that matter for the reproduction:
+
+* **Alignment controls tag-sequence sharing.**  Arrays based at
+  multiples of the L1 tag granularity (32 KB here) produce the *same*
+  per-set tag sequence in every cache set — the inter-set pattern
+  sharing that TCP-8K exploits (paper Figures 4/7).  Misaligned bases
+  give different sets different sequences, which is what makes TCP-8M's
+  private history win on the paper's facerec/gcc/art/mcf/ammp class.
+* **Pointer chases carry ``dep = k``** so the CPU model serializes
+  them: dependent misses cannot overlap, which is why prefetching is so
+  valuable there (Section 5.1).
+* **Sub-block strides generate natural L1 hit padding** (a 4-byte
+  stride touches each 32 B block eight times), so miss rates land in a
+  realistic range without artificial noise records.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "TraceBuilder",
+    "hash_table_walk",
+    "hot_loop",
+    "interleaved_sweep",
+    "pointer_chase",
+    "random_region",
+    "sequential_bursts",
+]
+
+#: dtype used for every address/pc array.
+_ADDR_DTYPE = np.uint64
+
+
+class TraceBuilder:
+    """Accumulates kernel output chunks and assembles a :class:`Trace`."""
+
+    def __init__(self, name: str, base_ipc: float = 4.0) -> None:
+        self.name = name
+        self.base_ipc = base_ipc
+        self._addrs: List[np.ndarray] = []
+        self._pcs: List[np.ndarray] = []
+        self._is_load: List[np.ndarray] = []
+        self._gaps: List[np.ndarray] = []
+        self._deps: List[np.ndarray] = []
+
+    def add(
+        self,
+        addrs: np.ndarray,
+        pcs: np.ndarray,
+        is_load: np.ndarray,
+        gaps: np.ndarray,
+        deps: Optional[np.ndarray] = None,
+    ) -> None:
+        """Append one chunk of accesses (parallel arrays)."""
+        n = len(addrs)
+        if not (len(pcs) == len(is_load) == len(gaps) == n):
+            raise ValueError("kernel chunk arrays must have equal length")
+        if deps is None:
+            deps = np.zeros(n, dtype=np.int32)
+        elif len(deps) != n:
+            raise ValueError("deps array length mismatch")
+        self._addrs.append(np.asarray(addrs, dtype=_ADDR_DTYPE))
+        self._pcs.append(np.asarray(pcs, dtype=_ADDR_DTYPE))
+        self._is_load.append(np.asarray(is_load, dtype=bool))
+        self._gaps.append(np.asarray(gaps, dtype=np.uint16))
+        self._deps.append(np.asarray(deps, dtype=np.int32))
+
+    def __len__(self) -> int:
+        return sum(len(chunk) for chunk in self._addrs)
+
+    def build(self) -> Trace:
+        """Concatenate all chunks into the final trace.
+
+        Dependence distances are chunk-local by construction (kernels
+        never emit a dep pointing before their own chunk), so plain
+        concatenation preserves validity — except for the first records
+        of each chunk, which are checked here.
+        """
+        if not self._addrs:
+            raise ValueError(f"trace '{self.name}' has no accesses")
+        deps = np.concatenate(self._deps)
+        trace = Trace(
+            name=self.name,
+            addrs=np.concatenate(self._addrs),
+            pcs=np.concatenate(self._pcs),
+            is_load=np.concatenate(self._is_load),
+            gaps=np.concatenate(self._gaps),
+            deps=deps,
+            base_ipc=self.base_ipc,
+        )
+        return trace
+
+
+def _gaps(rng: np.random.Generator, n: int, gap_range: Tuple[int, int]) -> np.ndarray:
+    """Sample per-access non-memory instruction gaps."""
+    lo, hi = gap_range
+    if lo == hi:
+        return np.full(n, lo, dtype=np.uint16)
+    return rng.integers(lo, hi + 1, n, dtype=np.uint16)
+
+
+# ----------------------------------------------------------------------
+# Kernels
+# ----------------------------------------------------------------------
+
+
+def interleaved_sweep(
+    builder: TraceBuilder,
+    rng: np.random.Generator,
+    bases: Sequence[int],
+    sizes: Sequence[int],
+    stride: int,
+    iterations: int,
+    pc_base: int,
+    gap_range: Tuple[int, int] = (3, 8),
+    store_streams: Sequence[int] = (),
+    start_offset: int = 0,
+) -> None:
+    """Loop ``for i: touch a[i], b[i], c[i], ...`` over several arrays.
+
+    The scientific-code idiom (swim/applu/wupwise class).  Each array
+    ``j`` is swept with ``stride`` bytes per iteration, wrapping at its
+    own ``size`` (so unequal sizes yield multi-pass behaviour on the
+    smaller arrays).  Streams listed in ``store_streams`` are written
+    (think ``c[i] = a[i] + b[i]``).
+    """
+    if len(bases) != len(sizes) or not bases:
+        raise ValueError("need matching, non-empty bases and sizes")
+    if stride <= 0 or iterations <= 0:
+        raise ValueError("stride and iterations must be positive")
+    k = len(bases)
+    n = iterations * k
+    offsets = (start_offset + np.arange(iterations, dtype=np.int64) * stride)
+    addrs = np.empty(n, dtype=_ADDR_DTYPE)
+    pcs = np.empty(n, dtype=_ADDR_DTYPE)
+    is_load = np.ones(n, dtype=bool)
+    for j, (base, size) in enumerate(zip(bases, sizes)):
+        addrs[j::k] = (base + (offsets % size)).astype(_ADDR_DTYPE)
+        pcs[j::k] = pc_base + j * 8
+        if j in store_streams:
+            is_load[j::k] = False
+    builder.add(addrs, pcs, is_load, _gaps(rng, n, gap_range))
+
+
+def pointer_chase(
+    builder: TraceBuilder,
+    rng: np.random.Generator,
+    base: int,
+    nodes: int,
+    node_stride: int,
+    steps: int,
+    pc_base: int,
+    gap_range: Tuple[int, int] = (2, 6),
+    payload: int = 0,
+    payload_store: bool = False,
+    order: Optional[np.ndarray] = None,
+    start: int = 0,
+) -> None:
+    """Traverse a linked structure laid out pseudo-randomly in memory.
+
+    The mcf/parser idiom.  Node visit order is a fixed random
+    permutation of the ``nodes`` slots, walked cyclically for ``steps``
+    node visits — the same order every lap, exactly like chasing a
+    list whose layout was randomised at build time.  Each node visit is
+    a load with ``dep = payload + 1`` (its address came from the
+    previous node's data, so it cannot issue earlier), followed by
+    ``payload`` accesses to the node's other fields (``dep`` back to
+    the node load).
+
+    Callers emitting the chase in several chunks pass the same
+    ``order`` permutation and a cumulative ``start`` position so the
+    traversal continues instead of restarting — the repetition across
+    laps is what correlation prefetchers learn from.
+    """
+    if nodes <= 1 or steps <= 0 or node_stride <= 0:
+        raise ValueError("nodes, steps, node_stride must be positive (nodes > 1)")
+    if order is None:
+        order = rng.permutation(nodes)
+    elif len(order) != nodes:
+        raise ValueError("order permutation length must equal nodes")
+    positions = (start + np.arange(steps, dtype=np.int64)) % nodes
+    visit = np.asarray(order)[positions]
+    k = payload + 1
+    n = steps * k
+    addrs = np.empty(n, dtype=_ADDR_DTYPE)
+    pcs = np.empty(n, dtype=_ADDR_DTYPE)
+    is_load = np.ones(n, dtype=bool)
+    deps = np.empty(n, dtype=np.int32)
+    node_addr = (base + visit.astype(np.int64) * node_stride).astype(_ADDR_DTYPE)
+    addrs[0::k] = node_addr
+    pcs[0::k] = pc_base
+    deps[0::k] = k  # next-pointer loads chain on the previous node
+    for f in range(1, k):
+        addrs[f::k] = node_addr + _ADDR_DTYPE(8 * f)
+        pcs[f::k] = pc_base + 8 * f
+        deps[f::k] = f  # field access depends on this node's load
+        if payload_store and f == k - 1:
+            is_load[f::k] = False
+    deps[0] = 0  # the very first node address is architectural state
+    builder.add(addrs, pcs, is_load, _gaps(rng, n, gap_range), deps)
+
+
+def random_region(
+    builder: TraceBuilder,
+    rng: np.random.Generator,
+    base: int,
+    size: int,
+    count: int,
+    pc_base: int,
+    gap_range: Tuple[int, int] = (4, 10),
+    granularity: int = 32,
+    store_fraction: float = 0.0,
+    pc_sites: int = 4,
+    window: int = 0,
+) -> None:
+    """Uniformly random accesses within a region (crafty/twolf idiom).
+
+    Each access lands on a random ``granularity``-aligned offset — the
+    unlearnable miss stream that correlation prefetchers waste traffic
+    on (the paper's Figure 5 outliers).
+
+    With ``window > 0`` the probes are drawn from a window of that many
+    bytes that drifts across the region over the course of the call —
+    the working set ages (entries are allocated and retired), so the
+    region never becomes fully cache-resident and its misses stay
+    unlearnable rather than decaying into a warm-up artefact.
+    """
+    if size < granularity or count <= 0:
+        raise ValueError("region must hold at least one granule; count positive")
+    if window:
+        if not granularity <= window <= size:
+            raise ValueError("drift window must lie between granularity and size")
+        span_slots = window // granularity
+        drift = np.linspace(0, size - window, count).astype(np.int64)
+        drift -= drift % granularity
+        offsets = drift + rng.integers(0, span_slots, count).astype(np.int64) * granularity
+    else:
+        slots = size // granularity
+        offsets = rng.integers(0, slots, count).astype(np.int64) * granularity
+    addrs = (base + offsets).astype(_ADDR_DTYPE)
+    pcs = (pc_base + rng.integers(0, pc_sites, count).astype(np.int64) * 8).astype(
+        _ADDR_DTYPE
+    )
+    is_load = rng.random(count) >= store_fraction
+    builder.add(addrs, pcs, is_load, _gaps(rng, count, gap_range))
+
+
+def hot_loop(
+    builder: TraceBuilder,
+    rng: np.random.Generator,
+    base: int,
+    size: int,
+    count: int,
+    pc_base: int,
+    gap_range: Tuple[int, int] = (5, 12),
+    stride: int = 8,
+    store_fraction: float = 0.1,
+) -> None:
+    """Cycle through a small, L1-resident working set (compute idiom).
+
+    The eon/fma3d class: after warmup nearly every access hits in L1,
+    so this kernel supplies the instruction stream between misses.
+    """
+    if size <= 0 or count <= 0 or stride <= 0:
+        raise ValueError("size, count, stride must be positive")
+    offsets = (np.arange(count, dtype=np.int64) * stride) % size
+    addrs = (base + offsets).astype(_ADDR_DTYPE)
+    pcs = (pc_base + (np.arange(count, dtype=np.int64) % 6) * 8).astype(_ADDR_DTYPE)
+    is_load = rng.random(count) >= store_fraction
+    builder.add(addrs, pcs, is_load, _gaps(rng, count, gap_range))
+
+
+def sequential_bursts(
+    builder: TraceBuilder,
+    rng: np.random.Generator,
+    base: int,
+    size: int,
+    count: int,
+    pc_base: int,
+    gap_range: Tuple[int, int] = (3, 8),
+    burst_range: Tuple[int, int] = (32, 256),
+    stride: int = 8,
+) -> None:
+    """Sequential runs with random restart points (gzip/bzip2 idiom).
+
+    Produces long forward streams (stream-buffer food) broken by jumps
+    (back-references), all inside one large buffer.
+    """
+    if count <= 0 or size <= stride:
+        raise ValueError("count positive and size > stride required")
+    offsets = np.empty(count, dtype=np.int64)
+    produced = 0
+    position = 0
+    while produced < count:
+        burst = int(rng.integers(burst_range[0], burst_range[1] + 1))
+        burst = min(burst, count - produced)
+        offsets[produced : produced + burst] = (
+            position + np.arange(burst, dtype=np.int64) * stride
+        ) % size
+        produced += burst
+        position = int(rng.integers(0, size))
+    addrs = (base + offsets).astype(_ADDR_DTYPE)
+    pcs = np.full(count, pc_base, dtype=_ADDR_DTYPE)
+    is_load = np.ones(count, dtype=bool)
+    builder.add(addrs, pcs, is_load, _gaps(rng, count, gap_range))
+
+
+def hash_table_walk(
+    builder: TraceBuilder,
+    rng: np.random.Generator,
+    base: int,
+    buckets: int,
+    count: int,
+    pc_base: int,
+    gap_range: Tuple[int, int] = (4, 9),
+    bucket_stride: int = 64,
+    chain: int = 1,
+) -> None:
+    """Random bucket probes each followed by a short dependent chain.
+
+    The gap/perlbmk idiom: the bucket index is data-computed (no dep),
+    the chain hops depend on the previous load (``dep = 1``).
+    """
+    if buckets <= 0 or count <= 0 or chain < 0:
+        raise ValueError("buckets and count positive, chain non-negative")
+    k = chain + 1
+    probes = -(-count // k)
+    bucket = rng.integers(0, buckets, probes).astype(np.int64)
+    n = probes * k
+    addrs = np.empty(n, dtype=_ADDR_DTYPE)
+    pcs = np.empty(n, dtype=_ADDR_DTYPE)
+    deps = np.zeros(n, dtype=np.int32)
+    head = (base + bucket * bucket_stride).astype(_ADDR_DTYPE)
+    addrs[0::k] = head
+    pcs[0::k] = pc_base
+    for hop in range(1, k):
+        # Chain nodes live in the same region at a hashed displacement.
+        displacement = ((bucket * 2654435761 + hop * 97) % buckets) * bucket_stride
+        addrs[hop::k] = (base + displacement).astype(_ADDR_DTYPE)
+        pcs[hop::k] = pc_base + 8 * hop
+        deps[hop::k] = 1
+    addrs = addrs[:count]
+    pcs = pcs[:count]
+    deps = deps[:count]
+    is_load = np.ones(count, dtype=bool)
+    builder.add(addrs, pcs, is_load, _gaps(rng, count, gap_range), deps)

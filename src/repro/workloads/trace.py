@@ -1,0 +1,117 @@
+"""The trace format consumed by the CPU timing model.
+
+A trace is the memory-instruction skeleton of a program: one record per
+load/store, with the non-memory instructions between them represented
+by a per-record *gap* count.  This is the standard reduction for
+trace-driven timing simulation — non-memory instructions only matter
+for how fast the frontend can put memory operations into the window,
+which the gap (together with the workload's ILP parameter) captures.
+
+Fields (parallel numpy arrays, one element per memory access):
+
+``addrs``
+    byte addresses (uint64);
+``pcs``
+    the PC of the memory instruction (uint64) — synthetic but stable
+    per static access site, which is what PC-correlating hardware
+    (DBCP, stride RPT) keys on;
+``is_load``
+    True for loads, False for stores;
+``gaps``
+    non-memory instructions *preceding* this access;
+``deps``
+    0 when the access address depends on no in-flight load; ``d > 0``
+    when it depends on the data of the ``d``-th previous access
+    (pointer chasing sets ``d = 1``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Scale", "Trace"]
+
+
+class Scale(enum.Enum):
+    """Trace-length presets.
+
+    The paper simulates 2 billion instructions per benchmark; pure
+    Python cannot, so experiments pick a scale.  ``QUICK`` is for the
+    test suite, ``STANDARD`` for the committed benchmark harness, and
+    ``FULL`` for the recorded EXPERIMENTS.md runs.
+    """
+
+    QUICK = 20_000
+    STANDARD = 120_000
+    FULL = 300_000
+
+    @property
+    def accesses(self) -> int:
+        """Approximate number of memory accesses at this scale."""
+        return self.value
+
+
+@dataclass
+class Trace:
+    """An immutable memory-access trace plus its ILP parameter."""
+
+    name: str
+    addrs: np.ndarray
+    pcs: np.ndarray
+    is_load: np.ndarray
+    gaps: np.ndarray
+    deps: np.ndarray
+    #: how many non-memory instructions per cycle the workload's own
+    #: dependence structure allows (bounds dispatch below issue width).
+    base_ipc: float = 4.0
+
+    def __post_init__(self) -> None:
+        n = len(self.addrs)
+        for field_name in ("pcs", "is_load", "gaps", "deps"):
+            arr = getattr(self, field_name)
+            if len(arr) != n:
+                raise ValueError(
+                    f"trace field {field_name} has length {len(arr)}, expected {n}"
+                )
+        if self.base_ipc <= 0:
+            raise ValueError(f"base_ipc must be positive, got {self.base_ipc}")
+        if n and bool((self.deps > np.arange(n)).any()):
+            raise ValueError("dependence distance points before the start of the trace")
+
+    def __len__(self) -> int:
+        return len(self.addrs)
+
+    @property
+    def instruction_count(self) -> int:
+        """Total instructions represented (memory ops + gaps)."""
+        return len(self.addrs) + int(self.gaps.sum())
+
+    def slice(self, count: int) -> "Trace":
+        """Return a prefix of the trace with at most ``count`` accesses."""
+        if count >= len(self):
+            return self
+        deps = self.deps[:count].copy()
+        # A dependence pointing before the cut would reference a record
+        # that no longer exists; clamp it to "independent".
+        positions = np.arange(count)
+        deps[deps > positions] = 0
+        return Trace(
+            name=self.name,
+            addrs=self.addrs[:count],
+            pcs=self.pcs[:count],
+            is_load=self.is_load[:count],
+            gaps=self.gaps[:count],
+            deps=deps,
+            base_ipc=self.base_ipc,
+        )
+
+    def describe(self) -> str:
+        """One-line summary for logs."""
+        return (
+            f"{self.name}: {len(self):,} accesses, "
+            f"{self.instruction_count:,} instructions, "
+            f"{int(self.is_load.sum()):,} loads"
+        )

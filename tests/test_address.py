@@ -1,0 +1,98 @@
+"""Tests for repro.memory.address.CacheGeometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.address import CacheGeometry
+
+#: the paper's L1D: 32KB direct-mapped, 32B blocks -> 1024 sets.
+L1 = CacheGeometry(32 * 1024, 1, 32)
+#: the paper's L2: 1MB 4-way, 64B blocks -> 4096 sets.
+L2 = CacheGeometry(1024 * 1024, 4, 64)
+
+
+class TestGeometry:
+    def test_paper_l1_geometry(self):
+        assert L1.sets == 1024
+        assert L1.offset_bits == 5
+        assert L1.index_bits == 10
+
+    def test_paper_l2_geometry(self):
+        assert L2.sets == 4096
+        assert L2.offset_bits == 6
+        assert L2.index_bits == 12
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(32 * 1024, 1, 48)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(32 * 1024 + 5, 1, 32)
+
+    def test_invalid_ways(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(32 * 1024, 0, 32)
+
+    def test_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(3 * 32, 1, 32)  # three sets
+
+    def test_describe_mentions_basics(self):
+        text = L1.describe()
+        assert "32KB" in text and "direct-mapped" in text and "1024 sets" in text
+
+
+class TestSplitCompose:
+    def test_known_split(self):
+        addr = (0x7 << 15) | (0x20A << 5) | 0x13
+        tag, index = L1.split(addr)
+        assert tag == 0x7
+        assert index == 0x20A
+
+    def test_compose_inverts_split(self):
+        addr = 0x12345678
+        tag, index = L1.split(addr)
+        assert L1.compose(tag, index) == addr & ~0x1F  # block aligned
+
+    def test_block_address(self):
+        assert L1.block_address(0x1F) == 0
+        assert L1.block_address(0x20) == 1
+
+    def test_tag_index_helpers_match_split(self):
+        addr = 0xDEADBEE0
+        tag, index = L1.split(addr)
+        assert L1.tag_of(addr) == tag
+        assert L1.index_of(addr) == index
+
+    def test_block_split_compose_roundtrip(self):
+        block = 0xABCDE
+        tag, index = L1.split_block(block)
+        assert L1.compose_block(tag, index) == block
+
+    @given(st.integers(min_value=0, max_value=2**40 - 1))
+    def test_roundtrip_property(self, addr):
+        tag, index = L1.split(addr)
+        composed = L1.compose(tag, index)
+        assert composed == (addr >> 5) << 5
+        assert 0 <= index < L1.sets
+
+
+class TestVectorised:
+    def test_decompose_array_matches_scalar(self):
+        addrs = np.array([0, 0x20, 0x7FFF, 0x8000, 0x12345678], dtype=np.uint64)
+        blocks, indices, tags = L1.decompose_array(addrs)
+        for position, addr in enumerate(addrs):
+            tag, index = L1.split(int(addr))
+            assert tags[position] == tag
+            assert indices[position] == index
+            assert blocks[position] == L1.block_address(int(addr))
+
+    def test_decompose_array_dtypes(self):
+        addrs = np.array([1, 2, 3], dtype=np.uint64)
+        blocks, indices, tags = L1.decompose_array(addrs)
+        assert blocks.dtype == np.int64
+        assert indices.dtype == np.int64
+        assert tags.dtype == np.int64

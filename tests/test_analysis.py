@@ -1,0 +1,137 @@
+"""Tests for the miss-stream analysis package (Figures 2-7 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import capture_miss_stream, sequence_stats, tag_stats
+from repro.analysis.miss_stream import MissStream
+from repro.memory.address import CacheGeometry
+from repro.workloads import Scale
+from repro.workloads.trace import Trace
+
+
+def make_trace(addrs, name="t"):
+    n = len(addrs)
+    return Trace(
+        name=name,
+        addrs=np.asarray(addrs, dtype=np.uint64),
+        pcs=np.full(n, 0x400000, dtype=np.uint64),
+        is_load=np.ones(n, dtype=bool),
+        gaps=np.zeros(n, dtype=np.uint16),
+        deps=np.zeros(n, dtype=np.int32),
+    )
+
+
+SMALL = CacheGeometry(4 * 32, 1, 32)  # 4 sets, direct-mapped
+
+
+class TestCaptureMissStream:
+    def test_cold_misses_only_once(self):
+        trace = make_trace([0, 32, 64, 0, 32, 64])
+        stream = capture_miss_stream(trace, geometry=SMALL)
+        assert len(stream) == 3  # second lap all hits
+        assert stream.miss_rate == pytest.approx(0.5)
+
+    def test_conflicts_recorded(self):
+        sets_span = SMALL.sets * SMALL.block_bytes
+        trace = make_trace([0, sets_span, 0, sets_span])
+        stream = capture_miss_stream(trace, geometry=SMALL)
+        assert len(stream) == 4  # direct-mapped ping-pong
+
+    def test_indices_and_tags_consistent(self):
+        trace = make_trace([0x123456, 0x654321])
+        stream = capture_miss_stream(trace, geometry=SMALL)
+        for position in range(len(stream)):
+            block = stream.blocks[position]
+            assert stream.indices[position] == block % SMALL.sets
+            assert stream.tags[position] == block // SMALL.sets
+
+    def test_associative_capture(self):
+        assoc = CacheGeometry(4 * 64, 2, 32)
+        sets_span = assoc.sets * assoc.block_bytes
+        trace = make_trace([0, sets_span, 0, sets_span])
+        stream = capture_miss_stream(trace, geometry=assoc)
+        assert len(stream) == 2  # both ways hold the conflicting blocks
+
+    def test_named_workload_cached(self):
+        first = capture_miss_stream("fma3d", Scale.QUICK)
+        second = capture_miss_stream("fma3d", Scale.QUICK)
+        assert first is second
+
+
+class TestTagStats:
+    def test_counts_on_known_stream(self):
+        stream = MissStream(
+            workload="x",
+            geometry=SMALL,
+            indices=np.array([0, 1, 0, 1]),
+            tags=np.array([7, 7, 8, 7]),
+            blocks=np.array([28, 29, 32, 29]),
+            accesses=8,
+        )
+        stats = tag_stats(stream)
+        assert stats.unique_tags == 2
+        assert stats.mean_tag_occurrences == 2.0
+        assert stats.unique_blocks == 3
+        assert stats.mean_sets_per_tag == pytest.approx((2 + 1) / 2)
+        # (7,0)x1 (7,1)x2 (8,0)x1 -> 4 misses / 3 pairs
+        assert stats.mean_occurrences_per_tag_set == pytest.approx(4 / 3)
+        assert stats.block_to_tag_ratio == pytest.approx(1.5)
+
+    def test_empty_stream(self):
+        stream = MissStream(
+            workload="x", geometry=SMALL,
+            indices=np.array([], dtype=np.int64),
+            tags=np.array([], dtype=np.int64),
+            blocks=np.array([], dtype=np.int64),
+            accesses=0,
+        )
+        stats = tag_stats(stream)
+        assert stats.unique_tags == 0
+        assert stats.block_to_tag_ratio == 0.0
+
+
+class TestSequenceStats:
+    def _stream(self, indices, tags):
+        return MissStream(
+            workload="x", geometry=SMALL,
+            indices=np.asarray(indices), tags=np.asarray(tags),
+            blocks=np.asarray(tags) * SMALL.sets + np.asarray(indices),
+            accesses=len(indices),
+        )
+
+    def test_repeating_pattern(self):
+        # set 0 sees A B C A B C A B C: windows = 7, sequences cycle
+        stream = self._stream([0] * 9, [1, 2, 3] * 3)
+        stats = sequence_stats(stream)
+        assert stats.windows == 7
+        assert stats.unique_sequences == 3
+        assert stats.mean_sequence_occurrences == pytest.approx(7 / 3)
+
+    def test_cross_set_sharing_counted(self):
+        # the same A B C appears at two different sets
+        indices = [0, 0, 0, 1, 1, 1]
+        tags = [1, 2, 3, 1, 2, 3]
+        stats = sequence_stats(self._stream(indices, tags))
+        assert stats.unique_sequences == 1
+        assert stats.mean_sets_per_sequence == 2.0
+
+    def test_window_shorter_than_length(self):
+        stats = sequence_stats(self._stream([0, 0], [1, 2]))
+        assert stats.windows == 0
+        assert stats.unique_sequences == 0
+
+    def test_custom_length(self):
+        stream = self._stream([0] * 4, [1, 2, 1, 2])
+        stats = sequence_stats(stream, length=2)
+        assert stats.windows == 3
+        assert stats.unique_sequences == 2
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            sequence_stats(self._stream([0], [1]), length=0)
+
+    def test_fraction_of_upper_limit(self):
+        stream = self._stream([0] * 9, [1, 2, 3] * 3)
+        stats = sequence_stats(stream)
+        assert stats.fraction_of_upper_limit == pytest.approx(3 / 27)

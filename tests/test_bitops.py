@@ -1,0 +1,117 @@
+"""Tests for repro.util.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitops import (
+    bit_slice,
+    fold_xor,
+    is_power_of_two,
+    log2_exact,
+    mask,
+    truncated_add,
+)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small_widths(self):
+        assert mask(1) == 0b1
+        assert mask(4) == 0b1111
+        assert mask(10) == 1023
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+    @given(st.integers(min_value=0, max_value=256))
+    def test_mask_is_all_ones(self, width):
+        value = mask(width)
+        assert value == (1 << width) - 1
+        assert value.bit_count() == width
+
+
+class TestBitSlice:
+    def test_middle_bits(self):
+        assert bit_slice(0b110100, 2, 3) == 0b101
+
+    def test_zero_width_returns_zero(self):
+        assert bit_slice(0xFFFF, 4, 0) == 0
+
+    def test_low_bits(self):
+        assert bit_slice(0xABCD, 0, 8) == 0xCD
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            bit_slice(1, -1, 2)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1),
+           st.integers(min_value=0, max_value=63),
+           st.integers(min_value=0, max_value=64))
+    def test_slice_matches_shift_and_mask(self, value, low, width):
+        assert bit_slice(value, low, width) == (value >> low) & ((1 << width) - 1)
+
+
+class TestPowerOfTwo:
+    def test_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers(self):
+        for value in (0, -1, -2, 3, 5, 6, 7, 9, 1023):
+            assert not is_power_of_two(value)
+
+    def test_log2_exact(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(1024) == 10
+        assert log2_exact(1 << 20) == 20
+
+    def test_log2_exact_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            log2_exact(12)
+        with pytest.raises(ValueError):
+            log2_exact(0)
+
+
+class TestTruncatedAdd:
+    def test_basic_sum(self):
+        assert truncated_add([1, 2, 3], 8) == 6
+
+    def test_truncation(self):
+        assert truncated_add([0xFF, 0x01], 8) == 0
+        assert truncated_add([0x1FF, 0x1], 8) == 0
+
+    def test_empty_is_zero(self):
+        assert truncated_add([], 16) == 0
+
+    def test_commutative(self):
+        assert truncated_add([7, 11, 13], 6) == truncated_add([13, 7, 11], 6)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**32), max_size=8),
+           st.integers(min_value=0, max_value=32))
+    def test_within_width(self, values, width):
+        assert 0 <= truncated_add(values, width) < (1 << width) if width else True
+
+
+class TestFoldXor:
+    def test_fold_is_deterministic(self):
+        assert fold_xor(0xDEADBEEF, 8) == fold_xor(0xDEADBEEF, 8)
+
+    def test_fold_within_width(self):
+        for width in (1, 4, 8, 13):
+            assert 0 <= fold_xor(0xDEADBEEF, width) < (1 << width)
+
+    def test_small_value_unchanged(self):
+        assert fold_xor(0b101, 8) == 0b101
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            fold_xor(1, 0)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1),
+           st.integers(min_value=1, max_value=32))
+    def test_fold_bounded(self, value, width):
+        assert 0 <= fold_xor(value, width) < (1 << width)

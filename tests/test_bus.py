@@ -1,0 +1,77 @@
+"""Tests for repro.memory.bus.Bus (occupancy model)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.bus import Bus
+
+
+class TestBeats:
+    def test_exact_multiple(self):
+        assert Bus("b", 32).beats(64) == 2
+
+    def test_rounds_up(self):
+        assert Bus("b", 32).beats(33) == 2
+
+    def test_command_takes_one_beat(self):
+        assert Bus("b", 32).beats(0) == 1
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            Bus("b", 0)
+
+
+class TestRequest:
+    def test_idle_bus_starts_immediately(self):
+        bus = Bus("b", 32)
+        assert bus.request(10.0, 32) == 10.0
+        assert bus.next_free == 11.0
+
+    def test_back_to_back_queues(self):
+        bus = Bus("b", 32)
+        bus.request(10.0, 64)          # occupies [10, 12)
+        start = bus.request(10.5, 32)  # must wait
+        assert start == 12.0
+        assert bus.queued_cycles == pytest.approx(1.5)
+
+    def test_gap_leaves_idle_time(self):
+        bus = Bus("b", 32)
+        bus.request(0.0, 32)
+        start = bus.request(100.0, 32)
+        assert start == 100.0
+
+    def test_busy_cycles_accumulate(self):
+        bus = Bus("b", 32)
+        bus.request(0.0, 64)
+        bus.request(0.0, 64)
+        assert bus.busy_cycles == 4.0
+        assert bus.transfers == 2
+
+    def test_occupancy(self):
+        bus = Bus("b", 32)
+        bus.request(0.0, 64)
+        assert bus.occupancy(8.0) == pytest.approx(0.25)
+        assert bus.occupancy(0.0) == 0.0
+        assert bus.occupancy(1.0) == 1.0  # clamped
+
+    def test_reset(self):
+        bus = Bus("b", 32)
+        bus.request(0.0, 64)
+        bus.reset()
+        assert bus.next_free == 0.0
+        assert bus.busy_cycles == 0.0
+        assert bus.transfers == 0
+
+    @given(st.lists(st.tuples(st.floats(0, 1000), st.integers(0, 256)), max_size=50))
+    def test_start_times_never_overlap(self, requests):
+        bus = Bus("b", 16)
+        intervals = []
+        for now, payload in requests:
+            start = bus.request(now, payload)
+            assert start >= now
+            end = start + bus.beats(payload)
+            intervals.append((start, end))
+        intervals.sort()
+        for (s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+            assert s2 >= e1  # transfers are serialized

@@ -1,0 +1,95 @@
+"""Tests for the timekeeping dead-block predictor."""
+
+import pytest
+
+from repro.deadblock import DeadBlockConfig, TimekeepingDeadBlockPredictor
+from repro.prefetchers.base import EvictionEvent
+
+
+def evict(block: int, fill: float, last: float, now: float = 0.0) -> EvictionEvent:
+    return EvictionEvent(block & 1023, block >> 10, block, now, fill, last)
+
+
+class TestConfig:
+    def test_invalid_sets(self):
+        with pytest.raises(ValueError):
+            DeadBlockConfig(sets=3)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            DeadBlockConfig(dead_factor=0.0)
+
+    def test_budget(self):
+        config = DeadBlockConfig(sets=512, ways=8, entry_bytes=8)
+        assert TimekeepingDeadBlockPredictor(config).storage_bytes() == 512 * 8 * 8
+
+
+class TestPrediction:
+    def test_unknown_block_uses_default_threshold(self):
+        predictor = TimekeepingDeadBlockPredictor(
+            DeadBlockConfig(default_idle_threshold=100.0, min_idle=10.0)
+        )
+        # idle 50 < default threshold 100 -> alive
+        assert not predictor.is_dead(0x42, fill_time=0.0, last_access=0.0, now=50.0)
+        # idle 150 > 100 -> dead
+        assert predictor.is_dead(0x42, fill_time=0.0, last_access=0.0, now=150.0)
+
+    def test_live_time_history_drives_decision(self):
+        predictor = TimekeepingDeadBlockPredictor(
+            DeadBlockConfig(min_idle=10.0, dead_factor=1.0)
+        )
+        # The block historically lives for 200 cycles.
+        predictor.observe_eviction(evict(0x42, fill=0.0, last=200.0))
+        # idle 150 < live time 200 -> still considered alive
+        assert not predictor.is_dead(0x42, fill_time=1000.0, last_access=1000.0, now=1150.0)
+        # idle 250 > 200 -> dead
+        assert predictor.is_dead(0x42, fill_time=1000.0, last_access=1000.0, now=1250.0)
+
+    def test_min_idle_floor(self):
+        predictor = TimekeepingDeadBlockPredictor(DeadBlockConfig(min_idle=64.0))
+        predictor.observe_eviction(evict(0x42, fill=0.0, last=1.0))  # live time ~1
+        # Even with tiny live history, idle below min_idle is never dead.
+        assert not predictor.is_dead(0x42, fill_time=0.0, last_access=100.0, now=130.0)
+
+    def test_history_smoothing(self):
+        predictor = TimekeepingDeadBlockPredictor(
+            DeadBlockConfig(min_idle=1.0, dead_factor=1.0)
+        )
+        predictor.observe_eviction(evict(7, fill=0.0, last=100.0))
+        predictor.observe_eviction(evict(7, fill=0.0, last=300.0))
+        # smoothed live time = (100 + 300) / 2 = 200
+        assert not predictor.is_dead(7, 0.0, 0.0, now=150.0)
+        assert predictor.is_dead(7, 0.0, 0.0, now=250.0)
+
+    def test_dead_factor_scales(self):
+        config = DeadBlockConfig(dead_factor=2.0, min_idle=1.0)
+        predictor = TimekeepingDeadBlockPredictor(config)
+        predictor.observe_eviction(evict(7, fill=0.0, last=100.0))
+        assert not predictor.is_dead(7, 0.0, 0.0, now=150.0)  # 150 < 2*100
+        assert predictor.is_dead(7, 0.0, 0.0, now=250.0)
+
+    def test_counters(self):
+        predictor = TimekeepingDeadBlockPredictor(
+            DeadBlockConfig(default_idle_threshold=10.0, min_idle=1.0)
+        )
+        predictor.observe_eviction(evict(1, 0.0, 5.0))
+        predictor.is_dead(1, 0.0, 0.0, now=100.0)
+        assert predictor.evictions_recorded == 1
+        assert predictor.queries == 1
+        assert predictor.dead_verdicts == 1
+
+    def test_reset(self):
+        predictor = TimekeepingDeadBlockPredictor(DeadBlockConfig(min_idle=1.0))
+        predictor.observe_eviction(evict(7, 0.0, 1000.0))
+        predictor.reset()
+        assert predictor.evictions_recorded == 0
+        # History gone: falls back to the default threshold.
+        assert predictor.is_dead(7, 0.0, 0.0, now=5000.0)
+
+    def test_lru_capacity_bounded(self):
+        config = DeadBlockConfig(sets=2, ways=2)
+        predictor = TimekeepingDeadBlockPredictor(config)
+        for block in range(100):
+            predictor.observe_eviction(evict(block, 0.0, 10.0))
+        total = sum(len(lru) for lru in predictor._history)
+        assert total <= config.entries

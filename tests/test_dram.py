@@ -1,0 +1,75 @@
+"""Tests for repro.memory.dram.MainMemory."""
+
+import pytest
+
+from repro.memory.bus import Bus
+from repro.memory.dram import MainMemory
+
+
+def make_memory(latency=70, width=32, concurrency=4):
+    data = Bus("mem-data", width)
+    addr = Bus("mem-addr", width)
+    return MainMemory(latency, data, addr, concurrency), data, addr
+
+
+class TestFetch:
+    def test_idle_fetch_latency(self):
+        memory, data, _addr = make_memory()
+        done = memory.fetch(0.0, 64)
+        # command beat (1) + array latency (70) + transfer (2 beats)
+        assert done == pytest.approx(1 + 70 + 2)
+        assert memory.accesses == 1
+
+    def test_fetches_overlap_up_to_concurrency(self):
+        memory, _data, _addr = make_memory(concurrency=4)
+        completions = [memory.fetch(float(t), 64) for t in range(4)]
+        # each completes ~73 cycles after its own start: full overlap
+        for t, done in enumerate(completions):
+            assert done < 80 + t + 4
+
+    def test_concurrency_limit_delays_excess(self):
+        memory, _data, _addr = make_memory(concurrency=2)
+        first = memory.fetch(0.0, 64)
+        memory.fetch(0.0, 64)
+        third = memory.fetch(0.0, 64)
+        # the third fetch had to wait for a bank slot
+        assert third >= first + 70
+
+    def test_invalid_params(self):
+        data, addr = Bus("d", 8), Bus("a", 8)
+        with pytest.raises(ValueError):
+            MainMemory(0, data, addr)
+        with pytest.raises(ValueError):
+            MainMemory(70, data, addr, max_concurrent=0)
+
+
+class TestWriteback:
+    def test_writeback_occupies_data_bus(self):
+        memory, data, _addr = make_memory()
+        memory.writeback(0.0, 64)
+        assert data.busy_cycles == 2.0
+
+    def test_writeback_delays_fetch_data(self):
+        memory, data, _addr = make_memory(latency=10)
+        # book a long writeback right where the fetch data would return
+        memory.writeback(11.0, 64 * 32)
+        done = memory.fetch(0.0, 64)
+        assert done > 11 + 10
+
+
+class TestBacklog:
+    def test_idle_backlog_negative(self):
+        memory, _data, _addr = make_memory()
+        assert memory.backlog(0.0) < 0
+
+    def test_backlog_grows_with_demand(self):
+        memory, _data, _addr = make_memory(concurrency=16)
+        for _ in range(32):
+            memory.fetch(0.0, 64)
+        assert memory.backlog(0.0) > 0
+
+    def test_reset(self):
+        memory, _data, _addr = make_memory()
+        memory.fetch(0.0, 64)
+        memory.reset()
+        assert memory.accesses == 0

@@ -1,0 +1,39 @@
+"""Smoke tests: the example scripts run end to end.
+
+Only the cheapest example is executed (the others run the same code
+paths through heavier configuration matrices and are exercised by the
+benchmark harness instead).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def test_quickstart_runs():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py"), "fma3d", "quick"],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "no prefetcher" in proc.stdout
+    assert "tcp-8k" in proc.stdout
+
+def test_quickstart_rejects_unknown_benchmark():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py"), "nosuch", "quick"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 2
+
+def test_all_examples_importable():
+    """Every example at least parses and has a main()."""
+    import ast
+
+    for script in sorted(EXAMPLES.glob("*.py")):
+        tree = ast.parse(script.read_text())
+        names = {node.name for node in ast.walk(tree)
+                 if isinstance(node, ast.FunctionDef)}
+        assert "main" in names, script

@@ -1,0 +1,224 @@
+"""Tests for repro.memory.hierarchy.MemoryHierarchy."""
+
+import pytest
+
+from repro.memory import HierarchyParams, MemoryHierarchy
+from repro.memory.address import CacheGeometry
+from repro.prefetchers import NextLinePrefetcher, NullPrefetcher
+from repro.prefetchers.base import PrefetchRequest
+
+
+def make_hierarchy(**overrides) -> MemoryHierarchy:
+    return MemoryHierarchy(HierarchyParams(model_icache=False, **overrides))
+
+
+def access(h, block, now=0.0, is_write=False, pc=0x1000):
+    index = block & (h.params.l1d.sets - 1)
+    tag = block >> h.params.l1d.index_bits
+    return h.access(now, index, tag, block, is_write, pc)
+
+
+class TestParams:
+    def test_defaults_match_paper(self):
+        p = HierarchyParams()
+        assert p.l1d.sets == 1024 and p.l1d.ways == 1
+        assert p.l2.sets == 4096 and p.l2.ways == 4
+        assert p.memory_latency == 70
+        assert p.mshr_entries == 64
+
+    def test_block_size_constraint(self):
+        with pytest.raises(ValueError):
+            HierarchyParams(l2=CacheGeometry(1024 * 1024, 4, 16))
+
+
+class TestDemandPath:
+    def test_cold_miss_goes_to_memory(self):
+        h = make_hierarchy()
+        result = access(h, 0x1234)
+        assert not result.l1_hit
+        assert not result.l2_hit
+        # at least command + L2 latency + memory latency
+        assert result.completion > 70
+        assert h.stats.l1_misses == 1
+        assert h.stats.l2_demand_misses == 1
+
+    def test_second_access_hits_l1(self):
+        h = make_hierarchy()
+        first = access(h, 0x1234)
+        second = access(h, 0x1234, now=first.completion + 1)
+        assert second.l1_hit
+        assert second.completion == pytest.approx(
+            first.completion + 1 + h.params.l1_hit_latency
+        )
+        assert h.stats.l1_hits == 1
+
+    def test_l1_conflict_hits_l2(self):
+        h = make_hierarchy()
+        conflicting = 0x1234 + h.params.l1d.sets * 8  # same set, different tag
+        t = access(h, 0x1234).completion
+        t = access(h, conflicting, now=t + 1).completion
+        result = access(h, 0x1234, now=t + 1)
+        assert not result.l1_hit
+        assert result.l2_hit  # still resident in the larger L2
+        assert h.stats.l2_demand_hits >= 1
+
+    def test_mshr_merges_same_block(self):
+        h = make_hierarchy()
+        access(h, 0x99, now=0.0)
+        # second miss to the same block while the first is in flight
+        h.l1d.invalidate(0x99 & 1023, 0x99 >> 10)
+        access(h, 0x99, now=1.0)
+        assert h.stats.mshr_merges == 1
+
+    def test_sibling_l1_blocks_share_l2_block(self):
+        h = make_hierarchy()
+        t = access(h, 0x10).completion  # L1 block 0x10 -> L2 block 0x8
+        result = access(h, 0x11, now=t + 1)
+        assert not result.l1_hit
+        assert result.l2_hit  # the 64B L2 block covers both 32B halves
+        assert h.stats.l2_demand_misses == 1
+
+    def test_dirty_eviction_writes_back(self):
+        h = make_hierarchy()
+        t = access(h, 0x50, is_write=True).completion
+        conflicting = 0x50 + h.params.l1d.sets
+        access(h, conflicting, now=t + 1)
+        assert h.stats.writebacks_l1 == 1
+
+    def test_ideal_l2_always_hits(self):
+        h = make_hierarchy(ideal_l2=True)
+        result = access(h, 0xABC)
+        assert result.l2_hit
+        assert h.stats.l2_demand_misses == 0
+        assert result.completion < 70  # never pays memory latency
+
+
+class TestPrefetchPath:
+    def test_prefetch_fills_l2_not_l1(self):
+        h = make_hierarchy()
+        h.attach_prefetcher(NullPrefetcher())
+        assert h.issue_prefetch(PrefetchRequest(0x40), 0.0)
+        l2_block = 0x40 >> 1
+        line = h.l2d.probe(l2_block & 4095, l2_block >> 12)
+        assert line is not None and line.prefetched
+        assert h.l1d.probe(0x40 & 1023, 0x40 >> 10) is None
+
+    def test_redundant_prefetch_filtered(self):
+        h = make_hierarchy()
+        assert h.issue_prefetch(PrefetchRequest(0x40), 0.0)
+        assert not h.issue_prefetch(PrefetchRequest(0x40), 500.0)
+        assert h.stats.prefetch_redundant == 1
+
+    def test_covered_demand_counts_prefetched_original(self):
+        h = make_hierarchy()
+        h.issue_prefetch(PrefetchRequest(0x40), 0.0)
+        access(h, 0x40, now=500.0)
+        assert h.stats.prefetched_original == 1
+        assert h.stats.useful_prefetches == 1
+        # second demand to the same L2 block is no longer "covered"
+        h.l1d.invalidate(0x40 & 1023, 0x40 >> 10)
+        access(h, 0x40, now=1000.0)
+        assert h.stats.prefetched_original == 1
+
+    def test_inflight_prefetch_merges_with_demand(self):
+        h = make_hierarchy()
+        h.issue_prefetch(PrefetchRequest(0x40), 0.0)
+        # demand arrives before the prefetch data (fetch takes ~85 cycles)
+        result = access(h, 0x40, now=10.0)
+        assert h.stats.prefetched_original == 1
+        assert result.completion >= 70  # waited for the in-flight fill
+
+    def test_queue_limit_drops(self):
+        h = make_hierarchy(max_outstanding_prefetches=2)
+        assert h.issue_prefetch(PrefetchRequest(0x100), 0.0)
+        assert h.issue_prefetch(PrefetchRequest(0x200), 0.0)
+        assert not h.issue_prefetch(PrefetchRequest(0x300), 0.0)
+        assert h.stats.prefetch_dropped_queue == 1
+
+    def test_nextline_prefetcher_wired_through_misses(self):
+        h = make_hierarchy()
+        h.attach_prefetcher(NextLinePrefetcher(degree=1))
+        access(h, 0x100)
+        assert h.stats.prefetches_requested == 1
+        # the prefetched sibling covers the next miss
+        h2_block = 0x102 >> 1
+        access(h, 0x102, now=500.0)
+
+    def test_finalize_counts_residual_unused(self):
+        h = make_hierarchy()
+        h.issue_prefetch(PrefetchRequest(0x40), 0.0)
+        h.finalize()
+        assert h.stats.prefetch_residual_unused == 1
+
+    def test_evicted_unused_prefetch_counts_extra(self):
+        h = make_hierarchy()
+        h.issue_prefetch(PrefetchRequest(0x40), 0.0)
+        # fill the whole L2 set to evict the prefetched block
+        l2_sets = h.params.l2.sets
+        base_l2_block = 0x40 >> 1
+        t = 100.0
+        for way in range(1, 6):
+            sibling_l1_block = (base_l2_block + way * l2_sets) << 1
+            access(h, sibling_l1_block, now=t)
+            t += 200.0
+        assert h.stats.prefetch_evicted_unused == 1
+
+
+class TestWarmupAccounting:
+    def test_measured_stats_subtract_snapshot(self):
+        h = make_hierarchy()
+        access(h, 0x1)
+        h.mark_warmup_end()
+        access(h, 0x2, now=500.0)
+        measured = h.measured_stats()
+        assert measured.demand_accesses == 1
+        assert h.stats.demand_accesses == 2
+
+    def test_no_warmup_returns_full_stats(self):
+        h = make_hierarchy()
+        access(h, 0x1)
+        assert h.measured_stats() is h.stats
+
+
+class TestInstructionFetch:
+    def test_sequential_fetch_free(self):
+        h = MemoryHierarchy(HierarchyParams())
+        first = h.instruction_fetch(0.0, 0x1000)
+        again = h.instruction_fetch(50.0, 0x1004)  # same block
+        assert first > 0  # cold I-miss
+        assert again == 0.0
+
+    def test_warm_icache_hits(self):
+        h = MemoryHierarchy(HierarchyParams())
+        h.instruction_fetch(0.0, 0x1000)
+        h.instruction_fetch(200.0, 0x2000)
+        penalty = h.instruction_fetch(400.0, 0x1000)
+        assert penalty == 0.0
+        assert h.stats.ifetch_misses == 2
+
+
+class TestPrefetchInsertPolicy:
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            HierarchyParams(prefetch_insert_policy="random")
+
+    def test_lru_policy_prefetch_evicted_before_demand(self):
+        h = make_hierarchy(prefetch_insert_policy="lru")
+        # four demand blocks fill one L2 set (4-way)
+        l2_sets = h.params.l2.sets
+        base_l2_block = 0x40 >> 1
+        t = 0.0
+        demand_blocks = [(base_l2_block + way * l2_sets) << 1 for way in range(4)]
+        for block in demand_blocks:
+            t = access(h, block, now=t + 200).completion
+        # prefetch a fifth block into the same set, then a demand sixth
+        h.issue_prefetch(PrefetchRequest((base_l2_block + 4 * l2_sets) << 1), t + 200)
+        access(h, (base_l2_block + 5 * l2_sets) << 1, now=t + 600)
+        # the prefetched (unused) block was the eviction victim
+        assert h.stats.prefetch_evicted_unused == 1
+
+    def test_mru_policy_accepted(self):
+        h = make_hierarchy(prefetch_insert_policy="mru")
+        h.issue_prefetch(PrefetchRequest(0x40), 0.0)
+        access(h, 0x40, now=500.0)
+        assert h.stats.prefetched_original == 1

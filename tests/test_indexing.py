@@ -1,0 +1,88 @@
+"""Tests for repro.core.indexing.PHTIndexScheme (the Figure 9 hash)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.indexing import IndexFunction, PHTIndexScheme
+
+
+class TestValidation:
+    def test_negative_total_bits(self):
+        with pytest.raises(ValueError):
+            PHTIndexScheme(-1, 0)
+
+    def test_miss_bits_exceeding_total(self):
+        with pytest.raises(ValueError):
+            PHTIndexScheme(4, 5)
+
+    def test_sequence_bits(self):
+        assert PHTIndexScheme(8, 3).sequence_bits == 5
+
+
+class TestTruncatedAdd:
+    def test_shared_index_ignores_miss_index(self):
+        scheme = PHTIndexScheme(8, 0)
+        assert scheme.compute((1, 2), 0) == scheme.compute((1, 2), 1023)
+
+    def test_full_miss_index_separates_sets(self):
+        scheme = PHTIndexScheme(18, 10)
+        a = scheme.compute((1, 2), 5)
+        b = scheme.compute((1, 2), 6)
+        assert a != b
+        assert a & 0x3FF == 5
+        assert b & 0x3FF == 6
+
+    def test_known_value(self):
+        scheme = PHTIndexScheme(8, 0)
+        assert scheme.compute((0x10, 0x20), 0) == 0x30
+
+    def test_truncation(self):
+        scheme = PHTIndexScheme(4, 0)
+        assert scheme.compute((0xF, 0x1), 0) == 0x0
+
+    def test_index_bits_in_low_positions(self):
+        scheme = PHTIndexScheme(10, 2)
+        value = scheme.compute((0, 0), 0b11)
+        assert value & 0b11 == 0b11
+
+    @given(st.lists(st.integers(0, 2**20), min_size=1, max_size=4),
+           st.integers(0, 1023))
+    def test_result_in_range(self, tags, miss_index):
+        scheme = PHTIndexScheme(8, 2)
+        assert 0 <= scheme.compute(tags, miss_index) < 256
+
+    @given(st.lists(st.integers(0, 2**20), min_size=1, max_size=4),
+           st.integers(0, 1023))
+    def test_deterministic(self, tags, miss_index):
+        scheme = PHTIndexScheme(8, 2)
+        assert scheme.compute(tags, miss_index) == scheme.compute(tags, miss_index)
+
+
+class TestXorFold:
+    def test_xor_differs_from_add_generally(self):
+        add = PHTIndexScheme(8, 0, IndexFunction.TRUNCATED_ADD)
+        xor = PHTIndexScheme(8, 0, IndexFunction.XOR_FOLD)
+        sequences = [(3, 5), (17, 99), (1000, 2000), (123, 321)]
+        differing = sum(
+            1 for seq in sequences if add.compute(seq, 0) != xor.compute(seq, 0)
+        )
+        assert differing >= 1
+
+    def test_xor_order_sensitive(self):
+        # Unlike truncated add, XOR folding of the concatenation
+        # distinguishes (a, b) from (b, a) for most inputs.
+        xor = PHTIndexScheme(16, 0, IndexFunction.XOR_FOLD)
+        assert xor.compute((1, 2), 0) != xor.compute((2, 1), 0)
+
+    @given(st.lists(st.integers(0, 2**20), min_size=1, max_size=4))
+    def test_xor_in_range(self, tags):
+        scheme = PHTIndexScheme(8, 0, IndexFunction.XOR_FOLD)
+        assert 0 <= scheme.compute(tags, 0) < 256
+
+
+class TestDescribe:
+    def test_mentions_components(self):
+        text = PHTIndexScheme(8, 2).describe()
+        assert "truncated-add" in text
+        assert "[1:6]" in text and "[1:2]" in text

@@ -1,0 +1,188 @@
+"""Tests for the workload kernel generators."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng
+from repro.workloads.kernels import (
+    TraceBuilder,
+    hash_table_walk,
+    hot_loop,
+    interleaved_sweep,
+    pointer_chase,
+    random_region,
+    sequential_bursts,
+)
+
+
+def build(kernel, *args, **kwargs):
+    builder = TraceBuilder("test")
+    kernel(builder, make_rng("kernel-test"), *args, **kwargs)
+    return builder.build()
+
+
+class TestBuilder:
+    def test_empty_builder_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBuilder("empty").build()
+
+    def test_chunk_length_mismatch_rejected(self):
+        builder = TraceBuilder("bad")
+        with pytest.raises(ValueError):
+            builder.add(
+                np.zeros(3, dtype=np.uint64),
+                np.zeros(2, dtype=np.uint64),
+                np.ones(3, dtype=bool),
+                np.zeros(3, dtype=np.uint16),
+            )
+
+    def test_concatenates_chunks(self):
+        builder = TraceBuilder("two")
+        for _ in range(2):
+            hot_loop(builder, make_rng("x"), 0x1000, 1024, 50, 0x400000)
+        assert len(builder.build()) == 100
+
+
+class TestInterleavedSweep:
+    def test_round_robin_interleave(self):
+        trace = build(
+            interleaved_sweep, [0x10000, 0x20000], [4096, 4096], 8, 4, 0x400000
+        )
+        assert len(trace) == 8
+        # arrays alternate a, b, a, b ...
+        assert trace.addrs[0] == 0x10000
+        assert trace.addrs[1] == 0x20000
+        assert trace.addrs[2] == 0x10008
+
+    def test_wraps_at_array_size(self):
+        trace = build(interleaved_sweep, [0x10000], [64], 8, 10, 0x400000)
+        assert trace.addrs.max() < 0x10000 + 64
+
+    def test_start_offset_continues(self):
+        trace = build(
+            interleaved_sweep, [0x10000], [4096], 8, 4, 0x400000, start_offset=80
+        )
+        assert trace.addrs[0] == 0x10000 + 80
+
+    def test_store_streams_marked(self):
+        trace = build(
+            interleaved_sweep, [0x10000, 0x20000], [4096, 4096], 8, 4, 0x400000,
+            store_streams=(1,),
+        )
+        assert trace.is_load[0::2].all()
+        assert not trace.is_load[1::2].any()
+
+    def test_per_stream_pcs(self):
+        trace = build(
+            interleaved_sweep, [0x10000, 0x20000], [4096, 4096], 8, 4, 0x400000
+        )
+        assert len(set(trace.pcs[0::2])) == 1
+        assert trace.pcs[0] != trace.pcs[1]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            build(interleaved_sweep, [], [], 8, 4, 0)
+        with pytest.raises(ValueError):
+            build(interleaved_sweep, [0x1000], [64], 0, 4, 0)
+
+
+class TestPointerChase:
+    def test_dependence_structure(self):
+        trace = build(pointer_chase, 0x10000, 64, 64, 10, 0x400000, payload=1)
+        # records alternate: chase (dep=2), payload (dep=1)
+        assert trace.deps[0] == 0  # first address is architectural
+        assert trace.deps[2] == 2
+        assert trace.deps[1] == 1
+        assert trace.deps[3] == 1
+
+    def test_same_order_each_lap(self):
+        trace = build(pointer_chase, 0x10000, 8, 64, 16, 0x400000)
+        first_lap = trace.addrs[:8]
+        second_lap = trace.addrs[8:16]
+        assert (first_lap == second_lap).all()
+
+    def test_order_and_start_continue_traversal(self):
+        rng = make_rng("chase")
+        order = rng.permutation(8)
+        builder = TraceBuilder("chase")
+        pointer_chase(builder, rng, 0x10000, 8, 64, 5, 0x400000, order=order, start=0)
+        pointer_chase(builder, rng, 0x10000, 8, 64, 5, 0x400000, order=order, start=5)
+        trace = builder.build()
+        expected = [0x10000 + order[i % 8] * 64 for i in range(10)]
+        assert list(trace.addrs) == expected
+
+    def test_payload_store(self):
+        trace = build(
+            pointer_chase, 0x10000, 16, 64, 8, 0x400000, payload=2, payload_store=True
+        )
+        # last payload access of each node is a store
+        assert not trace.is_load[2::3].any()
+        assert trace.is_load[0::3].all()
+
+    def test_wrong_order_length_rejected(self):
+        with pytest.raises(ValueError):
+            build(pointer_chase, 0x10000, 8, 64, 5, 0x400000, order=np.arange(4))
+
+
+class TestRandomRegion:
+    def test_within_bounds(self):
+        trace = build(random_region, 0x10000, 4096, 200, 0x400000)
+        assert (trace.addrs >= 0x10000).all()
+        assert (trace.addrs < 0x10000 + 4096).all()
+
+    def test_granularity_aligned(self):
+        trace = build(random_region, 0x10000, 4096, 200, 0x400000, granularity=64)
+        assert ((trace.addrs - 0x10000) % 64 == 0).all()
+
+    def test_drift_window_progresses(self):
+        trace = build(
+            random_region, 0x10000, 1 << 20, 1000, 0x400000, window=4096
+        )
+        first_quarter = trace.addrs[:250].mean()
+        last_quarter = trace.addrs[-250:].mean()
+        assert last_quarter > first_quarter  # the window drifted forward
+
+    def test_drift_window_validation(self):
+        with pytest.raises(ValueError):
+            build(random_region, 0x10000, 4096, 10, 0x400000, window=8192)
+
+    def test_store_fraction(self):
+        trace = build(
+            random_region, 0x10000, 4096, 2000, 0x400000, store_fraction=0.5
+        )
+        stores = (~trace.is_load).sum()
+        assert 700 < stores < 1300
+
+
+class TestHotLoop:
+    def test_cycles_through_region(self):
+        trace = build(hot_loop, 0x10000, 256, 100, 0x400000, stride=8)
+        assert (trace.addrs < 0x10000 + 256).all()
+        assert trace.addrs[0] == trace.addrs[32]  # 256/8 = 32 period
+
+
+class TestSequentialBursts:
+    def test_runs_are_sequential(self):
+        trace = build(
+            sequential_bursts, 0x10000, 1 << 20, 300, 0x400000,
+            burst_range=(50, 50), stride=8,
+        )
+        # within the first burst, addresses advance by the stride
+        deltas = np.diff(trace.addrs[:50].astype(np.int64))
+        assert (deltas == 8).all()
+
+    def test_exact_count(self):
+        trace = build(sequential_bursts, 0x10000, 1 << 20, 123, 0x400000)
+        assert len(trace) == 123
+
+
+class TestHashTableWalk:
+    def test_chain_dependences(self):
+        trace = build(hash_table_walk, 0x10000, 64, 30, 0x400000, chain=2)
+        assert trace.deps[0] == 0
+        assert trace.deps[1] == 1
+        assert trace.deps[2] == 1
+
+    def test_exact_count(self):
+        trace = build(hash_table_walk, 0x10000, 64, 31, 0x400000, chain=1)
+        assert len(trace) == 31

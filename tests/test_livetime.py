@@ -1,0 +1,68 @@
+"""Tests for the live-time analysis (repro.analysis.livetime)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import live_time_stats
+from repro.memory.address import CacheGeometry
+from repro.workloads import Scale
+from repro.workloads.trace import Trace
+
+SMALL = CacheGeometry(4 * 32, 1, 32)  # 4 sets
+
+
+def make_trace(addrs):
+    n = len(addrs)
+    return Trace(
+        name="t",
+        addrs=np.asarray(addrs, dtype=np.uint64),
+        pcs=np.zeros(n, dtype=np.uint64),
+        is_load=np.ones(n, dtype=bool),
+        gaps=np.zeros(n, dtype=np.uint16),
+        deps=np.zeros(n, dtype=np.int32),
+    )
+
+
+class TestLiveTimes:
+    def test_known_generation(self):
+        span = SMALL.sets * SMALL.block_bytes
+        # block A: touched at 0,1,2 (live 2), evicted at 5 (dead 3)
+        trace = make_trace([0, 0, 0, 64, 96, span])
+        stats = live_time_stats(trace, geometry=SMALL)
+        assert stats.generations == 1
+        assert stats.mean_live == 2.0
+        assert stats.mean_dead == 3.0
+        assert stats.dead_to_live_ratio == pytest.approx(1.5)
+
+    def test_single_touch_blocks_have_zero_live(self):
+        span = SMALL.sets * SMALL.block_bytes
+        trace = make_trace([0, span, 0, span])
+        stats = live_time_stats(trace, geometry=SMALL)
+        assert stats.generations == 3
+        assert stats.mean_live == 0.0
+
+    def test_repeatability_on_regular_generations(self):
+        span = SMALL.sets * SMALL.block_bytes
+        # block 0 alternates with its conflict partner: every generation
+        # has identical live time (two touches)
+        pattern = [0, 0, span, span]
+        trace = make_trace(pattern * 10)
+        stats = live_time_stats(trace, geometry=SMALL)
+        assert stats.live_time_repeatability == 1.0
+
+    def test_empty_when_no_evictions(self):
+        trace = make_trace([0, 32, 64, 96])  # all distinct sets, no conflicts
+        stats = live_time_stats(trace, geometry=SMALL)
+        assert stats.generations == 0
+        assert stats.mean_live == 0.0
+
+    def test_suite_workload_has_dead_dominated_blocks(self):
+        stats = live_time_stats("applu", Scale.QUICK)
+        # sweeps: short live bursts, long dead tails (the timekeeping
+        # premise the hybrid's gate relies on)
+        assert stats.generations > 100
+        assert stats.dead_to_live_ratio > 10.0
+
+    def test_percentiles_ordered(self):
+        stats = live_time_stats("swim", Scale.QUICK)
+        assert stats.median_live <= stats.p90_live

@@ -1,0 +1,190 @@
+"""Tests for repro.util.lruset — including a property-based model check."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.lruset import LRUSet
+
+
+class TestBasics:
+    def test_empty(self):
+        lru = LRUSet(4)
+        assert len(lru) == 0
+        assert lru.get(1) is None
+        assert lru.peek(1) is None
+        assert lru.victim_key() is None
+
+    def test_put_and_get(self):
+        lru = LRUSet(2)
+        assert lru.put("a", 1) is None
+        assert lru.get("a") == 1
+        assert "a" in lru
+
+    def test_zero_ways_rejected(self):
+        with pytest.raises(ValueError):
+            LRUSet(0)
+
+    def test_update_existing_key_no_eviction(self):
+        lru = LRUSet(1)
+        lru.put("a", 1)
+        assert lru.put("a", 2) is None
+        assert lru.get("a") == 2
+
+    def test_eviction_order_is_lru(self):
+        lru = LRUSet(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        victim = lru.put("c", 3)
+        assert victim == ("a", 1)
+        assert "a" not in lru
+        assert "b" in lru and "c" in lru
+
+    def test_get_promotes_to_mru(self):
+        lru = LRUSet(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.get("a")  # now b is LRU
+        victim = lru.put("c", 3)
+        assert victim == ("b", 2)
+
+    def test_peek_does_not_promote(self):
+        lru = LRUSet(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.peek("a")  # a stays LRU
+        victim = lru.put("c", 3)
+        assert victim == ("a", 1)
+
+    def test_touch_promotes(self):
+        lru = LRUSet(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert lru.touch("a")
+        victim = lru.put("c", 3)
+        assert victim == ("b", 2)
+
+    def test_touch_missing_returns_false(self):
+        lru = LRUSet(2)
+        assert not lru.touch("nope")
+
+    def test_pop(self):
+        lru = LRUSet(2)
+        lru.put("a", 1)
+        assert lru.pop("a") == 1
+        assert lru.pop("a") is None
+        assert len(lru) == 0
+
+    def test_victim_key_is_lru(self):
+        lru = LRUSet(3)
+        for key in "abc":
+            lru.put(key, key)
+        assert lru.victim_key() == "a"
+        lru.get("a")
+        assert lru.victim_key() == "b"
+
+    def test_items_lru_to_mru(self):
+        lru = LRUSet(3)
+        for key in "abc":
+            lru.put(key, key.upper())
+        assert list(lru.items()) == [("a", "A"), ("b", "B"), ("c", "C")]
+
+    def test_clear(self):
+        lru = LRUSet(2)
+        lru.put("a", 1)
+        lru.clear()
+        assert len(lru) == 0
+
+    def test_capacity_never_exceeded(self):
+        lru = LRUSet(3)
+        for n in range(100):
+            lru.put(n, n)
+            assert len(lru) <= 3
+
+
+@st.composite
+def operations(draw):
+    ops = draw(st.lists(
+        st.tuples(st.sampled_from(["put", "get", "pop", "touch"]),
+                  st.integers(min_value=0, max_value=9)),
+        max_size=60,
+    ))
+    return ops
+
+
+class TestAgainstModel:
+    """LRUSet must behave exactly like an ordered-dict reference model."""
+
+    @given(st.integers(min_value=1, max_value=5), operations())
+    def test_matches_reference(self, ways, ops):
+        from collections import OrderedDict
+
+        lru = LRUSet(ways)
+        model = OrderedDict()
+        for op, key in ops:
+            if op == "put":
+                victim = lru.put(key, key * 10)
+                if key in model:
+                    model.move_to_end(key)
+                    model[key] = key * 10
+                    assert victim is None
+                else:
+                    expected_victim = None
+                    if len(model) >= ways:
+                        expected_victim = model.popitem(last=False)
+                    model[key] = key * 10
+                    assert victim == expected_victim
+            elif op == "get":
+                value = lru.get(key)
+                if key in model:
+                    model.move_to_end(key)
+                    assert value == model[key]
+                else:
+                    assert value is None
+            elif op == "pop":
+                assert lru.pop(key) == model.pop(key, None)
+            else:  # touch
+                touched = lru.touch(key)
+                assert touched == (key in model)
+                if key in model:
+                    model.move_to_end(key)
+            assert list(lru) == list(model)
+
+
+class TestPutLru:
+    def test_inserted_entry_is_next_victim(self):
+        lru = LRUSet(3)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.put_lru("p", 99)
+        assert lru.victim_key() == "p"
+
+    def test_put_lru_evicts_old_lru_when_full(self):
+        lru = LRUSet(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        victim = lru.put_lru("p", 99)
+        assert victim == ("a", 1)
+        assert lru.victim_key() == "p"
+        assert "b" in lru
+
+    def test_put_lru_existing_key_keeps_recency(self):
+        lru = LRUSet(3)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.put_lru("b", 20)  # update value, keep MRU position
+        assert lru.victim_key() == "a"
+        assert lru.peek("b") == 20
+
+    def test_promotion_on_get_still_works(self):
+        lru = LRUSet(2)
+        lru.put("a", 1)
+        lru.put_lru("p", 9)
+        assert lru.get("p") == 9  # touch promotes
+        assert lru.victim_key() == "a"
+
+    def test_capacity_respected(self):
+        lru = LRUSet(2)
+        for n in range(10):
+            lru.put_lru(n, n)
+            assert len(lru) <= 2

@@ -1,0 +1,80 @@
+"""Tests for repro.memory.mshr.MSHRFile."""
+
+import pytest
+
+from repro.memory.mshr import MSHRFile
+
+
+class TestMSHR:
+    def test_invalid_entry_count(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+    def test_lookup_miss(self):
+        mshr = MSHRFile(4)
+        assert mshr.lookup(0x100, 0.0) is None
+        assert mshr.merges == 0
+
+    def test_merge_with_inflight(self):
+        mshr = MSHRFile(4)
+        mshr.register(0x100, 50.0)
+        assert mshr.lookup(0x100, 10.0) == 50.0
+        assert mshr.merges == 1
+
+    def test_completed_entry_not_merged(self):
+        mshr = MSHRFile(4)
+        mshr.register(0x100, 50.0)
+        assert mshr.lookup(0x100, 60.0) is None
+
+    def test_acquire_free(self):
+        mshr = MSHRFile(2)
+        assert mshr.acquire(5.0) == 5.0
+        assert mshr.full_stalls == 0
+
+    def test_acquire_full_stalls_until_earliest(self):
+        mshr = MSHRFile(2)
+        mshr.register(1, 30.0)
+        mshr.register(2, 40.0)
+        start = mshr.acquire(10.0)
+        assert start == 30.0
+        assert mshr.full_stalls == 1
+
+    def test_acquire_reaps_completed(self):
+        mshr = MSHRFile(2)
+        mshr.register(1, 30.0)
+        mshr.register(2, 40.0)
+        # at time 35 entry 1 has completed, so no stall
+        assert mshr.acquire(35.0) == 35.0
+        assert mshr.full_stalls == 0
+
+    def test_outstanding(self):
+        mshr = MSHRFile(4)
+        mshr.register(1, 30.0)
+        mshr.register(2, 40.0)
+        assert mshr.outstanding(10.0) == 2
+        assert mshr.outstanding(35.0) == 1
+        assert mshr.outstanding(45.0) == 0
+
+    def test_clear(self):
+        mshr = MSHRFile(4)
+        mshr.register(1, 30.0)
+        mshr.lookup(1, 0.0)
+        mshr.clear()
+        assert mshr.outstanding(0.0) == 0
+        assert mshr.merges == 0
+        assert mshr.full_stalls == 0
+
+    def test_occupancy_never_exceeds_capacity(self):
+        mshr = MSHRFile(3)
+        time = 0.0
+        for block in range(20):
+            start = mshr.acquire(time)
+            mshr.register(block, start + 25.0)
+            assert mshr.outstanding(start) <= 3
+            time += 1.0
+
+    def test_reregister_same_block_updates(self):
+        mshr = MSHRFile(4)
+        mshr.register(1, 30.0)
+        mshr.register(1, 60.0)
+        assert mshr.lookup(1, 40.0) == 60.0

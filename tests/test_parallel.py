@@ -1,0 +1,55 @@
+"""Tests for the parallel result-cache prewarmer (repro.sim.parallel)."""
+
+import pytest
+
+from repro.sim import SimulationConfig, experiment_configs, prewarm, simulate
+from repro.sim.runner import _RESULT_CACHE, clear_cache
+from repro.workloads import Scale
+
+BENCHES = ("fma3d", "eon")
+
+
+class TestExperimentConfigs:
+    def test_covers_main_experiments(self):
+        labels = {config.resolved_label() for config in experiment_configs()}
+        assert {"base", "ideal-l2", "tcp-8k", "tcp-8m", "dbcp-2m", "hybrid-8k"} <= labels
+
+
+class TestPrewarm:
+    def test_inprocess_prewarm_fills_cache(self):
+        clear_cache()
+        configs = [SimulationConfig.baseline()]
+        executed = prewarm(configs, Scale.QUICK, BENCHES, jobs=1)
+        assert executed == 2
+        for name in BENCHES:
+            assert (name, Scale.QUICK.accesses, configs[0]) in _RESULT_CACHE
+
+    def test_prewarm_skips_cached(self):
+        clear_cache()
+        configs = [SimulationConfig.baseline()]
+        prewarm(configs, Scale.QUICK, BENCHES, jobs=1)
+        assert prewarm(configs, Scale.QUICK, BENCHES, jobs=1) == 0
+
+    def test_parallel_matches_serial(self):
+        configs = [SimulationConfig.for_prefetcher("tcp-8k")]
+        clear_cache()
+        prewarm(configs, Scale.QUICK, BENCHES, jobs=2)
+        parallel_ipc = {
+            name: simulate(name, configs[0], Scale.QUICK).ipc for name in BENCHES
+        }
+        clear_cache()
+        serial_ipc = {
+            name: simulate(name, configs[0], Scale.QUICK).ipc for name in BENCHES
+        }
+        assert parallel_ipc == serial_ipc
+
+    def test_experiments_consume_prewarmed_results(self):
+        from repro.experiments import run_experiment
+
+        clear_cache()
+        prewarm(
+            [SimulationConfig.baseline(), SimulationConfig.ideal_l2()],
+            Scale.QUICK, BENCHES, jobs=2,
+        )
+        result = run_experiment("fig1", Scale.QUICK, BENCHES)
+        assert len(result.rows) == 2

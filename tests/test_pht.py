@@ -1,0 +1,138 @@
+"""Tests for repro.core.pht.PatternHistoryTable."""
+
+import pytest
+
+from repro.core.indexing import IndexFunction
+from repro.core.pht import PatternHistoryTable, PHTConfig
+
+
+class TestConfig:
+    def test_paper_tcp_8k_budget(self):
+        config = PHTConfig(sets=256, ways=8, miss_index_bits=0)
+        assert config.storage_bytes() == 8 * 1024
+
+    def test_paper_tcp_8m_budget(self):
+        config = PHTConfig(sets=262144, ways=8, miss_index_bits=10)
+        assert config.storage_bytes() == 8 * 1024 * 1024
+
+    def test_invalid_sets(self):
+        with pytest.raises(ValueError):
+            PHTConfig(sets=100)
+
+    def test_invalid_ways(self):
+        with pytest.raises(ValueError):
+            PHTConfig(ways=0)
+
+    def test_invalid_targets(self):
+        with pytest.raises(ValueError):
+            PHTConfig(targets=0)
+
+    def test_too_many_index_bits(self):
+        with pytest.raises(ValueError):
+            PHTConfig(sets=256, miss_index_bits=9)
+
+    def test_multi_target_budget_grows(self):
+        single = PHTConfig(sets=256, ways=8, targets=1).storage_bytes()
+        double = PHTConfig(sets=256, ways=8, targets=2).storage_bytes()
+        assert double == single * 3 // 2  # (1+2)/(1+1) fields
+
+
+class TestUpdatePredict:
+    def test_learn_then_predict(self):
+        pht = PatternHistoryTable(PHTConfig(sets=16, ways=2))
+        pht.update((1, 2), 0, 3)
+        assert pht.predict((1, 2), 0) == [3]
+
+    def test_unknown_sequence_misses(self):
+        pht = PatternHistoryTable(PHTConfig(sets=16, ways=2))
+        assert pht.predict((9, 9), 0) is None
+
+    def test_overwrite_single_target(self):
+        pht = PatternHistoryTable(PHTConfig(sets=16, ways=2, targets=1))
+        pht.update((1, 2), 0, 3)
+        pht.update((1, 2), 0, 4)
+        assert pht.predict((1, 2), 0) == [4]
+
+    def test_multi_target_mru_order(self):
+        pht = PatternHistoryTable(PHTConfig(sets=16, ways=2, targets=2))
+        pht.update((1, 2), 0, 3)
+        pht.update((1, 2), 0, 4)
+        assert pht.predict((1, 2), 0) == [4, 3]
+        pht.update((1, 2), 0, 3)
+        assert pht.predict((1, 2), 0) == [3, 4]
+
+    def test_multi_target_capacity(self):
+        pht = PatternHistoryTable(PHTConfig(sets=16, ways=2, targets=2))
+        for successor in (3, 4, 5):
+            pht.update((1, 2), 0, successor)
+        assert pht.predict((1, 2), 0) == [5, 4]
+
+    def test_entry_tagged_by_most_recent_tag(self):
+        # Sequences with the same truncated sum but different final tag
+        # land in the same set yet stay distinct entries.
+        pht = PatternHistoryTable(PHTConfig(sets=16, ways=2))
+        pht.update((1, 4), 0, 100)  # sum 5, entry tag 4
+        pht.update((2, 3), 0, 200)  # sum 5, entry tag 3
+        assert pht.predict((1, 4), 0) == [100]
+        assert pht.predict((2, 3), 0) == [200]
+
+    def test_associativity_eviction(self):
+        pht = PatternHistoryTable(PHTConfig(sets=4, ways=1))
+        pht.update((0, 1), 0, 10)  # set 1, entry tag 1
+        pht.update((0, 5), 0, 50)  # sum 5 -> set 1, entry tag 5: evicts
+        assert pht.predict((0, 1), 0) is None
+        assert pht.predict((0, 5), 0) == [50]
+
+    def test_miss_index_bits_separate_history(self):
+        pht = PatternHistoryTable(PHTConfig(sets=16, ways=2, miss_index_bits=2))
+        pht.update((1, 2), 0, 3)
+        assert pht.predict((1, 2), 0) == [3]
+        assert pht.predict((1, 2), 1) is None  # different sub-table
+
+    def test_shared_pht_serves_all_sets(self):
+        pht = PatternHistoryTable(PHTConfig(sets=16, ways=2, miss_index_bits=0))
+        pht.update((1, 2), 17, 3)
+        # A completely different cache set sees the same prediction.
+        assert pht.predict((1, 2), 900) == [3]
+
+    def test_predict_returns_copy(self):
+        pht = PatternHistoryTable(PHTConfig(sets=16, ways=2, targets=2))
+        pht.update((1, 2), 0, 3)
+        predicted = pht.predict((1, 2), 0)
+        predicted.append(999)
+        assert pht.predict((1, 2), 0) == [3]
+
+
+class TestStats:
+    def test_hit_rate(self):
+        pht = PatternHistoryTable(PHTConfig(sets=16, ways=2))
+        pht.update((1, 2), 0, 3)
+        pht.predict((1, 2), 0)
+        pht.predict((7, 7), 0)
+        assert pht.hit_rate == pytest.approx(0.5)
+        assert pht.lookups == 2
+        assert pht.hits == 1
+        assert pht.updates == 1
+
+    def test_occupancy(self):
+        pht = PatternHistoryTable(PHTConfig(sets=16, ways=2))
+        assert pht.occupancy() == 0
+        pht.update((1, 2), 0, 3)
+        pht.update((4, 5), 0, 6)
+        assert pht.occupancy() == 2
+
+    def test_reset(self):
+        pht = PatternHistoryTable(PHTConfig(sets=16, ways=2))
+        pht.update((1, 2), 0, 3)
+        pht.predict((1, 2), 0)
+        pht.reset()
+        assert pht.occupancy() == 0
+        assert pht.lookups == 0
+        assert pht.predict((1, 2), 0) is None
+
+    def test_xor_fold_variant_works(self):
+        pht = PatternHistoryTable(
+            PHTConfig(sets=16, ways=2, index_function=IndexFunction.XOR_FOLD)
+        )
+        pht.update((1, 2), 0, 3)
+        assert pht.predict((1, 2), 0) == [3]

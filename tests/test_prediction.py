@@ -1,0 +1,88 @@
+"""Tests for offline prefetcher scoring (repro.analysis.prediction)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import score_prefetcher
+from repro.analysis.miss_stream import MissStream
+from repro.core import tcp_8k
+from repro.memory.address import CacheGeometry
+from repro.prefetchers import NextLinePrefetcher, NullPrefetcher
+from repro.workloads import Scale
+
+SMALL = CacheGeometry(4 * 32, 1, 32)
+
+
+def stream_of(blocks):
+    blocks = np.asarray(blocks, dtype=np.int64)
+    return MissStream(
+        workload="s",
+        geometry=SMALL,
+        indices=blocks % SMALL.sets,
+        tags=blocks // SMALL.sets,
+        blocks=blocks,
+        accesses=len(blocks) * 2,
+    )
+
+
+class TestScoring:
+    def test_null_prefetcher_scores_zero(self):
+        score = score_prefetcher(NullPrefetcher(), stream_of([1, 2, 3, 4]))
+        assert score.predictions == 0
+        assert score.coverage == 0.0
+        assert score.accuracy == 0.0
+
+    def test_nextline_on_sequential_stream(self):
+        score = score_prefetcher(NextLinePrefetcher(1), stream_of(range(100)))
+        # every miss after the first was predicted by its predecessor
+        assert score.covered == 99
+        assert score.coverage == pytest.approx(0.99)
+        assert score.accuracy == pytest.approx(0.99)
+
+    def test_nextline_on_backward_stream_is_useless(self):
+        score = score_prefetcher(NextLinePrefetcher(1), stream_of(range(100, 0, -1)))
+        assert score.covered == 0
+        assert score.accuracy == 0.0
+        assert score.predictions == 100
+
+    def test_horizon_expires_predictions(self):
+        # block 1 is predicted at position 0 but demanded 6 misses
+        # later; the sequential 100..104 run covers itself regardless.
+        blocks = [0] + [100 + i for i in range(5)] + [1]
+        nextline = NextLinePrefetcher(1)
+        in_horizon = score_prefetcher(nextline, stream_of(blocks), horizon=10)
+        assert in_horizon.covered == 5  # 101..104 and the late block 1
+        nextline.reset()
+        expired = score_prefetcher(nextline, stream_of(blocks), horizon=3)
+        assert expired.covered == 4  # block 1's prediction expired
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            score_prefetcher(NullPrefetcher(), stream_of([1]), horizon=0)
+
+    def test_tcp_scores_on_cyclic_pattern(self):
+        sets = 1024  # tcp_8k expects the paper's 1024-set geometry
+        pattern = []
+        for _lap in range(6):
+            for tag in (1, 2, 3):
+                pattern.append(tag * sets + 5)
+        geometry = CacheGeometry(32 * 1024, 1, 32)
+        blocks = np.asarray(pattern, dtype=np.int64)
+        stream = MissStream(
+            workload="cycle", geometry=geometry,
+            indices=blocks % sets, tags=blocks // sets, blocks=blocks,
+            accesses=len(blocks),
+        )
+        score = score_prefetcher(tcp_8k(), stream)
+        assert score.coverage > 0.5
+        assert score.accuracy > 0.5
+
+    def test_named_workload_scoring(self):
+        score = score_prefetcher(tcp_8k(), "applu", Scale.QUICK)
+        assert score.misses > 0
+        assert 0.0 <= score.coverage <= 1.0
+        assert 0.0 <= score.accuracy <= 1.0
+
+    def test_predictions_per_miss(self):
+        score = score_prefetcher(NextLinePrefetcher(3), stream_of(range(50)))
+        assert score.predictions_per_miss == pytest.approx(3.0)

@@ -1,0 +1,164 @@
+"""Tests for the baseline prefetchers (null, nextline, stride, stream, markov)."""
+
+import pytest
+
+from repro.prefetchers import (
+    MarkovConfig,
+    MarkovPrefetcher,
+    NextLinePrefetcher,
+    NullPrefetcher,
+    StreamBufferConfig,
+    StreamBufferPrefetcher,
+    StrideConfig,
+    StridePrefetcher,
+)
+from repro.prefetchers.base import MissEvent
+
+
+def miss(block: int, pc: int = 0x1000, now: float = 0.0) -> MissEvent:
+    return MissEvent(block & 1023, block >> 10, block, pc, False, now)
+
+
+class TestNull:
+    def test_never_prefetches(self):
+        prefetcher = NullPrefetcher()
+        for block in range(50):
+            assert prefetcher.observe_miss(miss(block)) == []
+        assert prefetcher.storage_bytes() == 0
+        assert prefetcher.stats.lookups == 50
+
+
+class TestNextLine:
+    def test_degree_one(self):
+        prefetcher = NextLinePrefetcher(degree=1)
+        requests = prefetcher.observe_miss(miss(100))
+        assert [r.block for r in requests] == [101]
+
+    def test_degree_three(self):
+        prefetcher = NextLinePrefetcher(degree=3)
+        requests = prefetcher.observe_miss(miss(100))
+        assert [r.block for r in requests] == [101, 102, 103]
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            NextLinePrefetcher(degree=0)
+
+
+class TestStride:
+    def test_learns_constant_stride(self):
+        prefetcher = StridePrefetcher(StrideConfig(lookahead=2))
+        pc = 0x4000
+        requests = []
+        for position, block in enumerate([100, 104, 108, 112]):
+            requests = prefetcher.observe_miss(miss(block, pc=pc))
+        assert [r.block for r in requests] == [116, 120]
+
+    def test_needs_confirmation(self):
+        prefetcher = StridePrefetcher()
+        pc = 0x4000
+        assert prefetcher.observe_miss(miss(100, pc=pc)) == []
+        assert prefetcher.observe_miss(miss(104, pc=pc)) == []  # transient
+
+    def test_broken_stride_stops_prefetching(self):
+        prefetcher = StridePrefetcher()
+        pc = 0x4000
+        for block in (100, 104, 108, 112):
+            prefetcher.observe_miss(miss(block, pc=pc))
+        assert prefetcher.observe_miss(miss(500, pc=pc)) == []
+
+    def test_distinct_pcs_tracked_separately(self):
+        prefetcher = StridePrefetcher(StrideConfig(lookahead=1))
+        for block in (100, 104, 108):
+            prefetcher.observe_miss(miss(block, pc=0x4000))
+        # a different PC with no history produces nothing
+        assert prefetcher.observe_miss(miss(9999, pc=0x8000)) == []
+
+    def test_zero_stride_never_prefetches(self):
+        prefetcher = StridePrefetcher()
+        for _ in range(6):
+            requests = prefetcher.observe_miss(miss(100, pc=0x4000))
+        assert requests == []
+
+    def test_storage_budget(self):
+        config = StrideConfig(sets=64, ways=4, entry_bytes=13)
+        assert StridePrefetcher(config).storage_bytes() == 64 * 4 * 13
+
+    def test_reset(self):
+        prefetcher = StridePrefetcher()
+        for block in (100, 104, 108, 112):
+            prefetcher.observe_miss(miss(block, pc=0x4000))
+        prefetcher.reset()
+        assert prefetcher.observe_miss(miss(116, pc=0x4000)) == []
+
+
+class TestStream:
+    def test_allocates_on_new_miss(self):
+        prefetcher = StreamBufferPrefetcher(StreamBufferConfig(buffers=2, depth=4))
+        requests = prefetcher.observe_miss(miss(100))
+        assert [r.block for r in requests] == [101, 102, 103, 104]
+
+    def test_stream_hit_extends(self):
+        prefetcher = StreamBufferPrefetcher(StreamBufferConfig(buffers=2, depth=4))
+        prefetcher.observe_miss(miss(100, now=0.0))
+        requests = prefetcher.observe_miss(miss(101, now=1.0))
+        assert [r.block for r in requests] == [105]
+
+    def test_skipping_within_window_consumes(self):
+        prefetcher = StreamBufferPrefetcher(StreamBufferConfig(buffers=2, depth=4))
+        prefetcher.observe_miss(miss(100, now=0.0))
+        requests = prefetcher.observe_miss(miss(103, now=1.0))
+        assert [r.block for r in requests] == [105, 106, 107]
+
+    def test_lru_buffer_replacement(self):
+        prefetcher = StreamBufferPrefetcher(StreamBufferConfig(buffers=2, depth=2))
+        prefetcher.observe_miss(miss(100, now=0.0))
+        prefetcher.observe_miss(miss(500, now=1.0))
+        prefetcher.observe_miss(miss(900, now=2.0))  # evicts stream @100
+        requests = prefetcher.observe_miss(miss(101, now=3.0))
+        # stream at 100 is gone: this allocates fresh rather than hitting
+        assert [r.block for r in requests] == [102, 103]
+
+    def test_reset(self):
+        prefetcher = StreamBufferPrefetcher()
+        prefetcher.observe_miss(miss(100))
+        prefetcher.reset()
+        requests = prefetcher.observe_miss(miss(101))
+        assert requests[0].block == 102  # fresh allocation, not a hit
+
+
+class TestMarkov:
+    def test_learns_successor(self):
+        prefetcher = MarkovPrefetcher(MarkovConfig(sets=16, ways=2, targets=2))
+        prefetcher.observe_miss(miss(10))
+        prefetcher.observe_miss(miss(20))
+        requests = prefetcher.observe_miss(miss(10))
+        assert [r.block for r in requests] == [20]
+
+    def test_multiple_targets_mru_first(self):
+        prefetcher = MarkovPrefetcher(MarkovConfig(sets=16, ways=2, targets=2))
+        for block in (10, 20, 10, 30, 10):
+            requests = prefetcher.observe_miss(miss(block))
+        assert [r.block for r in requests] == [30, 20]
+
+    def test_target_capacity(self):
+        prefetcher = MarkovPrefetcher(MarkovConfig(sets=16, ways=2, targets=2))
+        for block in (10, 20, 10, 30, 10, 40, 10):
+            requests = prefetcher.observe_miss(miss(block))
+        assert [r.block for r in requests] == [40, 30]
+
+    def test_self_transition_ignored(self):
+        prefetcher = MarkovPrefetcher(MarkovConfig(sets=16, ways=2))
+        prefetcher.observe_miss(miss(10))
+        requests = prefetcher.observe_miss(miss(10))
+        assert requests == []
+
+    def test_storage_budget(self):
+        config = MarkovConfig(sets=4096, ways=4, targets=2, slot_bytes=4, tag_bytes=4)
+        assert MarkovPrefetcher(config).storage_bytes() == 4096 * 4 * 12
+
+    def test_reset(self):
+        prefetcher = MarkovPrefetcher(MarkovConfig(sets=16, ways=2))
+        prefetcher.observe_miss(miss(10))
+        prefetcher.observe_miss(miss(20))
+        prefetcher.reset()
+        assert prefetcher.observe_miss(miss(10)) == []

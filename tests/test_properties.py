@@ -1,0 +1,129 @@
+"""Cross-module property tests: implementations vs reference oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pht import PHTConfig
+from repro.core.tcp import TagCorrelatingPrefetcher, TCPConfig
+from repro.memory.address import CacheGeometry
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.hierarchy import HierarchyParams, MemoryHierarchy
+from repro.prefetchers.base import MissEvent
+
+
+class TestDirectMappedVsReference:
+    """The direct-mapped fast path must match a plain dict model."""
+
+    @given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 5)), max_size=120))
+    def test_hit_miss_sequence_matches(self, accesses):
+        cache = SetAssociativeCache(CacheGeometry(8 * 32, 1, 32), "dm")
+        model = {}
+        time = 0.0
+        for index, tag in accesses:
+            time += 1.0
+            hit = cache.lookup(index, tag, False, time) is not None
+            expected = model.get(index) == tag
+            assert hit == expected
+            if not hit:
+                cache.fill(index, tag, time)
+                model[index] = tag
+
+
+class TestTCPVsOracle:
+    """A TCP with an over-provisioned PHT must agree with an unbounded
+    dict-based oracle of the paper's algorithm."""
+
+    @settings(deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(1, 6)), max_size=150))
+    def test_predictions_match(self, misses):
+        config = TCPConfig(
+            tht_rows=4, history_length=2,
+            pht=PHTConfig(sets=65536, ways=64, miss_index_bits=2),
+        )
+        tcp = TagCorrelatingPrefetcher(config)
+
+        # oracle state: per-set history + exact pattern map
+        history = {index: (0, 0) for index in range(4)}
+        patterns = {}
+
+        for index, tag in misses:
+            requests = tcp.observe_miss(
+                MissEvent(index, tag, (tag << 2) | index, 0, False, 0.0)
+            )
+            old = history[index]
+            patterns[(old, index)] = tag  # full miss index = private history
+            new = (old[1], tag)
+            history[index] = new
+            predicted = patterns.get((new, index))
+            expected = []
+            if predicted is not None:
+                block = (predicted << 2) | index
+                if block != ((tag << 2) | index):
+                    expected = [block]
+            assert [r.block for r in requests] == expected
+
+    def test_oracle_note(self):
+        """The oracle equivalence above holds because miss_index_bits=2
+        covers all four sets (fully private history, no aliasing) and
+        the PHT is too large to evict."""
+        assert PHTConfig(sets=65536, ways=64).storage_bytes() > 10**7
+
+
+class TestHierarchyTimingProperties:
+    @settings(deadline=None, max_examples=25)
+    @given(st.lists(st.tuples(st.integers(0, 2**20), st.booleans()), max_size=80))
+    def test_completions_never_precede_requests(self, accesses):
+        h = MemoryHierarchy(HierarchyParams(model_icache=False))
+        geometry = h.params.l1d
+        now = 0.0
+        for addr, is_write in accesses:
+            block = geometry.block_address(addr)
+            result = h.access(
+                now, geometry.index_of(addr), geometry.tag_of(addr), block,
+                is_write, 0x1000,
+            )
+            assert result.completion >= now
+            now += 3.0
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.lists(st.integers(0, 2**16), min_size=1, max_size=80))
+    def test_stats_conservation(self, addrs):
+        h = MemoryHierarchy(HierarchyParams(model_icache=False))
+        geometry = h.params.l1d
+        for position, addr in enumerate(addrs):
+            block = geometry.block_address(addr)
+            h.access(
+                float(position * 5), geometry.index_of(addr),
+                geometry.tag_of(addr), block, False, 0x1000,
+            )
+        stats = h.stats
+        assert stats.l1_hits + stats.l1_misses == len(addrs)
+        assert stats.l2_demand_accesses + stats.mshr_merges == stats.l1_misses
+        assert stats.l2_demand_hits + stats.l2_demand_misses == stats.l2_demand_accesses
+
+
+class TestCoreTimingProperties:
+    @settings(deadline=None, max_examples=20)
+    @given(
+        st.lists(st.integers(0, 2**16), min_size=2, max_size=60),
+        st.integers(1, 8),
+    )
+    def test_ipc_positive_and_bounded(self, addrs, width):
+        from repro.cpu import CoreParams, OutOfOrderCore
+        from repro.workloads.trace import Trace
+
+        n = len(addrs)
+        trace = Trace(
+            name="p",
+            addrs=np.array(addrs, dtype=np.uint64),
+            pcs=np.full(n, 0x1000, dtype=np.uint64),
+            is_load=np.ones(n, dtype=bool),
+            gaps=np.full(n, 2, dtype=np.uint16),
+            deps=np.zeros(n, dtype=np.int32),
+            base_ipc=float(width),
+        )
+        h = MemoryHierarchy(HierarchyParams(model_icache=False))
+        result = OutOfOrderCore(CoreParams(issue_width=width)).run(trace, h)
+        assert 0 < result.ipc <= width + 1e-9

@@ -1,0 +1,100 @@
+"""Direct tests for repro.sim.results containers."""
+
+import pytest
+
+from repro.cpu.core import CoreResult
+from repro.memory.hierarchy import HierarchyStats
+from repro.sim.results import SimResult, SuiteResult
+
+
+def make_result(workload="w", label="cfg", ipc=2.0):
+    instructions = 1000
+    cycles = instructions / ipc
+    stats = HierarchyStats(demand_accesses=100, l1_hits=90, l1_misses=10,
+                           l2_demand_accesses=10, l2_demand_hits=6,
+                           l2_demand_misses=4, prefetched_original=3,
+                           prefetch_redundant=2)
+    return SimResult(
+        workload=workload,
+        config_label=label,
+        core=CoreResult(instructions, cycles, 100),
+        memory=stats,
+        prefetcher_name="x",
+        prefetcher_storage_bytes=1024,
+        prefetcher_predictions=5,
+    )
+
+
+class TestSimResult:
+    def test_ipc_passthrough(self):
+        assert make_result(ipc=2.5).ipc == pytest.approx(2.5)
+
+    def test_improvement_over(self):
+        base = make_result(ipc=2.0)
+        better = make_result(ipc=2.5)
+        assert better.improvement_over(base) == pytest.approx(25.0)
+
+    def test_improvement_requires_matching_workload(self):
+        with pytest.raises(ValueError):
+            make_result(workload="a").improvement_over(make_result(workload="b"))
+
+    def test_summary_contains_key_fields(self):
+        text = make_result().summary()
+        assert "w" in text and "cfg" in text and "l1mr" in text
+
+
+class TestHierarchyStatsDerived:
+    def test_breakdown_sums_to_original_plus_extra(self):
+        stats = make_result().memory
+        breakdown = stats.breakdown_vs_original()
+        assert breakdown["prefetched_original"] + breakdown[
+            "non_prefetched_original"
+        ] == pytest.approx(1.0)
+        assert breakdown["prefetched_extra"] == pytest.approx(0.2)
+
+    def test_miss_rates(self):
+        stats = make_result().memory
+        assert stats.l1_miss_rate == pytest.approx(0.1)
+        assert stats.l2_demand_miss_rate == pytest.approx(0.4)
+
+    def test_empty_stats_rates_zero(self):
+        stats = HierarchyStats()
+        assert stats.l1_miss_rate == 0.0
+        assert stats.l2_demand_miss_rate == 0.0
+        assert stats.breakdown_vs_original()["prefetched_original"] == 0.0
+
+
+class TestSuiteResult:
+    def _suite(self, label, ipcs):
+        return SuiteResult(
+            label, {name: make_result(name, label, ipc) for name, ipc in ipcs.items()}
+        )
+
+    def test_geomean_ipc(self):
+        suite = self._suite("x", {"a": 1.0, "b": 4.0})
+        assert suite.geomean_ipc() == pytest.approx(2.0)
+
+    def test_geomean_ipc_with_order_subset(self):
+        suite = self._suite("x", {"a": 1.0, "b": 4.0, "c": 9.0})
+        assert suite.geomean_ipc(order=["b", "c"]) == pytest.approx(6.0)
+
+    def test_improvements_over(self):
+        base = self._suite("base", {"a": 2.0, "b": 2.0})
+        new = self._suite("new", {"a": 2.2, "b": 3.0})
+        improvements = new.improvements_over(base)
+        assert improvements["a"] == pytest.approx(10.0)
+        assert improvements["b"] == pytest.approx(50.0)
+
+    def test_geomean_improvement(self):
+        base = self._suite("base", {"a": 2.0, "b": 2.0})
+        new = self._suite("new", {"a": 2.42, "b": 2.42})
+        assert new.geomean_improvement(base) == pytest.approx(21.0)
+
+    def test_partial_overlap_ignored(self):
+        base = self._suite("base", {"a": 2.0})
+        new = self._suite("new", {"a": 2.2, "b": 9.0})
+        assert set(new.improvements_over(base)) == {"a"}
+
+    def test_ipc_accessor(self):
+        suite = self._suite("x", {"a": 3.0})
+        assert suite.ipc("a") == pytest.approx(3.0)

@@ -1,0 +1,30 @@
+"""Tests for repro.util.rng — determinism guarantees."""
+
+from repro.util.rng import make_rng, stream_seed
+
+
+class TestStreamSeed:
+    def test_stable_for_same_name(self):
+        assert stream_seed("swim") == stream_seed("swim")
+
+    def test_differs_across_names(self):
+        assert stream_seed("swim") != stream_seed("mcf")
+
+    def test_salt_changes_seed(self):
+        assert stream_seed("swim", 0) != stream_seed("swim", 1)
+
+    def test_64_bit_range(self):
+        for name in ("a", "swim", "very-long-stream-name-with-detail"):
+            assert 0 <= stream_seed(name) < 2**64
+
+
+class TestMakeRng:
+    def test_reproducible_sequence(self):
+        a = make_rng("test-stream").integers(0, 1_000_000, 32)
+        b = make_rng("test-stream").integers(0, 1_000_000, 32)
+        assert (a == b).all()
+
+    def test_independent_streams(self):
+        a = make_rng("stream-a").integers(0, 1_000_000, 32)
+        b = make_rng("stream-b").integers(0, 1_000_000, 32)
+        assert (a != b).any()

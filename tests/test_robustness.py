@@ -1,0 +1,138 @@
+"""Robustness tests: pathological configurations must degrade, not break."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import CoreParams, OutOfOrderCore
+from repro.memory import HierarchyParams, MemoryHierarchy
+from repro.memory.address import CacheGeometry
+from repro.workloads.trace import Trace
+
+
+def make_trace(n=3000, span_blocks=4096, gap=3, name="stress"):
+    addrs = (np.arange(n, dtype=np.uint64) * 32 * 7) % (span_blocks * 32)
+    return Trace(
+        name=name,
+        addrs=addrs,
+        pcs=np.full(n, 0x1000, dtype=np.uint64),
+        is_load=np.ones(n, dtype=bool),
+        gaps=np.full(n, gap, dtype=np.uint16),
+        deps=np.zeros(n, dtype=np.int32),
+    )
+
+
+def run(params: HierarchyParams, core=CoreParams(), trace=None):
+    trace = trace or make_trace()
+    hierarchy = MemoryHierarchy(params)
+    return OutOfOrderCore(core).run(trace, hierarchy), hierarchy
+
+
+class TestPathologicalConfigs:
+    def test_single_mshr(self):
+        result, h = run(HierarchyParams(mshr_entries=1, model_icache=False))
+        assert result.ipc > 0
+        # with one MSHR, overlapping misses must stall
+        assert h.mshr.full_stalls > 0
+
+    def test_tiny_l2(self):
+        params = HierarchyParams(
+            l2=CacheGeometry(8 * 1024, 4, 64), model_icache=False
+        )
+        result, h = run(params)
+        assert result.ipc > 0
+        assert h.stats.l2_demand_misses > 0
+
+    def test_narrow_buses(self):
+        params = HierarchyParams(
+            l1l2_bus_bytes_per_cycle=1, mem_bus_bytes_per_cycle=1,
+            model_icache=False,
+        )
+        wide, _h1 = run(HierarchyParams(model_icache=False))
+        narrow, h2 = run(params)
+        assert narrow.ipc < wide.ipc  # bandwidth bound
+        assert h2.mem_data_bus.busy_cycles > 0
+
+    def test_memory_concurrency_one(self):
+        params = HierarchyParams(memory_concurrency=1, model_icache=False)
+        serial, _h = run(params)
+        parallel, _h = run(HierarchyParams(model_icache=False))
+        assert serial.ipc <= parallel.ipc + 1e-9
+
+    def test_single_entry_window(self):
+        result, _h = run(
+            HierarchyParams(model_icache=False),
+            core=CoreParams(window=1, lsq=1, issue_width=1, ls_units=1),
+        )
+        assert 0 < result.ipc <= 1.0
+
+    def test_huge_latency_memory(self):
+        params = HierarchyParams(memory_latency=5000, model_icache=False)
+        slow, _h = run(params)
+        fast, _h = run(HierarchyParams(model_icache=False))
+        assert slow.ipc < fast.ipc
+
+    def test_equal_block_sizes_l1_l2(self):
+        params = HierarchyParams(
+            l2=CacheGeometry(1024 * 1024, 4, 32), model_icache=False
+        )
+        result, h = run(params)
+        assert result.ipc > 0
+        # 1:1 block mapping: sibling sharing disappears
+        assert h._l2_shift == 0
+
+    def test_zero_gap_trace(self):
+        trace = make_trace(gap=0)
+        result, _h = run(HierarchyParams(model_icache=False), trace=trace)
+        assert result.ipc > 0
+
+    def test_all_stores_trace(self):
+        trace = make_trace()
+        trace = Trace(
+            name="stores", addrs=trace.addrs, pcs=trace.pcs,
+            is_load=np.zeros(len(trace), dtype=bool),
+            gaps=trace.gaps, deps=trace.deps,
+        )
+        result, h = run(HierarchyParams(model_icache=False), trace=trace)
+        assert result.ipc > 0
+        assert h.stats.stores == len(trace)
+        assert h.stats.writebacks_l1 > 0  # dirty conflict evictions
+
+    def test_icache_path_under_pc_churn(self):
+        n = 2000
+        trace = Trace(
+            name="pcchurn",
+            addrs=np.full(n, 0x1000, dtype=np.uint64),
+            pcs=(np.arange(n, dtype=np.uint64) * 4096),  # new I-block each time
+            is_load=np.ones(n, dtype=bool),
+            gaps=np.full(n, 3, dtype=np.uint16),
+            deps=np.zeros(n, dtype=np.int32),
+        )
+        result, h = run(HierarchyParams(model_icache=True), trace=trace)
+        assert result.ipc > 0
+        assert h.stats.ifetch_misses > 100
+
+
+class TestCoreStructuralConstraints:
+    def test_lsq_limits_outstanding_memory_ops(self):
+        """With a tiny LSQ, long-latency misses serialize in batches."""
+        addrs = np.arange(2000, dtype=np.uint64) * 32
+        trace = Trace(
+            name="lsq", addrs=addrs,
+            pcs=np.full(2000, 0x1000, dtype=np.uint64),
+            is_load=np.ones(2000, dtype=bool),
+            gaps=np.full(2000, 1, dtype=np.uint16),
+            deps=np.zeros(2000, dtype=np.int32),
+        )
+        big, _ = run(HierarchyParams(model_icache=False),
+                     CoreParams(window=512, lsq=128), trace)
+        small, _ = run(HierarchyParams(model_icache=False),
+                       CoreParams(window=512, lsq=2), trace)
+        assert big.ipc > small.ipc
+
+    def test_ls_units_throughput(self):
+        trace = make_trace(gap=0, span_blocks=64)  # L1-resident, mem-op dense
+        many, _ = run(HierarchyParams(model_icache=False),
+                      CoreParams(ls_units=4, issue_width=8), trace)
+        one, _ = run(HierarchyParams(model_icache=False),
+                     CoreParams(ls_units=1, issue_width=8), trace)
+        assert many.ipc > one.ipc

@@ -1,0 +1,144 @@
+"""Tests for the simulation driver (config, runner, results, sweep)."""
+
+import pytest
+
+from repro.sim import (
+    PREFETCHERS,
+    SimulationConfig,
+    Sweep,
+    improvement_table,
+    prefetcher_factory,
+    simulate,
+    simulate_suite,
+)
+from repro.sim.config import register_prefetcher
+from repro.sim.runner import clear_cache
+from repro.workloads import Scale
+
+
+class TestConfig:
+    def test_registry_contains_paper_designs(self):
+        for name in ("none", "tcp-8k", "tcp-8m", "dbcp-2m", "hybrid-8k"):
+            assert name in PREFETCHERS
+
+    def test_unknown_prefetcher_rejected(self):
+        with pytest.raises(KeyError):
+            prefetcher_factory("warp-drive")
+
+    def test_register_prefetcher(self):
+        name = register_prefetcher("test-null", PREFETCHERS["none"])
+        assert prefetcher_factory(name) is PREFETCHERS["none"]
+
+    def test_labels(self):
+        assert SimulationConfig.baseline().resolved_label() == "base"
+        assert SimulationConfig.for_prefetcher("tcp-8k").resolved_label() == "tcp-8k"
+
+    def test_hybrid_gets_dedicated_bus(self):
+        config = SimulationConfig.for_prefetcher("hybrid-8k")
+        assert config.hierarchy.dedicated_prefetch_bus
+        assert not SimulationConfig.for_prefetcher("tcp-8k").hierarchy.dedicated_prefetch_bus
+
+    def test_ideal_l2_flag(self):
+        assert SimulationConfig.ideal_l2().hierarchy.ideal_l2
+
+    def test_with_hierarchy_override(self):
+        config = SimulationConfig.baseline().with_hierarchy(memory_latency=200)
+        assert config.hierarchy.memory_latency == 200
+
+    def test_config_hashable(self):
+        assert hash(SimulationConfig.baseline()) == hash(SimulationConfig.baseline())
+
+
+class TestRunner:
+    def test_result_fields(self):
+        result = simulate("fma3d", SimulationConfig.baseline(), Scale.QUICK)
+        assert result.workload == "fma3d"
+        assert result.config_label == "base"
+        assert result.ipc > 0
+        assert result.memory.demand_accesses > 0
+
+    def test_cache_returns_same_object(self):
+        clear_cache()
+        first = simulate("fma3d", SimulationConfig.baseline(), Scale.QUICK)
+        second = simulate("fma3d", SimulationConfig.baseline(), Scale.QUICK)
+        assert first is second
+
+    def test_cache_bypass(self):
+        first = simulate("fma3d", SimulationConfig.baseline(), Scale.QUICK)
+        fresh = simulate(
+            "fma3d", SimulationConfig.baseline(), Scale.QUICK, use_cache=False
+        )
+        assert fresh is not first
+        assert fresh.ipc == pytest.approx(first.ipc)
+
+    def test_deterministic_across_runs(self):
+        a = simulate("eon", SimulationConfig.baseline(), Scale.QUICK, use_cache=False)
+        b = simulate("eon", SimulationConfig.baseline(), Scale.QUICK, use_cache=False)
+        assert a.ipc == b.ipc
+        assert a.memory.l1_misses == b.memory.l1_misses
+
+    def test_invalid_warmup(self):
+        with pytest.raises(ValueError):
+            simulate("fma3d", scale=Scale.QUICK, warmup_fraction=1.5)
+
+    def test_improvement_requires_same_workload(self):
+        a = simulate("fma3d", SimulationConfig.baseline(), Scale.QUICK)
+        b = simulate("eon", SimulationConfig.baseline(), Scale.QUICK)
+        with pytest.raises(ValueError):
+            b.improvement_over(a)
+
+    def test_summary_string(self):
+        result = simulate("fma3d", SimulationConfig.baseline(), Scale.QUICK)
+        text = result.summary()
+        assert "fma3d" in text and "ipc=" in text
+
+
+class TestSuiteAndSweep:
+    BENCHES = ("fma3d", "eon", "art")
+
+    def test_simulate_suite_subset(self):
+        suite = simulate_suite(SimulationConfig.baseline(), Scale.QUICK, self.BENCHES)
+        assert set(suite.runs) == set(self.BENCHES)
+        assert suite.geomean_ipc() > 0
+
+    def test_suite_improvements(self):
+        base = simulate_suite(SimulationConfig.baseline(), Scale.QUICK, self.BENCHES)
+        tcp = simulate_suite(
+            SimulationConfig.for_prefetcher("tcp-8k"), Scale.QUICK, self.BENCHES
+        )
+        improvements = tcp.improvements_over(base)
+        assert set(improvements) == set(self.BENCHES)
+        geomean = tcp.geomean_improvement(base)
+        assert isinstance(geomean, float)
+
+    def test_sweep_requires_unique_labels(self):
+        with pytest.raises(ValueError):
+            Sweep([SimulationConfig.baseline(), SimulationConfig.baseline()])
+
+    def test_sweep_improvements(self):
+        sweep = Sweep(
+            [SimulationConfig.baseline(), SimulationConfig.for_prefetcher("tcp-8k")],
+            Scale.QUICK,
+            self.BENCHES,
+        )
+        improvements = sweep.improvements("base")
+        assert "tcp-8k" in improvements
+        table = improvement_table(improvements, self.BENCHES)
+        assert "geomean" in table
+        assert "tcp-8k" in table
+
+    def test_sweep_missing_baseline(self):
+        sweep = Sweep([SimulationConfig.for_prefetcher("tcp-8k")], Scale.QUICK, self.BENCHES)
+        with pytest.raises(KeyError):
+            sweep.improvements("base")
+
+    def test_l2_breakdowns_shape(self):
+        suite = simulate_suite(
+            SimulationConfig.for_prefetcher("tcp-8k"), Scale.QUICK, self.BENCHES
+        )
+        breakdowns = suite.l2_breakdowns()
+        for name in self.BENCHES:
+            categories = breakdowns[name]
+            assert set(categories) == {
+                "prefetched_original", "non_prefetched_original", "prefetched_extra",
+            }

@@ -1,0 +1,117 @@
+"""Tests for repro.util.stats."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import RunningStat, geometric_mean, harmonic_mean, percent_change
+
+
+class TestGeometricMean:
+    def test_single_value(self):
+        assert geometric_mean([4.0]) == pytest.approx(4.0)
+
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=20))
+    def test_at_most_arithmetic_mean(self, values):
+        assert geometric_mean(values) <= sum(values) / len(values) + 1e-9
+
+
+class TestHarmonicMean:
+    def test_known_value(self):
+        assert harmonic_mean([1.0, 1.0]) == pytest.approx(1.0)
+        assert harmonic_mean([2.0, 6.0]) == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=20))
+    def test_at_most_geometric_mean(self, values):
+        assert harmonic_mean(values) <= geometric_mean(values) + 1e-9
+
+
+class TestPercentChange:
+    def test_improvement(self):
+        assert percent_change(2.0, 2.28) == pytest.approx(14.0)
+
+    def test_regression(self):
+        assert percent_change(2.0, 1.0) == pytest.approx(-50.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            percent_change(0.0, 1.0)
+
+
+class TestRunningStat:
+    def test_empty(self):
+        stat = RunningStat()
+        assert stat.count == 0
+        assert stat.mean == 0.0
+        assert stat.variance == 0.0
+
+    def test_known_values(self):
+        stat = RunningStat()
+        stat.extend([2.0, 4.0, 6.0])
+        assert stat.count == 3
+        assert stat.mean == pytest.approx(4.0)
+        assert stat.variance == pytest.approx(8.0 / 3.0)
+        assert stat.minimum == 2.0
+        assert stat.maximum == 6.0
+
+    def test_merge_matches_combined(self):
+        left = RunningStat()
+        right = RunningStat()
+        combined = RunningStat()
+        for value in [1.0, 5.0, 2.5]:
+            left.add(value)
+            combined.add(value)
+        for value in [7.0, -3.0]:
+            right.add(value)
+            combined.add(value)
+        left.merge(right)
+        assert left.count == combined.count
+        assert left.mean == pytest.approx(combined.mean)
+        assert left.variance == pytest.approx(combined.variance)
+        assert left.minimum == combined.minimum
+        assert left.maximum == combined.maximum
+
+    def test_merge_empty_sides(self):
+        stat = RunningStat()
+        stat.add(3.0)
+        empty = RunningStat()
+        stat.merge(empty)
+        assert stat.count == 1
+        empty2 = RunningStat()
+        empty2.merge(stat)
+        assert empty2.mean == pytest.approx(3.0)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_matches_batch_formulas(self, values):
+        stat = RunningStat()
+        stat.extend(values)
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        assert stat.mean == pytest.approx(mean, abs=1e-6)
+        assert stat.variance == pytest.approx(variance, rel=1e-6, abs=1e-6)
+        assert stat.stddev == pytest.approx(math.sqrt(variance), rel=1e-6, abs=1e-6)

@@ -1,0 +1,113 @@
+"""Tests for repro.core.strided (Figure 15 machinery)."""
+
+import pytest
+
+from repro.core.strided import StridedSequenceDetector, is_strided, strided_fraction
+
+
+class TestIsStrided:
+    def test_positive_stride(self):
+        assert is_strided([1, 3, 5])
+
+    def test_negative_stride(self):
+        assert is_strided([9, 6, 3])
+
+    def test_zero_stride_rejected(self):
+        assert not is_strided([4, 4, 4])
+
+    def test_broken_stride(self):
+        assert not is_strided([1, 2, 4])
+
+    def test_too_short(self):
+        assert not is_strided([1])
+        assert not is_strided([])
+
+    def test_pair_is_strided_if_nonzero(self):
+        assert is_strided([1, 2])
+        assert not is_strided([2, 2])
+
+
+class TestDetector:
+    def test_requires_two_confirmations_at_depth_3(self):
+        detector = StridedSequenceDetector(sets=4, depth=3)
+        assert detector.observe(0, 10) is None  # first
+        assert detector.observe(0, 12) is None  # stride 2, 1 confirmation
+        assert detector.observe(0, 14) == 16    # stride 2 confirmed twice
+
+    def test_prediction_continues(self):
+        detector = StridedSequenceDetector(sets=4, depth=3)
+        for tag in (10, 12, 14):
+            detector.observe(0, tag)
+        assert detector.observe(0, 16) == 18
+
+    def test_broken_stride_resets(self):
+        detector = StridedSequenceDetector(sets=4, depth=3)
+        for tag in (10, 12, 14):
+            detector.observe(0, tag)
+        assert detector.observe(0, 99) is None
+        assert detector.observe(0, 100) is None  # new stride, 1 confirmation
+        assert detector.observe(0, 101) == 102
+
+    def test_sets_are_independent(self):
+        detector = StridedSequenceDetector(sets=4, depth=3)
+        detector.observe(0, 10)
+        detector.observe(0, 12)
+        assert detector.observe(1, 14) is None  # set 1 cold
+        assert detector.observe(0, 14) == 16
+
+    def test_zero_stride_never_predicts(self):
+        detector = StridedSequenceDetector(sets=2, depth=3)
+        for _ in range(5):
+            result = detector.observe(0, 7)
+        assert result is None
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            StridedSequenceDetector(sets=4, depth=1)
+
+    def test_reset(self):
+        detector = StridedSequenceDetector(sets=2, depth=3)
+        for tag in (1, 2, 3):
+            detector.observe(0, tag)
+        detector.reset()
+        assert detector.observe(0, 4) is None
+        assert detector.strided_hits == 0
+
+
+class TestStridedFraction:
+    def test_fully_strided_stream(self):
+        indices = [0] * 10
+        tags = list(range(10))
+        assert strided_fraction(indices, tags) == 1.0
+
+    def test_fully_random_constant(self):
+        indices = [0] * 10
+        tags = [5] * 10
+        assert strided_fraction(indices, tags) == 0.0
+
+    def test_mixed(self):
+        indices = [0] * 6
+        tags = [1, 2, 3, 3, 3, 3]  # windows: (1,2,3)s, (2,3,3), (3,3,3)x2
+        assert strided_fraction(indices, tags) == pytest.approx(0.25)
+
+    def test_intra_set_only(self):
+        # A globally-strided stream spread across sets has no intra-set
+        # windows of length 3 until each set has seen 3 misses.
+        indices = [0, 1, 2, 0, 1, 2, 0, 1, 2]
+        tags = [1, 2, 3, 4, 5, 6, 7, 8, 9]
+        # per set: (1,4,7), (2,5,8), (3,6,9) -> all strided
+        assert strided_fraction(indices, tags) == 1.0
+
+    def test_empty(self):
+        assert strided_fraction([], []) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            strided_fraction([0], [1, 2])
+
+    def test_custom_depth(self):
+        indices = [0] * 4
+        tags = [1, 2, 4, 8]
+        # depth 2: windows (1,2), (2,4), (4,8): all pairs with nonzero
+        # stride count as strided
+        assert strided_fraction(indices, tags, depth=2) == 1.0

@@ -1,0 +1,89 @@
+"""Tests for the synthetic SPEC2000-analogue benchmark suite."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import BENCHMARK_ORDER, SUITE, Scale, generate, generate_all
+
+
+class TestSuiteStructure:
+    def test_26_benchmarks(self):
+        assert len(SUITE) == 26
+        assert len(BENCHMARK_ORDER) == 26
+        assert set(SUITE) == set(BENCHMARK_ORDER)
+
+    def test_paper_order_endpoints(self):
+        # Figure 1 order: fma3d has the least ideal-L2 potential, mcf the most.
+        assert BENCHMARK_ORDER[0] == "fma3d"
+        assert BENCHMARK_ORDER[-1] == "mcf"
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            generate("doom3")
+
+    def test_every_spec_has_summary(self):
+        for spec in SUITE.values():
+            assert spec.summary
+            assert spec.base_ipc > 0
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        first = generate("swim", Scale.QUICK)
+        second = generate("swim", Scale.QUICK)
+        assert first is second  # cached
+        # regenerate bypassing the cache by rebuilding from the spec
+        from repro.util.rng import make_rng
+        from repro.workloads.kernels import TraceBuilder
+
+        spec = SUITE["swim"]
+        builder = TraceBuilder("swim", base_ipc=spec.base_ipc)
+        spec.build(builder, make_rng("swim"), Scale.QUICK.accesses)
+        rebuilt = builder.build()
+        assert (rebuilt.addrs == first.addrs).all()
+        assert (rebuilt.deps == first.deps).all()
+
+    def test_lengths_near_target(self):
+        for name in ("fma3d", "swim", "mcf", "twolf"):
+            trace = generate(name, Scale.QUICK)
+            target = Scale.QUICK.accesses
+            assert 0.8 * target <= len(trace) <= 1.3 * target, name
+
+    def test_generate_all_covers_suite(self):
+        traces = generate_all(Scale.QUICK)
+        assert list(traces) == list(BENCHMARK_ORDER)
+
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_every_trace_is_valid(self, name):
+        trace = generate(name, Scale.QUICK)
+        n = len(trace)
+        assert n > 0
+        assert (trace.deps >= 0).all()
+        assert (trace.deps <= np.arange(n)).all()
+        assert trace.instruction_count > n  # gaps exist
+        assert trace.is_load.any()
+
+
+class TestBehaviouralClasses:
+    def test_pointer_chases_carry_dependences(self):
+        for name in ("mcf", "parser", "ammp"):
+            trace = generate(name, Scale.QUICK)
+            assert (trace.deps > 0).mean() > 0.2, name
+
+    def test_compute_benchmarks_have_few_dependences(self):
+        for name in ("fma3d", "crafty", "swim"):
+            trace = generate(name, Scale.QUICK)
+            assert (trace.deps > 0).mean() < 0.2, name
+
+    def test_memory_bound_benchmarks_have_bigger_footprints(self):
+        def footprint(name):
+            trace = generate(name, Scale.QUICK)
+            return len(np.unique(trace.addrs >> np.uint64(5))) * 32
+
+        assert footprint("mcf") > 4 * footprint("fma3d")
+        assert footprint("swim") > 4 * footprint("eon")
+
+    def test_stores_present_where_expected(self):
+        for name in ("swim", "ammp", "mesa"):
+            trace = generate(name, Scale.QUICK)
+            assert (~trace.is_load).any(), name

@@ -1,0 +1,71 @@
+"""Tests for repro.util.tables (ASCII rendering)."""
+
+import pytest
+
+from repro.util.tables import format_barchart, format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_present(self):
+        text = format_table(["name", "value"], [["alpha", 1], ["beta", 22]])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "alpha" in text and "22" in text
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_numeric_right_alignment(self):
+        text = format_table(["n"], [[1], [1000]])
+        lines = text.splitlines()
+        # the short number is right-aligned to the column width
+        assert lines[-2].endswith("1")
+        assert lines[-1].endswith("1,000")
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[3.14159]])
+        assert "3.142" in text
+
+    def test_nan_rendering(self):
+        text = format_table(["x"], [[float("nan")]])
+        assert "nan" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestFormatBarchart:
+    def test_bars_scale_to_max(self):
+        text = format_barchart({"big": 10.0, "small": 5.0}, width=20)
+        lines = text.splitlines()
+        big_bar = lines[0].count("#")
+        small_bar = lines[1].count("#")
+        assert big_bar == 20
+        assert small_bar == 10
+
+    def test_negative_values_use_minus_bars(self):
+        text = format_barchart({"down": -4.0, "up": 8.0}, width=10)
+        down_line = [l for l in text.splitlines() if l.startswith("down")][0]
+        assert "-" * 5 in down_line
+
+    def test_empty_series(self):
+        assert "(no data)" in format_barchart({})
+
+    def test_title_first(self):
+        text = format_barchart({"x": 1.0}, title="Chart")
+        assert text.splitlines()[0] == "Chart"
+
+    def test_zero_only_series(self):
+        text = format_barchart({"x": 0.0})
+        assert "x" in text
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            format_barchart({"x": 1.0}, width=0)
+
+    def test_values_printed(self):
+        text = format_barchart({"x": 12.345}, unit="%")
+        assert "12.345%" in text

@@ -1,0 +1,149 @@
+"""Tests for the Tag Correlating Prefetcher (repro.core.tcp)."""
+
+import pytest
+
+from repro.core.pht import PHTConfig
+from repro.core.tcp import TagCorrelatingPrefetcher, TCPConfig, tcp_8k, tcp_8m, tcp_with_pht
+from repro.prefetchers.base import MissEvent
+
+
+def miss(index: int, tag: int, pc: int = 0x1000, now: float = 0.0) -> MissEvent:
+    return MissEvent(index, tag, (tag << 10) | index, pc, False, now)
+
+
+def small_tcp(**pht_kwargs) -> TagCorrelatingPrefetcher:
+    pht = PHTConfig(sets=64, ways=4, **pht_kwargs)
+    return TagCorrelatingPrefetcher(TCPConfig(tht_rows=1024, pht=pht))
+
+
+class TestFactories:
+    def test_tcp_8k_budget(self):
+        prefetcher = tcp_8k()
+        assert prefetcher.pht.storage_bytes() == 8 * 1024
+        assert prefetcher.tht.storage_bytes() == 4 * 1024
+        assert prefetcher.name == "tcp-8K"
+
+    def test_tcp_8m_budget(self):
+        prefetcher = tcp_8m()
+        assert prefetcher.pht.storage_bytes() == 8 * 1024 * 1024
+        assert prefetcher.config.pht.miss_index_bits == 10
+
+    def test_tcp_with_pht_sizes(self):
+        for size_kb in (2, 8, 32, 128, 512, 2048, 8192):
+            prefetcher = tcp_with_pht(size_kb * 1024)
+            assert prefetcher.pht.storage_bytes() == size_kb * 1024
+
+    def test_tcp_with_pht_rejects_unrealisable(self):
+        with pytest.raises(ValueError):
+            tcp_with_pht(1000)  # not a power-of-two set count
+
+
+class TestOperation:
+    def test_learns_three_tag_pattern(self):
+        """With the cyclic miss pattern A, B, C the PHT learns
+        (B, C) -> A; after the next C the history is (B, C) and A is
+        prefetched — the pattern continues."""
+        prefetcher = small_tcp()
+        pattern = [0xA, 0xB, 0xC]
+        requests = []
+        for repeat in range(3):
+            for tag in pattern:
+                requests = prefetcher.observe_miss(miss(5, tag))
+        # Last miss was 0xC with history (0xB, 0xC): successor is 0xA.
+        assert [r.block for r in requests] == [(0xA << 10) | 5]
+
+    def test_prediction_reconstructs_block_address(self):
+        prefetcher = small_tcp()
+        for tag in (1, 2, 3, 1, 2):
+            requests = prefetcher.observe_miss(miss(7, tag))
+        assert requests
+        assert requests[0].block == (3 << 10) | 7
+        assert not requests[0].into_l1
+
+    def test_cross_set_sharing(self):
+        """A pattern learned at set 5 predicts at set 900 (the paper's
+        central space-saving claim)."""
+        prefetcher = small_tcp(miss_index_bits=0)
+        for tag in (1, 2, 3):
+            prefetcher.observe_miss(miss(5, tag))
+        # Other set, same tag sequence: prediction available immediately
+        # after history (1, 2) forms.
+        requests = []
+        for tag in (1, 2):
+            requests = prefetcher.observe_miss(miss(900, tag))
+        assert [r.block for r in requests] == [(3 << 10) | 900]
+
+    def test_private_history_blocks_sharing(self):
+        prefetcher = small_tcp(miss_index_bits=6)  # 64-set PHT, full split
+        for tag in (1, 2, 3):
+            prefetcher.observe_miss(miss(5, tag))
+        requests = []
+        for tag in (1, 2):
+            requests = prefetcher.observe_miss(miss(32, tag))
+        assert requests == []
+
+    def test_no_prediction_for_cold_history(self):
+        prefetcher = small_tcp()
+        assert prefetcher.observe_miss(miss(0, 42)) == []
+
+    def test_skips_prefetch_of_missing_block_itself(self):
+        """A learned self-successor (A -> A) must not re-request the
+        block that is already being demand-fetched."""
+        prefetcher = small_tcp()
+        for _ in range(6):
+            requests = prefetcher.observe_miss(miss(3, 0xA))
+        assert requests == []
+
+    def test_stats_accumulate(self):
+        prefetcher = small_tcp()
+        for tag in (1, 2, 3, 1, 2):
+            prefetcher.observe_miss(miss(0, tag))
+        assert prefetcher.stats.lookups == 5
+        assert prefetcher.stats.updates == 5
+        assert prefetcher.stats.predictions >= 1
+
+    def test_reset_clears_everything(self):
+        prefetcher = small_tcp()
+        for tag in (1, 2, 3, 1, 2):
+            prefetcher.observe_miss(miss(0, tag))
+        prefetcher.reset()
+        assert prefetcher.stats.lookups == 0
+        assert prefetcher.pht.occupancy() == 0
+        for tag in (1, 2):
+            requests = prefetcher.observe_miss(miss(0, tag))
+        assert requests == []
+
+    def test_update_precedes_lookup(self):
+        """The paper's ordering: the THT is refreshed before the lookup,
+        so the lookup uses the sequence including the current miss."""
+        prefetcher = small_tcp()
+        prefetcher.observe_miss(miss(2, 0xA))
+        prefetcher.observe_miss(miss(2, 0xB))
+        assert prefetcher.tht.read(2) == (0xA, 0xB)
+
+    def test_storage_includes_tht_and_pht(self):
+        prefetcher = small_tcp()
+        assert prefetcher.storage_bytes() == (
+            prefetcher.tht.storage_bytes() + prefetcher.pht.storage_bytes()
+        )
+
+
+class TestHistoryLengths:
+    def test_k1_history(self):
+        config = TCPConfig(tht_rows=64, history_length=1, pht=PHTConfig(sets=32, ways=2))
+        prefetcher = TagCorrelatingPrefetcher(config)
+        # Pattern: A -> B (pairwise correlation).
+        for tag in (1, 2, 1, 2, 1):
+            requests = prefetcher.observe_miss(miss(0, tag))
+        assert [r.block for r in requests] == [2 << 6]
+
+    def test_k3_history(self):
+        config = TCPConfig(tht_rows=64, history_length=3, pht=PHTConfig(sets=32, ways=2))
+        prefetcher = TagCorrelatingPrefetcher(config)
+        pattern = [1, 2, 3, 4]
+        requests = []
+        for _ in range(3):
+            for tag in pattern:
+                requests = prefetcher.observe_miss(miss(0, tag))
+        # history after last miss (tag 4... pattern end): (2,3,4) -> 1
+        assert [r.block for r in requests] == [(1 << 6) | 0]

@@ -1,0 +1,58 @@
+"""Tests for repro.core.tht.TagHistoryTable."""
+
+import pytest
+
+from repro.core.tht import TagHistoryTable
+
+
+class TestTHT:
+    def test_paper_configuration_size(self):
+        # 1024 rows x 2 tags x 2 bytes = 4KB (the paper's THT formula).
+        tht = TagHistoryTable(1024, 2)
+        assert tht.storage_bytes() == 4096
+
+    def test_initial_rows_are_zero(self):
+        tht = TagHistoryTable(4, 3)
+        assert tht.read(0) == (0, 0, 0)
+
+    def test_push_shifts_oldest_out(self):
+        tht = TagHistoryTable(4, 2)
+        assert tht.push(1, 0xA) == (0, 0xA)
+        assert tht.push(1, 0xB) == (0xA, 0xB)
+        assert tht.push(1, 0xC) == (0xB, 0xC)
+        assert tht.read(1) == (0xB, 0xC)
+
+    def test_rows_are_independent(self):
+        tht = TagHistoryTable(4, 2)
+        tht.push(0, 1)
+        tht.push(1, 2)
+        assert tht.read(0) == (0, 1)
+        assert tht.read(1) == (0, 2)
+
+    def test_read_returns_copy(self):
+        tht = TagHistoryTable(4, 2)
+        sequence = tht.read(0)
+        assert isinstance(sequence, tuple)  # immutable view
+
+    def test_reset(self):
+        tht = TagHistoryTable(4, 2)
+        tht.push(0, 5)
+        tht.reset()
+        assert tht.read(0) == (0, 0)
+
+    def test_invalid_rows(self):
+        with pytest.raises(ValueError):
+            TagHistoryTable(3, 2)
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            TagHistoryTable(4, 0)
+
+    def test_invalid_tag_bytes(self):
+        with pytest.raises(ValueError):
+            TagHistoryTable(4, 2, 0)
+
+    def test_depth_one(self):
+        tht = TagHistoryTable(2, 1)
+        tht.push(0, 9)
+        assert tht.read(0) == (9,)

@@ -1,0 +1,81 @@
+"""Tests for the trace container (repro.workloads.trace)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.trace import Scale, Trace
+
+
+def make_trace(n=10, deps=None):
+    return Trace(
+        name="t",
+        addrs=np.arange(n, dtype=np.uint64) * 32,
+        pcs=np.full(n, 0x400000, dtype=np.uint64),
+        is_load=np.ones(n, dtype=bool),
+        gaps=np.full(n, 3, dtype=np.uint16),
+        deps=(np.zeros(n, dtype=np.int32) if deps is None
+              else np.asarray(deps, dtype=np.int32)),
+    )
+
+
+class TestValidation:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(
+                name="bad",
+                addrs=np.zeros(3, dtype=np.uint64),
+                pcs=np.zeros(2, dtype=np.uint64),
+                is_load=np.ones(3, dtype=bool),
+                gaps=np.zeros(3, dtype=np.uint16),
+                deps=np.zeros(3, dtype=np.int32),
+            )
+
+    def test_dep_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            make_trace(3, deps=[1, 0, 0])  # record 0 depends on record -1
+
+    def test_valid_deps_accepted(self):
+        trace = make_trace(3, deps=[0, 1, 2])
+        assert len(trace) == 3
+
+    def test_nonpositive_base_ipc_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(
+                name="bad",
+                addrs=np.zeros(1, dtype=np.uint64),
+                pcs=np.zeros(1, dtype=np.uint64),
+                is_load=np.ones(1, dtype=bool),
+                gaps=np.zeros(1, dtype=np.uint16),
+                deps=np.zeros(1, dtype=np.int32),
+                base_ipc=0.0,
+            )
+
+
+class TestProperties:
+    def test_instruction_count(self):
+        trace = make_trace(10)
+        assert trace.instruction_count == 10 + 30
+
+    def test_describe(self):
+        text = make_trace(10).describe()
+        assert "t:" in text and "10" in text
+
+
+class TestSlice:
+    def test_slice_shortens(self):
+        trace = make_trace(10)
+        assert len(trace.slice(4)) == 4
+
+    def test_slice_beyond_length_is_identity(self):
+        trace = make_trace(5)
+        assert trace.slice(100) is trace
+
+    def test_slice_clamps_dangling_deps(self):
+        trace = make_trace(6, deps=[0, 1, 1, 3, 1, 1])
+        cut = trace.slice(4)
+        # record 3 depended on record 0 (distance 3) - still valid;
+        # nothing points before the cut.
+        assert (cut.deps <= np.arange(4)).all()
+
+    def test_scale_enum(self):
+        assert Scale.QUICK.accesses < Scale.STANDARD.accesses < Scale.FULL.accesses

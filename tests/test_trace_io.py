@@ -1,0 +1,69 @@
+"""Tests for trace persistence (repro.workloads.io)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.workloads import Scale, generate, load_trace, save_trace
+from repro.workloads.io import FORMAT_VERSION
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        trace = generate("mcf", Scale.QUICK)
+        path = save_trace(trace, tmp_path / "mcf")
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert loaded.base_ipc == trace.base_ipc
+        assert (loaded.addrs == trace.addrs).all()
+        assert (loaded.pcs == trace.pcs).all()
+        assert (loaded.is_load == trace.is_load).all()
+        assert (loaded.gaps == trace.gaps).all()
+        assert (loaded.deps == trace.deps).all()
+
+    def test_npz_suffix_added(self, tmp_path):
+        trace = generate("fma3d", Scale.QUICK)
+        path = save_trace(trace, tmp_path / "dump")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_loaded_trace_simulates_identically(self, tmp_path):
+        from repro.sim import SimulationConfig, simulate
+
+        trace = generate("eon", Scale.QUICK)
+        loaded = load_trace(save_trace(trace, tmp_path / "eon"))
+        a = simulate(trace, SimulationConfig.baseline())
+        b = simulate(loaded, SimulationConfig.baseline())
+        assert a.ipc == b.ipc
+
+
+class TestValidation:
+    def test_not_a_trace_file(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(ValueError, match="missing"):
+            load_trace(path)
+
+    def test_version_mismatch(self, tmp_path):
+        trace = generate("fma3d", Scale.QUICK)
+        path = save_trace(trace, tmp_path / "old")
+        # rewrite with a bogus version
+        with np.load(path) as archive:
+            data = {key: archive[key] for key in archive.files}
+        meta = json.loads(bytes(data["meta"]).decode())
+        meta["version"] = FORMAT_VERSION + 999
+        data["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+        np.savez(path, **data)
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+    def test_truncated_arrays_rejected(self, tmp_path):
+        trace = generate("fma3d", Scale.QUICK)
+        path = save_trace(trace, tmp_path / "cut")
+        with np.load(path) as archive:
+            data = {key: archive[key] for key in archive.files}
+        data["addrs"] = data["addrs"][:10]
+        np.savez(path, **data)
+        with pytest.raises(ValueError):
+            load_trace(path)

@@ -1,0 +1,188 @@
+"""Tests for the Section 6 TCP variants (multi-target, stride-filtered)."""
+
+import pytest
+
+from repro.core import MultiTargetTCP, StrideFilteredTCP
+from repro.core.pht import PHTConfig
+from repro.core.tcp import TCPConfig
+from repro.prefetchers.base import MissEvent
+
+
+def miss(index, tag, now=0.0):
+    return MissEvent(index, tag, (tag << 10) | index, 0x1000, False, now)
+
+
+def small_config():
+    return TCPConfig(tht_rows=1024, pht=PHTConfig(sets=64, ways=4))
+
+
+class TestMultiTarget:
+    def test_rejects_single_target(self):
+        with pytest.raises(ValueError):
+            MultiTargetTCP(small_config(), targets=1)
+
+    def test_widens_pht(self):
+        prefetcher = MultiTargetTCP(small_config(), targets=3)
+        assert prefetcher.pht.config.targets == 3
+
+    def test_prefetches_multiple_targets(self):
+        prefetcher = MultiTargetTCP(small_config(), targets=2)
+        # teach two different successors of the history (A, B)
+        for tag in (1, 2, 3, 1, 2, 4, 1, 2):
+            requests = prefetcher.observe_miss(miss(0, tag))
+        blocks = sorted(r.block for r in requests)
+        assert blocks == [(3 << 10), (4 << 10)]
+
+    def test_budget_grows_with_targets(self):
+        single = MultiTargetTCP(small_config(), targets=2).storage_bytes()
+        triple = MultiTargetTCP(small_config(), targets=3).storage_bytes()
+        assert triple > single
+
+
+class TestStrideFiltered:
+    def test_strided_sequence_bypasses_pht(self):
+        prefetcher = StrideFilteredTCP(small_config())
+        requests = []
+        for tag in (10, 12):  # stride not yet confirmed: PHT path
+            prefetcher.observe_miss(miss(7, tag))
+        occupancy_before_stride = prefetcher.pht.occupancy()
+        for tag in (14, 16, 18, 20):
+            requests = prefetcher.observe_miss(miss(7, tag))
+        # detector confirmed stride 2: predicts 22 without the PHT
+        assert [r.block for r in requests] == [(22 << 10) | 7]
+        assert prefetcher.stride_predictions >= 1
+        # confirmed-stride misses never touch the PHT
+        assert prefetcher.pht.occupancy() == occupancy_before_stride
+
+    def test_irregular_sequence_falls_back_to_pht(self):
+        prefetcher = StrideFilteredTCP(small_config())
+        pattern = (5, 90, 17)
+        requests = []
+        for _ in range(3):
+            for tag in pattern:
+                requests = prefetcher.observe_miss(miss(3, tag))
+        assert requests, "PHT path should predict the cyclic pattern"
+        assert prefetcher.stride_predictions == 0
+
+    def test_negative_tag_prediction_suppressed(self):
+        prefetcher = StrideFilteredTCP(small_config())
+        requests = []
+        for tag in (30, 20, 10, 0):
+            requests = prefetcher.observe_miss(miss(7, tag))
+        # next predicted tag would be -10: no request issued
+        assert requests == []
+
+    def test_budget_includes_detector(self):
+        prefetcher = StrideFilteredTCP(small_config())
+        base = prefetcher.tht.storage_bytes() + prefetcher.pht.storage_bytes()
+        assert prefetcher.storage_bytes() == base + 1024 * 5
+
+    def test_reset(self):
+        prefetcher = StrideFilteredTCP(small_config())
+        for tag in (10, 12, 14, 16):
+            prefetcher.observe_miss(miss(7, tag))
+        prefetcher.reset()
+        assert prefetcher.stride_predictions == 0
+        assert prefetcher.observe_miss(miss(7, 18)) == []
+
+
+class TestConfidenceFiltered:
+    def _tcp(self, threshold=2):
+        from repro.core import ConfidenceFilteredTCP
+        return ConfidenceFilteredTCP(small_config(), threshold=threshold)
+
+    def test_invalid_threshold(self):
+        from repro.core import ConfidenceFilteredTCP
+        with pytest.raises(ValueError):
+            ConfidenceFilteredTCP(small_config(), threshold=0)
+        with pytest.raises(ValueError):
+            ConfidenceFilteredTCP(small_config(), threshold=5, maximum=3)
+
+    def test_suppresses_unconfirmed_predictions(self):
+        prefetcher = self._tcp(threshold=2)
+        # two laps of A B C: entries exist but confidence not yet earned
+        for _ in range(2):
+            for tag in (1, 2, 3):
+                requests = prefetcher.observe_miss(miss(0, tag))
+        assert requests == []
+        assert prefetcher.suppressed > 0
+
+    def test_confirmed_pattern_eventually_issues(self):
+        prefetcher = self._tcp(threshold=2)
+        requests = []
+        for _ in range(6):
+            for tag in (1, 2, 3):
+                new = prefetcher.observe_miss(miss(0, tag))
+                requests = new if new else requests
+        assert requests, "stable pattern must earn confidence"
+
+    def test_unstable_pattern_stays_suppressed(self):
+        prefetcher = self._tcp(threshold=2)
+        issued_after_unstable_history = []
+        # successor of (1, 2) alternates between 3 and 4 forever; the
+        # other sub-patterns (e.g. (3,1)->2) are stable and may issue.
+        for lap in range(8):
+            for tag in (1, 2, 3 if lap % 2 == 0 else 4):
+                requests = prefetcher.observe_miss(miss(0, tag))
+                if tag == 2:
+                    issued_after_unstable_history.extend(requests)
+        assert issued_after_unstable_history == []
+
+    def test_budget_includes_counters(self):
+        from repro.core import ConfidenceFilteredTCP, TagCorrelatingPrefetcher
+        plain = TagCorrelatingPrefetcher(small_config()).storage_bytes()
+        filtered = ConfidenceFilteredTCP(small_config()).storage_bytes()
+        assert filtered == plain + (64 * 4 * 2 + 7) // 8
+
+    def test_reset(self):
+        prefetcher = self._tcp()
+        for _ in range(6):
+            for tag in (1, 2, 3):
+                prefetcher.observe_miss(miss(0, tag))
+        prefetcher.reset()
+        assert prefetcher.suppressed == 0
+        assert prefetcher._confidence == {}
+
+
+class TestLookahead:
+    def _tcp(self, degree=2):
+        from repro.core import LookaheadTCP
+        return LookaheadTCP(small_config(), degree=degree)
+
+    def test_invalid_degree(self):
+        from repro.core import LookaheadTCP
+        with pytest.raises(ValueError):
+            LookaheadTCP(small_config(), degree=0)
+
+    def test_chains_predictions(self):
+        prefetcher = self._tcp(degree=3)
+        requests = []
+        for _ in range(3):
+            for tag in (1, 2, 3, 4, 5):
+                requests = prefetcher.observe_miss(miss(0, tag))
+        # after the final 5, the chain predicts 1, 2, 3
+        assert [r.block >> 10 for r in requests] == [1, 2, 3]
+
+    def test_chain_stops_at_unknown_link(self):
+        prefetcher = self._tcp(degree=4)
+        # teach only one transition depth by using a 2-long history run
+        for tag in (1, 2, 3, 1, 2):
+            requests = prefetcher.observe_miss(miss(0, tag))
+        # (1,2)->3 known; (2,3)->? known too (learned (2,3)->1 on lap 2)
+        assert 1 <= len(requests) <= 4
+
+    def test_degree_one_matches_base(self):
+        from repro.core import TagCorrelatingPrefetcher
+        look = self._tcp(degree=1)
+        base = TagCorrelatingPrefetcher(small_config())
+        for tag in (1, 2, 3, 1, 2, 3, 1, 2):
+            a = look.observe_miss(miss(0, tag))
+            b = base.observe_miss(miss(0, tag))
+        assert [r.block for r in a] == [r.block for r in b]
+
+    def test_self_loop_terminates(self):
+        prefetcher = self._tcp(degree=4)
+        for _ in range(8):
+            requests = prefetcher.observe_miss(miss(0, 7))
+        # constant tag: the chain closes on itself immediately
+        assert len(requests) <= 1

@@ -1,0 +1,101 @@
+"""Behavioural-class validation of the synthetic suite.
+
+DESIGN.md §2 argues the substitution is sound because each synthetic
+benchmark reproduces the *statistical profile* the paper documents for
+its namesake.  These tests pin those profiles down per class, using the
+same analysis machinery as the Section 3 figures (at STANDARD scale —
+this is the slower half of the test suite, ~20s).
+"""
+
+import pytest
+
+from repro.analysis import capture_miss_stream, sequence_stats, tag_stats
+from repro.core.strided import strided_fraction
+from repro.workloads import Scale
+
+SCALE = Scale.STANDARD
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    names = ("fma3d", "eon", "crafty", "twolf", "swim", "applu",
+             "wupwise", "art", "mcf", "ammp", "lucas")
+    data = {}
+    for name in names:
+        stream = capture_miss_stream(name, SCALE)
+        data[name] = {
+            "stream": stream,
+            "tags": tag_stats(stream),
+            "sequences": sequence_stats(stream),
+            "strided": strided_fraction(stream.indices, stream.tags),
+        }
+    return data
+
+
+class TestComputeBoundClass:
+    def test_low_miss_rates(self, profiles):
+        for name in ("fma3d", "eon"):
+            assert profiles[name]["stream"].miss_rate < 0.2, name
+
+    def test_small_tag_working_sets(self, profiles):
+        for name in ("fma3d", "eon"):
+            assert profiles[name]["tags"].unique_tags < 120, name
+
+    def test_heavy_tag_recurrence(self, profiles):
+        assert profiles["fma3d"]["tags"].mean_tag_occurrences > 100
+
+
+class TestRandomClass:
+    def test_sequences_near_random_limit(self, profiles):
+        structured = max(
+            profiles[name]["sequences"].fraction_of_upper_limit
+            for name in ("swim", "applu", "art")
+        )
+        for name in ("crafty", "twolf"):
+            assert profiles[name]["sequences"].fraction_of_upper_limit > structured
+
+    def test_low_sequence_recurrence(self, profiles):
+        for name in ("crafty", "twolf"):
+            assert profiles[name]["sequences"].mean_sequence_occurrences < 10, name
+
+
+class TestSweepClass:
+    def test_wide_tag_spread(self, profiles):
+        for name in ("swim", "applu", "wupwise", "lucas"):
+            assert profiles[name]["tags"].mean_sets_per_tag > 300, name
+
+    def test_shared_sequences_across_sets(self, profiles):
+        for name in ("swim", "applu", "wupwise"):
+            assert profiles[name]["sequences"].mean_sets_per_sequence > 20, name
+
+    def test_strong_correlation(self, profiles):
+        for name in ("swim", "applu", "wupwise", "lucas", "art"):
+            assert profiles[name]["sequences"].fraction_of_upper_limit < 0.05, name
+
+
+class TestChaseClass:
+    def test_private_per_set_sequences(self, profiles):
+        for name in ("mcf", "ammp"):
+            assert profiles[name]["sequences"].mean_sets_per_sequence < 4, name
+
+    def test_many_unique_sequences(self, profiles):
+        assert (
+            profiles["mcf"]["sequences"].unique_sequences
+            > 10 * profiles["art"]["sequences"].unique_sequences
+        )
+
+
+class TestStridedSignature:
+    def test_swim_dominates_strided_share(self, profiles):
+        swim = profiles["swim"]["strided"]
+        assert swim > 0.05
+        for name in ("mcf", "crafty", "twolf", "fma3d"):
+            assert profiles[name]["strided"] < swim / 2, name
+
+
+class TestAddressVsTagAsymmetry:
+    def test_every_class_shows_the_asymmetry(self, profiles):
+        for name, data in profiles.items():
+            stats = data["tags"]
+            assert stats.unique_blocks > stats.unique_tags, name
+            assert stats.mean_tag_occurrences > stats.mean_block_occurrences, name
