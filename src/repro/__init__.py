@@ -33,8 +33,12 @@ from repro.core import (
 from repro.experiments import EXPERIMENTS, run_experiment
 from repro.sim import (
     PREFETCHERS,
+    CampaignReport,
+    ResultStore,
     SimResult,
     SimulationConfig,
+    SimulationError,
+    prewarm,
     simulate,
     simulate_suite,
 )
@@ -44,14 +48,17 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BENCHMARK_ORDER",
+    "CampaignReport",
     "EXPERIMENTS",
     "HybridTCP",
     "MultiTargetTCP",
     "PREFETCHERS",
+    "ResultStore",
     "SUITE",
     "Scale",
     "SimResult",
     "SimulationConfig",
+    "SimulationError",
     "StrideFilteredTCP",
     "TCPConfig",
     "TagCorrelatingPrefetcher",
@@ -59,6 +66,7 @@ __all__ = [
     "__version__",
     "generate",
     "hybrid_8k",
+    "prewarm",
     "run_experiment",
     "simulate",
     "simulate_suite",

@@ -18,6 +18,12 @@ records)::
 Simulate one benchmark under one prefetcher::
 
     repro-tcp simulate swim --prefetcher tcp-8k --scale quick
+
+Resumable campaigns: ``--resume`` checkpoints every finished
+simulation to an on-disk store and, on restart, re-runs only the
+missing (workload, configuration) pairs::
+
+    repro-tcp run all --scale full --jobs 8 --resume --retries 3 --timeout 600
 """
 
 from __future__ import annotations
@@ -28,7 +34,8 @@ import time
 from typing import List, Optional
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
-from repro.sim import PREFETCHERS, SimulationConfig, simulate
+from repro.sim import PREFETCHERS, SimulationConfig, SimulationError, simulate
+from repro.sim import store as store_mod
 from repro.workloads import BENCHMARK_ORDER, SUITE, Scale
 
 __all__ = ["main"]
@@ -42,6 +49,26 @@ def _parse_scale(text: str) -> Scale:
             f"unknown scale {text!r}; choose from "
             + ", ".join(s.name.lower() for s in Scale)
         )
+
+
+def _parse_retries(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"retries must be an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"retries must be >= 0, got {value}")
+    return value
+
+
+def _parse_timeout(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"timeout must be a number, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"timeout must be positive, got {value}")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -62,6 +89,19 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="subset of benchmarks (default: whole suite)")
     run.add_argument("--jobs", type=int, default=1,
                      help="parallel workers to pre-warm simulations (0 = cpus)")
+    run.add_argument("--resume", action="store_true",
+                     help="checkpoint results to the on-disk store and "
+                          "re-run only the missing (workload, config) pairs")
+    run.add_argument("--store-dir", default=None, metavar="DIR",
+                     help="store directory (implies --resume; default "
+                          "$REPRO_STORE_DIR or ~/.cache/repro-tcp)")
+    run.add_argument("--no-store", action="store_true",
+                     help="disable result persistence entirely")
+    run.add_argument("--retries", type=_parse_retries, default=2, metavar="N",
+                     help="extra attempts per failed simulation (default 2)")
+    run.add_argument("--timeout", type=_parse_timeout, default=None,
+                     metavar="SECONDS",
+                     help="per-simulation wall-clock budget (default none)")
     run.set_defaults(func=_cmd_run)
 
     simulate_cmd = sub.add_parser("simulate", help="simulate one benchmark")
@@ -95,6 +135,26 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_store(args: argparse.Namespace) -> Optional[store_mod.ResultStore]:
+    """Map the store flags onto a (possibly absent) result store.
+
+    ``--no-store`` wins over everything; ``--store-dir`` and
+    ``--resume`` enable persistence explicitly; otherwise the
+    environment decides (``REPRO_STORE_DIR`` / ``REPRO_NO_STORE``).
+    """
+    if args.no_store:
+        return None
+    if args.store_dir:
+        return store_mod.ResultStore(args.store_dir)
+    if args.resume:
+        return store_mod.ResultStore(store_mod.default_store_dir())
+    return store_mod.store_from_env()
+
+
+def _campaign_progress(done: int, total: int, key: str, status: str) -> None:
+    print(f"  [{done}/{total}] {key}: {status}", flush=True)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     names: List[str] = (
         list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -103,19 +163,62 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if name not in EXPERIMENTS:
             print(f"error: unknown experiment {name!r}", file=sys.stderr)
             return 2
+
+    store = _resolve_store(args)
+    store_mod.set_active_store(store)
+    if store is not None:
+        print(f"result store: {store.root} ({len(store)} checkpointed result(s))")
+        if store.quarantined:
+            print(
+                f"warning: quarantined {store.quarantined} corrupt store "
+                f"record(s) to {store.quarantine_path}; they will be re-run",
+                file=sys.stderr,
+            )
+
+    failures = 0
     if args.jobs != 1:
         from repro.sim import prewarm
 
         started = time.time()
-        executed = prewarm(scale=args.scale, benchmarks=args.benchmarks,
-                           jobs=args.jobs)
-        print(f"pre-warmed {executed} simulations in "
-              f"{time.time() - started:.1f}s with jobs={args.jobs}\n")
+        report = prewarm(
+            scale=args.scale,
+            benchmarks=args.benchmarks,
+            jobs=args.jobs,
+            retries=args.retries,
+            timeout=args.timeout,
+            progress=_campaign_progress,
+        )
+        print(
+            f"pre-warmed {report.executed} simulation(s) in "
+            f"{time.time() - started:.1f}s with jobs={args.jobs} "
+            f"({report.skipped} skipped, {report.retried} attempt(s) retried)\n"
+        )
+        if not report.ok:
+            print(report.summary(), file=sys.stderr)
+            failures += report.failed
+
     for name in names:
         started = time.time()
-        result = run_experiment(name, scale=args.scale, benchmarks=args.benchmarks)
+        try:
+            result = run_experiment(name, scale=args.scale, benchmarks=args.benchmarks)
+        except SimulationError as exc:
+            print(
+                f"error: experiment {name} failed with "
+                f"{type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
+            failures += 1
+            continue
         print(result.render())
         print(f"  ({time.time() - started:.1f}s at scale={args.scale.name.lower()})\n")
+
+    if failures:
+        print(
+            f"error: campaign finished with {failures} failure(s); "
+            f"see the summary above",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -146,10 +249,24 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point (console script ``repro-tcp``)."""
+    """CLI entry point (console script ``repro-tcp``).
+
+    Classified campaign failures exit with a readable one-line error
+    (code 1), never an unhandled traceback.
+    """
     parser = _build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except SimulationError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -8,24 +8,53 @@ with IPC, miss rates, the Figure 12 L2-access taxonomy, and prefetcher
 statistics.  :mod:`repro.sim.sweep` runs labelled configuration
 matrices over the suite with a process-level result cache (experiments
 share baseline runs).
+
+Campaign fault tolerance lives in two modules:
+:mod:`repro.sim.store` is the persistent checkpoint tier below the
+in-process cache (validated, schema-versioned, config-hash keyed), and
+:mod:`repro.sim.resilience` supervises parallel campaigns — crash
+isolation, per-job timeouts, bounded retries, structured error
+taxonomy, and a deterministic fault injector for testing.
 """
 
 from repro.sim.config import PREFETCHERS, SimulationConfig, prefetcher_factory
 from repro.sim.parallel import experiment_configs, prewarm
-from repro.sim.results import SimResult, SuiteResult
+from repro.sim.resilience import (
+    CampaignReport,
+    CorruptResult,
+    JobFailure,
+    JobTimeout,
+    RetryPolicy,
+    SimulationError,
+    WorkerCrash,
+)
+from repro.sim.results import SimResult, SuiteResult, validate_result
 from repro.sim.runner import simulate, simulate_suite
+from repro.sim.store import ResultStore, active_store, set_active_store, use_store
 from repro.sim.sweep import Sweep, improvement_table
 
 __all__ = [
     "PREFETCHERS",
-    "experiment_configs",
-    "prewarm",
+    "CampaignReport",
+    "CorruptResult",
+    "JobFailure",
+    "JobTimeout",
+    "ResultStore",
+    "RetryPolicy",
     "SimResult",
     "SimulationConfig",
+    "SimulationError",
     "SuiteResult",
     "Sweep",
+    "WorkerCrash",
+    "active_store",
+    "experiment_configs",
     "improvement_table",
     "prefetcher_factory",
+    "prewarm",
+    "set_active_store",
     "simulate",
     "simulate_suite",
+    "use_store",
+    "validate_result",
 ]

@@ -1,27 +1,38 @@
-"""Parallel pre-warming of the simulation result cache.
+"""Parallel, fault-tolerant pre-warming of the simulation result cache.
 
 A full-scale regeneration of the paper's evaluation is ~150 independent
 (workload, configuration) simulations; they share nothing at runtime
 except the result cache, so they parallelise embarrassingly.
 
-``prewarm`` runs a batch of simulations in a process pool and installs
-the results into this process's cache
-(:mod:`repro.sim.runner`); afterwards the experiments replay from cache
-at zero cost.  The CLI exposes it as ``repro-tcp run ... --jobs N``.
+``prewarm`` runs a batch of simulations under the
+:mod:`repro.sim.resilience` supervisor — per-job timeouts, bounded
+retries with backoff, crash isolation (one dead worker loses one
+attempt, not the pool) — and installs the results into this process's
+cache (:mod:`repro.sim.runner`) and, when one is active, the on-disk
+store (:mod:`repro.sim.store`); afterwards the experiments replay from
+cache at zero cost.  The CLI exposes it as ``repro-tcp run ... --jobs
+N --retries R --timeout S``.
 
 Workers re-derive everything from the (workload name, config, scale)
 key — traces are regenerated deterministically per worker — so nothing
 large crosses process boundaries except the finished
-:class:`~repro.sim.results.SimResult` objects.
+:class:`~repro.sim.results.SimResult` objects.  Jobs already present
+in the cache or the store are skipped, which is what makes a
+killed-then-restarted campaign resume instead of starting over.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
+from repro.sim import store as store_mod
 from repro.sim.config import SimulationConfig
-from repro.sim.results import SimResult
+from repro.sim.resilience import (
+    CampaignReport,
+    RetryPolicy,
+    run_supervised,
+)
+from repro.sim.results import SimResult, validate_result
 from repro.sim.runner import _RESULT_CACHE, simulate
 from repro.workloads import BENCHMARK_ORDER, Scale
 
@@ -30,11 +41,25 @@ __all__ = ["experiment_configs", "prewarm"]
 Job = Tuple[str, SimulationConfig, int]
 
 
-def _run_job(job: Job) -> Tuple[Job, SimResult]:
-    """Worker entry point: run one simulation, return its result."""
+def _job_key(job: Job) -> str:
     workload, config, accesses = job
-    result = simulate(workload, config, Scale(accesses))
-    return job, result
+    return f"{workload}/{config.resolved_label()}@{accesses}"
+
+
+def _run_job(job: Job) -> SimResult:
+    """Worker entry point: run one simulation, return its result.
+
+    Runs uncached (``use_cache=False``): the worker is a throwaway
+    process, and the parent — not the worker — is responsible for
+    installing the result into the cache and the store.
+    """
+    workload, config, accesses = job
+    return simulate(workload, config, Scale(accesses), use_cache=False)
+
+
+def _silence_worker_store() -> None:
+    """Child setup: workers must not write the store; the parent does."""
+    store_mod.set_active_store(None)
 
 
 def experiment_configs() -> List[SimulationConfig]:
@@ -59,33 +84,65 @@ def prewarm(
     scale: Scale = Scale.STANDARD,
     benchmarks: Optional[Sequence[str]] = None,
     jobs: int = 0,
-) -> int:
+    retries: int = 2,
+    timeout: Optional[float] = None,
+    progress: Optional[Callable[[int, int, str, str], None]] = None,
+) -> CampaignReport:
     """Fill the result cache for ``configs`` x ``benchmarks`` in parallel.
 
-    ``jobs``: worker processes (0 = cpu count).  Returns the number of
-    simulations executed (cached entries are skipped).  With ``jobs=1``
-    the work runs in-process, which keeps the function usable where
-    multiprocessing is unavailable.
+    ``jobs``: worker processes (0 = cpu count; 1 = in-process, which
+    keeps the function usable where multiprocessing is unavailable).
+    Each job gets up to ``retries`` extra attempts and, with
+    ``timeout``, a per-attempt wall-clock budget in seconds.
+
+    Returns a :class:`~repro.sim.resilience.CampaignReport`:
+    ``report.executed`` counts *successful* simulations, failed jobs
+    are listed in ``report.failures`` (they are never silently counted
+    as executed), and entries satisfied from the cache or the
+    persistent store are in ``report.skipped``.
     """
     config_list = list(configs) if configs is not None else experiment_configs()
     names = tuple(benchmarks) if benchmarks is not None else BENCHMARK_ORDER
+    store = store_mod.active_store()
+
+    report = CampaignReport()
     pending: List[Job] = []
     for config in config_list:
         for name in names:
-            if (name, scale.accesses, config) not in _RESULT_CACHE:
-                pending.append((name, config, scale.accesses))
+            key = (name, scale.accesses, config)
+            if key in _RESULT_CACHE:
+                report.skipped += 1
+                continue
+            if store is not None:
+                stored = store.get(name, scale.accesses, config)
+                if stored is not None:
+                    _RESULT_CACHE[key] = stored
+                    report.skipped += 1
+                    continue
+            pending.append((name, config, scale.accesses))
     if not pending:
-        return 0
+        return report
 
-    if jobs == 1 or len(pending) == 1:
-        for job in pending:
-            _run_job(job)  # simulate() itself installs the cache entry
-        return len(pending)
+    policy = RetryPolicy(retries=retries, timeout=timeout)
+    report.merge(
+        run_supervised(
+            pending,
+            _run_job,
+            workers=jobs,
+            policy=policy,
+            key=_job_key,
+            validate=validate_result,
+            progress=progress,
+            child_setup=_silence_worker_store,
+            in_process=True if jobs == 1 or len(pending) == 1 else None,
+        )
+    )
 
-    workers = jobs if jobs > 0 else (multiprocessing.cpu_count() or 2)
-    workers = min(workers, len(pending))
-    with multiprocessing.get_context("fork").Pool(workers) as pool:
-        for job, result in pool.imap_unordered(_run_job, pending):
-            workload, config, accesses = job
-            _RESULT_CACHE[(workload, accesses, config)] = result
-    return len(pending)
+    # Install successes into the in-process cache and checkpoint them.
+    by_key = {_job_key(job): job for job in pending}
+    for job_key, result in report.completed.items():
+        workload, config, accesses = by_key[job_key]
+        _RESULT_CACHE[(workload, accesses, config)] = result
+        if store is not None:
+            store.put(workload, accesses, config, result)
+    return report

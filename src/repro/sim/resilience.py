@@ -1,0 +1,569 @@
+"""Worker supervision for fault-tolerant simulation campaigns.
+
+A full regeneration of the paper's evaluation is ~150 independent
+(workload, configuration) simulations.  At that scale, "one worker
+died" must mean "one job retries", not "the whole pool is lost" — the
+failure mode real SPEC-campaign infrastructure is built around.
+
+This module provides the campaign resilience primitives:
+
+* a structured error taxonomy (:class:`SimulationError`,
+  :class:`WorkerCrash`, :class:`JobTimeout`, :class:`CorruptResult`)
+  so every failure is classified, never a bare traceback;
+* :func:`run_supervised` — a supervisor that runs each job *attempt*
+  in its own short-lived process (crash isolation: a dead worker loses
+  exactly one attempt), enforces per-job timeouts, and retries with
+  deterministic exponential backoff + jitter;
+* :class:`CampaignReport` — successes and failures counted separately,
+  with a human-readable failure summary;
+* a deterministic fault-injection hook (``REPRO_FAULT_RATE`` /
+  ``REPRO_FAULT_KIND`` or :func:`set_fault_injector`) that the tests
+  use to prove every failure path actually recovers;
+* platform probes: :func:`supervision_context` falls back
+  ``fork`` → ``spawn`` → in-process, and :func:`default_workers`
+  survives platforms where ``multiprocessing.cpu_count()`` raises.
+
+Everything is deterministic: whether attempt *k* of job *j* faults, and
+how long its backoff sleeps, derive from SHA-256 of ``(job key,
+attempt)`` — two runs of a faulty campaign fail and recover
+identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import multiprocessing.connection
+import os
+import time
+from dataclasses import dataclass, field, replace
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+__all__ = [
+    "CampaignReport",
+    "CorruptResult",
+    "JobFailure",
+    "JobTimeout",
+    "RetryPolicy",
+    "SimulationError",
+    "WorkerCrash",
+    "default_workers",
+    "maybe_inject_fault",
+    "run_supervised",
+    "set_fault_injector",
+    "supervision_context",
+]
+
+
+# ---------------------------------------------------------------------------
+# Error taxonomy
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(RuntimeError):
+    """Base class for classified campaign failures."""
+
+
+class WorkerCrash(SimulationError):
+    """A worker process died without reporting a result."""
+
+
+class JobTimeout(SimulationError):
+    """A job exceeded its per-attempt time budget."""
+
+
+class CorruptResult(SimulationError):
+    """A result (from a worker or the on-disk store) failed validation."""
+
+
+#: name → class, used to rebuild errors reported across process
+#: boundaries and to parse ``REPRO_FAULT_KIND``.
+ERROR_CLASSES: Dict[str, type] = {
+    "SimulationError": SimulationError,
+    "WorkerCrash": WorkerCrash,
+    "JobTimeout": JobTimeout,
+    "CorruptResult": CorruptResult,
+}
+
+
+def _rebuild_error(kind: str, message: str) -> SimulationError:
+    return ERROR_CLASSES.get(kind, SimulationError)(message)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic fault injection
+# ---------------------------------------------------------------------------
+
+FAULT_RATE_ENV = "REPRO_FAULT_RATE"
+FAULT_KIND_ENV = "REPRO_FAULT_KIND"
+
+#: fault kinds the injector understands.  ``crash`` kills the worker
+#: process outright (``os._exit``); ``timeout`` makes the attempt hang
+#: past any deadline; ``error`` raises a :class:`SimulationError`;
+#: ``corrupt`` lets the job finish and then mangles its result so the
+#: validator must catch it.
+FAULT_KINDS = ("crash", "error", "timeout", "corrupt")
+
+#: test hook: a callable ``(job_key, attempt) -> Optional[str]``
+#: returning a fault kind (or None).  Takes precedence over the
+#: environment knobs.  Only effective in-process or under ``fork``.
+_FAULT_INJECTOR: Optional[Callable[[str, int], Optional[str]]] = None
+
+
+def set_fault_injector(
+    injector: Optional[Callable[[str, int], Optional[str]]],
+) -> None:
+    """Install (or with ``None`` clear) the fault-injection callable."""
+    global _FAULT_INJECTOR
+    _FAULT_INJECTOR = injector
+
+
+def _unit_interval(token: str) -> float:
+    """Deterministic hash of ``token`` onto [0, 1)."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def maybe_inject_fault(job_key: str, attempt: int) -> Optional[str]:
+    """Return the fault kind planned for this (job, attempt), if any.
+
+    With the environment knobs, attempt *k* of job *j* faults iff
+    ``sha256(j|k) < REPRO_FAULT_RATE`` — independent per attempt, so a
+    faulted job's retry usually succeeds, and fully reproducible.
+    """
+    if _FAULT_INJECTOR is not None:
+        return _FAULT_INJECTOR(job_key, attempt)
+    rate_text = os.environ.get(FAULT_RATE_ENV)
+    if not rate_text:
+        return None
+    try:
+        rate = float(rate_text)
+    except ValueError:
+        return None
+    if rate <= 0.0 or _unit_interval(f"fault|{job_key}|{attempt}") >= rate:
+        return None
+    kind = os.environ.get(FAULT_KIND_ENV, "crash")
+    return kind if kind in FAULT_KINDS else "crash"
+
+
+def _corrupted(result: Any) -> Any:
+    """Mangle a result so validation must reject it (fault injection)."""
+    core = getattr(result, "core", None)
+    if core is not None and hasattr(core, "cycles"):
+        return replace(result, core=replace(core, cycles=float("nan")))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Platform probes
+# ---------------------------------------------------------------------------
+
+START_METHOD_ENV = "REPRO_START_METHOD"
+
+
+def supervision_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The multiprocessing context campaigns should use, or ``None``.
+
+    Tries ``fork`` (cheap, inherits the parent's registries), then
+    ``spawn``; returns ``None`` — meaning "run in-process" — where
+    neither exists.  ``REPRO_START_METHOD`` overrides the probe order
+    (value ``inprocess`` forces the serial fallback).
+    """
+    override = os.environ.get(START_METHOD_ENV, "").strip().lower()
+    if override in ("inprocess", "none"):
+        return None
+    methods = ([override] if override else []) + ["fork", "spawn"]
+    for method in methods:
+        try:
+            return multiprocessing.get_context(method)
+        except ValueError:
+            continue
+    return None
+
+
+def default_workers(jobs: int = 0) -> int:
+    """Resolve a ``--jobs`` value to a worker count (0 = CPU count).
+
+    ``multiprocessing.cpu_count()`` raises ``NotImplementedError`` on
+    some platforms (it never returns 0); fall back to 2 workers there.
+    """
+    if jobs > 0:
+        return jobs
+    try:
+        count = multiprocessing.cpu_count()
+    except NotImplementedError:
+        count = 0
+    return max(count, 1) if count else 2
+
+
+# ---------------------------------------------------------------------------
+# Retry policy and campaign report
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the supervisor tries before declaring a job failed."""
+
+    #: additional attempts after the first (total attempts = retries + 1).
+    retries: int = 2
+    #: per-attempt wall-clock budget in seconds (None = unlimited).
+    timeout: Optional[float] = None
+    #: base backoff delay; attempt k waits ~``base * 2**(k-1)`` seconds.
+    backoff_base: float = 0.05
+    #: backoff ceiling.
+    backoff_max: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+
+    def backoff(self, job_key: str, attempt: int) -> float:
+        """Deterministic exponential backoff with jitter in [0.5x, 1.5x)."""
+        delay = min(self.backoff_base * (2 ** max(attempt - 1, 0)), self.backoff_max)
+        return delay * (0.5 + _unit_interval(f"backoff|{job_key}|{attempt}"))
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One job that exhausted its retry budget."""
+
+    key: str
+    error: str  # taxonomy class name, e.g. "WorkerCrash"
+    message: str
+    attempts: int
+
+    def describe(self) -> str:
+        return f"{self.key}: {self.error} after {self.attempts} attempt(s) — {self.message}"
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one supervised campaign: successes and failures, apart.
+
+    ``executed`` counts *successful* simulations only — a job whose
+    worker died is a failure, not an execution.  ``skipped`` counts
+    jobs satisfied from a cache or store before any worker ran.
+    """
+
+    completed: Dict[str, Any] = field(default_factory=dict)
+    failures: List[JobFailure] = field(default_factory=list)
+    skipped: int = 0
+    #: attempts beyond each job's first (i.e. how much retrying it took).
+    retried: int = 0
+
+    @property
+    def executed(self) -> int:
+        return len(self.completed)
+
+    @property
+    def failed(self) -> int:
+        return len(self.failures)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def merge(self, other: "CampaignReport") -> "CampaignReport":
+        self.completed.update(other.completed)
+        self.failures.extend(other.failures)
+        self.skipped += other.skipped
+        self.retried += other.retried
+        return self
+
+    def summary(self) -> str:
+        """Human-readable campaign digest (one line per failure)."""
+        head = (
+            f"campaign: {self.executed} succeeded, {self.failed} failed, "
+            f"{self.skipped} skipped (cached), {self.retried} retried attempt(s)"
+        )
+        if not self.failures:
+            return head
+        lines = [head, "failures:"]
+        lines += [f"  - {failure.describe()}" for failure in self.failures]
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        if self.failures:
+            raise SimulationError(self.summary())
+
+
+# ---------------------------------------------------------------------------
+# The supervisor
+# ---------------------------------------------------------------------------
+
+
+def _attempt_entry(
+    conn: multiprocessing.connection.Connection,
+    run_one: Callable[[Any], Any],
+    job: Any,
+    job_key: str,
+    attempt: int,
+    child_setup: Optional[Callable[[], None]],
+) -> None:
+    """Worker body for one attempt: run the job, report over the pipe.
+
+    Every outcome is reported as a tagged tuple; a worker that dies
+    before sending anything is classified as a crash by the parent.
+    """
+    try:
+        if child_setup is not None:
+            child_setup()
+        fault = maybe_inject_fault(job_key, attempt)
+        if fault == "crash":
+            os._exit(13)
+        if fault == "timeout":
+            time.sleep(3600.0)
+        if fault == "error":
+            raise SimulationError(f"injected fault ({job_key}, attempt {attempt})")
+        result = run_one(job)
+        if fault == "corrupt":
+            result = _corrupted(result)
+        conn.send(("ok", result))
+    except SimulationError as exc:
+        conn.send(("err", type(exc).__name__, str(exc)))
+    except BaseException as exc:  # classify unexpected worker bugs too
+        conn.send(("err", "SimulationError", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Attempt:
+    process: multiprocessing.process.BaseProcess
+    conn: multiprocessing.connection.Connection
+    job: Any
+    key: str
+    attempt: int
+    deadline: Optional[float]
+
+
+def _run_in_process(
+    jobs: Sequence[Any],
+    run_one: Callable[[Any], Any],
+    key: Callable[[Any], str],
+    policy: RetryPolicy,
+    validate: Optional[Callable[[Any], None]],
+    progress: Optional[Callable[[int, int, str, str], None]],
+) -> CampaignReport:
+    """Serial fallback where multiprocessing is unavailable.
+
+    Crash/timeout faults cannot take the process down here, so the
+    injector's ``crash``/``timeout`` kinds surface as their taxonomy
+    exceptions instead; per-attempt wall-clock limits are not enforced.
+    """
+    report = CampaignReport()
+    total = len(jobs)
+    for job in jobs:
+        job_key = key(job)
+        last: SimulationError = SimulationError("no attempts made")
+        for attempt in range(1, policy.retries + 2):
+            if attempt > 1:
+                report.retried += 1
+                time.sleep(policy.backoff(job_key, attempt))
+            try:
+                fault = maybe_inject_fault(job_key, attempt)
+                if fault == "crash":
+                    raise WorkerCrash(f"injected crash ({job_key}, attempt {attempt})")
+                if fault == "timeout":
+                    raise JobTimeout(f"injected timeout ({job_key}, attempt {attempt})")
+                if fault == "error":
+                    raise SimulationError(f"injected fault ({job_key}, attempt {attempt})")
+                result = run_one(job)
+                if fault == "corrupt":
+                    result = _corrupted(result)
+                if validate is not None:
+                    try:
+                        validate(result)
+                    except SimulationError:
+                        raise
+                    except Exception as exc:
+                        raise CorruptResult(f"{job_key}: {exc}") from exc
+                report.completed[job_key] = result
+                break
+            except SimulationError as exc:
+                last = exc
+            except Exception as exc:
+                last = SimulationError(f"{type(exc).__name__}: {exc}")
+        else:
+            report.failures.append(
+                JobFailure(job_key, type(last).__name__, str(last), policy.retries + 1)
+            )
+        if progress is not None:
+            done = report.executed + report.failed
+            status = "ok" if job_key in report.completed else "FAILED"
+            progress(done, total, job_key, status)
+    return report
+
+
+def run_supervised(
+    jobs: Sequence[Any],
+    run_one: Callable[[Any], Any],
+    *,
+    workers: int = 0,
+    policy: Optional[RetryPolicy] = None,
+    key: Optional[Callable[[Any], str]] = None,
+    validate: Optional[Callable[[Any], None]] = None,
+    progress: Optional[Callable[[int, int, str, str], None]] = None,
+    child_setup: Optional[Callable[[], None]] = None,
+    in_process: Optional[bool] = None,
+) -> CampaignReport:
+    """Run ``run_one`` over ``jobs`` under supervision; never raises.
+
+    Each attempt runs in its own short-lived process, so a crash loses
+    one attempt and nothing else.  Failed attempts retry up to
+    ``policy.retries`` times with exponential backoff + jitter; jobs
+    that exhaust the budget land in the report's ``failures``, the rest
+    in ``completed`` (keyed by ``key(job)``).
+
+    ``validate`` (if given) runs in the parent on every returned
+    result; a validation error is classified :class:`CorruptResult`
+    and retried like any other failure.  ``child_setup`` runs first
+    inside every worker (campaigns use it to silence per-worker store
+    writes).  ``progress`` is called as ``(done, total, key, status)``
+    after each job settles.  ``in_process`` forces (or forbids) the
+    serial fallback; by default it is used when no start method works.
+    """
+    policy = policy or RetryPolicy()
+    key = key or (lambda job: repr(job))
+    jobs = list(jobs)
+    if not jobs:
+        return CampaignReport()
+
+    context = None if in_process else supervision_context()
+    if context is None:
+        if in_process is False:
+            raise SimulationError("multiprocessing unavailable and in_process=False")
+        return _run_in_process(jobs, run_one, key, policy, validate, progress)
+
+    workers = min(default_workers(workers), len(jobs))
+    report = CampaignReport()
+    total = len(jobs)
+    # (job, key, next attempt number, earliest start time)
+    ready: List[Tuple[Any, str, int, float]] = [
+        (job, key(job), 1, 0.0) for job in jobs
+    ]
+    running: List[_Attempt] = []
+
+    def _spawn(job: Any, job_key: str, attempt: int) -> None:
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_attempt_entry,
+            args=(child_conn, run_one, job, job_key, attempt, child_setup),
+        )
+        process.start()
+        child_conn.close()
+        deadline = time.monotonic() + policy.timeout if policy.timeout else None
+        running.append(_Attempt(process, parent_conn, job, job_key, attempt, deadline))
+
+    def _settle(attempt: _Attempt, error: SimulationError) -> None:
+        """One attempt failed: requeue with backoff or record the failure."""
+        if attempt.attempt <= policy.retries:
+            report.retried += 1
+            not_before = time.monotonic() + policy.backoff(
+                attempt.key, attempt.attempt + 1
+            )
+            ready.append((attempt.job, attempt.key, attempt.attempt + 1, not_before))
+        else:
+            report.failures.append(
+                JobFailure(attempt.key, type(error).__name__, str(error), attempt.attempt)
+            )
+            if progress is not None:
+                progress(report.executed + report.failed, total, attempt.key, "FAILED")
+
+    def _reap(attempt: _Attempt) -> None:
+        """Collect one finished/dead/overdue attempt."""
+        running.remove(attempt)
+        payload = None
+        if attempt.conn.poll():
+            try:
+                payload = attempt.conn.recv()
+            except (EOFError, OSError):
+                payload = None
+        attempt.conn.close()
+        attempt.process.join(timeout=5.0)
+
+        if payload is None:
+            code = attempt.process.exitcode
+            _settle(attempt, WorkerCrash(f"worker exited with code {code}"))
+            return
+        tag = payload[0]
+        if tag == "err":
+            _settle(attempt, _rebuild_error(payload[1], payload[2]))
+            return
+        result = payload[1]
+        if validate is not None:
+            try:
+                validate(result)
+            except Exception as exc:
+                _settle(attempt, CorruptResult(f"{attempt.key}: {exc}"))
+                return
+        report.completed[attempt.key] = result
+        if progress is not None:
+            progress(report.executed + report.failed, total, attempt.key, "ok")
+
+    try:
+        while ready or running:
+            now = time.monotonic()
+            # Launch whatever is ready while worker slots are free.
+            ready.sort(key=lambda item: item[3])
+            while ready and len(running) < workers and ready[0][3] <= now:
+                job, job_key, attempt, _ = ready.pop(0)
+                _spawn(job, job_key, attempt)
+
+            if not running:
+                # Everything pending is backing off; sleep until the next one.
+                time.sleep(max(ready[0][3] - now, 0.0) + 0.001)
+                continue
+
+            # Enforce deadlines: terminate overdue attempts.
+            now = time.monotonic()
+            overdue = [a for a in running if a.deadline is not None and now > a.deadline]
+            for attempt in overdue:
+                attempt.process.terminate()
+                attempt.process.join(timeout=5.0)
+                if attempt.process.is_alive():  # pragma: no cover - stuck worker
+                    attempt.process.kill()
+                    attempt.process.join(timeout=5.0)
+                running.remove(attempt)
+                attempt.conn.close()
+                _settle(
+                    attempt,
+                    JobTimeout(
+                        f"attempt exceeded {policy.timeout:.3g}s "
+                        f"(attempt {attempt.attempt})"
+                    ),
+                )
+            if overdue:
+                continue
+
+            # Wait for a result, a worker death, or the nearest deadline.
+            wait_for = 0.2
+            deadlines = [a.deadline for a in running if a.deadline is not None]
+            if deadlines:
+                wait_for = min(wait_for, max(min(deadlines) - now, 0.0) + 0.001)
+            sentinels = [a.process.sentinel for a in running]
+            fired = multiprocessing.connection.wait(
+                [a.conn for a in running] + sentinels, timeout=wait_for
+            )
+            if not fired:
+                continue
+            for attempt in list(running):
+                if attempt.conn in fired or attempt.process.sentinel in fired:
+                    _reap(attempt)
+    finally:
+        for attempt in running:  # interrupted: never leak worker processes
+            attempt.process.terminate()
+            attempt.process.join(timeout=2.0)
+            attempt.conn.close()
+    return report

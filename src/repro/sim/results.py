@@ -10,14 +10,15 @@ improvement over a baseline).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional
+import math
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, Iterable, Mapping, Optional
 
 from repro.cpu.core import CoreResult
 from repro.memory.hierarchy import HierarchyStats
 from repro.util.stats import geometric_mean, percent_change
 
-__all__ = ["SimResult", "SuiteResult"]
+__all__ = ["SimResult", "SuiteResult", "validate_result"]
 
 
 @dataclass
@@ -53,6 +54,90 @@ class SimResult:
             f"l1mr={m.l1_miss_rate:6.2%} l2mr={m.l2_demand_miss_rate:6.2%} "
             f"pf={m.prefetches_issued}"
         )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (the on-disk store's payload)."""
+        return {
+            "workload": self.workload,
+            "config_label": self.config_label,
+            "core": asdict(self.core),
+            "memory": asdict(self.memory),
+            "prefetcher_name": self.prefetcher_name,
+            "prefetcher_storage_bytes": self.prefetcher_storage_bytes,
+            "prefetcher_predictions": self.prefetcher_predictions,
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "SimResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Raises ``ValueError`` on any shape mismatch (missing/unknown
+        fields) so the store can quarantine the record.
+        """
+        try:
+            return SimResult(
+                workload=str(payload["workload"]),
+                config_label=str(payload["config_label"]),
+                core=CoreResult(**payload["core"]),
+                memory=HierarchyStats(**payload["memory"]),
+                prefetcher_name=str(payload["prefetcher_name"]),
+                prefetcher_storage_bytes=int(payload["prefetcher_storage_bytes"]),
+                prefetcher_predictions=int(payload["prefetcher_predictions"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed SimResult payload: {exc}") from exc
+
+    def validate(self) -> None:
+        """Check the invariants every genuine run satisfies.
+
+        Raises ``ValueError`` naming the violated invariant.  A result
+        that fails here is corrupt — a truncated store record, a
+        worker that died mid-serialisation — and must be quarantined
+        and re-run, never silently plotted.
+        """
+        core = self.core
+        if core.instructions <= 0 or core.accesses <= 0:
+            raise ValueError(
+                f"non-positive work: instructions={core.instructions}, "
+                f"accesses={core.accesses}"
+            )
+        if not math.isfinite(core.cycles) or core.cycles <= 0:
+            raise ValueError(f"cycles must be finite and positive, got {core.cycles}")
+        if not math.isfinite(self.ipc) or self.ipc <= 0:
+            raise ValueError(f"IPC must be finite and positive, got {self.ipc}")
+        m = self.memory
+        for stat_field in fields(m):
+            value = getattr(m, stat_field.name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise ValueError(
+                    f"counter {stat_field.name} must be a non-negative int, "
+                    f"got {value!r}"
+                )
+        if m.l1_hits + m.l1_misses != m.demand_accesses:
+            raise ValueError(
+                f"L1 hits+misses ({m.l1_hits}+{m.l1_misses}) != demand "
+                f"accesses ({m.demand_accesses})"
+            )
+        if m.loads + m.stores != m.demand_accesses:
+            raise ValueError(
+                f"loads+stores ({m.loads}+{m.stores}) != demand accesses "
+                f"({m.demand_accesses})"
+            )
+        if m.l2_demand_hits + m.l2_demand_misses != m.l2_demand_accesses:
+            raise ValueError(
+                f"L2 hits+misses ({m.l2_demand_hits}+{m.l2_demand_misses}) != "
+                f"L2 demand accesses ({m.l2_demand_accesses})"
+            )
+        if self.prefetcher_storage_bytes < 0 or self.prefetcher_predictions < 0:
+            raise ValueError("prefetcher counters must be non-negative")
+
+
+def validate_result(result: SimResult) -> SimResult:
+    """Validate and return ``result`` (chaining form of ``validate``)."""
+    if not isinstance(result, SimResult):
+        raise ValueError(f"expected a SimResult, got {type(result).__name__}")
+    result.validate()
+    return result
 
 
 @dataclass

@@ -5,6 +5,12 @@ completion.  A process-level result cache keyed by (workload, scale,
 configuration) lets experiments share runs — Figure 11, Figure 12 and
 the headline numbers all reuse the same TCP-8K runs, exactly as one
 simulation campaign would.
+
+Below the in-process cache sits the optional persistent tier
+(:mod:`repro.sim.store`): when a store is active, ``simulate()`` reads
+through it (validated hits are installed into the process cache) and
+writes every fresh result through to disk, so a killed campaign
+resumes from its checkpoints instead of starting over.
 """
 
 from __future__ import annotations
@@ -23,7 +29,12 @@ _RESULT_CACHE: Dict[Tuple[str, int, SimulationConfig], SimResult] = {}
 
 
 def clear_cache() -> None:
-    """Drop all memoised simulation results (tests use this)."""
+    """Drop all memoised simulation results (tests use this).
+
+    Only the in-process tier is cleared; an active on-disk store keeps
+    its checkpoints (use :meth:`repro.sim.store.ResultStore.clear` for
+    those).
+    """
     _RESULT_CACHE.clear()
 
 
@@ -31,6 +42,30 @@ def clear_cache() -> None:
 #: measurement starts (the analogue of the paper's 1B skipped
 #: instructions before its 2B measured ones).
 WARMUP_FRACTION = 0.25
+
+
+def _execute(
+    trace: Trace, config: SimulationConfig, warmup_fraction: float
+) -> SimResult:
+    """Run one cold machine over one trace (the uncached core of
+    :func:`simulate`; tests monkeypatch this to count real runs)."""
+    hierarchy = MemoryHierarchy(config.hierarchy)
+    prefetcher = config.build_prefetcher()
+    hierarchy.attach_prefetcher(prefetcher)
+    core = OutOfOrderCore(config.core)
+
+    core_result = core.run(trace, hierarchy, warmup=int(len(trace) * warmup_fraction))
+    hierarchy.finalize()
+
+    return SimResult(
+        workload=trace.name,
+        config_label=config.resolved_label(),
+        core=core_result,
+        memory=hierarchy.measured_stats(),
+        prefetcher_name=prefetcher.name,
+        prefetcher_storage_bytes=prefetcher.storage_bytes(),
+        prefetcher_predictions=prefetcher.stats.predictions,
+    )
 
 
 def simulate(
@@ -44,41 +79,39 @@ def simulate(
 
     ``workload`` may be a suite benchmark name (generated at ``scale``)
     or a prebuilt :class:`Trace`.  Results for named workloads are
-    memoised per process unless ``use_cache=False``.  The first
+    memoised per process — and, when a persistent store is active
+    (:func:`repro.sim.store.active_store`), checkpointed to disk and
+    resumed from it — unless ``use_cache=False``.  The first
     ``warmup_fraction`` of the trace trains state without being counted.
     """
+    from repro.sim import store as store_mod
+
     config = config or SimulationConfig.baseline()
     if not 0 <= warmup_fraction < 1:
         raise ValueError(f"warmup fraction must be in [0, 1), got {warmup_fraction}")
 
+    store = None
     if isinstance(workload, str):
         key = (workload, scale.accesses, config)
-        if use_cache and key in _RESULT_CACHE:
-            return _RESULT_CACHE[key]
+        if use_cache:
+            if key in _RESULT_CACHE:
+                return _RESULT_CACHE[key]
+            store = store_mod.active_store()
+            if store is not None:
+                stored = store.get(workload, scale.accesses, config)
+                if stored is not None:
+                    _RESULT_CACHE[key] = stored
+                    return stored
         trace = generate(workload, scale)
     else:
         key = None
         trace = workload
 
-    hierarchy = MemoryHierarchy(config.hierarchy)
-    prefetcher = config.build_prefetcher()
-    hierarchy.attach_prefetcher(prefetcher)
-    core = OutOfOrderCore(config.core)
-
-    core_result = core.run(trace, hierarchy, warmup=int(len(trace) * warmup_fraction))
-    hierarchy.finalize()
-
-    result = SimResult(
-        workload=trace.name,
-        config_label=config.resolved_label(),
-        core=core_result,
-        memory=hierarchy.measured_stats(),
-        prefetcher_name=prefetcher.name,
-        prefetcher_storage_bytes=prefetcher.storage_bytes(),
-        prefetcher_predictions=prefetcher.stats.predictions,
-    )
+    result = _execute(trace, config, warmup_fraction)
     if key is not None and use_cache:
         _RESULT_CACHE[key] = result
+        if store is not None:
+            store.put(key[0], key[1], config, result)
     return result
 
 

@@ -1,0 +1,285 @@
+"""Persistent, checkpointed result store for simulation campaigns.
+
+The in-process result cache (:mod:`repro.sim.runner`) evaporates when
+the process exits; for a ~150-simulation campaign that means one crash
+throws away hours of work.  :class:`ResultStore` is the durable tier
+underneath it: an append-only JSON-lines file of validated
+:class:`~repro.sim.results.SimResult` records keyed by
+``(workload, accesses, config fingerprint)``.
+
+Design points:
+
+* **Write-through, append-only.**  ``put`` validates, appends one
+  line, and flushes — a killed campaign keeps every completed result.
+* **Schema versioning.**  Records carry ``schema``; records written by
+  an incompatible store version are ignored (treated as absent), so a
+  format change can never resurrect stale bytes as results.
+* **Config-hash invalidation.**  The key includes a SHA-256
+  fingerprint of the full :class:`~repro.sim.config.SimulationConfig`
+  (machine parameters included), so any config change misses cleanly.
+* **Quarantine, never trust.**  Every record is re-validated on load;
+  unparsable or invariant-violating lines are moved to
+  ``quarantine.jsonl`` and the store file is rewritten without them —
+  a corrupt checkpoint is re-run, never silently plotted.
+
+The *active store* module global is how the rest of the package opts
+in: :func:`active_store` returns the explicitly installed store, else
+one built from ``REPRO_STORE_DIR`` (``REPRO_NO_STORE`` force-disables
+both).  ``simulate()`` reads and writes through whatever is active.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.sim.config import SimulationConfig
+from repro.sim.results import SimResult, validate_result
+
+__all__ = [
+    "ResultStore",
+    "SCHEMA_VERSION",
+    "active_store",
+    "clear_active_store",
+    "config_fingerprint",
+    "default_store_dir",
+    "set_active_store",
+    "store_from_env",
+    "use_store",
+]
+
+#: bump when the record layout or SimResult payload shape changes;
+#: older records are then invisible (and harmless).
+SCHEMA_VERSION = 1
+
+STORE_DIR_ENV = "REPRO_STORE_DIR"
+NO_STORE_ENV = "REPRO_NO_STORE"
+
+#: (workload, accesses, config fingerprint)
+StoreKey = Tuple[str, int, str]
+
+
+def config_fingerprint(config: SimulationConfig) -> str:
+    """Stable short hash of every parameter of a configuration.
+
+    ``SimulationConfig`` is a frozen dataclass tree of scalars, so its
+    ``repr`` is canonical and deterministic across processes; hashing
+    it means *any* parameter change (prefetcher, core, hierarchy,
+    label) invalidates stored results for that configuration.
+    """
+    return hashlib.sha256(repr(config).encode("utf-8")).hexdigest()[:16]
+
+
+class ResultStore:
+    """Append-only JSON-lines store of validated simulation results."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.path = self.root / "results.jsonl"
+        self.quarantine_path = self.root / "quarantine.jsonl"
+        self._index: Optional[Dict[StoreKey, SimResult]] = None
+        #: corrupt records found (and quarantined) by the last load.
+        self.quarantined = 0
+        #: records ignored because their schema version is foreign.
+        self.stale = 0
+
+    # -- loading ----------------------------------------------------------
+
+    def _decode(self, line: str) -> Tuple[StoreKey, SimResult]:
+        """Parse one record line; raise ``ValueError`` if it is corrupt."""
+        record = json.loads(line)
+        if not isinstance(record, dict):
+            raise ValueError("record is not an object")
+        key = (
+            str(record["workload"]),
+            int(record["accesses"]),
+            str(record["config"]),
+        )
+        result = SimResult.from_dict(record["result"])
+        validate_result(result)
+        if result.workload != key[0]:
+            raise ValueError(
+                f"workload mismatch: key {key[0]!r} vs payload {result.workload!r}"
+            )
+        return key, result
+
+    def _load(self) -> Dict[StoreKey, SimResult]:
+        if self._index is not None:
+            return self._index
+        index: Dict[StoreKey, SimResult] = {}
+        good_lines: List[str] = []
+        bad_lines: List[str] = []
+        self.quarantined = 0
+        self.stale = 0
+        if self.path.exists():
+            with self.path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    text = line.strip()
+                    if not text:
+                        continue
+                    try:
+                        record = json.loads(text)
+                        if (
+                            not isinstance(record, dict)
+                            or record.get("schema") != SCHEMA_VERSION
+                        ):
+                            if isinstance(record, dict) and "schema" in record:
+                                self.stale += 1  # foreign version: ignore, keep
+                                good_lines.append(text)
+                                continue
+                            raise ValueError("missing schema version")
+                        key, result = self._decode(text)
+                    except (ValueError, KeyError, TypeError):
+                        self.quarantined += 1
+                        bad_lines.append(text)
+                        continue
+                    index[key] = result  # last write wins
+                    good_lines.append(text)
+        if bad_lines:
+            with self.quarantine_path.open("a", encoding="utf-8") as handle:
+                for text in bad_lines:
+                    handle.write(text + "\n")
+            self._rewrite(good_lines)
+        self._index = index
+        return index
+
+    def _rewrite(self, lines: List[str]) -> None:
+        """Atomically replace the store file with the surviving records."""
+        tmp = self.path.with_suffix(".jsonl.tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            for text in lines:
+                handle.write(text + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+    # -- reading ----------------------------------------------------------
+
+    def get(
+        self, workload: str, accesses: int, config: SimulationConfig
+    ) -> Optional[SimResult]:
+        """The stored result for this (workload, scale, config), if any."""
+        return self._load().get((workload, accesses, config_fingerprint(config)))
+
+    def __contains__(self, key: StoreKey) -> bool:
+        return key in self._load()
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    def keys(self) -> Iterator[StoreKey]:
+        return iter(self._load())
+
+    # -- writing ----------------------------------------------------------
+
+    def put(
+        self,
+        workload: str,
+        accesses: int,
+        config: SimulationConfig,
+        result: SimResult,
+    ) -> None:
+        """Validate and durably append one result (write-through)."""
+        validate_result(result)
+        key = (workload, accesses, config_fingerprint(config))
+        record = {
+            "schema": SCHEMA_VERSION,
+            "workload": workload,
+            "accesses": accesses,
+            "config": key[2],
+            "config_label": config.resolved_label(),
+            "result": result.to_dict(),
+        }
+        line = json.dumps(record, separators=(",", ":"), allow_nan=False)
+        index = self._load()
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        index[key] = result
+
+    def clear(self) -> None:
+        """Drop every stored record (keeps the quarantine file)."""
+        if self.path.exists():
+            self.path.unlink()
+        self._index = {}
+        self.quarantined = 0
+        self.stale = 0
+
+
+# ---------------------------------------------------------------------------
+# The active store (what simulate()/prewarm() write through to)
+# ---------------------------------------------------------------------------
+
+_ACTIVE_STORE: Optional[ResultStore] = None
+_ACTIVE_EXPLICIT = False
+
+
+def default_store_dir() -> Path:
+    """``REPRO_STORE_DIR`` if set, else ``~/.cache/repro-tcp``."""
+    env = os.environ.get(STORE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path(os.path.expanduser("~")) / ".cache" / "repro-tcp"
+
+
+def store_from_env() -> Optional[ResultStore]:
+    """A store configured purely by the environment, or ``None``.
+
+    ``REPRO_STORE_DIR=<dir>`` enables persistence at that directory;
+    ``REPRO_NO_STORE`` (any non-empty value) force-disables it.
+    """
+    if os.environ.get(NO_STORE_ENV):
+        return None
+    env = os.environ.get(STORE_DIR_ENV)
+    if not env:
+        return None
+    return ResultStore(env)
+
+
+def set_active_store(store: Optional[ResultStore]) -> Optional[ResultStore]:
+    """Install the store ``simulate()`` writes through to; returns the old.
+
+    ``None`` means "explicitly no store" (persistence off even if
+    ``REPRO_STORE_DIR`` is set); use :func:`clear_active_store` to
+    return to environment-driven behaviour.
+    """
+    global _ACTIVE_STORE, _ACTIVE_EXPLICIT
+    previous = _ACTIVE_STORE
+    _ACTIVE_STORE = store
+    _ACTIVE_EXPLICIT = True
+    return previous
+
+
+def clear_active_store() -> None:
+    """Forget any explicit store; :func:`active_store` follows the env."""
+    global _ACTIVE_STORE, _ACTIVE_EXPLICIT
+    _ACTIVE_STORE = None
+    _ACTIVE_EXPLICIT = False
+
+
+def active_store() -> Optional[ResultStore]:
+    """The store the simulation layer should use right now (or None)."""
+    if os.environ.get(NO_STORE_ENV):
+        return None
+    if _ACTIVE_EXPLICIT:
+        return _ACTIVE_STORE
+    return store_from_env()
+
+
+@contextmanager
+def use_store(store: Optional[ResultStore]):
+    """Context manager: temporarily make ``store`` the active store."""
+    global _ACTIVE_STORE, _ACTIVE_EXPLICIT
+    previous, previous_explicit = _ACTIVE_STORE, _ACTIVE_EXPLICIT
+    _ACTIVE_STORE = store
+    _ACTIVE_EXPLICIT = True
+    try:
+        yield store
+    finally:
+        _ACTIVE_STORE, _ACTIVE_EXPLICIT = previous, previous_explicit

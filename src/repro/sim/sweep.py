@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.config import SimulationConfig
+from repro.sim.resilience import CampaignReport
 from repro.sim.results import SuiteResult
 from repro.sim.runner import simulate_suite
 from repro.util.tables import format_table
@@ -38,6 +39,31 @@ class Sweep:
         self.scale = scale
         self.benchmarks = benchmarks if benchmarks is not None else BENCHMARK_ORDER
         self._results: Optional[Dict[str, SuiteResult]] = None
+
+    def prewarm(
+        self,
+        jobs: int = 0,
+        retries: int = 2,
+        timeout: Optional[float] = None,
+    ) -> CampaignReport:
+        """Run this sweep's matrix under the fault-tolerant supervisor.
+
+        Fills the result cache (and the persistent store, when active)
+        in parallel with per-job retries/timeouts; a subsequent
+        :meth:`run` then replays from cache.  Returns the campaign
+        report — callers that need all-or-nothing semantics can
+        ``report.raise_if_failed()``.
+        """
+        from repro.sim.parallel import prewarm
+
+        return prewarm(
+            self.configs,
+            self.scale,
+            self.benchmarks,
+            jobs=jobs,
+            retries=retries,
+            timeout=timeout,
+        )
 
     def run(self) -> Dict[str, SuiteResult]:
         """Execute (or return the already-executed) sweep."""

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.sim import SimulationConfig, experiment_configs, prewarm, simulate
+from repro.sim.resilience import default_workers, supervision_context
 from repro.sim.runner import _RESULT_CACHE, clear_cache
 from repro.workloads import Scale
 
@@ -19,8 +20,9 @@ class TestPrewarm:
     def test_inprocess_prewarm_fills_cache(self):
         clear_cache()
         configs = [SimulationConfig.baseline()]
-        executed = prewarm(configs, Scale.QUICK, BENCHES, jobs=1)
-        assert executed == 2
+        report = prewarm(configs, Scale.QUICK, BENCHES, jobs=1)
+        assert report.executed == 2
+        assert report.ok
         for name in BENCHES:
             assert (name, Scale.QUICK.accesses, configs[0]) in _RESULT_CACHE
 
@@ -28,7 +30,9 @@ class TestPrewarm:
         clear_cache()
         configs = [SimulationConfig.baseline()]
         prewarm(configs, Scale.QUICK, BENCHES, jobs=1)
-        assert prewarm(configs, Scale.QUICK, BENCHES, jobs=1) == 0
+        report = prewarm(configs, Scale.QUICK, BENCHES, jobs=1)
+        assert report.executed == 0
+        assert report.skipped == 2
 
     def test_parallel_matches_serial(self):
         configs = [SimulationConfig.for_prefetcher("tcp-8k")]
@@ -53,3 +57,64 @@ class TestPrewarm:
         )
         result = run_experiment("fig1", Scale.QUICK, BENCHES)
         assert len(result.rows) == 2
+
+    def test_success_count_excludes_failures(self, monkeypatch):
+        """The report never counts a failed job as executed."""
+        from repro.sim import resilience
+
+        monkeypatch.setattr(
+            resilience,
+            "_FAULT_INJECTOR",
+            lambda key, attempt: "error" if key.startswith("fma3d") else None,
+        )
+        clear_cache()
+        report = prewarm(
+            [SimulationConfig.baseline()], Scale.QUICK, BENCHES, jobs=2, retries=1
+        )
+        assert report.executed == 1
+        assert report.failed == 1
+        assert report.executed + report.failed == len(BENCHES)
+
+
+class TestPlatformFallbacks:
+    def test_default_workers_explicit(self):
+        assert default_workers(3) == 3
+
+    def test_default_workers_survives_missing_cpu_count(self, monkeypatch):
+        import multiprocessing
+
+        def boom():
+            raise NotImplementedError
+
+        monkeypatch.setattr(multiprocessing, "cpu_count", boom)
+        assert default_workers(0) == 2
+
+    def test_context_fallback_order(self, monkeypatch):
+        import multiprocessing
+
+        calls = []
+        real = multiprocessing.get_context
+
+        def failing_fork(method=None):
+            calls.append(method)
+            if method == "fork":
+                raise ValueError("fork unavailable")
+            return real(method)
+
+        monkeypatch.setattr(multiprocessing, "get_context", failing_fork)
+        context = supervision_context()
+        assert calls[0] == "fork"
+        assert context is not None
+        assert context.get_start_method() == "spawn"
+
+    def test_context_env_forces_inprocess(self, monkeypatch):
+        monkeypatch.setenv("REPRO_START_METHOD", "inprocess")
+        assert supervision_context() is None
+
+    def test_prewarm_inprocess_fallback(self, monkeypatch):
+        """With no usable start method the campaign still completes."""
+        monkeypatch.setenv("REPRO_START_METHOD", "inprocess")
+        clear_cache()
+        report = prewarm([SimulationConfig.baseline()], Scale.QUICK, BENCHES, jobs=2)
+        assert report.executed == 2
+        assert report.ok

@@ -1,0 +1,317 @@
+"""Tests for worker supervision, fault injection, and campaign resume.
+
+These prove the acceptance paths end to end: a campaign with injected
+worker crashes completes every job via retries; a killed-then-restarted
+``repro-tcp run fig11`` resumes from the on-disk store re-running only
+the missing (workload, config) pairs; timeouts, corrupt results, and
+exhausted retry budgets each surface as their taxonomy class.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.sim import SimulationConfig, prewarm, simulate
+from repro.sim import store as store_mod
+from repro.sim.resilience import (
+    CampaignReport,
+    CorruptResult,
+    JobTimeout,
+    RetryPolicy,
+    SimulationError,
+    WorkerCrash,
+    maybe_inject_fault,
+    run_supervised,
+    set_fault_injector,
+)
+from repro.sim.runner import clear_cache
+from repro.sim.store import ResultStore
+from repro.workloads import Scale
+
+BENCHES = ("fma3d", "eon")
+BASE = SimulationConfig.baseline()
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    clear_cache()
+    yield
+    clear_cache()
+    set_fault_injector(None)
+    store_mod.clear_active_store()
+
+
+def fail_first_attempt(kind):
+    """Injector: every job faults with ``kind`` on attempt 1 only."""
+    return lambda key, attempt: kind if attempt == 1 else None
+
+
+class TestTaxonomy:
+    def test_hierarchy(self):
+        for cls in (WorkerCrash, JobTimeout, CorruptResult):
+            assert issubclass(cls, SimulationError)
+        assert issubclass(SimulationError, RuntimeError)
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0)
+
+    def test_backoff_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_max=1.0)
+        first = policy.backoff("job", 2)
+        assert first == policy.backoff("job", 2)
+        assert 0.05 <= policy.backoff("job", 1) < 0.15
+        assert policy.backoff("job", 10) < 1.5  # capped at max * 1.5 jitter
+
+
+class TestFaultInjection:
+    def test_env_rate_is_deterministic(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_RATE", "0.5")
+        outcomes = [maybe_inject_fault("job-%d" % i, 1) for i in range(64)]
+        assert outcomes == [maybe_inject_fault("job-%d" % i, 1) for i in range(64)]
+        faulted = sum(1 for o in outcomes if o is not None)
+        assert 0 < faulted < 64  # the hash actually splits the population
+
+    def test_env_kind_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_RATE", "1.0")
+        monkeypatch.setenv("REPRO_FAULT_KIND", "error")
+        assert maybe_inject_fault("anything", 1) == "error"
+
+    def test_zero_rate_never_faults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_RATE", "0.0")
+        assert all(maybe_inject_fault("job-%d" % i, 1) is None for i in range(32))
+
+    def test_injector_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_RATE", "1.0")
+        set_fault_injector(lambda key, attempt: None)
+        assert maybe_inject_fault("job", 1) is None
+
+
+class TestSupervisor:
+    """run_supervised over a trivial job function (no simulations)."""
+
+    def test_crash_isolation_loses_one_attempt_not_the_pool(self):
+        set_fault_injector(fail_first_attempt("crash"))
+        report = run_supervised(
+            list(range(6)),
+            lambda job: job * 10,
+            workers=3,
+            policy=RetryPolicy(retries=2, backoff_base=0.0),
+            key=str,
+        )
+        assert report.ok
+        assert report.completed == {str(i): i * 10 for i in range(6)}
+        assert report.retried == 6  # every job crashed once, retried once
+
+    def test_exhausted_retries_classified_as_crash(self):
+        set_fault_injector(lambda key, attempt: "crash")
+        report = run_supervised(
+            ["only"],
+            lambda job: job,
+            workers=1,
+            policy=RetryPolicy(retries=1, backoff_base=0.0),
+            key=str,
+        )
+        assert report.failed == 1
+        assert report.failures[0].error == "WorkerCrash"
+        assert report.failures[0].attempts == 2
+
+    def test_timeout_classified_and_bounded(self):
+        set_fault_injector(lambda key, attempt: "timeout")
+        report = run_supervised(
+            ["slow"],
+            lambda job: job,
+            workers=1,
+            policy=RetryPolicy(retries=0, timeout=0.5, backoff_base=0.0),
+            key=str,
+        )
+        assert report.failed == 1
+        assert report.failures[0].error == "JobTimeout"
+
+    def test_error_message_propagates_from_worker(self):
+        def boom(job):
+            raise ValueError("the dial goes to 11")
+
+        report = run_supervised(
+            ["x"], boom, workers=1, policy=RetryPolicy(retries=0, backoff_base=0.0),
+            key=str,
+        )
+        assert report.failed == 1
+        assert "the dial goes to 11" in report.failures[0].message
+
+    def test_validation_failure_retries_then_succeeds(self):
+        set_fault_injector(fail_first_attempt("corrupt"))
+        clear_cache()
+        from repro.sim.parallel import _run_job
+        from repro.sim.results import validate_result
+
+        report = run_supervised(
+            [("eon", BASE, Scale.QUICK.accesses)],
+            _run_job,
+            workers=1,
+            policy=RetryPolicy(retries=1, backoff_base=0.0),
+            key=lambda job: job[0],
+            validate=validate_result,
+        )
+        assert report.ok
+        assert report.retried == 1
+        report.completed["eon"].validate()
+
+    def test_empty_job_list(self):
+        report = run_supervised([], lambda job: job, workers=2)
+        assert report.ok and report.executed == 0
+
+    def test_progress_callback_sees_every_job(self):
+        seen = []
+        report = run_supervised(
+            list(range(4)),
+            lambda job: job,
+            workers=2,
+            key=str,
+            progress=lambda done, total, key, status: seen.append((done, total, status)),
+        )
+        assert report.executed == 4
+        assert len(seen) == 4
+        assert all(total == 4 and status == "ok" for _, total, status in seen)
+        assert sorted(done for done, _, _ in seen) == [1, 2, 3, 4]
+
+
+class TestCampaignWithFaults:
+    def test_faulty_campaign_completes_all_jobs(self):
+        """Acceptance: fault rate > 0, every job completes via retries."""
+        set_fault_injector(None)
+        import os
+
+        os.environ["REPRO_FAULT_RATE"] = "0.4"
+        os.environ["REPRO_FAULT_KIND"] = "crash"
+        try:
+            report = prewarm(
+                [BASE], Scale.QUICK, BENCHES + ("swim",), jobs=2, retries=4
+            )
+        finally:
+            del os.environ["REPRO_FAULT_RATE"]
+            del os.environ["REPRO_FAULT_KIND"]
+        assert report.ok, report.summary()
+        assert report.executed == 3
+        assert report.retried > 0  # the faults actually fired
+        # and the results are identical to a clean serial run
+        clean = simulate("eon", BASE, Scale.QUICK, use_cache=False)
+        assert report.completed[f"eon/base@{Scale.QUICK.accesses}"].ipc == clean.ipc
+
+    def test_inprocess_campaign_with_faults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_START_METHOD", "inprocess")
+        set_fault_injector(fail_first_attempt("crash"))
+        report = prewarm([BASE], Scale.QUICK, BENCHES, jobs=2, retries=2)
+        assert report.ok
+        assert report.executed == 2
+        assert report.retried == 2
+
+    def test_report_summary_names_error_classes(self):
+        set_fault_injector(lambda key, attempt: "error")
+        report = prewarm([BASE], Scale.QUICK, ("eon",), jobs=2, retries=0)
+        assert report.failed == 1
+        text = report.summary()
+        assert "SimulationError" in text and "eon" in text
+        with pytest.raises(SimulationError):
+            report.raise_if_failed()
+
+
+class TestResumeAcrossRestart:
+    def test_cli_resume_reruns_only_missing_pairs(self, tmp_path, monkeypatch, capsys):
+        """Acceptance: a killed-then-restarted run resumes from the store."""
+        store_dir = tmp_path / "store"
+        # "First run, killed partway": only some pairs reach the store.
+        clear_cache()
+        with store_mod.use_store(ResultStore(store_dir)):
+            for config in (BASE, SimulationConfig.for_prefetcher("tcp-8k")):
+                simulate("fma3d", config, Scale.QUICK)
+        checkpointed = len(ResultStore(store_dir))
+        assert checkpointed == 2
+
+        # "Restart": count how many simulations actually execute.
+        clear_cache()
+        executions = []
+        from repro.sim import runner
+
+        real = runner._execute
+        monkeypatch.setattr(
+            runner,
+            "_execute",
+            lambda trace, config, w: executions.append(trace.name) or real(trace, config, w),
+        )
+        code = main([
+            "run", "fig11", "--scale", "quick",
+            "--benchmarks", "fma3d", "eon",
+            "--store-dir", str(store_dir),
+        ])
+        store_mod.clear_active_store()
+        assert code == 0
+        # fig11 needs 4 configs x 2 benchmarks = 8 pairs; 2 were checkpointed.
+        assert len(executions) == 8 - checkpointed
+        assert executions.count("fma3d") == 2  # only tcp-8m + dbcp-2m missing
+        out = capsys.readouterr().out
+        assert "result store" in out
+
+    def test_cli_second_run_executes_nothing(self, tmp_path, monkeypatch):
+        store_dir = tmp_path / "store"
+        clear_cache()
+        code = main([
+            "run", "fig11", "--scale", "quick",
+            "--benchmarks", "fma3d",
+            "--store-dir", str(store_dir),
+        ])
+        store_mod.clear_active_store()
+        assert code == 0
+
+        clear_cache()
+        executions = []
+        from repro.sim import runner
+
+        real = runner._execute
+        monkeypatch.setattr(
+            runner,
+            "_execute",
+            lambda *a, **k: executions.append(1) or real(*a, **k),
+        )
+        code = main([
+            "run", "fig11", "--scale", "quick",
+            "--benchmarks", "fma3d",
+            "--store-dir", str(store_dir),
+        ])
+        store_mod.clear_active_store()
+        assert code == 0
+        assert executions == []  # everything replayed from the store
+
+
+class TestCLIFailureSummary:
+    def test_nonzero_exit_and_readable_summary_on_partial_failure(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        set_fault_injector(lambda key, attempt: "error" if key.startswith("eon") else None)
+        clear_cache()
+        code = main([
+            "run", "fig1", "--scale", "quick",
+            "--benchmarks", "fma3d", "eon",
+            "--jobs", "2", "--retries", "0", "--no-store",
+        ])
+        store_mod.clear_active_store()
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "failures:" in captured.err
+        assert "SimulationError" in captured.err
+        assert "eon" in captured.err
+
+    def test_no_store_flag_disables_persistence(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "envstore"))
+        clear_cache()
+        code = main([
+            "run", "fig1", "--scale", "quick",
+            "--benchmarks", "fma3d",
+            "--no-store",
+        ])
+        store_mod.clear_active_store()
+        assert code == 0
+        assert not (tmp_path / "envstore" / "results.jsonl").exists()

@@ -1,0 +1,170 @@
+"""Tests for the persistent checkpointed result store (repro.sim.store)."""
+
+import json
+
+import pytest
+
+from repro.sim import SimulationConfig, simulate
+from repro.sim import store as store_mod
+from repro.sim.runner import clear_cache
+from repro.sim.store import ResultStore, SCHEMA_VERSION, config_fingerprint
+from repro.workloads import Scale
+
+BASE = SimulationConfig.baseline()
+TCP = SimulationConfig.for_prefetcher("tcp-8k")
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+@pytest.fixture()
+def result():
+    clear_cache()
+    return simulate("eon", BASE, Scale.QUICK)
+
+
+class TestFingerprint:
+    def test_stable(self):
+        assert config_fingerprint(BASE) == config_fingerprint(SimulationConfig.baseline())
+
+    def test_any_parameter_change_invalidates(self):
+        assert config_fingerprint(BASE) != config_fingerprint(TCP)
+        tweaked = BASE.with_hierarchy(memory_latency=71)
+        assert config_fingerprint(BASE) != config_fingerprint(tweaked)
+
+
+class TestRoundTrip:
+    def test_put_get(self, store, result):
+        store.put("eon", Scale.QUICK.accesses, BASE, result)
+        loaded = store.get("eon", Scale.QUICK.accesses, BASE)
+        assert loaded is not None
+        assert loaded.ipc == result.ipc
+        assert loaded.memory.l1_misses == result.memory.l1_misses
+
+    def test_survives_reopen(self, store, result):
+        store.put("eon", Scale.QUICK.accesses, BASE, result)
+        reopened = ResultStore(store.root)
+        loaded = reopened.get("eon", Scale.QUICK.accesses, BASE)
+        assert loaded is not None
+        assert loaded.to_dict() == result.to_dict()
+
+    def test_miss_on_other_key(self, store, result):
+        store.put("eon", Scale.QUICK.accesses, BASE, result)
+        assert store.get("eon", Scale.QUICK.accesses, TCP) is None
+        assert store.get("eon", Scale.STANDARD.accesses, BASE) is None
+        assert store.get("swim", Scale.QUICK.accesses, BASE) is None
+
+    def test_last_write_wins(self, store, result):
+        store.put("eon", Scale.QUICK.accesses, BASE, result)
+        store.put("eon", Scale.QUICK.accesses, BASE, result)
+        reopened = ResultStore(store.root)
+        assert len(reopened) == 1
+
+    def test_put_rejects_invalid(self, store, result):
+        import dataclasses
+
+        bad = dataclasses.replace(
+            result, core=dataclasses.replace(result.core, cycles=float("nan"))
+        )
+        with pytest.raises(ValueError):
+            store.put("eon", Scale.QUICK.accesses, BASE, bad)
+        assert len(store) == 0
+
+
+class TestQuarantine:
+    def test_garbage_line_quarantined(self, store, result):
+        store.put("eon", Scale.QUICK.accesses, BASE, result)
+        with store.path.open("a", encoding="utf-8") as handle:
+            handle.write("{this is not json\n")
+        reopened = ResultStore(store.root)
+        assert reopened.get("eon", Scale.QUICK.accesses, BASE) is not None
+        assert reopened.quarantined == 1
+        assert reopened.quarantine_path.exists()
+        # the store file was rewritten clean: a third open quarantines nothing
+        assert ResultStore(store.root).quarantined == 0
+
+    def test_invariant_violation_quarantined(self, store, result):
+        store.put("eon", Scale.QUICK.accesses, BASE, result)
+        record = json.loads(store.path.read_text().strip())
+        record["result"]["core"]["cycles"] = -1.0
+        store.path.write_text(json.dumps(record) + "\n")
+        reopened = ResultStore(store.root)
+        assert reopened.get("eon", Scale.QUICK.accesses, BASE) is None
+        assert reopened.quarantined == 1
+
+    def test_truncated_payload_quarantined(self, store, result):
+        store.put("eon", Scale.QUICK.accesses, BASE, result)
+        record = json.loads(store.path.read_text().strip())
+        del record["result"]["core"]
+        store.path.write_text(json.dumps(record) + "\n")
+        reopened = ResultStore(store.root)
+        assert reopened.get("eon", Scale.QUICK.accesses, BASE) is None
+        assert reopened.quarantined == 1
+
+    def test_foreign_schema_ignored_not_quarantined(self, store, result):
+        store.put("eon", Scale.QUICK.accesses, BASE, result)
+        record = json.loads(store.path.read_text().strip())
+        record["schema"] = SCHEMA_VERSION + 1
+        store.path.write_text(json.dumps(record) + "\n")
+        reopened = ResultStore(store.root)
+        assert reopened.get("eon", Scale.QUICK.accesses, BASE) is None
+        assert reopened.stale == 1
+        assert reopened.quarantined == 0
+
+
+class TestActiveStore:
+    def test_simulate_writes_through_and_resumes(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        clear_cache()
+        with store_mod.use_store(store):
+            first = simulate("eon", BASE, Scale.QUICK)
+            assert len(store) == 1
+            # a fresh process is simulated by clearing the in-memory cache:
+            clear_cache()
+            executions = []
+            from repro.sim import runner
+
+            real = runner._execute
+            monkeypatch.setattr(
+                runner, "_execute", lambda *a, **k: executions.append(1) or real(*a, **k)
+            )
+            resumed = simulate("eon", BASE, Scale.QUICK)
+            assert executions == []  # resumed from disk, not re-run
+            assert resumed.to_dict() == first.to_dict()
+
+    def test_no_store_env_disables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        assert store_mod.active_store() is not None
+        monkeypatch.setenv("REPRO_NO_STORE", "1")
+        assert store_mod.active_store() is None
+
+    def test_store_dir_env_enables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        store = store_mod.active_store()
+        assert store is not None
+        assert store.root == tmp_path
+
+    def test_corrupt_checkpoint_is_rerun(self, tmp_path, monkeypatch):
+        """A corrupt store entry is quarantined and the job re-executed."""
+        store = ResultStore(tmp_path)
+        clear_cache()
+        with store_mod.use_store(store):
+            simulate("eon", BASE, Scale.QUICK)
+        # corrupt the checkpoint on disk
+        record = json.loads(store.path.read_text().strip())
+        record["result"]["memory"]["l1_hits"] += 1  # breaks hits+misses==accesses
+        store.path.write_text(json.dumps(record) + "\n")
+        clear_cache()
+        executions = []
+        from repro.sim import runner
+
+        real = runner._execute
+        monkeypatch.setattr(
+            runner, "_execute", lambda *a, **k: executions.append(1) or real(*a, **k)
+        )
+        with store_mod.use_store(ResultStore(tmp_path)):
+            rerun = simulate("eon", BASE, Scale.QUICK)
+        assert executions == [1]  # quarantined entry forced a real re-run
+        rerun.validate()
