@@ -34,10 +34,12 @@ from repro.experiments import EXPERIMENTS, run_experiment
 from repro.sim import (
     PREFETCHERS,
     CampaignReport,
+    InvariantViolation,
     ResultStore,
     SimResult,
     SimulationConfig,
     SimulationError,
+    StallTimeout,
     prewarm,
     simulate,
     simulate_suite,
@@ -51,6 +53,7 @@ __all__ = [
     "CampaignReport",
     "EXPERIMENTS",
     "HybridTCP",
+    "InvariantViolation",
     "MultiTargetTCP",
     "PREFETCHERS",
     "ResultStore",
@@ -59,6 +62,7 @@ __all__ = [
     "SimResult",
     "SimulationConfig",
     "SimulationError",
+    "StallTimeout",
     "StrideFilteredTCP",
     "TCPConfig",
     "TagCorrelatingPrefetcher",

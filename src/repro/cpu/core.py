@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.workloads.trace import Trace
@@ -79,7 +80,13 @@ class OutOfOrderCore:
         self.params = params
 
     def run(
-        self, trace: Trace, hierarchy: MemoryHierarchy, warmup: int = 0
+        self,
+        trace: Trace,
+        hierarchy: MemoryHierarchy,
+        warmup: int = 0,
+        progress: Optional[Callable[[int, int, float], None]] = None,
+        progress_interval: int = 2048,
+        sanitizer: Optional[object] = None,
     ) -> CoreResult:
         """Simulate the whole trace; returns the timing result.
 
@@ -90,6 +97,13 @@ class OutOfOrderCore:
         own statistics during the run; callers read them from
         ``hierarchy.stats`` (and snapshot/``since`` for warmup
         exclusion).
+
+        ``progress`` (if given) is called every ``progress_interval``
+        accesses as ``(accesses_done, accesses_total, sim_time)`` —
+        the hook behind campaign heartbeats and mid-run checkpoint
+        markers.  ``sanitizer`` (a :class:`repro.sim.sanitizer.Sanitizer`)
+        runs its invariant checks at the same marks; when neither is
+        given the loop pays one integer compare per access.
         """
         params = self.params
         n = len(trace)
@@ -136,6 +150,21 @@ class OutOfOrderCore:
         instr_num = 0
         warmup_instr = 0
         warmup_commit = 0.0
+
+        if progress_interval <= 0:
+            raise ValueError(
+                f"progress interval must be positive, got {progress_interval}"
+            )
+        if sanitizer is not None:
+            interval = sanitizer.interval  # type: ignore[attr-defined]
+            mark_interval = (
+                min(progress_interval, interval) if progress is not None else interval
+            )
+        else:
+            mark_interval = progress_interval
+        # The sentinel n + 1 never matches, so an uninstrumented run
+        # pays exactly one integer compare per access.
+        next_mark = mark_interval if (progress or sanitizer) else n + 1
 
         for i in range(n):
             if i == warmup and warmup:
@@ -193,6 +222,17 @@ class OutOfOrderCore:
             last_commit = commit
             commits[i & ring_mask] = commit
             rob.append((instr_num, commit))
+
+            if i + 1 == next_mark:
+                next_mark += mark_interval
+                # Progress before checks: the runner's hook may apply a
+                # scheduled fault-injection corruption here, and the
+                # sanitizer must observe it at this same mark.
+                if progress is not None:
+                    progress(i + 1, n, last_commit)
+                if sanitizer is not None:
+                    sanitizer.check_core(len(rob), window, last_commit, now_dispatch)  # type: ignore[attr-defined]
+                    sanitizer.check(hierarchy, last_commit)  # type: ignore[attr-defined]
 
         total_instructions = trace.instruction_count
         trailing = total_instructions - instr_num

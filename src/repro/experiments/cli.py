@@ -29,12 +29,14 @@ missing (workload, configuration) pairs::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.sim import PREFETCHERS, SimulationConfig, SimulationError, simulate
+from repro.sim import sanitizer as sanitizer_mod
 from repro.sim import store as store_mod
 from repro.workloads import BENCHMARK_ORDER, SUITE, Scale
 
@@ -102,6 +104,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--timeout", type=_parse_timeout, default=None,
                      metavar="SECONDS",
                      help="per-simulation wall-clock budget (default none)")
+    run.add_argument("--stall-timeout", type=_parse_timeout, default=None,
+                     metavar="SECONDS",
+                     help="kill a worker that emits no progress heartbeat "
+                          "for this long (a slow-but-progressing job is "
+                          "never killed; default off)")
+    run.add_argument("--sanitize", choices=sanitizer_mod.LEVELS, default=None,
+                     help="runtime invariant checking tier (default: "
+                          "$REPRO_SANITIZE or off)")
     run.set_defaults(func=_cmd_run)
 
     simulate_cmd = sub.add_parser("simulate", help="simulate one benchmark")
@@ -109,6 +119,10 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate_cmd.add_argument("--prefetcher", default="none",
                               choices=sorted(PREFETCHERS))
     simulate_cmd.add_argument("--scale", type=_parse_scale, default=Scale.STANDARD)
+    simulate_cmd.add_argument("--sanitize", choices=sanitizer_mod.LEVELS,
+                              default=None,
+                              help="runtime invariant checking tier (default: "
+                                   "$REPRO_SANITIZE or off)")
     simulate_cmd.set_defaults(func=_cmd_simulate)
 
     trace_cmd = sub.add_parser(
@@ -155,6 +169,17 @@ def _campaign_progress(done: int, total: int, key: str, status: str) -> None:
     print(f"  [{done}/{total}] {key}: {status}", flush=True)
 
 
+def _apply_sanitize(level: Optional[str]) -> None:
+    """Install a ``--sanitize`` choice for this process *and* workers.
+
+    Experiments build their configurations internally, so the tier is
+    carried by the environment (which worker processes inherit) rather
+    than by threading a flag through every experiment.
+    """
+    if level is not None:
+        os.environ[sanitizer_mod.SANITIZE_ENV] = level
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     names: List[str] = (
         list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -164,6 +189,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"error: unknown experiment {name!r}", file=sys.stderr)
             return 2
 
+    _apply_sanitize(args.sanitize)
     store = _resolve_store(args)
     store_mod.set_active_store(store)
     if store is not None:
@@ -174,6 +200,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"record(s) to {store.quarantine_path}; they will be re-run",
                 file=sys.stderr,
             )
+        for marker in store.progress_entries().values():
+            done, total = marker.get("done", 0), marker.get("total", 0)
+            if total:
+                print(
+                    f"  incomplete: {marker['workload']}@{marker['accesses']} "
+                    f"reached {done}/{total} accesses "
+                    f"({100.0 * done / total:.0f}%) before interruption"
+                )
 
     failures = 0
     if args.jobs != 1:
@@ -186,6 +220,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             retries=args.retries,
             timeout=args.timeout,
+            stall_timeout=args.stall_timeout,
             progress=_campaign_progress,
         )
         print(
@@ -223,6 +258,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    _apply_sanitize(args.sanitize)
     base = simulate(args.benchmark, SimulationConfig.baseline(), args.scale)
     config = SimulationConfig.for_prefetcher(args.prefetcher)
     result = simulate(args.benchmark, config, args.scale)

@@ -328,11 +328,12 @@ class MemoryHierarchy:
             return AccessResult(merged, False)
 
         start = self.mshr.acquire(now)
+        stats.mshr_full_stalls = self.mshr.full_stalls
         data_ready, l2_hit = self._demand_l2(start, block)
         # Data return to L1 over the L1/L2 data channel.
         xfer = self.l1l2_data_bus.request(data_ready, self.params.l1d.block_bytes)
         completion = xfer + self.l1l2_data_bus.beats(self.params.l1d.block_bytes)
-        self.mshr.register(block, completion)
+        self.mshr.register(block, completion, now)
 
         self._fill_l1(index, tag, completion, prefetched=False, dirty=is_write)
 

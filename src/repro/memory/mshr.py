@@ -37,6 +37,8 @@ class MSHRFile:
         self.full_stalls = 0
         #: number of secondary misses merged into an existing entry
         self.merges = 0
+        #: most registers simultaneously in flight over the run
+        self.peak_occupancy = 0
 
     def _reap(self, now: float) -> None:
         """Drop entries whose fetch has completed by ``now``."""
@@ -76,9 +78,20 @@ class MSHRFile:
         self._reap(start)
         return start
 
-    def register(self, block: int, completion: float) -> None:
-        """Record that ``block``'s fetch will complete at ``completion``."""
-        self._inflight[block] = completion
+    def register(self, block: int, completion: float, now: Optional[float] = None) -> None:
+        """Record that ``block``'s fetch will complete at ``completion``.
+
+        Passing ``now`` prunes already-completed entries first, keeping
+        the file bounded by ``entries`` live registers over arbitrarily
+        long traces (completed entries otherwise linger until the next
+        ``acquire``/``outstanding`` call reaps them).
+        """
+        if now is not None:
+            self._reap(now)
+        inflight = self._inflight
+        inflight[block] = completion
+        if len(inflight) > self.peak_occupancy:
+            self.peak_occupancy = len(inflight)
 
     def outstanding(self, now: float) -> int:
         """Number of misses still in flight at ``now``."""
@@ -90,3 +103,4 @@ class MSHRFile:
         self._inflight.clear()
         self.full_stalls = 0
         self.merges = 0
+        self.peak_occupancy = 0

@@ -142,6 +142,23 @@ class Prefetcher(ABC):
     def observe_eviction(self, evt: EvictionEvent) -> None:
         """Process one L1 eviction (only called if ``needs_eviction_stream``)."""
 
+    def sanitize_check(self, require) -> None:
+        """Structural self-checks for the runtime sanitizer (full tier).
+
+        ``require`` is :meth:`repro.sim.sanitizer.Sanitizer.require`:
+        ``require(condition, invariant_name, message, **snapshot)``.
+        Subclasses with private tables should extend this (call
+        ``super().sanitize_check(require)`` first); the TCP's THT/PHT
+        are scanned by the sanitizer itself via duck typing.
+        """
+        s = self.stats
+        require(
+            s.lookups >= 0 and s.predictions >= 0 and s.updates >= 0,
+            "prefetcher-stats-domain",
+            f"{self.name} prefetcher counters went negative",
+            lookups=s.lookups, predictions=s.predictions, updates=s.updates,
+        )
+
     @abstractmethod
     def storage_bytes(self) -> int:
         """Total hardware table budget in bytes."""

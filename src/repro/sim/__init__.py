@@ -22,14 +22,17 @@ from repro.sim.parallel import experiment_configs, prewarm
 from repro.sim.resilience import (
     CampaignReport,
     CorruptResult,
+    InvariantViolation,
     JobFailure,
     JobTimeout,
     RetryPolicy,
     SimulationError,
+    StallTimeout,
     WorkerCrash,
 )
 from repro.sim.results import SimResult, SuiteResult, validate_result
 from repro.sim.runner import simulate, simulate_suite
+from repro.sim.sanitizer import Sanitizer, build_sanitizer, sanitize_level
 from repro.sim.store import ResultStore, active_store, set_active_store, use_store
 from repro.sim.sweep import Sweep, improvement_table
 
@@ -37,21 +40,26 @@ __all__ = [
     "PREFETCHERS",
     "CampaignReport",
     "CorruptResult",
+    "InvariantViolation",
     "JobFailure",
     "JobTimeout",
     "ResultStore",
     "RetryPolicy",
+    "Sanitizer",
     "SimResult",
     "SimulationConfig",
     "SimulationError",
+    "StallTimeout",
     "SuiteResult",
     "Sweep",
     "WorkerCrash",
     "active_store",
+    "build_sanitizer",
     "experiment_configs",
     "improvement_table",
     "prefetcher_factory",
     "prewarm",
+    "sanitize_level",
     "set_active_store",
     "simulate",
     "simulate_suite",

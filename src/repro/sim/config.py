@@ -90,6 +90,17 @@ class SimulationConfig:
     hierarchy: HierarchyParams = field(default_factory=HierarchyParams)
     #: label used in result tables; defaults to the prefetcher name.
     label: Optional[str] = None
+    #: runtime invariant-checking tier ("off" | "cheap" | "full");
+    #: None defers to the ``REPRO_SANITIZE`` environment variable.
+    #: Checking never changes simulated results, so this field is
+    #: excluded from the store's config fingerprint.
+    sanitize: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.sanitize is not None and self.sanitize not in ("off", "cheap", "full"):
+            raise ValueError(
+                f"sanitize must be off, cheap, or full, got {self.sanitize!r}"
+            )
 
     def resolved_label(self) -> str:
         return self.label if self.label is not None else self.prefetcher

@@ -86,6 +86,7 @@ def prewarm(
     jobs: int = 0,
     retries: int = 2,
     timeout: Optional[float] = None,
+    stall_timeout: Optional[float] = None,
     progress: Optional[Callable[[int, int, str, str], None]] = None,
 ) -> CampaignReport:
     """Fill the result cache for ``configs`` x ``benchmarks`` in parallel.
@@ -94,12 +95,21 @@ def prewarm(
     keeps the function usable where multiprocessing is unavailable).
     Each job gets up to ``retries`` extra attempts and, with
     ``timeout``, a per-attempt wall-clock budget in seconds.
+    ``stall_timeout`` arms the heartbeat watchdog instead: an attempt
+    is killed only when it emits no progress heartbeat for that many
+    seconds, so a slow-but-progressing job is never lost to a
+    wall-clock guess.
 
     Returns a :class:`~repro.sim.resilience.CampaignReport`:
     ``report.executed`` counts *successful* simulations, failed jobs
     are listed in ``report.failures`` (they are never silently counted
     as executed), and entries satisfied from the cache or the
     persistent store are in ``report.skipped``.
+
+    When a store is active, worker heartbeats additionally leave coarse
+    mid-run checkpoint markers (``progress.jsonl``) so a preempted long
+    job reports how far it got; a job's marker is dropped once its
+    result is checkpointed for real.
     """
     config_list = list(configs) if configs is not None else experiment_configs()
     names = tuple(benchmarks) if benchmarks is not None else BENCHMARK_ORDER
@@ -123,7 +133,25 @@ def prewarm(
     if not pending:
         return report
 
-    policy = RetryPolicy(retries=retries, timeout=timeout)
+    by_key = {_job_key(job): job for job in pending}
+    heartbeat = None
+    if store is not None:
+        # Fold worker heartbeats into coarse checkpoint markers: write
+        # only when a job advances >= 10% since its last marker, so a
+        # chatty worker cannot turn progress.jsonl into a firehose.
+        marked: dict = {}
+
+        def heartbeat(job_key: str, done: int, total: int, sim_time: float) -> None:
+            if total <= 0 or job_key not in by_key:
+                return
+            last = marked.get(job_key, 0)
+            if done - last < total // 10 + 1:
+                return
+            marked[job_key] = done
+            workload, config, accesses = by_key[job_key]
+            store.put_progress(workload, accesses, config, done, total, sim_time)
+
+    policy = RetryPolicy(retries=retries, timeout=timeout, stall_timeout=stall_timeout)
     report.merge(
         run_supervised(
             pending,
@@ -133,16 +161,18 @@ def prewarm(
             key=_job_key,
             validate=validate_result,
             progress=progress,
+            heartbeat=heartbeat,
             child_setup=_silence_worker_store,
             in_process=True if jobs == 1 or len(pending) == 1 else None,
         )
     )
 
     # Install successes into the in-process cache and checkpoint them.
-    by_key = {_job_key(job): job for job in pending}
     for job_key, result in report.completed.items():
         workload, config, accesses = by_key[job_key]
         _RESULT_CACHE[(workload, accesses, config)] = result
         if store is not None:
             store.put(workload, accesses, config, result)
+    if store is not None and report.ok:
+        store.clear_progress()  # campaign finished; markers are stale
     return report

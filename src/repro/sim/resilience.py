@@ -50,15 +50,21 @@ from typing import (
 __all__ = [
     "CampaignReport",
     "CorruptResult",
+    "InvariantViolation",
     "JobFailure",
     "JobTimeout",
     "RetryPolicy",
     "SimulationError",
+    "StallTimeout",
     "WorkerCrash",
     "default_workers",
+    "emit_heartbeat",
+    "heartbeat_active",
+    "is_retryable",
     "maybe_inject_fault",
     "run_supervised",
     "set_fault_injector",
+    "set_heartbeat_sink",
     "supervision_context",
 ]
 
@@ -80,8 +86,38 @@ class JobTimeout(SimulationError):
     """A job exceeded its per-attempt time budget."""
 
 
+class StallTimeout(JobTimeout):
+    """A job stopped emitting heartbeats for longer than the stall window.
+
+    Distinct from :class:`JobTimeout`: a slow-but-progressing job keeps
+    heartbeating and is left alone; a stalled one is killed even when no
+    wall-clock budget is set.
+    """
+
+
 class CorruptResult(SimulationError):
     """A result (from a worker or the on-disk store) failed validation."""
+
+
+class InvariantViolation(SimulationError):
+    """The simulator's internal state broke a runtime invariant.
+
+    Raised by :mod:`repro.sim.sanitizer` with the failing invariant's
+    name and a snapshot of the relevant state.  Deterministic for a
+    given (workload, config), so the supervisor treats it as
+    NON-RETRYABLE: re-running the same broken code cannot help, and
+    retrying would only mask a silently-wrong simulator.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        invariant: str = "",
+        snapshot: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.invariant = invariant
+        self.snapshot = dict(snapshot or {})
 
 
 #: name → class, used to rebuild errors reported across process
@@ -90,8 +126,20 @@ ERROR_CLASSES: Dict[str, type] = {
     "SimulationError": SimulationError,
     "WorkerCrash": WorkerCrash,
     "JobTimeout": JobTimeout,
+    "StallTimeout": StallTimeout,
     "CorruptResult": CorruptResult,
+    "InvariantViolation": InvariantViolation,
 }
+
+
+def is_retryable(error: SimulationError) -> bool:
+    """Whether retrying the attempt could plausibly change the outcome.
+
+    Crashes, timeouts, and transient corruption are worth retrying; an
+    :class:`InvariantViolation` is deterministic simulator breakage and
+    is not.
+    """
+    return not isinstance(error, InvariantViolation)
 
 
 def _rebuild_error(kind: str, message: str) -> SimulationError:
@@ -109,8 +157,11 @@ FAULT_KIND_ENV = "REPRO_FAULT_KIND"
 #: process outright (``os._exit``); ``timeout`` makes the attempt hang
 #: past any deadline; ``error`` raises a :class:`SimulationError`;
 #: ``corrupt`` lets the job finish and then mangles its result so the
-#: validator must catch it.
-FAULT_KINDS = ("crash", "error", "timeout", "corrupt")
+#: validator must catch it; ``state-corrupt`` corrupts the *simulator's
+#: internal state* mid-run so the sanitizer must raise an
+#: :class:`InvariantViolation`; ``stall`` emits one heartbeat and then
+#: goes silent forever, so only the stall watchdog can reclaim the job.
+FAULT_KINDS = ("crash", "error", "timeout", "corrupt", "state-corrupt", "stall")
 
 #: test hook: a callable ``(job_key, attempt) -> Optional[str]``
 #: returning a fault kind (or None).  Takes precedence over the
@@ -160,6 +211,60 @@ def _corrupted(result: Any) -> Any:
     if core is not None and hasattr(core, "cycles"):
         return replace(result, core=replace(core, cycles=float("nan")))
     return None
+
+
+# ---------------------------------------------------------------------------
+# Heartbeats
+# ---------------------------------------------------------------------------
+
+#: process-wide heartbeat sink: ``(accesses_done, accesses_total,
+#: sim_time) -> None``.  Installed by the worker entry (to forward
+#: beats over the result pipe) or the in-process supervisor; the
+#: simulation loop publishes through :func:`emit_heartbeat` without
+#: knowing who, if anyone, is listening.
+_HEARTBEAT_SINK: Optional[Callable[[int, int, float], None]] = None
+
+
+def set_heartbeat_sink(sink: Optional[Callable[[int, int, float], None]]) -> None:
+    """Install (or with ``None`` clear) the process heartbeat sink."""
+    global _HEARTBEAT_SINK
+    _HEARTBEAT_SINK = sink
+
+
+def heartbeat_active() -> bool:
+    """Whether anyone is listening for heartbeats in this process."""
+    return _HEARTBEAT_SINK is not None
+
+
+def emit_heartbeat(done: int, total: int, sim_time: float) -> None:
+    """Publish one progress heartbeat (no-op when nobody listens)."""
+    sink = _HEARTBEAT_SINK
+    if sink is not None:
+        sink(done, total, sim_time)
+
+
+#: minimum wall-clock seconds between heartbeats actually sent over a
+#: worker's pipe (the simulator emits far more often than that).
+HEARTBEAT_MIN_INTERVAL = 0.2
+
+
+def _pipe_heartbeat_sink(
+    conn: multiprocessing.connection.Connection,
+) -> Callable[[int, int, float], None]:
+    """A rate-limited sink forwarding beats over the result pipe."""
+    last_sent = [0.0]
+
+    def send(done: int, total: int, sim_time: float) -> None:
+        now = time.monotonic()
+        if now - last_sent[0] < HEARTBEAT_MIN_INTERVAL:
+            return
+        last_sent[0] = now
+        try:
+            conn.send(("hb", int(done), int(total), float(sim_time)))
+        except (BrokenPipeError, OSError):  # parent gone; nothing to do
+            pass
+
+    return send
 
 
 # ---------------------------------------------------------------------------
@@ -217,6 +322,10 @@ class RetryPolicy:
     retries: int = 2
     #: per-attempt wall-clock budget in seconds (None = unlimited).
     timeout: Optional[float] = None
+    #: kill an attempt that emits no heartbeat for this many seconds
+    #: (None = no stall watchdog).  Unlike ``timeout`` this never kills
+    #: a slow-but-progressing job: any heartbeat resets the window.
+    stall_timeout: Optional[float] = None
     #: base backoff delay; attempt k waits ~``base * 2**(k-1)`` seconds.
     backoff_base: float = 0.05
     #: backoff ceiling.
@@ -227,6 +336,10 @@ class RetryPolicy:
             raise ValueError(f"retries must be >= 0, got {self.retries}")
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.stall_timeout is not None and self.stall_timeout <= 0:
+            raise ValueError(
+                f"stall timeout must be positive, got {self.stall_timeout}"
+            )
 
     def backoff(self, job_key: str, attempt: int) -> float:
         """Deterministic exponential backoff with jitter in [0.5x, 1.5x)."""
@@ -324,8 +437,18 @@ def _attempt_entry(
             os._exit(13)
         if fault == "timeout":
             time.sleep(3600.0)
+        if fault == "stall":
+            # Prove liveness once, then go silent: only the stall
+            # watchdog (not a wall-clock budget) can reclaim this job.
+            conn.send(("hb", 0, 0, 0.0))
+            time.sleep(3600.0)
         if fault == "error":
             raise SimulationError(f"injected fault ({job_key}, attempt {attempt})")
+        if fault == "state-corrupt":
+            from repro.sim import sanitizer as _sanitizer
+
+            _sanitizer.schedule_state_corruption()
+        set_heartbeat_sink(_pipe_heartbeat_sink(conn))
         result = run_one(job)
         if fault == "corrupt":
             result = _corrupted(result)
@@ -335,6 +458,7 @@ def _attempt_entry(
     except BaseException as exc:  # classify unexpected worker bugs too
         conn.send(("err", "SimulationError", f"{type(exc).__name__}: {exc}"))
     finally:
+        set_heartbeat_sink(None)
         conn.close()
 
 
@@ -346,6 +470,10 @@ class _Attempt:
     key: str
     attempt: int
     deadline: Optional[float]
+    #: wall-clock time of the last heartbeat (or of the spawn).
+    last_beat: float = 0.0
+    #: latest reported progress: (accesses done, total, sim time).
+    progress: Optional[Tuple[int, int, float]] = None
 
 
 def _run_in_process(
@@ -355,19 +483,23 @@ def _run_in_process(
     policy: RetryPolicy,
     validate: Optional[Callable[[Any], None]],
     progress: Optional[Callable[[int, int, str, str], None]],
+    heartbeat: Optional[Callable[[str, int, int, float], None]] = None,
 ) -> CampaignReport:
     """Serial fallback where multiprocessing is unavailable.
 
-    Crash/timeout faults cannot take the process down here, so the
-    injector's ``crash``/``timeout`` kinds surface as their taxonomy
-    exceptions instead; per-attempt wall-clock limits are not enforced.
+    Crash/timeout/stall faults cannot take the process down here, so
+    the injector's ``crash``/``timeout``/``stall`` kinds surface as
+    their taxonomy exceptions instead; per-attempt wall-clock limits
+    are not enforced.  Heartbeats are delivered synchronously.
     """
     report = CampaignReport()
     total = len(jobs)
     for job in jobs:
         job_key = key(job)
         last: SimulationError = SimulationError("no attempts made")
+        attempts_made = 0
         for attempt in range(1, policy.retries + 2):
+            attempts_made = attempt
             if attempt > 1:
                 report.retried += 1
                 time.sleep(policy.backoff(job_key, attempt))
@@ -377,9 +509,22 @@ def _run_in_process(
                     raise WorkerCrash(f"injected crash ({job_key}, attempt {attempt})")
                 if fault == "timeout":
                     raise JobTimeout(f"injected timeout ({job_key}, attempt {attempt})")
+                if fault == "stall":
+                    raise StallTimeout(f"injected stall ({job_key}, attempt {attempt})")
                 if fault == "error":
                     raise SimulationError(f"injected fault ({job_key}, attempt {attempt})")
-                result = run_one(job)
+                if fault == "state-corrupt":
+                    from repro.sim import sanitizer as _sanitizer
+
+                    _sanitizer.schedule_state_corruption()
+                if heartbeat is not None:
+                    set_heartbeat_sink(
+                        lambda done, n, t, _key=job_key: heartbeat(_key, done, n, t)
+                    )
+                try:
+                    result = run_one(job)
+                finally:
+                    set_heartbeat_sink(None)
                 if fault == "corrupt":
                     result = _corrupted(result)
                 if validate is not None:
@@ -393,17 +538,24 @@ def _run_in_process(
                 break
             except SimulationError as exc:
                 last = exc
+                if not is_retryable(exc):
+                    break  # deterministic breakage: retrying cannot help
             except Exception as exc:
                 last = SimulationError(f"{type(exc).__name__}: {exc}")
-        else:
+        if job_key not in report.completed:
             report.failures.append(
-                JobFailure(job_key, type(last).__name__, str(last), policy.retries + 1)
+                JobFailure(job_key, type(last).__name__, str(last), attempts_made)
             )
         if progress is not None:
             done = report.executed + report.failed
             status = "ok" if job_key in report.completed else "FAILED"
             progress(done, total, job_key, status)
     return report
+
+
+#: sentinel returned by the message pump when a pipe closed with no
+#: final payload (worker died after EOF, or mid-send).
+_EOF = object()
 
 
 def run_supervised(
@@ -415,6 +567,7 @@ def run_supervised(
     key: Optional[Callable[[Any], str]] = None,
     validate: Optional[Callable[[Any], None]] = None,
     progress: Optional[Callable[[int, int, str, str], None]] = None,
+    heartbeat: Optional[Callable[[str, int, int, float], None]] = None,
     child_setup: Optional[Callable[[], None]] = None,
     in_process: Optional[bool] = None,
 ) -> CampaignReport:
@@ -422,9 +575,18 @@ def run_supervised(
 
     Each attempt runs in its own short-lived process, so a crash loses
     one attempt and nothing else.  Failed attempts retry up to
-    ``policy.retries`` times with exponential backoff + jitter; jobs
-    that exhaust the budget land in the report's ``failures``, the rest
-    in ``completed`` (keyed by ``key(job)``).
+    ``policy.retries`` times with exponential backoff + jitter — except
+    :class:`InvariantViolation`, which is deterministic and fails the
+    job immediately.  Jobs that exhaust the budget land in the report's
+    ``failures``, the rest in ``completed`` (keyed by ``key(job)``).
+
+    Workers stream progress heartbeats over the result pipe (published
+    by the simulation loop via :func:`emit_heartbeat`).  The watchdog
+    uses them two ways: ``policy.stall_timeout`` kills an attempt that
+    goes silent for that many seconds (a *stall* timeout — a slow but
+    heartbeating job is left alone), and ``heartbeat`` (if given) is
+    called in the parent as ``(key, done, total, sim_time)`` so
+    campaigns can checkpoint mid-run progress markers.
 
     ``validate`` (if given) runs in the parent on every returned
     result; a validation error is classified :class:`CorruptResult`
@@ -444,7 +606,9 @@ def run_supervised(
     if context is None:
         if in_process is False:
             raise SimulationError("multiprocessing unavailable and in_process=False")
-        return _run_in_process(jobs, run_one, key, policy, validate, progress)
+        return _run_in_process(
+            jobs, run_one, key, policy, validate, progress, heartbeat
+        )
 
     workers = min(default_workers(workers), len(jobs))
     report = CampaignReport()
@@ -463,12 +627,18 @@ def run_supervised(
         )
         process.start()
         child_conn.close()
-        deadline = time.monotonic() + policy.timeout if policy.timeout else None
-        running.append(_Attempt(process, parent_conn, job, job_key, attempt, deadline))
+        started = time.monotonic()
+        deadline = started + policy.timeout if policy.timeout else None
+        running.append(
+            _Attempt(
+                process, parent_conn, job, job_key, attempt, deadline,
+                last_beat=started,
+            )
+        )
 
     def _settle(attempt: _Attempt, error: SimulationError) -> None:
         """One attempt failed: requeue with backoff or record the failure."""
-        if attempt.attempt <= policy.retries:
+        if attempt.attempt <= policy.retries and is_retryable(error):
             report.retried += 1
             not_before = time.monotonic() + policy.backoff(
                 attempt.key, attempt.attempt + 1
@@ -481,24 +651,44 @@ def run_supervised(
             if progress is not None:
                 progress(report.executed + report.failed, total, attempt.key, "FAILED")
 
-    def _reap(attempt: _Attempt) -> None:
-        """Collect one finished/dead/overdue attempt."""
-        running.remove(attempt)
-        payload = None
-        if attempt.conn.poll():
+    def _drain(attempt: _Attempt) -> Any:
+        """Consume queued pipe messages from one attempt.
+
+        Heartbeats update the attempt's watchdog state (and are
+        forwarded to the ``heartbeat`` callback); the first final
+        payload (``ok``/``err`` tuple) is returned.  Returns ``None``
+        when only heartbeats were pending, ``_EOF`` when the pipe is
+        closed with no final payload.
+        """
+        while True:
             try:
+                if not attempt.conn.poll():
+                    return None
                 payload = attempt.conn.recv()
             except (EOFError, OSError):
-                payload = None
+                return _EOF
+            if (
+                isinstance(payload, tuple)
+                and len(payload) == 4
+                and payload[0] == "hb"
+            ):
+                attempt.last_beat = time.monotonic()
+                attempt.progress = (payload[1], payload[2], payload[3])
+                if heartbeat is not None:
+                    heartbeat(attempt.key, payload[1], payload[2], payload[3])
+                continue
+            return payload
+
+    def _finish(attempt: _Attempt, payload: Any) -> None:
+        """Remove one finished/dead attempt and classify its outcome."""
+        running.remove(attempt)
         attempt.conn.close()
         attempt.process.join(timeout=5.0)
-
-        if payload is None:
+        if payload is None or payload is _EOF:
             code = attempt.process.exitcode
             _settle(attempt, WorkerCrash(f"worker exited with code {code}"))
             return
-        tag = payload[0]
-        if tag == "err":
+        if payload[0] == "err":
             _settle(attempt, _rebuild_error(payload[1], payload[2]))
             return
         result = payload[1]
@@ -511,6 +701,17 @@ def run_supervised(
         report.completed[attempt.key] = result
         if progress is not None:
             progress(report.executed + report.failed, total, attempt.key, "ok")
+
+    def _kill(attempt: _Attempt, error: SimulationError) -> None:
+        """Terminate one overdue/stalled attempt and settle it."""
+        attempt.process.terminate()
+        attempt.process.join(timeout=5.0)
+        if attempt.process.is_alive():  # pragma: no cover - stuck worker
+            attempt.process.kill()
+            attempt.process.join(timeout=5.0)
+        running.remove(attempt)
+        attempt.conn.close()
+        _settle(attempt, error)
 
     try:
         while ready or running:
@@ -526,30 +727,51 @@ def run_supervised(
                 time.sleep(max(ready[0][3] - now, 0.0) + 0.001)
                 continue
 
-            # Enforce deadlines: terminate overdue attempts.
+            # Enforce the watchdog: wall-clock deadlines and heartbeat
+            # stalls.  Drain first so a final payload (or a fresh beat)
+            # that raced the check wins over the kill.
             now = time.monotonic()
-            overdue = [a for a in running if a.deadline is not None and now > a.deadline]
-            for attempt in overdue:
-                attempt.process.terminate()
-                attempt.process.join(timeout=5.0)
-                if attempt.process.is_alive():  # pragma: no cover - stuck worker
-                    attempt.process.kill()
-                    attempt.process.join(timeout=5.0)
-                running.remove(attempt)
-                attempt.conn.close()
-                _settle(
-                    attempt,
-                    JobTimeout(
+            killed = False
+            for attempt in list(running):
+                overdue = attempt.deadline is not None and now > attempt.deadline
+                stalled = (
+                    policy.stall_timeout is not None
+                    and now - attempt.last_beat > policy.stall_timeout
+                )
+                if not (overdue or stalled):
+                    continue
+                payload = _drain(attempt)
+                if payload is not None and payload is not _EOF:
+                    _finish(attempt, payload)
+                    continue
+                if overdue:
+                    error: SimulationError = JobTimeout(
                         f"attempt exceeded {policy.timeout:.3g}s "
                         f"(attempt {attempt.attempt})"
-                    ),
-                )
-            if overdue:
+                    )
+                elif now - attempt.last_beat <= policy.stall_timeout:
+                    continue  # the drain picked up a fresh heartbeat
+                else:
+                    reached = (
+                        f"; last progress {attempt.progress[0]}/{attempt.progress[1]}"
+                        f" accesses at sim time {attempt.progress[2]:.0f}"
+                        if attempt.progress is not None
+                        else " before the first heartbeat"
+                    )
+                    error = StallTimeout(
+                        f"no heartbeat for {policy.stall_timeout:.3g}s "
+                        f"(attempt {attempt.attempt}){reached}"
+                    )
+                _kill(attempt, error)
+                killed = True
+            if killed:
                 continue
 
-            # Wait for a result, a worker death, or the nearest deadline.
+            # Wait for a message, a worker death, or the nearest deadline.
             wait_for = 0.2
             deadlines = [a.deadline for a in running if a.deadline is not None]
+            if policy.stall_timeout is not None:
+                deadlines += [a.last_beat + policy.stall_timeout for a in running]
             if deadlines:
                 wait_for = min(wait_for, max(min(deadlines) - now, 0.0) + 0.001)
             sentinels = [a.process.sentinel for a in running]
@@ -559,8 +781,19 @@ def run_supervised(
             if not fired:
                 continue
             for attempt in list(running):
-                if attempt.conn in fired or attempt.process.sentinel in fired:
-                    _reap(attempt)
+                conn_fired = attempt.conn in fired
+                sentinel_fired = attempt.process.sentinel in fired
+                if not (conn_fired or sentinel_fired):
+                    continue
+                payload = _drain(attempt)
+                if payload is None and sentinel_fired:
+                    # The process exited; one more drain catches a final
+                    # payload racing the sentinel, else it's a crash.
+                    payload = _drain(attempt)
+                    _finish(attempt, payload)
+                elif payload is not None:
+                    _finish(attempt, None if payload is _EOF else payload)
+                # else: heartbeats only — the worker is alive and working.
     finally:
         for attempt in running:  # interrupted: never leak worker processes
             attempt.process.terminate()

@@ -19,6 +19,7 @@ from typing import Dict, Optional, Tuple, Union
 
 from repro.cpu import OutOfOrderCore
 from repro.memory import MemoryHierarchy
+from repro.sim import resilience, sanitizer as sanitizer_mod
 from repro.sim.config import SimulationConfig
 from repro.sim.results import SimResult, SuiteResult
 from repro.workloads import BENCHMARK_ORDER, Scale, Trace, generate
@@ -53,9 +54,30 @@ def _execute(
     prefetcher = config.build_prefetcher()
     hierarchy.attach_prefetcher(prefetcher)
     core = OutOfOrderCore(config.core)
+    warmup = int(len(trace) * warmup_fraction)
 
-    core_result = core.run(trace, hierarchy, warmup=int(len(trace) * warmup_fraction))
+    sanitizer = sanitizer_mod.build_sanitizer(config.sanitize)
+    corruption = sanitizer_mod.consume_scheduled_corruption()
+    progress = None
+    if resilience.heartbeat_active() or corruption is not None:
+        pending = [corruption]
+
+        def progress(done: int, total: int, sim_time: float) -> None:
+            if pending[0] is not None and done > warmup:
+                # Apply the injected corruption only after the warmup
+                # snapshot: a stats drift applied earlier would be
+                # cancelled by the snapshot subtraction and become
+                # undetectable in the measured result.
+                kind, pending[0] = pending[0], None
+                sanitizer_mod.corrupt_state(hierarchy, prefetcher, kind)
+            resilience.emit_heartbeat(done, total, sim_time)
+
+    core_result = core.run(
+        trace, hierarchy, warmup=warmup, progress=progress, sanitizer=sanitizer
+    )
     hierarchy.finalize()
+    if sanitizer is not None:
+        sanitizer.finalize(hierarchy)
 
     return SimResult(
         workload=trace.name,
@@ -109,6 +131,12 @@ def simulate(
 
     result = _execute(trace, config, warmup_fraction)
     if key is not None and use_cache:
+        # Validate BEFORE caching or checkpointing: a silently-wrong
+        # result must never poison the cache or the on-disk store.
+        try:
+            result.validate()
+        except ValueError as exc:
+            raise resilience.CorruptResult(f"{key[0]}: {exc}") from exc
         _RESULT_CACHE[key] = result
         if store is not None:
             store.put(key[0], key[1], config, result)

@@ -1,0 +1,462 @@
+"""Tiered runtime invariant checking for the simulator.
+
+A paper reproduction's worst failure mode is a *silently wrong*
+result: an MSHR leak, a cache set holding more lines than its
+associativity, stats that stop conserving — all of which masquerade as
+accuracy/coverage shifts in a prefetcher comparison.  This module
+makes the simulator prove its own internal consistency while it runs.
+
+Tiers (``REPRO_SANITIZE`` or :attr:`SimulationConfig.sanitize`):
+
+``off``
+    No checking; the hot loop pays one integer compare per access.
+``cheap``
+    O(1) conservation checks every ``CHEAP_INTERVAL`` accesses: the
+    stats equalities (hits + misses == accesses, ...), MSHR and
+    prefetch-queue occupancy bounds, and per-bus timestamp
+    monotonicity.  Designed for ≤ 10% overhead on real campaigns.
+``full``
+    Everything in ``cheap`` plus structural scans every
+    ``FULL_INTERVAL`` accesses: cache sets (occupancy ≤ ways, no
+    duplicate tags), THT rows (length == k, tag domains), PHT sets
+    (occupancy ≤ ways, successor lists ≤ targets), and prefetch-address
+    round-trips through the L1 geometry.  Large structures are sampled
+    with a rotating cursor so every set is eventually visited; the
+    end-of-run :meth:`Sanitizer.finalize` scans everything completely
+    and checks the prefetch conservation law that only holds once
+    residual prefetches are accounted.
+
+Violations raise :class:`repro.sim.resilience.InvariantViolation`
+carrying the invariant's name and a snapshot of the offending state;
+the supervisor classifies it as non-retryable (deterministic breakage
+— re-running the same broken code cannot help).
+
+The module also hosts the ``state-corrupt`` fault-injection hooks the
+tests use to prove each invariant actually fires:
+:func:`schedule_state_corruption` arms a corruption that
+:func:`corrupt_state` applies to a live simulator mid-run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional, Tuple
+
+from repro.sim.resilience import InvariantViolation
+
+__all__ = [
+    "CHEAP_INTERVAL",
+    "CORRUPTION_KINDS",
+    "FULL_INTERVAL",
+    "LEVELS",
+    "SANITIZE_ENV",
+    "Sanitizer",
+    "build_sanitizer",
+    "consume_scheduled_corruption",
+    "corrupt_state",
+    "sanitize_level",
+    "schedule_state_corruption",
+]
+
+SANITIZE_ENV = "REPRO_SANITIZE"
+LEVELS = ("off", "cheap", "full")
+
+#: accesses between cheap-tier check points.
+CHEAP_INTERVAL = 8192
+#: accesses between full-tier check points.
+FULL_INTERVAL = 1024
+#: sets visited per structure per periodic full-tier scan.
+SCAN_SAMPLE = 64
+
+
+def sanitize_level(explicit: Optional[str] = None) -> str:
+    """Resolve the sanitize tier: explicit config > environment > off."""
+    level = explicit if explicit is not None else os.environ.get(SANITIZE_ENV, "off")
+    level = level.strip().lower() or "off"
+    if level not in LEVELS:
+        raise ValueError(
+            f"unknown sanitize level {level!r}; choose from {', '.join(LEVELS)}"
+        )
+    return level
+
+
+def build_sanitizer(explicit: Optional[str] = None) -> Optional["Sanitizer"]:
+    """A :class:`Sanitizer` for the resolved tier, or None when off."""
+    level = sanitize_level(explicit)
+    if level == "off":
+        return None
+    return Sanitizer(level)
+
+
+class Sanitizer:
+    """Stateful invariant checker attached to one simulation run.
+
+    One instance per run: it tracks previous timestamps (for
+    monotonicity) and rotating scan cursors, so it must not be shared
+    across runs.
+    """
+
+    def __init__(self, level: str) -> None:
+        if level not in ("cheap", "full"):
+            raise ValueError(f"sanitizer level must be cheap or full, got {level!r}")
+        self.level = level
+        self.interval = FULL_INTERVAL if level == "full" else CHEAP_INTERVAL
+        #: number of check points executed (cheap + full).
+        self.checks = 0
+        self._last_commit = float("-inf")
+        self._last_dispatch = float("-inf")
+        #: bus name -> last observed ``next_free`` (monotonicity).
+        self._bus_marks: Dict[str, float] = {}
+        #: structure name -> rotating scan cursor (full tier).
+        self._cursors: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def require(
+        self, condition: bool, invariant: str, message: str, **snapshot: Any
+    ) -> None:
+        """Raise a structured :class:`InvariantViolation` unless ``condition``."""
+        if condition:
+            return
+        detail = message
+        if snapshot:
+            detail += " [" + ", ".join(
+                f"{key}={value!r}" for key, value in sorted(snapshot.items())
+            ) + "]"
+        raise InvariantViolation(
+            f"invariant {invariant!r} violated: {detail}",
+            invariant=invariant,
+            snapshot=snapshot,
+        )
+
+    # ------------------------------------------------------------------
+    # Core-side checks (called from the simulation loop)
+    # ------------------------------------------------------------------
+
+    def check_core(
+        self, rob_len: int, window: int, last_commit: float, now_dispatch: float
+    ) -> None:
+        """ROB occupancy bound and commit/dispatch monotonicity."""
+        self.require(
+            rob_len <= window,
+            "core-window-occupancy",
+            "in-flight accesses exceed the instruction window",
+            rob_len=rob_len, window=window,
+        )
+        self.require(
+            last_commit >= self._last_commit,
+            "core-commit-monotonic",
+            "commit time moved backwards",
+            last_commit=last_commit, previous=self._last_commit,
+        )
+        self.require(
+            now_dispatch >= self._last_dispatch,
+            "core-dispatch-monotonic",
+            "dispatch time moved backwards",
+            now_dispatch=now_dispatch, previous=self._last_dispatch,
+        )
+        self._last_commit = last_commit
+        self._last_dispatch = now_dispatch
+
+    # ------------------------------------------------------------------
+    # Hierarchy-side checks
+    # ------------------------------------------------------------------
+
+    def check(self, hierarchy: Any, now: float = 0.0) -> None:
+        """One periodic check point over the hierarchy's live state."""
+        self.checks += 1
+        self._check_stats(hierarchy)
+        self._check_mshr(hierarchy)
+        self._check_buses(hierarchy)
+        if self.level == "full":
+            self._scan_structures(hierarchy, sample=SCAN_SAMPLE)
+
+    def finalize(self, hierarchy: Any) -> None:
+        """End-of-run check: complete scans + prefetch conservation.
+
+        Must run *after* :meth:`MemoryHierarchy.finalize` so residual
+        unused prefetches have been accounted — only then does every
+        issued prefetch have exactly one fate (useful, evicted unused,
+        or residual unused).
+        """
+        self.checks += 1
+        self._check_stats(hierarchy)
+        self._check_mshr(hierarchy)
+        self._check_buses(hierarchy)
+        s = hierarchy.stats
+        accounted = (
+            s.useful_prefetches
+            + s.prefetch_evicted_unused
+            + s.prefetch_residual_unused
+        )
+        self.require(
+            s.prefetches_issued == accounted,
+            "prefetch-conservation",
+            "issued prefetches do not sum to useful + evicted + residual",
+            issued=s.prefetches_issued,
+            useful=s.useful_prefetches,
+            evicted_unused=s.prefetch_evicted_unused,
+            residual_unused=s.prefetch_residual_unused,
+        )
+        if self.level == "full":
+            self._scan_structures(hierarchy, sample=None)
+
+    # -- cheap tier ----------------------------------------------------
+
+    def _check_stats(self, hierarchy: Any) -> None:
+        s = hierarchy.stats
+        self.require(
+            s.l1_hits + s.l1_misses == s.demand_accesses,
+            "stats-l1-conservation",
+            "L1 hits + misses != demand accesses",
+            l1_hits=s.l1_hits, l1_misses=s.l1_misses,
+            demand_accesses=s.demand_accesses,
+        )
+        self.require(
+            s.loads + s.stores == s.demand_accesses,
+            "stats-rw-conservation",
+            "loads + stores != demand accesses",
+            loads=s.loads, stores=s.stores, demand_accesses=s.demand_accesses,
+        )
+        self.require(
+            s.l2_demand_hits + s.l2_demand_misses == s.l2_demand_accesses,
+            "stats-l2-conservation",
+            "L2 hits + misses != L2 demand accesses",
+            l2_demand_hits=s.l2_demand_hits, l2_demand_misses=s.l2_demand_misses,
+            l2_demand_accesses=s.l2_demand_accesses,
+        )
+        self.require(
+            s.prefetches_issued <= s.prefetches_requested,
+            "prefetch-issue-bound",
+            "more prefetches issued than requested",
+            issued=s.prefetches_issued, requested=s.prefetches_requested,
+        )
+        self.require(
+            s.useful_prefetches + s.prefetch_evicted_unused <= s.prefetches_issued,
+            "prefetch-fate-bound",
+            "prefetch fates exceed prefetches issued",
+            useful=s.useful_prefetches,
+            evicted_unused=s.prefetch_evicted_unused,
+            issued=s.prefetches_issued,
+        )
+
+    def _check_mshr(self, hierarchy: Any) -> None:
+        mshr = hierarchy.mshr
+        self.require(
+            len(mshr._inflight) <= mshr.entries,
+            "mshr-occupancy",
+            "in-flight misses exceed the MSHR file",
+            inflight=len(mshr._inflight), entries=mshr.entries,
+        )
+        limit = hierarchy.params.max_outstanding_prefetches
+        self.require(
+            len(hierarchy._pf_inflight) <= limit,
+            "prefetch-queue-occupancy",
+            "outstanding prefetches exceed the queue bound",
+            inflight=len(hierarchy._pf_inflight), limit=limit,
+        )
+
+    def _check_buses(self, hierarchy: Any) -> None:
+        buses = [
+            hierarchy.l1l2_addr_bus,
+            hierarchy.l1l2_data_bus,
+            hierarchy.mem_addr_bus,
+            hierarchy.mem_data_bus,
+        ]
+        if hierarchy.prefetch_bus is not None:
+            buses.append(hierarchy.prefetch_bus)
+        marks = self._bus_marks
+        for bus in buses:
+            previous = marks.get(bus.name, float("-inf"))
+            self.require(
+                bus.next_free >= previous,
+                "bus-time-monotonic",
+                f"bus {bus.name!r} schedule moved backwards",
+                bus=bus.name, next_free=bus.next_free, previous=previous,
+            )
+            marks[bus.name] = bus.next_free
+
+    # -- full tier -----------------------------------------------------
+
+    def _scan_range(self, name: str, total: int, sample: Optional[int]) -> range:
+        """Indices to visit this scan: everything, or a rotating window."""
+        if sample is None or sample >= total:
+            return range(total)
+        cursor = self._cursors.get(name, 0) % total
+        self._cursors[name] = (cursor + sample) % total
+        # A window that wraps is visited as two calls' worth eventually;
+        # clamping keeps the per-check cost constant.
+        return range(cursor, min(cursor + sample, total))
+
+    def _scan_structures(self, hierarchy: Any, sample: Optional[int]) -> None:
+        for cache in (hierarchy.l1d, hierarchy.l1i, hierarchy.l2d, hierarchy.l2i):
+            self._scan_cache(cache, sample)
+        prefetcher = hierarchy.prefetcher
+        if prefetcher is None:
+            return
+        sanitize_check = getattr(prefetcher, "sanitize_check", None)
+        if sanitize_check is not None:
+            sanitize_check(self.require)
+        tht = getattr(prefetcher, "tht", None)
+        if tht is not None:
+            self._scan_tht(tht, hierarchy.params.l1d, sample)
+        pht = getattr(prefetcher, "pht", None)
+        if pht is not None:
+            self._scan_pht(pht, sample)
+
+    def _scan_cache(self, cache: Any, sample: Optional[int]) -> None:
+        geometry = cache.geometry
+        for index in self._scan_range(cache.name, geometry.sets, sample):
+            lines = cache.resident_lines(index)
+            self.require(
+                len(lines) <= geometry.ways,
+                "cache-set-occupancy",
+                f"{cache.name} set holds more lines than its associativity",
+                cache=cache.name, set=index,
+                occupancy=len(lines), ways=geometry.ways,
+            )
+            tags = [line.tag for line in lines]
+            self.require(
+                len(set(tags)) == len(tags),
+                "cache-set-duplicate",
+                f"{cache.name} set holds duplicate blocks",
+                cache=cache.name, set=index, tags=tags,
+            )
+            for tag in tags:
+                self.require(
+                    isinstance(tag, int) and tag >= 0,
+                    "cache-tag-domain",
+                    f"{cache.name} line tag outside the address domain",
+                    cache=cache.name, set=index, tag=tag,
+                )
+
+    def _scan_tht(self, tht: Any, l1_geometry: Any, sample: Optional[int]) -> None:
+        self.require(
+            len(tht._history) == tht.rows,
+            "tht-row-count",
+            "THT row storage does not match its geometry",
+            stored=len(tht._history), rows=tht.rows,
+        )
+        # The THT is indexed by the L1 miss index, so a reconstructed
+        # prefetch address must round-trip through the L1 geometry —
+        # only checkable when the table actually mirrors the L1 sets.
+        roundtrip = tht.rows == l1_geometry.sets
+        for index in self._scan_range("tht", tht.rows, sample):
+            row = tht._history[index]
+            self.require(
+                len(row) == tht.depth,
+                "tht-history-length",
+                "THT history length != k",
+                row=index, length=len(row), k=tht.depth,
+            )
+            for tag in row:
+                self.require(
+                    isinstance(tag, int) and tag >= 0,
+                    "tht-tag-domain",
+                    "THT tag outside the address domain",
+                    row=index, tag=tag,
+                )
+                if roundtrip:
+                    block = l1_geometry.compose_block(tag, index)
+                    self.require(
+                        l1_geometry.split_block(block) == (tag, index),
+                        "prefetch-address-roundtrip",
+                        "reconstructed prefetch address does not round-trip",
+                        row=index, tag=tag, block=block,
+                    )
+
+    def _scan_pht(self, pht: Any, sample: Optional[int]) -> None:
+        config = pht.config
+        for index in self._scan_range("pht", config.sets, sample):
+            lru = pht._sets[index]
+            self.require(
+                len(lru) <= config.ways,
+                "pht-set-occupancy",
+                "PHT set holds more entries than its associativity",
+                set=index, occupancy=len(lru), ways=config.ways,
+            )
+            for entry_tag, successors in lru.items():
+                self.require(
+                    1 <= len(successors) <= config.targets,
+                    "pht-target-bound",
+                    "PHT successor list outside [1, targets]",
+                    set=index, entry=entry_tag,
+                    successors=len(successors), targets=config.targets,
+                )
+        if sample is None:
+            self.require(
+                pht.occupancy() <= config.sets * config.ways,
+                "pht-occupancy",
+                "PHT valid entries exceed its geometry",
+                occupancy=pht.occupancy(),
+                capacity=config.sets * config.ways,
+            )
+
+
+# ---------------------------------------------------------------------------
+# State corruption (fault injection for the sanitizer itself)
+# ---------------------------------------------------------------------------
+
+#: corruption kinds ``corrupt_state`` can apply; each is caught by a
+#: different invariant family.  ``stats-drift`` breaks the L1
+#: conservation equality (cheap tier); ``mshr-overflow`` overfills the
+#: MSHR file (cheap tier); ``cache-dup`` plants a duplicate block in an
+#: L2 set (full tier); ``tht-shape`` breaks a THT row's history length
+#: (full tier; falls back to ``stats-drift`` without a TCP attached).
+CORRUPTION_KINDS = ("stats-drift", "mshr-overflow", "cache-dup", "tht-shape")
+
+_PENDING_CORRUPTION: Optional[str] = None
+
+
+def schedule_state_corruption(kind: str = "stats-drift") -> None:
+    """Arm a state corruption for the next simulation run.
+
+    The worker's fault injector calls this; the runner consumes it and
+    applies :func:`corrupt_state` once the run is past warmup (so the
+    damage cannot be cancelled by the warmup-snapshot subtraction).
+    """
+    if kind not in CORRUPTION_KINDS:
+        raise ValueError(
+            f"unknown corruption kind {kind!r}; choose from {CORRUPTION_KINDS}"
+        )
+    global _PENDING_CORRUPTION
+    _PENDING_CORRUPTION = kind
+
+
+def consume_scheduled_corruption() -> Optional[str]:
+    """Return and clear the armed corruption kind, if any."""
+    global _PENDING_CORRUPTION
+    kind = _PENDING_CORRUPTION
+    _PENDING_CORRUPTION = None
+    return kind
+
+
+def corrupt_state(hierarchy: Any, prefetcher: Any, kind: str) -> None:
+    """Deliberately break one simulator invariant (tests only)."""
+    if kind == "tht-shape" and getattr(prefetcher, "tht", None) is None:
+        kind = "stats-drift"
+    if kind == "stats-drift":
+        hierarchy.stats.l1_hits += 1
+        return
+    if kind == "mshr-overflow":
+        mshr = hierarchy.mshr
+        # Negative block keys cannot collide with real blocks; the
+        # far-future completion keeps them from being reaped.
+        for extra in range(mshr.entries + 1):
+            mshr._inflight[-(extra + 1)] = 1e18
+        return
+    if kind == "cache-dup":
+        from repro.memory.cache import CacheLine
+
+        lru = hierarchy.l2d._sets[0]
+        resident = [line.tag for _, line in lru.items()]
+        tag = resident[0] if resident else 7
+        # Two entries with the same tag under different keys: the
+        # duplicate-tag scan fires regardless of set occupancy.
+        lru._entries[-1] = CacheLine(tag)
+        lru._entries[-2] = CacheLine(tag)
+        return
+    if kind == "tht-shape":
+        prefetcher.tht._history[0].append(0)
+        return
+    raise ValueError(f"unknown corruption kind {kind!r}")

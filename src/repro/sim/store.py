@@ -34,8 +34,9 @@ import hashlib
 import json
 import os
 from contextlib import contextmanager
+from dataclasses import replace
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.sim.config import SimulationConfig
 from repro.sim.results import SimResult, validate_result
@@ -70,7 +71,13 @@ def config_fingerprint(config: SimulationConfig) -> str:
     ``repr`` is canonical and deterministic across processes; hashing
     it means *any* parameter change (prefetcher, core, hierarchy,
     label) invalidates stored results for that configuration.
+
+    The ``sanitize`` field is excluded: invariant checking observes a
+    run without changing its results, so a sanitized campaign resumes
+    from (and writes to) the same checkpoints as an unsanitized one.
     """
+    if getattr(config, "sanitize", None) is not None:
+        config = replace(config, sanitize=None)
     return hashlib.sha256(repr(config).encode("utf-8")).hexdigest()[:16]
 
 
@@ -82,7 +89,9 @@ class ResultStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self.path = self.root / "results.jsonl"
         self.quarantine_path = self.root / "quarantine.jsonl"
+        self.progress_path = self.root / "progress.jsonl"
         self._index: Optional[Dict[StoreKey, SimResult]] = None
+        self._progress: Optional[Dict[StoreKey, Dict[str, Any]]] = None
         #: corrupt records found (and quarantined) by the last load.
         self.quarantined = 0
         #: records ignored because their schema version is foreign.
@@ -210,6 +219,85 @@ class ResultStore:
         self._index = {}
         self.quarantined = 0
         self.stale = 0
+
+    # -- mid-run progress markers -----------------------------------------
+    #
+    # Coarse checkpoints of *incomplete* jobs, fed by worker heartbeats.
+    # Append-only JSON lines, last write wins; flushed but not fsynced
+    # (losing the last marker costs nothing — the job re-runs anyway,
+    # the marker only reports how far a preempted job got).
+
+    def _load_progress(self) -> Dict[StoreKey, Dict[str, Any]]:
+        if self._progress is not None:
+            return self._progress
+        progress: Dict[StoreKey, Dict[str, Any]] = {}
+        if self.progress_path.exists():
+            with self.progress_path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    text = line.strip()
+                    if not text:
+                        continue
+                    try:
+                        record = json.loads(text)
+                        if (
+                            not isinstance(record, dict)
+                            or record.get("schema") != SCHEMA_VERSION
+                        ):
+                            continue
+                        key = (
+                            str(record["workload"]),
+                            int(record["accesses"]),
+                            str(record["config"]),
+                        )
+                        progress[key] = record  # last write wins
+                    except (ValueError, KeyError, TypeError):
+                        continue  # a torn marker line is worthless; skip
+        self._progress = progress
+        return progress
+
+    def put_progress(
+        self,
+        workload: str,
+        accesses: int,
+        config: SimulationConfig,
+        done: int,
+        total: int,
+        sim_time: float,
+    ) -> None:
+        """Append one mid-run checkpoint marker for an incomplete job."""
+        key = (workload, accesses, config_fingerprint(config))
+        record = {
+            "schema": SCHEMA_VERSION,
+            "workload": workload,
+            "accesses": accesses,
+            "config": key[2],
+            "done": int(done),
+            "total": int(total),
+            "sim_time": float(sim_time),
+        }
+        progress = self._load_progress()
+        line = json.dumps(record, separators=(",", ":"), allow_nan=False)
+        with self.progress_path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+        progress[key] = record
+
+    def get_progress(
+        self, workload: str, accesses: int, config: SimulationConfig
+    ) -> Optional[Dict[str, Any]]:
+        """The latest checkpoint marker for this job, if any."""
+        key = (workload, accesses, config_fingerprint(config))
+        return self._load_progress().get(key)
+
+    def progress_entries(self) -> Dict[StoreKey, Dict[str, Any]]:
+        """All latest markers, keyed like the result index."""
+        return dict(self._load_progress())
+
+    def clear_progress(self) -> None:
+        """Drop every checkpoint marker (e.g. after a campaign finishes)."""
+        if self.progress_path.exists():
+            self.progress_path.unlink()
+        self._progress = {}
 
 
 # ---------------------------------------------------------------------------

@@ -45,14 +45,16 @@ class Sweep:
         jobs: int = 0,
         retries: int = 2,
         timeout: Optional[float] = None,
+        stall_timeout: Optional[float] = None,
     ) -> CampaignReport:
         """Run this sweep's matrix under the fault-tolerant supervisor.
 
         Fills the result cache (and the persistent store, when active)
-        in parallel with per-job retries/timeouts; a subsequent
-        :meth:`run` then replays from cache.  Returns the campaign
-        report — callers that need all-or-nothing semantics can
-        ``report.raise_if_failed()``.
+        in parallel with per-job retries/timeouts (``stall_timeout``
+        arms the heartbeat watchdog instead of a wall-clock budget); a
+        subsequent :meth:`run` then replays from cache.  Returns the
+        campaign report — callers that need all-or-nothing semantics
+        can ``report.raise_if_failed()``.
         """
         from repro.sim.parallel import prewarm
 
@@ -63,6 +65,7 @@ class Sweep:
             jobs=jobs,
             retries=retries,
             timeout=timeout,
+            stall_timeout=stall_timeout,
         )
 
     def run(self) -> Dict[str, SuiteResult]:

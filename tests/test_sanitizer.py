@@ -1,0 +1,407 @@
+"""Tests for the simulator-state sanitizer, stall watchdog, and checkpoints.
+
+Three proof obligations:
+
+1. Clean code passes: seeded fuzz streams through the TCP structures
+   and the caches under ``full`` sanitize raise nothing, and a
+   full-sanitize simulation produces bit-identical results to an
+   unsanitized one.
+2. Broken state is caught: every ``CORRUPTION_KINDS`` member injected
+   mid-run raises :class:`InvariantViolation` naming the right
+   invariant, is classified non-retryable, and never reaches the
+   result cache or the on-disk store.
+3. The watchdog kills stalls, not slowness: a heartbeat-silent worker
+   is reclaimed by ``stall_timeout`` while a slow-but-heartbeating job
+   survives the same window.
+"""
+
+import dataclasses
+import random
+import time
+
+import pytest
+
+from repro.core import TagCorrelatingPrefetcher, TCPConfig
+from repro.core.pht import PHTConfig, PatternHistoryTable
+from repro.core.tht import TagHistoryTable
+from repro.memory.address import CacheGeometry
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.mshr import MSHRFile
+from repro.prefetchers.base import MissEvent
+from repro.sim import SimulationConfig, prewarm, simulate
+from repro.sim import sanitizer as sanitizer_mod
+from repro.sim import store as store_mod
+from repro.sim.resilience import (
+    CorruptResult,
+    InvariantViolation,
+    RetryPolicy,
+    StallTimeout,
+    emit_heartbeat,
+    is_retryable,
+    run_supervised,
+    set_fault_injector,
+)
+from repro.sim.runner import _RESULT_CACHE, clear_cache
+from repro.sim.sanitizer import (
+    CORRUPTION_KINDS,
+    Sanitizer,
+    build_sanitizer,
+    consume_scheduled_corruption,
+    sanitize_level,
+    schedule_state_corruption,
+)
+from repro.sim.store import ResultStore, config_fingerprint
+from repro.workloads import Scale
+
+BASE = SimulationConfig.baseline()
+TCP8K = SimulationConfig.for_prefetcher("tcp-8k")
+
+
+@pytest.fixture(autouse=True)
+def _clean_state(monkeypatch):
+    monkeypatch.delenv(sanitizer_mod.SANITIZE_ENV, raising=False)
+    clear_cache()
+    yield
+    clear_cache()
+    set_fault_injector(None)
+    consume_scheduled_corruption()
+    store_mod.clear_active_store()
+
+
+class TestLevels:
+    def test_resolution_order(self, monkeypatch):
+        assert sanitize_level() == "off"
+        monkeypatch.setenv(sanitizer_mod.SANITIZE_ENV, "cheap")
+        assert sanitize_level() == "cheap"
+        assert sanitize_level("full") == "full"  # explicit beats the env
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            sanitize_level("paranoid")
+        with pytest.raises(ValueError):
+            Sanitizer("off")
+
+    def test_build_sanitizer(self, monkeypatch):
+        assert build_sanitizer("off") is None
+        assert build_sanitizer() is None
+        assert build_sanitizer("cheap").interval == sanitizer_mod.CHEAP_INTERVAL
+        monkeypatch.setenv(sanitizer_mod.SANITIZE_ENV, "full")
+        assert build_sanitizer().interval == sanitizer_mod.FULL_INTERVAL
+
+    def test_config_field_validation(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(BASE, sanitize="everything")
+        assert dataclasses.replace(BASE, sanitize="full").sanitize == "full"
+
+    def test_fingerprint_ignores_sanitize(self):
+        for level in ("off", "cheap", "full"):
+            sanitized = dataclasses.replace(TCP8K, sanitize=level)
+            assert config_fingerprint(sanitized) == config_fingerprint(TCP8K)
+
+
+class TestCleanRuns:
+    """Full sanitize over correct code: zero violations, same numbers."""
+
+    @pytest.mark.parametrize("config", [BASE, TCP8K], ids=["base", "tcp-8k"])
+    def test_full_sanitize_matches_unsanitized(self, config):
+        plain = simulate("fma3d", config, Scale.QUICK, use_cache=False)
+        checked = simulate(
+            "fma3d",
+            dataclasses.replace(config, sanitize="full"),
+            Scale.QUICK,
+            use_cache=False,
+        )
+        assert checked.ipc == plain.ipc
+        assert checked.memory == plain.memory
+
+    def test_violation_snapshot_and_message(self):
+        san = Sanitizer("cheap")
+        with pytest.raises(InvariantViolation) as excinfo:
+            san.require(False, "demo-invariant", "something broke", value=3)
+        violation = excinfo.value
+        assert violation.invariant == "demo-invariant"
+        assert violation.snapshot == {"value": 3}
+        assert "demo-invariant" in str(violation)
+        assert "value=3" in str(violation)
+        assert not is_retryable(violation)
+
+    def test_check_core_bounds(self):
+        san = Sanitizer("cheap")
+        san.check_core(rob_len=4, window=64, last_commit=10.0, now_dispatch=11.0)
+        with pytest.raises(InvariantViolation) as excinfo:
+            san.check_core(rob_len=65, window=64, last_commit=12.0, now_dispatch=12.0)
+        assert excinfo.value.invariant == "core-window-occupancy"
+        with pytest.raises(InvariantViolation) as excinfo:
+            san.check_core(rob_len=1, window=64, last_commit=5.0, now_dispatch=13.0)
+        assert excinfo.value.invariant == "core-commit-monotonic"
+
+
+class TestFuzz:
+    """Seeded random streams through the structures under full scans."""
+
+    def test_tcp_structures_survive_fuzz(self):
+        rng = random.Random(0xC0FFEE)
+        config = TCPConfig(
+            tht_rows=64, history_length=2,
+            pht=PHTConfig(sets=64, ways=4, targets=2),
+        )
+        tcp = TagCorrelatingPrefetcher(config)
+        geometry = CacheGeometry(64 * 32, 1, 32)  # 64 sets, mirrors the THT
+        assert geometry.sets == config.tht_rows
+        san = Sanitizer("full")
+        index_bits = config.tht_rows.bit_length() - 1
+        for step in range(4000):
+            index = rng.randrange(config.tht_rows)
+            tag = rng.randrange(1 << 14)
+            miss = MissEvent(
+                index=index, tag=tag, block=(tag << index_bits) | index,
+                pc=rng.randrange(1 << 20), is_write=rng.random() < 0.3,
+                now=float(step),
+            )
+            tcp.observe_miss(miss)
+            if step % 256 == 0:
+                san._scan_tht(tcp.tht, geometry, sample=None)
+                san._scan_pht(tcp.pht, sample=None)
+                tcp.sanitize_check(san.require)
+        san._scan_tht(tcp.tht, geometry, sample=None)
+        san._scan_pht(tcp.pht, sample=None)
+
+    def test_cache_and_mshr_survive_fuzz(self):
+        rng = random.Random(0xBEEF)
+        cache = SetAssociativeCache(CacheGeometry(4096, 4, 32), name="fuzz")
+        mshr = MSHRFile(8)
+        san = Sanitizer("full")
+        now = 0.0
+        for step in range(4000):
+            now += rng.random()
+            index = rng.randrange(cache.geometry.sets)
+            tag = rng.randrange(1 << 10)
+            if cache.lookup(index, tag, rng.random() < 0.3, now) is None:
+                block = (tag << cache.geometry.index_bits) | index
+                if mshr.lookup(block, now) is None:
+                    start = mshr.acquire(now)
+                    mshr.register(block, start + rng.uniform(1, 50), now)
+                cache.fill(index, tag, now, prefetched=rng.random() < 0.2)
+            if step % 256 == 0:
+                san._scan_cache(cache, sample=None)
+                assert len(mshr._inflight) <= mshr.entries
+        san._scan_cache(cache, sample=None)
+        assert mshr.peak_occupancy <= mshr.entries
+
+    def test_rotating_cursor_visits_every_set(self):
+        san = Sanitizer("full")
+        visited = set()
+        for _ in range(16):  # 16 scans x 8 samples over a 128-set table
+            visited.update(san._scan_range("demo", 128, sample=8))
+        assert visited == set(range(128))
+
+
+class TestCorruptionDetection:
+    """Every injected corruption is caught and named, never stored."""
+
+    EXPECTED_INVARIANT = {
+        "stats-drift": "stats-l1-conservation",
+        "mshr-overflow": "mshr-occupancy",
+        "cache-dup": "cache-set-duplicate",
+        "tht-shape": "tht-history-length",
+    }
+
+    @pytest.mark.parametrize("kind", CORRUPTION_KINDS)
+    def test_corruption_caught_with_invariant_name(self, kind, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        config = dataclasses.replace(TCP8K, sanitize="full")
+        with store_mod.use_store(store):
+            schedule_state_corruption(kind)
+            with pytest.raises(InvariantViolation) as excinfo:
+                simulate("fma3d", config, Scale.QUICK, use_cache=False)
+        assert excinfo.value.invariant == self.EXPECTED_INVARIANT[kind]
+        # The poisoned result reached neither the cache nor the store.
+        assert not _RESULT_CACHE
+        assert len(ResultStore(tmp_path / "store")) == 0
+
+    def test_tht_shape_falls_back_without_tcp(self):
+        schedule_state_corruption("tht-shape")
+        config = dataclasses.replace(BASE, sanitize="cheap")
+        with pytest.raises(InvariantViolation) as excinfo:
+            simulate("fma3d", config, Scale.QUICK, use_cache=False)
+        assert excinfo.value.invariant == "stats-l1-conservation"
+
+    def test_schedule_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            schedule_state_corruption("gamma-ray")
+
+    def test_state_corrupt_fault_is_not_retried(self, monkeypatch, tmp_path):
+        """The supervisor classifies InvariantViolation as non-retryable."""
+        monkeypatch.setenv("REPRO_START_METHOD", "inprocess")
+        monkeypatch.setenv(sanitizer_mod.SANITIZE_ENV, "cheap")
+        store = ResultStore(tmp_path / "store")
+        set_fault_injector(lambda key, attempt: "state-corrupt")
+        with store_mod.use_store(store):
+            report = prewarm([BASE], Scale.QUICK, ("fma3d",), jobs=1, retries=3)
+        assert report.failed == 1
+        failure = report.failures[0]
+        assert failure.error == "InvariantViolation"
+        assert failure.attempts == 1  # deterministic breakage: no retries
+        assert report.retried == 0
+        assert len(ResultStore(tmp_path / "store")) == 0
+
+    def test_state_corrupt_fault_across_process_boundary(self, monkeypatch):
+        monkeypatch.setenv(sanitizer_mod.SANITIZE_ENV, "cheap")
+        set_fault_injector(
+            lambda key, attempt: "state-corrupt" if attempt == 1 else None
+        )
+        report = prewarm([BASE], Scale.QUICK, ("fma3d",), jobs=2, retries=0)
+        assert report.failed == 1
+        assert report.failures[0].error == "InvariantViolation"
+        assert "invariant" in report.failures[0].message
+
+
+class TestValidationBeforeStore:
+    def test_invalid_result_never_reaches_cache_or_store(self, monkeypatch, tmp_path):
+        from repro.sim import runner
+
+        real = runner._execute
+
+        def mangled(trace, config, warmup):
+            result = real(trace, config, warmup)
+            return dataclasses.replace(
+                result, core=dataclasses.replace(result.core, cycles=float("nan"))
+            )
+
+        monkeypatch.setattr(runner, "_execute", mangled)
+        store = ResultStore(tmp_path / "store")
+        with store_mod.use_store(store):
+            with pytest.raises(CorruptResult):
+                simulate("fma3d", BASE, Scale.QUICK)
+        assert not _RESULT_CACHE
+        assert len(ResultStore(tmp_path / "store")) == 0
+
+
+class TestStallWatchdog:
+    def test_stalled_worker_is_reclaimed(self):
+        set_fault_injector(lambda key, attempt: "stall")
+        started = time.monotonic()
+        report = run_supervised(
+            ["job"],
+            lambda job: job,
+            workers=1,
+            policy=RetryPolicy(retries=0, stall_timeout=0.5, backoff_base=0.0),
+            key=str,
+        )
+        assert report.failed == 1
+        assert report.failures[0].error == "StallTimeout"
+        assert "no heartbeat" in report.failures[0].message
+        assert time.monotonic() - started < 30.0  # watchdog, not a 3600s hang
+
+    def test_stall_retries_then_succeeds(self):
+        set_fault_injector(lambda key, attempt: "stall" if attempt == 1 else None)
+        report = run_supervised(
+            ["job"],
+            lambda job: job * 2,
+            workers=1,
+            policy=RetryPolicy(retries=1, stall_timeout=0.5, backoff_base=0.0),
+            key=str,
+        )
+        assert report.ok
+        assert report.completed == {"job": "jobjob"}
+        assert report.retried == 1
+
+    def test_heartbeating_job_survives_the_stall_window(self):
+        def slow_but_alive(job):
+            # Runs 3x the stall window, but proves liveness throughout.
+            for step in range(6):
+                time.sleep(0.25)
+                emit_heartbeat(step + 1, 6, float(step))
+            return "done"
+
+        beats = []
+        report = run_supervised(
+            ["job"],
+            slow_but_alive,
+            workers=1,
+            policy=RetryPolicy(retries=0, stall_timeout=0.5, backoff_base=0.0),
+            key=str,
+            heartbeat=lambda key, done, total, t: beats.append((key, done, total)),
+        )
+        assert report.ok, report.summary()
+        assert report.completed == {"job": "done"}
+        assert beats and all(key == "job" for key, _, _ in beats)
+
+    def test_stall_timeout_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(stall_timeout=0.0)
+        assert issubclass(StallTimeout, Exception)
+
+    def test_inprocess_stall_surfaces_as_stall_timeout(self, monkeypatch):
+        monkeypatch.setenv("REPRO_START_METHOD", "inprocess")
+        set_fault_injector(lambda key, attempt: "stall")
+        report = prewarm([BASE], Scale.QUICK, ("fma3d",), jobs=1, retries=0)
+        assert report.failed == 1
+        assert report.failures[0].error == "StallTimeout"
+
+
+class TestMSHRPruning:
+    def test_register_with_now_prunes_completed_entries(self):
+        mshr = MSHRFile(4)
+        for block in range(4):
+            mshr.register(block, completion=10.0 + block)
+        assert len(mshr._inflight) == 4
+        # At t=20 everything has completed; registering prunes them all.
+        mshr.register(100, completion=30.0, now=20.0)
+        assert set(mshr._inflight) == {100}
+
+    def test_peak_occupancy_tracks_high_water_mark(self):
+        mshr = MSHRFile(8)
+        for block in range(5):
+            mshr.register(block, completion=100.0, now=0.0)
+        assert mshr.peak_occupancy == 5
+        mshr.register(99, completion=300.0, now=200.0)  # reaps the five
+        assert len(mshr._inflight) == 1
+        assert mshr.peak_occupancy == 5  # the high-water mark survives
+        mshr.clear()
+        assert mshr.peak_occupancy == 0
+
+
+class TestProgressMarkers:
+    def test_put_get_roundtrip_last_wins(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put_progress("swim", 1000, BASE, done=100, total=1000, sim_time=50.0)
+        store.put_progress("swim", 1000, BASE, done=400, total=1000, sim_time=200.0)
+        marker = store.get_progress("swim", 1000, BASE)
+        assert marker["done"] == 400 and marker["total"] == 1000
+        # A fresh instance replays the file and still sees the last write.
+        reloaded = ResultStore(tmp_path / "store")
+        assert reloaded.get_progress("swim", 1000, BASE)["done"] == 400
+        assert len(reloaded.progress_entries()) == 1
+
+    def test_torn_marker_lines_are_skipped(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put_progress("swim", 1000, BASE, done=100, total=1000, sim_time=1.0)
+        with store.progress_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"workload": "swim", "acc')  # torn mid-write
+        reloaded = ResultStore(tmp_path / "store")
+        assert reloaded.get_progress("swim", 1000, BASE)["done"] == 100
+
+    def test_clear_progress_removes_markers(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put_progress("swim", 1000, BASE, done=1, total=10, sim_time=0.5)
+        store.clear_progress()
+        assert store.get_progress("swim", 1000, BASE) is None
+        assert not store.progress_path.exists()
+
+    def test_campaign_heartbeats_leave_markers_when_interrupted(
+        self, monkeypatch, tmp_path
+    ):
+        """A stalled campaign leaves a progress marker; success clears it."""
+        monkeypatch.setenv("REPRO_START_METHOD", "inprocess")
+        store = ResultStore(tmp_path / "store")
+        # Force the heartbeat path: fail the job after its (synchronous,
+        # in-process) heartbeats have flowed into put_progress.
+        monkeypatch.setattr(
+            "repro.sim.resilience.HEARTBEAT_MIN_INTERVAL", 0.0, raising=False
+        )
+        with store_mod.use_store(store):
+            report = prewarm([BASE], Scale.QUICK, ("fma3d",), jobs=1, retries=0)
+            assert report.ok
+            # Completed campaign: markers are cleared.
+            assert store.progress_entries() == {}
