@@ -1,0 +1,102 @@
+"""The engine hot path: equivalence with, and speedup over, the legacy driver.
+
+The engine refactor (slotted events, precomputed geometry, the flat
+``access_time`` fast path, bulk trace conversion) claims to be a pure
+performance change.  This module checks both halves of that claim:
+
+* **equivalence** — the legacy reference driver
+  (:func:`repro.bench.legacy.run_legacy`), which replays the seed
+  tree's per-access call pattern, must commit exactly the same cycles,
+  instructions, and hierarchy statistics as the engine loop on the
+  same trace and configuration;
+* **performance** — the engine/legacy throughput ratio measured by
+  :func:`repro.bench.hotpath.run_hotpath_bench` must not regress by
+  more than 20% against the committed baseline (``BENCH_hotpath.json``
+  at the repository root).  The ratio compares two drivers timed on
+  the same interpreter and host, so the gate is meaningful on any CI
+  machine even though raw accesses/sec are not.
+
+Scale selection follows the shared benchmark convention
+(``REPRO_BENCH_SCALE``); the regression gate uses fewer repeats at
+``quick`` scale, trading noise margin for runtime, which the 20%
+tolerance absorbs.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench import run_hotpath_bench
+from repro.bench.hotpath import SCHEMA
+from repro.bench.legacy import run_legacy
+from repro.cpu import OutOfOrderCore
+from repro.memory import MemoryHierarchy
+from repro.sim.config import SimulationConfig
+from repro.workloads import Scale, generate
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+#: covers the hit-dominated fast path (none), the miss/prefetch path
+#: (nextline, tcp-8k), and the gated L1-promotion path (hybrid-8k).
+EQUIVALENCE_PREFETCHERS = ("none", "nextline", "tcp-8k", "hybrid-8k")
+
+
+def _run_both(workload: str, prefetcher: str, warmup: int = 0):
+    """Run one trace under the engine loop and the legacy driver."""
+    trace = generate(workload, Scale.QUICK)
+    config = SimulationConfig.for_prefetcher(prefetcher)
+
+    engine_machine = MemoryHierarchy(config.hierarchy)
+    engine_machine.attach_prefetcher(config.build_prefetcher())
+    engine = OutOfOrderCore(config.core).run(trace, engine_machine, warmup=warmup)
+
+    legacy_machine = MemoryHierarchy(config.hierarchy)
+    legacy_machine.attach_prefetcher(config.build_prefetcher())
+    legacy = run_legacy(trace, legacy_machine, config.core, warmup=warmup)
+    return engine, engine_machine, legacy, legacy_machine
+
+
+@pytest.mark.parametrize("prefetcher", EQUIVALENCE_PREFETCHERS)
+@pytest.mark.parametrize("workload", ("swim", "mcf"))
+def test_legacy_driver_commits_identical_results(workload, prefetcher):
+    """Engine and legacy drivers agree bit-for-bit on every outcome."""
+    engine, engine_machine, legacy, legacy_machine = _run_both(workload, prefetcher)
+    assert legacy.cycles == engine.cycles
+    assert legacy.instructions == engine.instructions
+    assert legacy.accesses == engine.accesses
+    assert legacy_machine.stats == engine_machine.stats
+
+
+def test_legacy_driver_matches_with_warmup():
+    """Warmup bookkeeping (snapshot point, measured window) also agrees."""
+    engine, engine_machine, legacy, legacy_machine = _run_both(
+        "mcf", "tcp-8k", warmup=1000
+    )
+    assert legacy.cycles == engine.cycles
+    assert legacy.instructions == engine.instructions
+    assert legacy_machine.stats == engine_machine.stats
+    assert legacy_machine.warmup_stats == engine_machine.warmup_stats
+
+
+def test_engine_speedup_has_not_regressed(scale):
+    """Fresh engine/legacy ratio stays within 20% of the committed baseline.
+
+    This is the CI perf-smoke gate.  It re-measures the full default
+    grid and compares geomean speedups; a >20% drop means an engine
+    change gave back the refactor's performance win.
+    """
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    assert baseline["schema"] == SCHEMA, (
+        "BENCH_hotpath.json was written by an incompatible benchmark "
+        "version; regenerate it with `repro-tcp bench`"
+    )
+    repeats = 2 if scale is Scale.QUICK else 3
+    fresh = run_hotpath_bench(scale=scale, repeats=repeats, log=sys.stderr)
+    floor = baseline["geomean_speedup"] * 0.8
+    assert fresh["geomean_speedup"] >= floor, (
+        f"hot-path speedup regressed: fresh geomean "
+        f"{fresh['geomean_speedup']:.2f}x is below 80% of the committed "
+        f"baseline ({baseline['geomean_speedup']:.2f}x)"
+    )

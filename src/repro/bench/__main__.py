@@ -1,0 +1,8 @@
+"""``python -m repro.bench`` — alias for ``repro-tcp bench``."""
+
+import sys
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

@@ -1,0 +1,581 @@
+"""Reference driver reproducing the pre-engine per-access call pattern.
+
+This is the control arm of the hot-path benchmark.  It simulates the
+same trace against the same component objects (caches, MSHR file,
+buses, DRAM, prefetcher), but performs each access the way the
+pre-refactor tree did.  The engine refactor is a pure performance
+change, so "how much faster is it?" can only be answered by keeping
+the old pathway runnable; this module is that pathway, ported
+line-for-line from the pre-engine ``MemoryHierarchy`` and CPU loop:
+
+* every trace column is read per access by numpy scalar indexing and
+  converted with ``int()``/``bool()`` at each use (the engine loop
+  converts each column once with ``tolist``);
+* the L1 probe goes through the generic ``lookup`` method (not the
+  inlined direct-mapped probe), and a non-slotted result object plus
+  non-slotted events are allocated per access/observation (replicas of
+  the old classes, below);
+* machine parameters are read through ``params`` attribute chains and
+  cache-geometry values (``sets``, ``index_bits``, ``offset_bits``)
+  are re-derived from the raw fields at every use — the property
+  derivation the old ``CacheGeometry`` paid on each read;
+* bus transfers are scheduled as ``request(...)`` + ``beats(...)``
+  call pairs with the seed's separate ``beats`` method call, the MSHR
+  is reaped unconditionally on every acquire/register, and every
+  instruction slot calls the instruction-fetch path (the engine loop
+  inlines the sequential-block filter).
+
+Timing the same machine under this driver and under
+:meth:`~repro.cpu.core.OutOfOrderCore.run` isolates the engine-layer
+changes from host speed: the ratio of the two throughputs is the
+refactor's speedup and is comparable across machines, which is what
+the CI perf gate checks.
+
+The timing model itself is identical; for any trace and hierarchy this
+driver commits the same cycles as the engine loop (asserted by
+``benchmarks/test_hotpath_perf.py`` and checked on every benchmark
+run).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.cpu.core import CoreParams, CoreResult
+from repro.memory.bus import Bus
+from repro.memory.dram import MainMemory
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.mshr import MSHRFile
+from repro.util.bitops import log2_exact
+from repro.workloads.trace import Trace
+
+__all__ = ["legacy_access", "run_legacy"]
+
+
+# ----------------------------------------------------------------------
+# Replicas of the pre-refactor event/outcome classes: frozen (or plain)
+# dataclasses WITHOUT __slots__, so each allocation builds an instance
+# dict and each frozen field assignment routes through
+# object.__setattr__ — the per-event cost the engine's slotted events
+# removed.  Prefetchers consume them duck-typed, so training behaviour
+# is identical.
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _SeedMissEvent:
+    index: int
+    tag: int
+    block: int
+    pc: int
+    is_write: bool
+    now: float
+
+
+@dataclass(frozen=True)
+class _SeedAccessEvent:
+    index: int
+    tag: int
+    block: int
+    pc: int
+    is_write: bool
+    hit: bool
+    now: float
+
+
+@dataclass(frozen=True)
+class _SeedEvictionEvent:
+    index: int
+    tag: int
+    block: int
+    now: float
+    fill_time: float = 0.0
+    last_access: float = 0.0
+
+
+@dataclass
+class _SeedAccessResult:
+    completion: float
+    l1_hit: bool
+    l2_hit: bool = True
+
+
+# ----------------------------------------------------------------------
+# The old CacheGeometry derived these through @property on every read
+# (``sets`` as a division, ``index_bits``/``offset_bits`` as its log);
+# the replicas reproduce that per-read work against the raw fields.
+# ----------------------------------------------------------------------
+
+def _seed_sets(geometry) -> int:
+    return geometry.size_bytes // (geometry.ways * geometry.block_bytes)
+
+
+def _seed_index_bits(geometry) -> int:
+    return log2_exact(_seed_sets(geometry))
+
+
+def _seed_offset_bits(geometry) -> int:
+    return log2_exact(geometry.block_bytes)
+
+
+# ----------------------------------------------------------------------
+# Seed component call patterns.  The state mutations are arithmetic-
+# identical to the current component methods (which fused or skipped
+# some of these steps), so a legacy run leaves every component in
+# exactly the state an engine run would.
+# ----------------------------------------------------------------------
+
+def _seed_bus_request(bus: Bus, now: float, payload_bytes: int) -> float:
+    """Seed ``Bus.request``: the beats count came from a method call."""
+    beats = bus.beats(payload_bytes)
+    start = now if now > bus.next_free else bus.next_free
+    bus.next_free = start + beats
+    bus.busy_cycles += beats
+    bus.queued_cycles += start - now
+    bus.transfers += 1
+    return start
+
+
+def _seed_memory_fetch(memory: MainMemory, now: float, block_bytes: int) -> float:
+    """Seed ``MainMemory.fetch``: data return as request + beats calls."""
+    start = _seed_bus_request(memory.addr_bus, now, 0) + 1
+    completions = memory._completions
+    if len(completions) >= memory.max_concurrent:
+        completions.sort()
+        earliest = completions[0]
+        if earliest > start:
+            start = earliest
+        memory._completions = completions = [t for t in completions if t > start]
+    data_ready = start + memory.latency
+    transfer_start = _seed_bus_request(memory.data_bus, data_ready, block_bytes)
+    done = transfer_start + memory.data_bus.beats(block_bytes)
+    completions.append(done)
+    memory.accesses += 1
+    return done
+
+
+def _seed_memory_writeback(memory: MainMemory, now: float, block_bytes: int) -> float:
+    """Seed ``MainMemory.writeback``: data transfer as request + beats."""
+    start = _seed_bus_request(memory.data_bus, now, block_bytes)
+    return start + memory.data_bus.beats(block_bytes)
+
+
+def _seed_mshr_reap(mshr: MSHRFile, now: float) -> None:
+    """Seed ``MSHRFile._reap``: an unconditional scan, no earliest hint.
+
+    The hint is still kept exact so the shared MSHR object stays
+    coherent for any later (engine-path) use.
+    """
+    inflight = mshr._inflight
+    if not inflight:
+        return
+    done = [block for block, t in inflight.items() if t <= now]
+    for block in done:
+        del inflight[block]
+    mshr._earliest = min(inflight.values(), default=float("inf"))
+
+
+def _seed_mshr_acquire(mshr: MSHRFile, now: float) -> float:
+    _seed_mshr_reap(mshr, now)
+    if len(mshr._inflight) < mshr.entries:
+        return now
+    start = min(mshr._inflight.values())
+    mshr.full_stalls += 1
+    _seed_mshr_reap(mshr, start)
+    return start
+
+
+def _seed_mshr_register(
+    mshr: MSHRFile, block: int, completion: float, now: float
+) -> None:
+    _seed_mshr_reap(mshr, now)
+    inflight = mshr._inflight
+    inflight[block] = completion
+    if completion < mshr._earliest:
+        mshr._earliest = completion
+    if len(inflight) > mshr.peak_occupancy:
+        mshr.peak_occupancy = len(inflight)
+
+
+# ----------------------------------------------------------------------
+# Seed hierarchy helpers (fill / prefetch / promotion / ifetch paths).
+# ----------------------------------------------------------------------
+
+def _seed_fill_l1(
+    self: MemoryHierarchy, index: int, tag: int, now: float,
+    prefetched: bool, dirty: bool,
+) -> None:
+    """Seed ``_fill_l1``: generic cache fill, Eviction wrapper included."""
+    eviction = self.l1d.fill(index, tag, now, prefetched=prefetched, dirty=dirty)
+    if eviction is None:
+        return
+    if eviction.dirty:
+        self.stats.writebacks_l1 += 1
+        _seed_bus_request(self.l1l2_data_bus, now, self.params.l1d.block_bytes)
+    if self._needs_evict:
+        victim = eviction.line
+        block = (victim.tag << _seed_index_bits(self.params.l1d)) | index
+        self.prefetcher.observe_eviction(  # type: ignore[union-attr]
+            _SeedEvictionEvent(
+                index, victim.tag, block, now, victim.fill_time, victim.last_access
+            )
+        )
+
+
+def _seed_fill_l2(
+    self: MemoryHierarchy, index: int, tag: int, now: float, prefetched: bool
+) -> None:
+    lru_insert = prefetched and self.params.prefetch_insert_policy == "lru"
+    eviction = self.l2d.fill(index, tag, now, prefetched=prefetched,
+                             lru_insert=lru_insert)
+    if eviction is None:
+        return
+    if eviction.line.prefetched:
+        self.stats.prefetch_evicted_unused += 1
+    if eviction.dirty:
+        self.stats.writebacks_l2 += 1
+        _seed_memory_writeback(self.memory, now, self.params.l2.block_bytes)
+
+
+def _seed_issue_prefetch(self: MemoryHierarchy, request, now: float) -> bool:
+    p = self.params
+    stats = self.stats
+    stats.prefetches_requested += 1
+    l1_block = request.block
+    l2_block = l1_block >> self._l2_shift
+    l2_index = l2_block & self._l2_index_mask
+    l2_tag = l2_block >> _seed_index_bits(p.l2)
+
+    resident = self.l2d.probe(l2_index, l2_tag)
+    if resident is not None:
+        stats.prefetch_redundant += 1
+        if request.into_l1 and self._promotions_enabled:
+            ready = max(now, resident.fill_time)
+            self._pending_l1[l1_block & (_seed_sets(p.l1d) - 1)] = (l1_block, ready)
+        return False
+
+    inflight = self._pf_inflight
+    if inflight:
+        self._pf_inflight = inflight = [t for t in inflight if t > now]
+    if len(inflight) >= p.max_outstanding_prefetches:
+        stats.prefetch_dropped_queue += 1
+        return False
+    if self.memory.backlog(now) > p.prefetch_busy_threshold:
+        stats.prefetch_dropped_busy += 1
+        return False
+
+    done = _seed_memory_fetch(self.memory, now + p.l2_hit_latency, p.l2.block_bytes)
+    inflight.append(done)
+    stats.prefetches_issued += 1
+    _seed_fill_l2(self, l2_index, l2_tag, done, prefetched=True)
+    if request.into_l1 and self._promotions_enabled:
+        self._pending_l1[l1_block & (_seed_sets(p.l1d) - 1)] = (l1_block, done)
+    return True
+
+
+def _seed_try_promote(self: MemoryHierarchy, index: int, now: float) -> None:
+    pending = self._pending_l1.get(index)
+    if pending is None:
+        return
+    l1_block, ready = pending
+    if ready > now:
+        return
+    p = self.params
+    if now - ready > p.promotion_ttl:
+        del self._pending_l1[index]
+        return
+    l2_block = l1_block >> self._l2_shift
+    l2_index = l2_block & self._l2_index_mask
+    l2_tag = l2_block >> _seed_index_bits(p.l2)
+    if self.l2d.probe(l2_index, l2_tag) is None:
+        del self._pending_l1[index]
+        return
+    tag = l1_block >> _seed_index_bits(p.l1d)
+    if self.l1d.probe(index, tag) is not None:
+        del self._pending_l1[index]
+        return
+    victim = self.l1d.victim_line(index)
+    if victim is not None and not self._l1_gate(victim, index, now):  # type: ignore[misc]
+        return
+    l2_line = self.l2d.lookup(l2_index, l2_tag, False, now)
+    if l2_line is not None and l2_line.prefetched:
+        l2_line.prefetched = False
+        self.stats.useful_prefetches += 1
+    bus = self.prefetch_bus if self.prefetch_bus is not None else self.l1l2_data_bus
+    start = _seed_bus_request(bus, now, self.params.l1d.block_bytes)
+    _seed_fill_l1(
+        self, index, tag, start + bus.beats(self.params.l1d.block_bytes),
+        prefetched=True, dirty=False,
+    )
+    self.stats.l1_promotions += 1
+    del self._pending_l1[index]
+
+
+def _seed_run_prefetcher(self: MemoryHierarchy, miss: _SeedMissEvent) -> None:
+    requests = self.prefetcher.observe_miss(miss)  # type: ignore[union-attr]
+    if not requests:
+        return
+    launch = miss.now + self.params.prefetch_issue_delay
+    for request in requests:
+        _seed_issue_prefetch(self, request, launch)
+
+
+def _seed_instruction_fetch(self: MemoryHierarchy, now: float, pc: int) -> float:
+    """Seed ``instruction_fetch``: geometry re-derived at every use."""
+    p = self.params
+    block = pc >> _seed_offset_bits(p.l1i)
+    if block == self._last_ifetch_block:
+        return 0.0
+    self._last_ifetch_block = block
+    self.stats.ifetch_accesses += 1
+    index = block & (_seed_sets(p.l1i) - 1)
+    tag = block >> _seed_index_bits(p.l1i)
+    if self.l1i.lookup(index, tag, False, now) is not None:
+        return 0.0
+    self.stats.ifetch_misses += 1
+    l2_block = block >> self._l2_shift
+    l2_index = l2_block & self._l2_index_mask
+    l2_tag = l2_block >> _seed_index_bits(p.l2)
+    arrival = _seed_bus_request(self.l1l2_addr_bus, now, 0) + 1
+    if self.l2i.lookup(l2_index, l2_tag, False, arrival) is not None:
+        ready = arrival + p.l2_hit_latency
+    else:
+        ready = _seed_memory_fetch(self.memory, arrival + p.l2_hit_latency,
+                                   p.l2.block_bytes)
+        self.l2i.fill(l2_index, l2_tag, ready)
+    self.l1i.fill(index, tag, ready)
+    return max(0.0, ready - now)
+
+
+# ----------------------------------------------------------------------
+# The demand access path.
+# ----------------------------------------------------------------------
+
+def legacy_access(
+    hierarchy: MemoryHierarchy,
+    now: float,
+    index: int,
+    tag: int,
+    block: int,
+    is_write: bool,
+    pc: int,
+) -> _SeedAccessResult:
+    """One demand access via the pre-refactor call pattern.
+
+    A line-for-line port of the old ``MemoryHierarchy.access`` and
+    ``_demand_l2`` (see this module's docstring); the arithmetic is
+    identical to :meth:`~repro.memory.hierarchy.MemoryHierarchy.
+    access_time`, so state and committed cycles match the engine
+    exactly.
+    """
+    self = hierarchy
+    p = self.params
+    stats = self.stats
+    stats.demand_accesses += 1
+    if is_write:
+        stats.stores += 1
+    else:
+        stats.loads += 1
+
+    if self._promotions_enabled and self._pending_l1:
+        _seed_try_promote(self, index, now)
+
+    line = self.l1d.lookup(index, tag, is_write, now)
+    if line is not None:
+        stats.l1_hits += 1
+        if self._promotions_enabled and line.prefetched:
+            line.prefetched = False
+            stats.l1_promotion_hits += 1
+            if self.prefetcher is not None:
+                _seed_run_prefetcher(
+                    self, _SeedMissEvent(index, tag, block, pc, is_write, now)
+                )
+        if self._needs_access:
+            requests = self.prefetcher.observe_access(  # type: ignore[union-attr]
+                _SeedAccessEvent(index, tag, block, pc, is_write, True, now)
+            )
+            if requests:
+                for request in requests:
+                    _seed_issue_prefetch(
+                        self, request, now + self.params.prefetch_issue_delay
+                    )
+        return _SeedAccessResult(now + self.params.l1_hit_latency, True)
+
+    # ----- L1 miss -----------------------------------------------------
+    stats.l1_misses += 1
+    if self._needs_access:
+        requests = self.prefetcher.observe_access(  # type: ignore[union-attr]
+            _SeedAccessEvent(index, tag, block, pc, is_write, False, now)
+        )
+        if requests:
+            for request in requests:
+                _seed_issue_prefetch(
+                    self, request, now + self.params.prefetch_issue_delay
+                )
+
+    if self._promotions_enabled:
+        pending = self._pending_l1.get(index)
+        if pending is not None and pending[0] == block:
+            del self._pending_l1[index]
+
+    merged = self.mshr.lookup(block, now)
+    if merged is not None:
+        stats.mshr_merges += 1
+        return _SeedAccessResult(merged, False)
+
+    start = _seed_mshr_acquire(self.mshr, now)
+    stats.mshr_full_stalls = self.mshr.full_stalls
+
+    # ----- demand L2 fetch (the old _demand_l2 helper) -----------------
+    request_start = _seed_bus_request(
+        self.l1l2_addr_bus, start + p.l1_hit_latency, 0
+    )
+    arrival = request_start + 1
+    stats.l2_demand_accesses += 1
+
+    l2_block = block >> self._l2_shift
+    l2_index = l2_block & self._l2_index_mask
+    l2_tag = l2_block >> _seed_index_bits(p.l2)
+
+    l2_line = self.l2d.lookup(l2_index, l2_tag, False, arrival)
+    if l2_line is not None or p.ideal_l2:
+        stats.l2_demand_hits += 1
+        data_ready = arrival + p.l2_hit_latency
+        if l2_line is not None:
+            if l2_line.prefetched:
+                l2_line.prefetched = False
+                stats.prefetched_original += 1
+                stats.useful_prefetches += 1
+            if l2_line.fill_time > arrival:
+                data_ready = max(data_ready, l2_line.fill_time)
+        l2_hit = True
+    else:
+        stats.l2_demand_misses += 1
+        data_ready = _seed_memory_fetch(
+            self.memory, arrival + p.l2_hit_latency, p.l2.block_bytes
+        )
+        _seed_fill_l2(self, l2_index, l2_tag, data_ready, prefetched=False)
+        l2_hit = False
+
+    # Data return to L1 over the L1/L2 data channel.
+    xfer = _seed_bus_request(self.l1l2_data_bus, data_ready, p.l1d.block_bytes)
+    completion = xfer + self.l1l2_data_bus.beats(self.params.l1d.block_bytes)
+    _seed_mshr_register(self.mshr, block, completion, now)
+
+    _seed_fill_l1(self, index, tag, completion, prefetched=False, dirty=is_write)
+
+    if self.prefetcher is not None:
+        _seed_run_prefetcher(
+            self, _SeedMissEvent(index, tag, block, pc, is_write, now)
+        )
+    return _SeedAccessResult(completion, False, l2_hit)
+
+
+def run_legacy(
+    trace: Trace,
+    hierarchy: MemoryHierarchy,
+    params: CoreParams = CoreParams(),
+    warmup: int = 0,
+) -> CoreResult:
+    """Simulate ``trace`` with the pre-engine per-access call pattern."""
+    n = len(trace)
+    if not 0 <= warmup < max(n, 1):
+        raise ValueError(f"warmup ({warmup}) must be < trace length ({n})")
+    if n == 0:
+        return CoreResult(0, 0.0, 0)
+
+    geometry = hierarchy.params.l1d
+    blocks, indices, tags = geometry.decompose_array(trace.addrs)
+    gaps = trace.gaps
+    deps = trace.deps
+    is_load = trace.is_load
+    pcs = trace.pcs
+    model_icache = hierarchy.params.model_icache
+
+    dispatch_rate = min(float(params.issue_width), trace.base_ipc)
+    commit_rate = float(params.issue_width)
+    window = params.window
+    lsq = params.lsq
+    ls_interval = 1.0 / params.ls_units
+
+    max_dep = int(deps.max()) if n else 0
+    ring = 1
+    while ring < max(lsq, max_dep + 1, 512):
+        ring <<= 1
+    ring_mask = ring - 1
+    completions = [0.0] * ring
+    commits = [0.0] * ring
+
+    rob: deque = deque()
+
+    now_dispatch = float(params.frontend_depth)
+    last_mem_issue = 0.0
+    last_commit = 0.0
+    instr_num = 0
+    warmup_instr = 0
+    warmup_commit = 0.0
+
+    # Uninstrumented run: the sentinel mark never fires, as in the seed.
+    next_mark = n + 1
+    mark_interval = 0
+
+    for i in range(n):
+        if i == warmup and warmup:
+            warmup_instr = instr_num
+            warmup_commit = last_commit
+            hierarchy.mark_warmup_end()
+        gap = int(gaps[i])
+        instr_num += gap + 1
+
+        now_dispatch += (gap + 1) / dispatch_rate
+        window_floor = instr_num - window
+        while rob and rob[0][0] <= window_floor:
+            entry = rob.popleft()
+            if entry[1] > now_dispatch:
+                now_dispatch = entry[1]
+        if i >= lsq:
+            lsq_release = commits[(i - lsq) & ring_mask]
+            if lsq_release > now_dispatch:
+                now_dispatch = lsq_release
+
+        if model_icache:
+            penalty = _seed_instruction_fetch(hierarchy, now_dispatch, int(pcs[i]))
+            if penalty > 0.0:
+                now_dispatch += penalty
+
+        issue = now_dispatch
+        if last_mem_issue + ls_interval > issue:
+            issue = last_mem_issue + ls_interval
+        dep = deps[i]
+        if dep:
+            data_ready = completions[(i - dep) & ring_mask]
+            if data_ready > issue:
+                issue = data_ready
+        last_mem_issue = issue
+
+        load = bool(is_load[i])
+        result = legacy_access(
+            hierarchy, issue,
+            int(indices[i]), int(tags[i]), int(blocks[i]), not load, int(pcs[i]),
+        )
+        if load:
+            completion = result.completion
+        else:
+            completion = issue + 1.0
+        completions[i & ring_mask] = completion
+
+        commit = last_commit + 1.0 / commit_rate
+        if completion > commit:
+            commit = completion
+        last_commit = commit
+        commits[i & ring_mask] = commit
+        rob.append((instr_num, commit))
+
+        if i + 1 == next_mark:
+            next_mark += mark_interval
+
+    total_instructions = trace.instruction_count
+    trailing = total_instructions - instr_num
+    measured_instructions = total_instructions - warmup_instr
+    cycles = last_commit + trailing / dispatch_rate - warmup_commit
+    return CoreResult(measured_instructions, cycles, n - warmup)

@@ -61,8 +61,7 @@ class HybridTCP(TagCorrelatingPrefetcher):
         miss into the per-set tag history that the TCP itself learns
         from.
         """
-        index_bits = self.tht.rows.bit_length() - 1
-        block = (victim.tag << index_bits) | index
+        block = self.tht.compose_block(victim.tag, index)
         dead = self.deadblock.is_dead(block, victim.fill_time, victim.last_access, now)
         if dead:
             self.promotions_approved += 1

@@ -68,29 +68,28 @@ class PHTIndexScheme:
                 f"miss index bits ({self.miss_index_bits}) must lie in "
                 f"[0, {self.total_index_bits}]"
             )
-
-    @property
-    def sequence_bits(self) -> int:
-        """``m``: bits contributed by the hashed tag sequence."""
-        return self.total_index_bits - self.miss_index_bits
+        # Precomputed masks (not dataclass fields; eq/hash unchanged).
+        # compute() runs once per PHT probe — twice per L1 miss — so it
+        # must not rebuild masks on every call.
+        m = self.total_index_bits - self.miss_index_bits
+        object.__setattr__(self, "sequence_bits", m)
+        object.__setattr__(self, "_sequence_mask", mask(m))
+        object.__setattr__(self, "_miss_mask", mask(self.miss_index_bits))
 
     def compute(self, tag_sequence: Sequence[int], miss_index: int) -> int:
         """Return the PHT set index for this (sequence, miss index)."""
-        m = self.sequence_bits
         n = self.miss_index_bits
         if self.function is IndexFunction.TRUNCATED_ADD:
-            total = 0
-            for tag in tag_sequence:
-                total += tag
-            high = total & mask(m)
+            high = sum(tag_sequence) & self._sequence_mask
         else:
+            m = self.sequence_bits
             concatenated = 0
             for tag in tag_sequence:
                 concatenated = (concatenated << 20) | (tag & mask(20))
             high = fold_xor(concatenated, m) if m > 0 else 0
         if n == 0:
             return high
-        return (high << n) | (miss_index & mask(n))
+        return (high << n) | (miss_index & self._miss_mask)
 
     def describe(self) -> str:
         """Human-readable summary, e.g. ``sum(tags)[1:8] ++ index[1:0]``."""

@@ -92,10 +92,10 @@ class TagCorrelatingPrefetcher(Prefetcher):
         predicted = self.pht.predict(new_sequence, index)
         if not predicted:
             return []
-        index_bits = self.tht.rows.bit_length() - 1
+        compose_block = self.tht.compose_block
         requests: List[PrefetchRequest] = []
         for next_tag in predicted:
-            block = (next_tag << index_bits) | index
+            block = compose_block(next_tag, index)
             if block == miss.block:
                 continue  # that block is already being demand-fetched
             requests.append(PrefetchRequest(block, into_l1=self.into_l1))

@@ -29,13 +29,17 @@ class TagHistoryTable:
         self.rows = rows
         self.depth = depth
         self.tag_bytes = tag_bytes
-        # Row storage: a flat list of lists; row i holds [tag1..tagk],
-        # index 0 oldest.  Initialised to zeros, matching cold hardware.
-        self._history: List[List[int]] = [[0] * depth for _ in range(rows)]
+        #: bits in a row index == the L1's index_bits (one row per set).
+        self.index_bits = rows.bit_length() - 1
+        # Row storage: a list of tuples; row i holds (tag1..tagk),
+        # index 0 oldest.  Tuples, not lists: ``read`` then returns the
+        # row itself with no per-call copy, and a shift builds exactly
+        # one new object.  Initialised to zeros, matching cold hardware.
+        self._history: List[Tuple[int, ...]] = [(0,) * depth for _ in range(rows)]
 
     def read(self, index: int) -> Tuple[int, ...]:
         """Return the tag sequence at ``index`` (oldest first)."""
-        return tuple(self._history[index])
+        return self._history[index]
 
     def push(self, index: int, tag: int) -> Tuple[int, ...]:
         """Shift ``tag`` into row ``index``; return the NEW sequence.
@@ -44,10 +48,19 @@ class TagHistoryTable:
         ``(tag1 .. tagk)`` becomes ``(tag2 .. tagk, miss_tag)``,
         establishing the miss tag as the most recent history.
         """
-        row = self._history[index]
-        row.pop(0)
-        row.append(tag)
-        return tuple(row)
+        history = self._history
+        row = history[index][1:] + (tag,)
+        history[index] = row
+        return row
+
+    def compose_block(self, tag: int, index: int) -> int:
+        """Rebuild an L1 block address number from a predicted tag.
+
+        The THT is the component that fixes the tag/index split (one
+        row per L1 set), so it owns the recombination every TCP variant
+        performs after a PHT prediction: ``(tag << index_bits) | index``.
+        """
+        return (tag << self.index_bits) | index
 
     def storage_bytes(self) -> int:
         """Hardware budget: rows × k × bytes-per-tag."""
@@ -55,9 +68,10 @@ class TagHistoryTable:
 
     def reset(self) -> None:
         """Zero all rows."""
-        for row in self._history:
-            for position in range(self.depth):
-                row[position] = 0
+        history = self._history
+        cold = (0,) * self.depth
+        for index in range(self.rows):
+            history[index] = cold
 
     def __repr__(self) -> str:
         return (

@@ -87,8 +87,7 @@ class StrideFilteredTCP(TagCorrelatingPrefetcher):
                 return []
             self.stride_predictions += 1
             self.stats.predictions += 1
-            index_bits = self.tht.rows.bit_length() - 1
-            block = (predicted_tag << index_bits) | miss.index
+            block = self.tht.compose_block(predicted_tag, miss.index)
             return [PrefetchRequest(block, into_l1=self.into_l1)]
         return super().observe_miss(miss)
 
@@ -156,10 +155,10 @@ class ConfidenceFilteredTCP(TagCorrelatingPrefetcher):
         if self._confidence.get(target_key, 0) < self.threshold:
             self.suppressed += 1
             return []
-        index_bits = self.tht.rows.bit_length() - 1
+        compose_block = self.tht.compose_block
         requests = []
         for next_tag in predicted:
-            block = (next_tag << index_bits) | index
+            block = compose_block(next_tag, index)
             if block != miss.block:
                 requests.append(PrefetchRequest(block, into_l1=self.into_l1))
         self.stats.predictions += len(requests)
@@ -199,7 +198,7 @@ class LookaheadTCP(TagCorrelatingPrefetcher):
         sequence = self.tht.push(index, miss.tag)
         self.stats.updates += 1
 
-        index_bits = self.tht.rows.bit_length() - 1
+        compose_block = self.tht.compose_block
         requests: List[PrefetchRequest] = []
         seen = {miss.block}
         for _step in range(self.degree):
@@ -207,7 +206,7 @@ class LookaheadTCP(TagCorrelatingPrefetcher):
             if not predicted:
                 break
             next_tag = predicted[0]
-            block = (next_tag << index_bits) | index
+            block = compose_block(next_tag, index)
             if block in seen:
                 break  # the chain closed on itself
             seen.add(block)

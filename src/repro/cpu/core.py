@@ -24,14 +24,29 @@ times under the structural constraints of the paper's core (Table 1):
 The result is the classic "windowed" analytic OoO model: exact for the
 mechanisms above, abstracting register-level scheduling, which is
 sufficient (and standard) for studying cache/prefetcher trade-offs.
+
+Hot-loop engineering notes
+--------------------------
+* The vectorised address split and every trace column are converted to
+  plain Python lists once per run (``.tolist()``): per-element numpy
+  scalar indexing plus ``int()`` conversion costs more than the whole
+  rest of the loop body for hit-dominated workloads.
+* The loop calls :meth:`~repro.memory.hierarchy.MemoryHierarchy.
+  access_time` — the engine's float-returning fast path — so the
+  common L1-hit access allocates nothing.
+* Observation (progress heartbeats, the runtime sanitizer, custom
+  taps) attaches through :mod:`repro.engine.probes`; the loop itself
+  pays one integer compare per access and fires all probes at shared
+  periodic marks.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
+from repro.engine.probes import CoreMark, Probe, resolve_probes
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.workloads.trace import Trace
 
@@ -87,6 +102,7 @@ class OutOfOrderCore:
         progress: Optional[Callable[[int, int, float], None]] = None,
         progress_interval: int = 2048,
         sanitizer: Optional[object] = None,
+        probes: Optional[Sequence[Probe]] = None,
     ) -> CoreResult:
         """Simulate the whole trace; returns the timing result.
 
@@ -98,12 +114,16 @@ class OutOfOrderCore:
         ``hierarchy.stats`` (and snapshot/``since`` for warmup
         exclusion).
 
-        ``progress`` (if given) is called every ``progress_interval``
-        accesses as ``(accesses_done, accesses_total, sim_time)`` —
-        the hook behind campaign heartbeats and mid-run checkpoint
-        markers.  ``sanitizer`` (a :class:`repro.sim.sanitizer.Sanitizer`)
-        runs its invariant checks at the same marks; when neither is
-        given the loop pays one integer compare per access.
+        Observation attaches through probes (:mod:`repro.engine.
+        probes`).  ``progress`` and ``sanitizer`` are convenience
+        keywords wrapped into :class:`~repro.engine.probes.
+        ProgressProbe` / :class:`~repro.engine.probes.SanitizerProbe`;
+        ``probes`` passes additional taps directly.  All probes fire at
+        shared marks spaced by the smallest attached interval,
+        progress-style hooks before checking ones; an uninstrumented
+        run pays exactly one integer compare per access.  Probes'
+        ``on_finalize`` is NOT called here — end-of-run hooks belong to
+        the caller, after ``hierarchy.finalize()``.
         """
         params = self.params
         n = len(trace)
@@ -111,16 +131,31 @@ class OutOfOrderCore:
             raise ValueError(f"warmup ({warmup}) must be < trace length ({n})")
         if n == 0:
             return CoreResult(0, 0.0, 0)
+        active_probes = resolve_probes(progress, progress_interval, sanitizer, probes)
 
         geometry = hierarchy.params.l1d
-        blocks, indices, tags = geometry.decompose_array(trace.addrs)
-        gaps = trace.gaps
-        deps = trace.deps
-        is_load = trace.is_load
-        pcs = trace.pcs
+        blocks_arr, indices_arr, tags_arr = geometry.decompose_array(trace.addrs)
+        max_dep = int(trace.deps.max()) if n else 0
+        # One bulk conversion to Python scalars: list indexing yields
+        # ready-to-use ints/bools, where numpy scalar indexing would
+        # box a numpy scalar per element and need an int() call on
+        # every use.
+        blocks = blocks_arr.tolist()
+        indices = indices_arr.tolist()
+        tags = tags_arr.tolist()
+        gaps = trace.gaps.tolist()
+        deps = trace.deps.tolist()
+        is_load = trace.is_load.tolist()
+        pcs = trace.pcs.tolist()
         model_icache = hierarchy.params.model_icache
-        access = hierarchy.access
+        access_time = hierarchy.access_time
         ifetch = hierarchy.instruction_fetch
+        # The sequential-fetch filter (same instruction block as last
+        # cycle -> no cache activity) is inlined here; the hierarchy
+        # applies the identical check inside instruction_fetch, so the
+        # two block trackers stay in lockstep.
+        ifetch_offset_bits = hierarchy.params.l1i.offset_bits
+        last_ifetch_block = hierarchy._last_ifetch_block
 
         dispatch_rate = min(float(params.issue_width), trace.base_ipc)
         commit_rate = float(params.issue_width)
@@ -132,7 +167,6 @@ class OutOfOrderCore:
         # needs: the LSQ depth, and the longest dependence distance in
         # the trace (suite workloads use short distances, but imported
         # traces may not).
-        max_dep = int(deps.max()) if n else 0
         ring = 1
         while ring < max(lsq, max_dep + 1, 512):
             ring <<= 1
@@ -143,6 +177,8 @@ class OutOfOrderCore:
         # Window occupancy: (instruction number, commit time) of
         # in-flight memory accesses, in program order.
         rob: deque = deque()
+        rob_append = rob.append
+        rob_popleft = rob.popleft
 
         now_dispatch = float(params.frontend_depth)
         last_mem_issue = 0.0
@@ -150,35 +186,30 @@ class OutOfOrderCore:
         instr_num = 0
         warmup_instr = 0
         warmup_commit = 0.0
+        inv_commit_rate = 1.0 / commit_rate
 
-        if progress_interval <= 0:
-            raise ValueError(
-                f"progress interval must be positive, got {progress_interval}"
-            )
-        if sanitizer is not None:
-            interval = sanitizer.interval  # type: ignore[attr-defined]
-            mark_interval = (
-                min(progress_interval, interval) if progress is not None else interval
-            )
+        if active_probes:
+            mark_interval = min(probe.interval for probe in active_probes)
+            next_mark = mark_interval
         else:
-            mark_interval = progress_interval
-        # The sentinel n + 1 never matches, so an uninstrumented run
-        # pays exactly one integer compare per access.
-        next_mark = mark_interval if (progress or sanitizer) else n + 1
+            # The sentinel n + 1 never matches, so an uninstrumented
+            # run pays exactly one integer compare per access.
+            mark_interval = 0
+            next_mark = n + 1
 
         for i in range(n):
             if i == warmup and warmup:
                 warmup_instr = instr_num
                 warmup_commit = last_commit
                 hierarchy.mark_warmup_end()
-            gap = int(gaps[i])
+            gap = gaps[i]
             instr_num += gap + 1
 
             # --- dispatch: frontend bandwidth + window occupancy ------
             now_dispatch += (gap + 1) / dispatch_rate
             window_floor = instr_num - window
             while rob and rob[0][0] <= window_floor:
-                entry = rob.popleft()
+                entry = rob_popleft()
                 if entry[1] > now_dispatch:
                     now_dispatch = entry[1]
             if i >= lsq:
@@ -187,9 +218,13 @@ class OutOfOrderCore:
                     now_dispatch = lsq_release
 
             if model_icache:
-                penalty = ifetch(now_dispatch, int(pcs[i]))
-                if penalty > 0.0:
-                    now_dispatch += penalty
+                pc = pcs[i]
+                fetch_block = pc >> ifetch_offset_bits
+                if fetch_block != last_ifetch_block:
+                    last_ifetch_block = fetch_block
+                    penalty = ifetch(now_dispatch, pc)
+                    if penalty > 0.0:
+                        now_dispatch += penalty
 
             # --- issue: LS-unit throughput + address dependence -------
             issue = now_dispatch
@@ -203,36 +238,29 @@ class OutOfOrderCore:
             last_mem_issue = issue
 
             # --- memory access ----------------------------------------
-            load = bool(is_load[i])
-            result = access(
-                issue, int(indices[i]), int(tags[i]), int(blocks[i]), not load, int(pcs[i])
+            load = is_load[i]
+            completion = access_time(
+                issue, indices[i], tags[i], blocks[i], not load, pcs[i]
             )
-            if load:
-                completion = result.completion
-            else:
+            if not load:
                 # Stores retire into the store buffer; the cache/bus
                 # work was performed above for state and bandwidth.
                 completion = issue + 1.0
             completions[i & ring_mask] = completion
 
             # --- in-order commit --------------------------------------
-            commit = last_commit + 1.0 / commit_rate
+            commit = last_commit + inv_commit_rate
             if completion > commit:
                 commit = completion
             last_commit = commit
             commits[i & ring_mask] = commit
-            rob.append((instr_num, commit))
+            rob_append((instr_num, commit))
 
             if i + 1 == next_mark:
                 next_mark += mark_interval
-                # Progress before checks: the runner's hook may apply a
-                # scheduled fault-injection corruption here, and the
-                # sanitizer must observe it at this same mark.
-                if progress is not None:
-                    progress(i + 1, n, last_commit)
-                if sanitizer is not None:
-                    sanitizer.check_core(len(rob), window, last_commit, now_dispatch)  # type: ignore[attr-defined]
-                    sanitizer.check(hierarchy, last_commit)  # type: ignore[attr-defined]
+                mark = CoreMark(i + 1, n, len(rob), window, last_commit, now_dispatch)
+                for probe in active_probes:
+                    probe.on_mark(mark, hierarchy)
 
         total_instructions = trace.instruction_count
         trailing = total_instructions - instr_num

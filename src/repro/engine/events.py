@@ -1,0 +1,122 @@
+"""The slotted event/outcome protocol of the engine layer.
+
+Everything that crosses a layer boundary on the per-access hot path is
+one of these frozen ``__slots__`` dataclasses.  They replace the ad-hoc
+event objects and return tuples the seed tree used: slotted instances
+allocate one compact object (no per-instance ``__dict__``), attribute
+reads compile to fixed-offset loads, and frozen semantics guarantee an
+event observed by a prefetcher cannot mutate hierarchy state.
+
+Event flow (Figure 10 of the paper):
+
+* the hierarchy emits :class:`MissEvent` for every L1 demand miss (the
+  primary prefetcher training signal);
+* :class:`AccessEvent` for every L1 access, hits included — delivered
+  only to observers that declare ``needs_access_stream`` (DBCP);
+* :class:`EvictionEvent` for L1 evictions — delivered only to
+  observers that declare ``needs_eviction_stream`` (dead-block
+  predictors);
+* the CPU model receives an :class:`AccessOutcome` per demand access.
+
+``MemoryEvent`` is the structural protocol the :class:`~repro.engine.
+component.Component` contract is written against: any object carrying
+``(index, tag, block, now)`` can traverse a component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+__all__ = [
+    "AccessEvent",
+    "AccessOutcome",
+    "EvictionEvent",
+    "MemoryEvent",
+    "MissEvent",
+]
+
+
+@runtime_checkable
+class MemoryEvent(Protocol):
+    """Structural type of every event on the engine's access path.
+
+    ``index``/``tag`` are the **L1-geometry** split of the address (the
+    split the whole paper revolves around), ``block`` the L1 block
+    address number (``tag << index_bits | index``), and ``now`` the
+    simulation time the event was generated.
+    """
+
+    index: int
+    tag: int
+    block: int
+    now: float
+
+
+@dataclass(frozen=True, slots=True)
+class MissEvent:
+    """One L1 demand miss, as seen at the L1 miss port.
+
+    ``tag`` and ``index`` are split using the **L1** geometry — that
+    split is the whole point of the paper.  ``block`` is the L1 block
+    address number (``tag << index_bits | index``).
+    """
+
+    index: int
+    tag: int
+    block: int
+    pc: int
+    is_write: bool
+    now: float
+
+
+@dataclass(frozen=True, slots=True)
+class AccessEvent:
+    """One L1 access (hit or miss); delivered only to prefetchers that
+    set ``needs_access_stream`` (e.g. DBCP's PC-trace accumulation)."""
+
+    index: int
+    tag: int
+    block: int
+    pc: int
+    is_write: bool
+    hit: bool
+    now: float
+
+
+@dataclass(frozen=True, slots=True)
+class EvictionEvent:
+    """An L1 eviction; delivered only when ``needs_eviction_stream``.
+
+    ``fill_time`` and ``last_access`` are the victim line's lifetime
+    timestamps — the raw material of the timekeeping dead-block
+    predictor (live time = ``last_access - fill_time``).
+    """
+
+    index: int
+    tag: int
+    block: int
+    now: float
+    fill_time: float = 0.0
+    last_access: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class AccessOutcome:
+    """Outcome of one demand access, returned to the CPU model.
+
+    ``completion`` is the cycle the data is available to the core;
+    ``l1_hit``/``l2_hit`` classify the access for the Figure 12
+    taxonomy (an MSHR merge reports ``l1_hit=False, l2_hit=True`` —
+    the demand rode an earlier fetch and never re-accessed L2).
+
+    The CPU hot loop does NOT allocate these: it calls
+    :meth:`~repro.memory.hierarchy.MemoryHierarchy.access_time`, which
+    returns the bare completion time.  ``AccessOutcome`` is built only
+    by the structured :meth:`~repro.memory.hierarchy.MemoryHierarchy.
+    access` wrapper that tests and analysis passes consume.
+    """
+
+    completion: float
+    l1_hit: bool
+    l2_hit: bool = True

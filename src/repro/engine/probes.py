@@ -1,0 +1,136 @@
+"""Pluggable observation taps for the CPU simulation loop.
+
+The seed tree wired progress heartbeats and the runtime sanitizer into
+:meth:`repro.cpu.core.OutOfOrderCore.run` as inline branches.  Probes
+replace that: the loop keeps exactly one integer compare per access
+(``i + 1 == next_mark``) and, when a mark fires, hands control to a
+small list of :class:`Probe` objects.  Adding a new observation — a
+checkpoint writer, an IPC sampler, a trace recorder — means writing a
+probe, not editing the hot loop.
+
+Mark cadence: the loop fires marks at the *smallest* interval any
+attached probe requests, and every probe runs at every mark.  This
+reproduces the seed semantics where an attached sanitizer tightened
+the progress cadence to its own interval (the sanitizer must observe
+state at the same mark where a fault-injection hook may have corrupted
+it — see :func:`repro.sim.runner._execute`).
+
+Ordering: probes run in list order.  :func:`resolve_probes` puts the
+progress probe first and the sanitizer probe last, preserving the
+seed's documented "progress before checks" contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence, Tuple
+
+__all__ = ["CoreMark", "Probe", "ProgressProbe", "SanitizerProbe", "resolve_probes"]
+
+#: progress-callback signature: (accesses_done, accesses_total, sim_time).
+ProgressCallback = Callable[[int, int, float], None]
+
+#: default accesses between marks when only a progress callback is attached.
+DEFAULT_INTERVAL = 2048
+
+
+@dataclass(frozen=True, slots=True)
+class CoreMark:
+    """Snapshot of the CPU loop's state at one mark.
+
+    Allocated once per mark (marks are thousands of accesses apart),
+    never on the per-access path.
+    """
+
+    done: int
+    total: int
+    rob_len: int
+    window: int
+    last_commit: float
+    now_dispatch: float
+
+
+class Probe:
+    """One observation tap on the simulation loop.
+
+    ``interval`` is the probe's *requested* cadence in accesses; the
+    loop fires every probe at the minimum cadence across attached
+    probes, so ``on_mark`` may run more often than requested — never
+    less.
+    """
+
+    interval: int = DEFAULT_INTERVAL
+
+    def on_mark(self, mark: CoreMark, hierarchy: Any) -> None:
+        """Called at each periodic mark with the loop state snapshot."""
+
+    def on_finalize(self, hierarchy: Any) -> None:
+        """Called once after the run (after ``hierarchy.finalize()``)."""
+
+
+class ProgressProbe(Probe):
+    """Adapts a ``(done, total, sim_time)`` callback to the probe API.
+
+    This is the hook behind campaign heartbeats and mid-run checkpoint
+    markers (:mod:`repro.sim.resilience` / :mod:`repro.sim.store`).
+    """
+
+    def __init__(self, callback: ProgressCallback, interval: int = DEFAULT_INTERVAL) -> None:
+        if interval <= 0:
+            raise ValueError(f"progress interval must be positive, got {interval}")
+        self.callback = callback
+        self.interval = interval
+
+    def on_mark(self, mark: CoreMark, hierarchy: Any) -> None:
+        self.callback(mark.done, mark.total, mark.last_commit)
+
+
+class SanitizerProbe(Probe):
+    """Runs a :class:`repro.sim.sanitizer.Sanitizer` at each mark.
+
+    The probe inherits the sanitizer's own tier-dependent interval and
+    forwards the core-side state (ROB occupancy, commit/dispatch
+    monotonicity) plus the hierarchy scan.  ``on_finalize`` runs the
+    sanitizer's end-of-run conservation checks — callers must invoke
+    it *after* :meth:`MemoryHierarchy.finalize` so residual unused
+    prefetches have been accounted.
+    """
+
+    def __init__(self, sanitizer: Any) -> None:
+        self.sanitizer = sanitizer
+        self.interval = int(sanitizer.interval)
+
+    def on_mark(self, mark: CoreMark, hierarchy: Any) -> None:
+        self.sanitizer.check_core(
+            mark.rob_len, mark.window, mark.last_commit, mark.now_dispatch
+        )
+        self.sanitizer.check(hierarchy, mark.last_commit)
+
+    def on_finalize(self, hierarchy: Any) -> None:
+        self.sanitizer.finalize(hierarchy)
+
+
+def resolve_probes(
+    progress: Optional[ProgressCallback],
+    progress_interval: int,
+    sanitizer: Optional[Any],
+    probes: Optional[Sequence[Probe]],
+) -> Tuple[Probe, ...]:
+    """Merge the legacy keyword hooks and explicit probes into one list.
+
+    Order: progress first, explicit probes in caller order, sanitizer
+    last ("progress before checks": a fault-injection progress hook
+    must corrupt state *before* the sanitizer observes the same mark).
+    """
+    if progress_interval <= 0:
+        raise ValueError(
+            f"progress interval must be positive, got {progress_interval}"
+        )
+    resolved: list = []
+    if progress is not None:
+        resolved.append(ProgressProbe(progress, progress_interval))
+    if probes:
+        resolved.extend(probes)
+    if sanitizer is not None:
+        resolved.append(SanitizerProbe(sanitizer))
+    return tuple(resolved)

@@ -125,6 +125,24 @@ def _build_parser() -> argparse.ArgumentParser:
                                    "$REPRO_SANITIZE or off)")
     simulate_cmd.set_defaults(func=_cmd_simulate)
 
+    bench = sub.add_parser(
+        "bench", help="measure per-access hot-path throughput"
+    )
+    bench.add_argument("--scale", type=_parse_scale, default=Scale.STANDARD,
+                       help="trace length per run (default standard)")
+    bench.add_argument("--repeats", type=int, default=3, metavar="N",
+                       help="timed runs per cell; fastest wins (default 3)")
+    bench.add_argument("--workloads", nargs="*", default=None,
+                       choices=sorted(SUITE), metavar="NAME",
+                       help="workloads to time (default: the fig11 mix)")
+    bench.add_argument("--prefetchers", nargs="*", default=None,
+                       choices=sorted(PREFETCHERS), metavar="NAME",
+                       help="prefetchers to time (default none/nextline/tcp-8k)")
+    bench.add_argument("--output", default="BENCH_hotpath.json", metavar="PATH",
+                       help="result file (default BENCH_hotpath.json; "
+                            "'-' skips writing)")
+    bench.set_defaults(func=_cmd_bench)
+
     trace_cmd = sub.add_parser(
         "trace", help="export a benchmark's memory trace to a .npz file"
     )
@@ -271,6 +289,29 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             "L2 access taxonomy: "
             + ", ".join(f"{key}={value:.1%}" for key, value in breakdown.items())
         )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import run_hotpath_bench
+    from repro.bench.hotpath import DEFAULT_PREFETCHERS, DEFAULT_WORKLOADS
+
+    output = None if args.output == "-" else args.output
+    document = run_hotpath_bench(
+        workloads=args.workloads or DEFAULT_WORKLOADS,
+        prefetchers=args.prefetchers or DEFAULT_PREFETCHERS,
+        scale=args.scale,
+        repeats=args.repeats,
+        output=output,
+        log=sys.stdout,
+    )
+    print(
+        f"geomean speedup over the legacy driver: "
+        f"{document['geomean_speedup']:.2f}x "
+        f"(min {document['min_speedup']:.2f}x)"
+    )
+    if output is not None:
+        print(f"wrote {output}")
     return 0
 
 

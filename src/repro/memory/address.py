@@ -6,6 +6,15 @@ The whole paper revolves around the split of a memory address into
 miss index reconstructs a full prefetch address.  This module owns that
 arithmetic so every component (caches, prefetchers, analysis passes)
 splits addresses identically.
+
+Performance note: ``sets`` / ``offset_bits`` / ``index_bits`` /
+``index_mask`` / ``tag_shift`` are computed **once** in
+``__post_init__`` and stored as plain instance attributes.  The seed
+tree derived them as properties calling :func:`log2_exact` on every
+read, which put ~200k ``log2_exact`` calls on the hot path of a single
+simulation run.  The derived attributes are not dataclass fields, so
+equality, hashing, and ``repr`` still depend only on the three
+constructor parameters (geometries are used as cache keys).
 """
 
 from __future__ import annotations
@@ -17,7 +26,7 @@ import numpy as np
 
 from repro.util.bitops import log2_exact, mask
 
-__all__ = ["CacheGeometry"]
+__all__ = ["CacheGeometry", "LevelMap"]
 
 
 @dataclass(frozen=True)
@@ -32,6 +41,21 @@ class CacheGeometry:
         Associativity; 1 means direct-mapped.
     block_bytes:
         Cache line size in bytes (power of two).
+
+    Derived (precomputed, read-only) attributes
+    -------------------------------------------
+    sets:
+        Number of cache sets.
+    offset_bits:
+        Number of block-offset bits.
+    index_bits:
+        Number of set-index bits.
+    index_mask:
+        ``2**index_bits - 1`` — mask selecting the index from a block
+        address number.
+    tag_shift:
+        ``offset_bits + index_bits`` — shift extracting the tag from a
+        byte address.
     """
 
     size_bytes: int
@@ -41,28 +65,19 @@ class CacheGeometry:
     def __post_init__(self) -> None:
         if self.ways <= 0:
             raise ValueError(f"associativity must be positive, got {self.ways}")
-        log2_exact(self.block_bytes)
+        offset_bits = log2_exact(self.block_bytes)
         if self.size_bytes % (self.ways * self.block_bytes) != 0:
             raise ValueError(
                 f"cache size {self.size_bytes} is not a multiple of "
                 f"ways*block ({self.ways}*{self.block_bytes})"
             )
-        log2_exact(self.sets)
-
-    @property
-    def sets(self) -> int:
-        """Number of cache sets."""
-        return self.size_bytes // (self.ways * self.block_bytes)
-
-    @property
-    def offset_bits(self) -> int:
-        """Number of block-offset bits."""
-        return log2_exact(self.block_bytes)
-
-    @property
-    def index_bits(self) -> int:
-        """Number of set-index bits."""
-        return log2_exact(self.sets)
+        sets = self.size_bytes // (self.ways * self.block_bytes)
+        index_bits = log2_exact(sets)
+        object.__setattr__(self, "sets", sets)
+        object.__setattr__(self, "offset_bits", offset_bits)
+        object.__setattr__(self, "index_bits", index_bits)
+        object.__setattr__(self, "index_mask", mask(index_bits))
+        object.__setattr__(self, "tag_shift", offset_bits + index_bits)
 
     def block_address(self, addr: int) -> int:
         """Return the block-aligned address number (addr without offset)."""
@@ -71,15 +86,15 @@ class CacheGeometry:
     def split(self, addr: int) -> Tuple[int, int]:
         """Split a byte address into ``(tag, index)``."""
         block = addr >> self.offset_bits
-        return block >> self.index_bits, block & mask(self.index_bits)
+        return block >> self.index_bits, block & self.index_mask
 
     def tag_of(self, addr: int) -> int:
         """Return the tag of a byte address."""
-        return addr >> (self.offset_bits + self.index_bits)
+        return addr >> self.tag_shift
 
     def index_of(self, addr: int) -> int:
         """Return the set index of a byte address."""
-        return (addr >> self.offset_bits) & mask(self.index_bits)
+        return (addr >> self.offset_bits) & self.index_mask
 
     def compose(self, tag: int, index: int) -> int:
         """Rebuild a block-aligned byte address from ``(tag, index)``.
@@ -88,15 +103,15 @@ class CacheGeometry:
         paper): the predicted next tag, combined with the current miss
         index, forms a complete cache-line address for the prefetch.
         """
-        return ((tag << self.index_bits) | (index & mask(self.index_bits))) << self.offset_bits
+        return ((tag << self.index_bits) | (index & self.index_mask)) << self.offset_bits
 
     def split_block(self, block: int) -> Tuple[int, int]:
         """Split a block address number into ``(tag, index)``."""
-        return block >> self.index_bits, block & mask(self.index_bits)
+        return block >> self.index_bits, block & self.index_mask
 
     def compose_block(self, tag: int, index: int) -> int:
         """Rebuild a block address number from ``(tag, index)``."""
-        return (tag << self.index_bits) | (index & mask(self.index_bits))
+        return (tag << self.index_bits) | (index & self.index_mask)
 
     def decompose_array(self, addrs: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Vectorised split of a whole address trace.
@@ -106,7 +121,7 @@ class CacheGeometry:
         re-splitting every address in Python.
         """
         blocks = (addrs >> np.uint64(self.offset_bits)).astype(np.int64)
-        indices = blocks & np.int64(mask(self.index_bits))
+        indices = blocks & np.int64(self.index_mask)
         tags = blocks >> np.int64(self.index_bits)
         return blocks, indices, tags
 
@@ -117,3 +132,40 @@ class CacheGeometry:
             f"{self.size_bytes // 1024}KB, {assoc}, {self.block_bytes}B blocks, "
             f"{self.sets} sets"
         )
+
+
+class LevelMap:
+    """Precomputed mapping between two cache levels' block numbers.
+
+    One L1 block lives inside one (larger or equal) L2 block; every
+    place the simulator converts an L1 block number to the lower
+    level's ``(tag, index)`` — the demand path, the prefetch path, the
+    promotion path, the sanitizer's duplicate scan — goes through the
+    same three precomputed constants instead of re-deriving shifts from
+    both geometries.
+    """
+
+    __slots__ = ("upper", "lower", "shift", "index_bits", "index_mask")
+
+    def __init__(self, upper: CacheGeometry, lower: CacheGeometry) -> None:
+        if lower.block_bytes < upper.block_bytes:
+            raise ValueError(
+                "lower level must have blocks at least as large as the upper "
+                f"({lower.block_bytes}B < {upper.block_bytes}B)"
+            )
+        self.upper = upper
+        self.lower = lower
+        #: right-shift converting an upper block number to a lower one.
+        self.shift = lower.offset_bits - upper.offset_bits
+        self.index_bits = lower.index_bits
+        self.index_mask = lower.index_mask
+
+    def lower_block(self, upper_block: int) -> int:
+        """Map an upper-level block number to the lower level's."""
+        return upper_block >> self.shift
+
+    def split(self, upper_block: int) -> Tuple[int, int]:
+        """Split an upper-level block number into the lower level's
+        ``(tag, index)``."""
+        block = upper_block >> self.shift
+        return block >> self.index_bits, block & self.index_mask

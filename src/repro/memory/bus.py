@@ -18,10 +18,13 @@ at the core frequency (Table 1) moves a 32 B L1 block in one beat and a
 
 from __future__ import annotations
 
+from repro.engine.component import Component
+from repro.engine.events import MemoryEvent
+
 __all__ = ["Bus"]
 
 
-class Bus:
+class Bus(Component):
     """A single shared bus with FIFO arbitration.
 
     Parameters
@@ -52,6 +55,15 @@ class Bus:
             return 1
         return -(-payload_bytes // self.bytes_per_cycle)  # ceil division
 
+    def access(self, event: MemoryEvent) -> float:
+        """Component entry point: arbitrate one command beat.
+
+        An event with no stated payload occupies the bus for a single
+        arbitration beat (the same convention ``beats(0)`` uses); the
+        outcome is the transfer start time.
+        """
+        return self.request(event.now, 0)
+
     def request(self, now: float, payload_bytes: int) -> float:
         """Schedule a transfer arriving at ``now``; return its start time.
 
@@ -59,13 +71,34 @@ class Bus:
         for ``beats(payload_bytes)`` cycles.  Queuing delay is recorded
         in ``queued_cycles`` for the occupancy statistics.
         """
-        beats = self.beats(payload_bytes)
+        if payload_bytes <= 0:
+            beats = 1
+        else:
+            beats = -(-payload_bytes // self.bytes_per_cycle)
         start = now if now > self.next_free else self.next_free
         self.next_free = start + beats
         self.busy_cycles += beats
         self.queued_cycles += start - now
         self.transfers += 1
         return start
+
+    def transfer(self, now: float, payload_bytes: int) -> float:
+        """Schedule a transfer arriving at ``now``; return when it ENDS.
+
+        Identical scheduling to :meth:`request` (``request(now, n) +
+        beats(n)``), fused so the common fetch/writeback pattern pays
+        one call instead of two.
+        """
+        if payload_bytes <= 0:
+            beats = 1
+        else:
+            beats = -(-payload_bytes // self.bytes_per_cycle)
+        start = now if now > self.next_free else self.next_free
+        self.next_free = start + beats
+        self.busy_cycles += beats
+        self.queued_cycles += start - now
+        self.transfers += 1
+        return start + beats
 
     def occupancy(self, elapsed_cycles: float) -> float:
         """Fraction of ``elapsed_cycles`` the bus spent transferring."""

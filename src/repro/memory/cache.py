@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.engine.component import Component
+from repro.engine.events import MemoryEvent
 from repro.memory.address import CacheGeometry
 from repro.util.lruset import LRUSet
 
@@ -74,7 +76,7 @@ class Eviction:
         return self.line.dirty
 
 
-class SetAssociativeCache:
+class SetAssociativeCache(Component):
     """LRU set-associative cache state (no timing, no statistics).
 
     The public operations are:
@@ -111,6 +113,17 @@ class SetAssociativeCache:
     # ------------------------------------------------------------------
     # Demand path
     # ------------------------------------------------------------------
+
+    def access(self, event: MemoryEvent) -> Optional[CacheLine]:
+        """Component entry point: a demand lookup driven by one event.
+
+        Returns the hit line or None, the cache's outcome under the
+        engine contract.  Events without an ``is_write`` field (e.g.
+        evictions replayed through a model) are treated as reads.
+        """
+        return self.lookup(
+            event.index, event.tag, getattr(event, "is_write", False), event.now
+        )
 
     def lookup(self, index: int, tag: int, is_write: bool, now: float) -> Optional[CacheLine]:
         """Access set ``index`` for ``tag``; return the line on a hit.
@@ -233,6 +246,29 @@ class SetAssociativeCache:
     def storage_bytes(self) -> int:
         """Data capacity in bytes (tag/metadata overhead excluded)."""
         return self.geometry.size_bytes
+
+    def reset(self) -> None:
+        """Empty the cache (all sets cold) without reallocating arrays.
+
+        In-place so that external bindings to the direct-mapped line
+        array (the hierarchy's fast path holds one) stay valid.
+        """
+        if self._direct_mapped:
+            lines = self._lines
+            for index in range(len(lines)):
+                lines[index] = None
+        else:
+            for lru in self._sets:
+                lru.clear()
+
+    def direct_array(self) -> Optional[List[Optional[CacheLine]]]:
+        """The flat line array of a direct-mapped cache, else None.
+
+        The hierarchy's hot path binds this once and performs the
+        single-way lookup inline; any mutation must still go through
+        ``fill``/``invalidate`` so eviction accounting stays correct.
+        """
+        return self._lines if self._direct_mapped else None
 
     def __repr__(self) -> str:
         return f"SetAssociativeCache({self.name}: {self.geometry.describe()})"

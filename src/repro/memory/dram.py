@@ -11,12 +11,14 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.engine.component import Component
+from repro.engine.events import MemoryEvent
 from repro.memory.bus import Bus
 
 __all__ = ["MainMemory"]
 
 
-class MainMemory:
+class MainMemory(Component):
     """Fixed-latency DRAM behind a split-transaction bus.
 
     The L2/memory link is modelled as two channels, matching real
@@ -40,6 +42,9 @@ class MainMemory:
         The command channel (one beat per request).
     max_concurrent:
         Maximum overlapping DRAM accesses (channel/bank parallelism).
+    block_bytes:
+        Default transfer size for event-driven ``access`` calls (the
+        L2 block size in the paper's hierarchy).
     """
 
     def __init__(
@@ -48,17 +53,29 @@ class MainMemory:
         data_bus: Bus,
         addr_bus: Bus,
         max_concurrent: int = 8,
+        block_bytes: int = 64,
     ) -> None:
         if latency <= 0:
             raise ValueError(f"memory latency must be positive, got {latency}")
         if max_concurrent <= 0:
             raise ValueError(f"concurrency must be positive, got {max_concurrent}")
+        if block_bytes <= 0:
+            raise ValueError(f"block size must be positive, got {block_bytes}")
         self.latency = latency
         self.data_bus = data_bus
         self.addr_bus = addr_bus
         self.max_concurrent = max_concurrent
+        self.block_bytes = block_bytes
         self._completions: List[float] = []
         self.accesses = 0
+
+    def access(self, event: MemoryEvent) -> float:
+        """Component entry point: fetch the event's block.
+
+        The outcome is the completion time of a full-block fetch of the
+        default ``block_bytes`` transfer size.
+        """
+        return self.fetch(event.now, self.block_bytes)
 
     def fetch(self, now: float, block_bytes: int) -> float:
         """Fetch one block; return the completion time.
@@ -78,8 +95,7 @@ class MainMemory:
             # keep only slots still busy at the chosen start time
             self._completions = completions = [t for t in completions if t > start]
         data_ready = start + self.latency
-        transfer_start = self.data_bus.request(data_ready, block_bytes)
-        done = transfer_start + self.data_bus.beats(block_bytes)
+        done = self.data_bus.transfer(data_ready, block_bytes)
         completions.append(done)
         self.accesses += 1
         return done
@@ -91,8 +107,7 @@ class MainMemory:
         fetch returns) but complete in the write buffer, so callers
         normally ignore the returned time.
         """
-        start = self.data_bus.request(now, block_bytes)
-        return start + self.data_bus.beats(block_bytes)
+        return self.data_bus.transfer(now, block_bytes)
 
     def backlog(self, now: float) -> float:
         """Cycles of data-channel work booked beyond the earliest time a

@@ -30,31 +30,58 @@ Statistics follow the paper's Figure 12 taxonomy of L2 accesses:
     prefetch work that never covered a demand access — redundant
     prefetches to resident blocks, prefetched blocks evicted unused,
     and prefetched blocks still unused when the run ends.
+
+Engine layering
+---------------
+The hierarchy is the *engine* that drives the memory-system
+:class:`~repro.engine.component.Component` objects (caches, MSHR file,
+buses, DRAM, prefetcher).  Its per-access entry points come in two
+flavours:
+
+:meth:`MemoryHierarchy.access_time`
+    The flat fast path the CPU loop calls: one function, locally bound
+    component methods, geometry shifts/masks precomputed at
+    construction, the direct-mapped L1 lookup inlined, and **no object
+    allocation on the hit path** — it returns the bare completion time
+    as a float.
+:meth:`MemoryHierarchy.access`
+    The structured wrapper tests and analysis passes use: same
+    semantics, but classifies the access from the counter deltas and
+    returns an :class:`~repro.engine.events.AccessOutcome`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.memory.address import CacheGeometry
-from repro.memory.bus import Bus
-from repro.memory.cache import SetAssociativeCache
-from repro.memory.dram import MainMemory
-from repro.memory.mshr import MSHRFile
-from repro.prefetchers.base import (
+from repro.engine.events import (
     AccessEvent,
+    AccessOutcome,
     EvictionEvent,
     MissEvent,
-    Prefetcher,
-    PrefetchRequest,
 )
+from repro.memory.address import CacheGeometry, LevelMap
+from repro.memory.bus import Bus
+from repro.memory.cache import CacheLine, SetAssociativeCache
+from repro.memory.dram import MainMemory
+from repro.memory.mshr import MSHRFile
+from repro.prefetchers.base import Prefetcher, PrefetchRequest
 
-__all__ = ["AccessResult", "HierarchyParams", "HierarchyStats", "MemoryHierarchy"]
+__all__ = [
+    "AccessOutcome",
+    "AccessResult",
+    "HierarchyParams",
+    "HierarchyStats",
+    "MemoryHierarchy",
+]
 
 #: Gate deciding whether a pending L1 promotion may evict ``victim`` now.
 #: Signature: (victim_line, set_index, now) -> bool.
 L1PromotionGate = Callable[[object, int, float], bool]
+
+#: Backwards-compatible name for the outcome of one demand access.
+AccessResult = AccessOutcome
 
 
 @dataclass(frozen=True)
@@ -109,7 +136,7 @@ class HierarchyParams:
             )
 
 
-@dataclass
+@dataclass(slots=True)
 class HierarchyStats:
     """Counters accumulated over one simulation run."""
 
@@ -190,17 +217,22 @@ class HierarchyStats:
         }
 
 
-@dataclass
-class AccessResult:
-    """Outcome of one demand access (returned to the CPU model)."""
-
-    completion: float
-    l1_hit: bool
-    l2_hit: bool = True
-
-
 class MemoryHierarchy:
     """L1D/L1I + L2 + memory with buses, MSHRs, and a prefetch port."""
+
+    __slots__ = (
+        "params",
+        "l1d", "l1i", "l2d", "l2i",
+        "l1l2_addr_bus", "l1l2_data_bus", "mem_addr_bus", "mem_data_bus",
+        "memory", "mshr", "prefetch_bus", "stats", "l1_l2_map",
+        "_l2_shift", "_l2_index_mask", "_l2_index_bits",
+        "_l1_latency", "_l2_latency", "_pf_delay",
+        "_l1_block_bytes", "_l2_block_bytes",
+        "_l1_index_bits", "_l1_set_mask", "_ideal_l2", "_l1_lines",
+        "prefetcher", "_needs_access", "_needs_evict",
+        "_l1_gate", "_promotions_enabled", "_pending_l1", "_pf_inflight",
+        "_last_ifetch_block", "warmup_stats",
+    )
 
     def __init__(self, params: Optional[HierarchyParams] = None) -> None:
         self.params = params or HierarchyParams()
@@ -217,7 +249,11 @@ class MemoryHierarchy:
         self.mem_addr_bus = Bus("L2/mem-addr", p.mem_bus_bytes_per_cycle)
         self.mem_data_bus = Bus("L2/mem-data", p.mem_bus_bytes_per_cycle)
         self.memory = MainMemory(
-            p.memory_latency, self.mem_data_bus, self.mem_addr_bus, p.memory_concurrency
+            p.memory_latency,
+            self.mem_data_bus,
+            self.mem_addr_bus,
+            p.memory_concurrency,
+            p.l2.block_bytes,
         )
         self.mshr = MSHRFile(p.mshr_entries)
         self.prefetch_bus: Optional[Bus] = None
@@ -225,9 +261,27 @@ class MemoryHierarchy:
             self.prefetch_bus = Bus("L1/L2-prefetch", p.l1l2_bus_bytes_per_cycle)
         self.stats = HierarchyStats()
 
-        # L1-block-number -> L2 split precomputation.
-        self._l2_shift = p.l2.offset_bits - p.l1d.offset_bits
-        self._l2_index_mask = p.l2.sets - 1
+        #: shared L1→L2 block-number mapping (demand, prefetch,
+        #: promotion, and ifetch paths all split through it).
+        self.l1_l2_map = LevelMap(p.l1d, p.l2)
+
+        # Precomputed hot-path constants: geometry shifts/masks and
+        # latencies are fixed at construction, so access_time() never
+        # derives them per access.
+        self._l2_shift = self.l1_l2_map.shift
+        self._l2_index_mask = self.l1_l2_map.index_mask
+        self._l2_index_bits = self.l1_l2_map.index_bits
+        self._l1_latency = p.l1_hit_latency
+        self._l2_latency = p.l2_hit_latency
+        self._pf_delay = p.prefetch_issue_delay
+        self._l1_block_bytes = p.l1d.block_bytes
+        self._l2_block_bytes = p.l2.block_bytes
+        self._l1_index_bits = p.l1d.index_bits
+        self._l1_set_mask = p.l1d.sets - 1
+        self._ideal_l2 = p.ideal_l2
+        #: flat line array when the L1D is direct-mapped (the paper's
+        #: configuration) — lets the fast path inline the lookup.
+        self._l1_lines = self.l1d.direct_array()
 
         self.prefetcher: Optional[Prefetcher] = None
         self._needs_access = False
@@ -259,7 +313,7 @@ class MemoryHierarchy:
     # Demand access path
     # ------------------------------------------------------------------
 
-    def access(
+    def access_time(
         self,
         now: float,
         index: int,
@@ -267,11 +321,19 @@ class MemoryHierarchy:
         block: int,
         is_write: bool,
         pc: int,
-    ) -> AccessResult:
+    ) -> float:
         """Perform one demand data access; return its completion time.
 
         ``index``/``tag``/``block`` are the L1-geometry split of the
         address (precomputed by the simulator's vectorised front end).
+
+        This is the engine's fast path: the whole demand sequence —
+        promotion attempt, L1 lookup, access-stream observation, MSHR
+        merge/acquire, L2 demand fetch, data return, L1 fill,
+        prefetcher training — lives in this one function, working on
+        constants bound at construction.  The common case (a
+        direct-mapped L1 hit with no observer attached) touches one
+        list slot and three counters and allocates nothing.
         """
         stats = self.stats
         stats.demand_accesses += 1
@@ -283,7 +345,19 @@ class MemoryHierarchy:
         if self._promotions_enabled and self._pending_l1:
             self._try_promote(index, now)
 
-        line = self.l1d.lookup(index, tag, is_write, now)
+        # --- L1 lookup (inlined single-way probe when direct-mapped) --
+        lines = self._l1_lines
+        if lines is not None:
+            line = lines[index]
+            if line is not None and line.tag == tag:
+                line.last_access = now
+                if is_write:
+                    line.dirty = True
+            else:
+                line = None
+        else:
+            line = self.l1d.lookup(index, tag, is_write, now)
+
         if line is not None:
             stats.l1_hits += 1
             if self._promotions_enabled and line.prefetched:
@@ -300,9 +374,11 @@ class MemoryHierarchy:
                     AccessEvent(index, tag, block, pc, is_write, True, now)
                 )
                 if requests:
+                    issue = self.issue_prefetch
+                    launch = now + self._pf_delay
                     for request in requests:
-                        self.issue_prefetch(request, now + self.params.prefetch_issue_delay)
-            return AccessResult(now + self.params.l1_hit_latency, True)
+                        issue(request, launch)
+            return now + self._l1_latency
 
         # ----- L1 miss -------------------------------------------------
         stats.l1_misses += 1
@@ -311,8 +387,10 @@ class MemoryHierarchy:
                 AccessEvent(index, tag, block, pc, is_write, False, now)
             )
             if requests:
+                issue = self.issue_prefetch
+                launch = now + self._pf_delay
                 for request in requests:
-                    self.issue_prefetch(request, now + self.params.prefetch_issue_delay)
+                    issue(request, launch)
 
         if self._promotions_enabled:
             pending = self._pending_l1.get(index)
@@ -322,74 +400,111 @@ class MemoryHierarchy:
                 # whatever replaced this block in the meantime.
                 del self._pending_l1[index]
 
-        merged = self.mshr.lookup(block, now)
+        mshr = self.mshr
+        merged = mshr.lookup(block, now)
         if merged is not None:
             stats.mshr_merges += 1
-            return AccessResult(merged, False)
+            return merged
 
-        start = self.mshr.acquire(now)
-        stats.mshr_full_stalls = self.mshr.full_stalls
-        data_ready, l2_hit = self._demand_l2(start, block)
+        start = mshr.acquire(now)
+        stats.mshr_full_stalls = mshr.full_stalls
+
+        # --- demand L2 fetch (inlined) --------------------------------
+        request_start = self.l1l2_addr_bus.request(start + self._l1_latency, 0)
+        arrival = request_start + 1
+        stats.l2_demand_accesses += 1
+
+        l2_block = block >> self._l2_shift
+        l2_index = l2_block & self._l2_index_mask
+        l2_tag = l2_block >> self._l2_index_bits
+
+        l2_line = self.l2d.lookup(l2_index, l2_tag, False, arrival)
+        if l2_line is not None or self._ideal_l2:
+            stats.l2_demand_hits += 1
+            data_ready = arrival + self._l2_latency
+            if l2_line is not None:
+                if l2_line.prefetched:
+                    l2_line.prefetched = False
+                    stats.prefetched_original += 1
+                    stats.useful_prefetches += 1
+                if l2_line.fill_time > arrival:
+                    # Prefetch (or earlier demand fill) still in flight:
+                    # the demand merges with it.
+                    if l2_line.fill_time > data_ready:
+                        data_ready = l2_line.fill_time
+        else:
+            # ----- L2 miss: fetch from main memory --------------------
+            stats.l2_demand_misses += 1
+            data_ready = self.memory.fetch(arrival + self._l2_latency, self._l2_block_bytes)
+            self._fill_l2(l2_index, l2_tag, data_ready, prefetched=False)
+
         # Data return to L1 over the L1/L2 data channel.
-        xfer = self.l1l2_data_bus.request(data_ready, self.params.l1d.block_bytes)
-        completion = xfer + self.l1l2_data_bus.beats(self.params.l1d.block_bytes)
-        self.mshr.register(block, completion, now)
+        completion = self.l1l2_data_bus.transfer(data_ready, self._l1_block_bytes)
+        mshr.register(block, completion, now)
 
         self._fill_l1(index, tag, completion, prefetched=False, dirty=is_write)
 
         if self.prefetcher is not None:
             self._run_prefetcher(MissEvent(index, tag, block, pc, is_write, now))
-        return AccessResult(completion, False, l2_hit)
+        return completion
 
-    def _demand_l2(self, now: float, l1_block: int) -> Tuple[float, bool]:
-        """Demand-fetch an L1 block from L2 (or memory through L2).
+    def access(
+        self,
+        now: float,
+        index: int,
+        tag: int,
+        block: int,
+        is_write: bool,
+        pc: int,
+    ) -> AccessOutcome:
+        """Structured demand access: classify and return an outcome.
 
-        Returns ``(time data is available at the L2 port, l2_hit)``.
+        Same semantics as :meth:`access_time`; the hit classification
+        is read off the counter deltas (an MSHR merge moves neither the
+        L1-hit nor the L2-miss counter, so it reports ``l1_hit=False,
+        l2_hit=True`` — the demand rode an earlier fetch and never
+        re-accessed L2, matching the Figure 12 accounting).
         """
-        p = self.params
         stats = self.stats
-        request_start = self.l1l2_addr_bus.request(now + p.l1_hit_latency, 0)
-        arrival = request_start + 1
-        stats.l2_demand_accesses += 1
-
-        l2_block = l1_block >> self._l2_shift
-        l2_index = l2_block & self._l2_index_mask
-        l2_tag = l2_block >> p.l2.index_bits
-
-        line = self.l2d.lookup(l2_index, l2_tag, False, arrival)
-        if line is not None or p.ideal_l2:
-            stats.l2_demand_hits += 1
-            data_ready = arrival + p.l2_hit_latency
-            if line is not None:
-                if line.prefetched:
-                    line.prefetched = False
-                    stats.prefetched_original += 1
-                    stats.useful_prefetches += 1
-                if line.fill_time > arrival:
-                    # Prefetch (or earlier demand fill) still in flight:
-                    # the demand merges with it.
-                    data_ready = max(data_ready, line.fill_time)
-            return data_ready, True
-
-        # ----- L2 miss: fetch from main memory -------------------------
-        stats.l2_demand_misses += 1
-        done = self.memory.fetch(arrival + p.l2_hit_latency, p.l2.block_bytes)
-        self._fill_l2(l2_index, l2_tag, done, prefetched=False)
-        return done, False
+        l1_hits_before = stats.l1_hits
+        l2_misses_before = stats.l2_demand_misses
+        completion = self.access_time(now, index, tag, block, is_write, pc)
+        return AccessOutcome(
+            completion,
+            stats.l1_hits != l1_hits_before,
+            stats.l2_demand_misses == l2_misses_before,
+        )
 
     def _fill_l1(
         self, index: int, tag: int, now: float, prefetched: bool, dirty: bool
     ) -> None:
         """Install a block in L1D, handling eviction side effects."""
-        eviction = self.l1d.fill(index, tag, now, prefetched=prefetched, dirty=dirty)
-        if eviction is None:
-            return
-        if eviction.dirty:
-            self.stats.writebacks_l1 += 1
-            self.l1l2_data_bus.request(now, self.params.l1d.block_bytes)
-        if self._needs_evict:
+        lines = self._l1_lines
+        if lines is not None:
+            # Direct-mapped fill inlined (the semantics of
+            # SetAssociativeCache.fill): refresh a resident line, else
+            # replace the single way and handle the victim directly —
+            # no Eviction wrapper on this per-miss path.
+            victim = lines[index]
+            if victim is not None and victim.tag == tag:
+                victim.last_access = now
+                victim.dirty = victim.dirty or dirty
+                return
+            lines[index] = CacheLine(tag, now, dirty=dirty, prefetched=prefetched)
+            if victim is None:
+                return
+        else:
+            eviction = self.l1d.fill(
+                index, tag, now, prefetched=prefetched, dirty=dirty
+            )
+            if eviction is None:
+                return
             victim = eviction.line
-            block = (victim.tag << self.params.l1d.index_bits) | index
+        if victim.dirty:
+            self.stats.writebacks_l1 += 1
+            self.l1l2_data_bus.request(now, self._l1_block_bytes)
+        if self._needs_evict:
+            block = (victim.tag << self._l1_index_bits) | index
             self.prefetcher.observe_eviction(  # type: ignore[union-attr]
                 EvictionEvent(
                     index, victim.tag, block, now, victim.fill_time, victim.last_access
@@ -412,7 +527,7 @@ class MemoryHierarchy:
             self.stats.prefetch_evicted_unused += 1
         if eviction.dirty:
             self.stats.writebacks_l2 += 1
-            self.memory.writeback(now, self.params.l2.block_bytes)
+            self.memory.writeback(now, self._l2_block_bytes)
 
     # ------------------------------------------------------------------
     # Instruction fetch path
@@ -438,7 +553,7 @@ class MemoryHierarchy:
         self.stats.ifetch_misses += 1
         l2_block = block >> self._l2_shift
         l2_index = l2_block & self._l2_index_mask
-        l2_tag = l2_block >> p.l2.index_bits
+        l2_tag = l2_block >> self._l2_index_bits
         arrival = self.l1l2_addr_bus.request(now, 0) + 1
         if self.l2i.lookup(l2_index, l2_tag, False, arrival) is not None:
             ready = arrival + p.l2_hit_latency
@@ -457,7 +572,7 @@ class MemoryHierarchy:
         requests = self.prefetcher.observe_miss(miss)  # type: ignore[union-attr]
         if not requests:
             return
-        launch = miss.now + self.params.prefetch_issue_delay
+        launch = miss.now + self._pf_delay
         for request in requests:
             self.issue_prefetch(request, launch)
 
@@ -474,7 +589,7 @@ class MemoryHierarchy:
         l1_block = request.block
         l2_block = l1_block >> self._l2_shift
         l2_index = l2_block & self._l2_index_mask
-        l2_tag = l2_block >> p.l2.index_bits
+        l2_tag = l2_block >> self._l2_index_bits
 
         resident = self.l2d.probe(l2_index, l2_tag)
         if resident is not None:
@@ -482,7 +597,7 @@ class MemoryHierarchy:
             if request.into_l1 and self._promotions_enabled:
                 # Already in L2 — only the L1 promotion remains useful.
                 ready = max(now, resident.fill_time)
-                self._pending_l1[l1_block & (p.l1d.sets - 1)] = (l1_block, ready)
+                self._pending_l1[l1_block & self._l1_set_mask] = (l1_block, ready)
             return False
 
         inflight = self._pf_inflight
@@ -501,12 +616,12 @@ class MemoryHierarchy:
 
         # The predictor sits at the L2 controller (Figure 10); an
         # L2-only prefetch touches just the L2/memory link.
-        done = self.memory.fetch(now + p.l2_hit_latency, p.l2.block_bytes)
+        done = self.memory.fetch(now + self._l2_latency, self._l2_block_bytes)
         inflight.append(done)
         stats.prefetches_issued += 1
         self._fill_l2(l2_index, l2_tag, done, prefetched=True)
         if request.into_l1 and self._promotions_enabled:
-            self._pending_l1[l1_block & (p.l1d.sets - 1)] = (l1_block, done)
+            self._pending_l1[l1_block & self._l1_set_mask] = (l1_block, done)
         return True
 
     def _try_promote(self, index: int, now: float) -> None:
@@ -529,11 +644,11 @@ class MemoryHierarchy:
             return
         l2_block = l1_block >> self._l2_shift
         l2_index = l2_block & self._l2_index_mask
-        l2_tag = l2_block >> p.l2.index_bits
+        l2_tag = l2_block >> self._l2_index_bits
         if self.l2d.probe(l2_index, l2_tag) is None:
             del self._pending_l1[index]
             return
-        tag = l1_block >> p.l1d.index_bits
+        tag = l1_block >> self._l1_index_bits
         if self.l1d.probe(index, tag) is not None:
             del self._pending_l1[index]
             return
@@ -547,8 +662,7 @@ class MemoryHierarchy:
             l2_line.prefetched = False
             self.stats.useful_prefetches += 1
         bus = self.prefetch_bus if self.prefetch_bus is not None else self.l1l2_data_bus
-        start = bus.request(now, p.l1d.block_bytes)
-        self._fill_l1(index, tag, start + bus.beats(p.l1d.block_bytes), prefetched=True, dirty=False)
+        self._fill_l1(index, tag, bus.transfer(now, self._l1_block_bytes), prefetched=True, dirty=False)
         self.stats.l1_promotions += 1
         del self._pending_l1[index]
 

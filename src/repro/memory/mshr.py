@@ -22,10 +22,13 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.engine.component import Component
+from repro.engine.events import MemoryEvent
+
 __all__ = ["MSHRFile"]
 
 
-class MSHRFile:
+class MSHRFile(Component):
     """A bounded file of in-flight misses keyed by block address."""
 
     def __init__(self, entries: int) -> None:
@@ -33,6 +36,10 @@ class MSHRFile:
             raise ValueError(f"MSHR count must be positive, got {entries}")
         self.entries = entries
         self._inflight: Dict[int, float] = {}
+        #: earliest completion among in-flight entries (inf when none);
+        #: a reap at any earlier time would remove nothing and is
+        #: skipped outright.
+        self._earliest = float("inf")
         #: number of primary misses that found the file full and stalled
         self.full_stalls = 0
         #: number of secondary misses merged into an existing entry
@@ -42,12 +49,22 @@ class MSHRFile:
 
     def _reap(self, now: float) -> None:
         """Drop entries whose fetch has completed by ``now``."""
-        inflight = self._inflight
-        if not inflight:
+        if now < self._earliest:
             return
+        inflight = self._inflight
         done = [block for block, t in inflight.items() if t <= now]
         for block in done:
             del inflight[block]
+        self._earliest = min(inflight.values(), default=float("inf"))
+
+    def access(self, event: MemoryEvent) -> Optional[float]:
+        """Component entry point: the merge query for one miss event.
+
+        Returns the completion time of an in-flight fetch of the
+        event's block (the merge outcome), or None when the miss is
+        primary and the caller must fetch.
+        """
+        return self.lookup(event.block, event.now)
 
     def lookup(self, block: int, now: float) -> Optional[float]:
         """Return the completion time of an in-flight fetch of ``block``.
@@ -70,10 +87,16 @@ class MSHRFile:
         outstanding fetch completes — the structural hazard the paper's
         64-entry file exists to make rare (``full_stalls`` counts it).
         """
-        self._reap(now)
-        if len(self._inflight) < self.entries:
+        inflight = self._inflight
+        if len(inflight) < self.entries:
+            # A free register exists even before reaping completed
+            # entries; ``register`` prunes with the same ``now``
+            # immediately after, so state converges identically.
             return now
-        start = min(self._inflight.values())
+        self._reap(now)
+        if len(inflight) < self.entries:
+            return now
+        start = min(inflight.values())
         self.full_stalls += 1
         self._reap(start)
         return start
@@ -90,6 +113,8 @@ class MSHRFile:
             self._reap(now)
         inflight = self._inflight
         inflight[block] = completion
+        if completion < self._earliest:
+            self._earliest = completion
         if len(inflight) > self.peak_occupancy:
             self.peak_occupancy = len(inflight)
 
@@ -101,6 +126,9 @@ class MSHRFile:
     def clear(self) -> None:
         """Drop all state (between simulation runs)."""
         self._inflight.clear()
+        self._earliest = float("inf")
         self.full_stalls = 0
         self.merges = 0
         self.peak_occupancy = 0
+
+    reset = clear

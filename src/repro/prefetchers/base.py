@@ -8,6 +8,11 @@ hierarchy, not by this interface).
 
 Design notes
 ------------
+* The event/outcome types (:class:`MissEvent`, :class:`AccessEvent`,
+  :class:`EvictionEvent`, :class:`PrefetchRequest`) are the slotted
+  frozen dataclasses of :mod:`repro.engine.events`; they are
+  re-exported here so prefetcher code keeps importing them from the
+  layer it talks to.
 * The primary hook is :meth:`Prefetcher.observe_miss`, called once per
   L1 demand miss with the split ``(tag, index)`` — exactly the
   information a prefetcher sitting on the L1 miss port would see.
@@ -17,6 +22,9 @@ Design notes
   gated by the ``needs_access_stream`` / ``needs_eviction_stream``
   flags so that the common case (TCP, stride, ...) pays nothing for
   them in the hot simulation loop.
+* Every observer returns a (possibly empty) list of
+  :class:`PrefetchRequest` — never None — so the hierarchy's call
+  sites iterate the result without a null check.
 * Every prefetcher reports its table budget via ``storage_bytes`` —
   the paper's space-efficiency claims ("8KB TCP beats 2MB DBCP") are
   asserted against these numbers in the test suite.
@@ -24,68 +32,33 @@ Design notes
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
+from abc import abstractmethod
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
+
+from repro.engine.component import Component
+from repro.engine.events import (
+    AccessEvent,
+    EvictionEvent,
+    MemoryEvent,
+    MissEvent,
+)
 
 __all__ = [
     "AccessEvent",
     "EvictionEvent",
+    "MemoryEvent",
     "MissEvent",
     "Prefetcher",
     "PrefetchRequest",
 ]
 
-
-@dataclass(frozen=True)
-class MissEvent:
-    """One L1 demand miss, as seen at the L1 miss port.
-
-    ``tag`` and ``index`` are split using the **L1** geometry — that
-    split is the whole point of the paper.  ``block`` is the L1 block
-    address number (``tag << index_bits | index``).
-    """
-
-    index: int
-    tag: int
-    block: int
-    pc: int
-    is_write: bool
-    now: float
+#: no prefetches — the shared empty result of the default observers.
+#: Immutable by convention: call sites only iterate it.
+_NO_REQUESTS: List["PrefetchRequest"] = []
 
 
-@dataclass(frozen=True)
-class AccessEvent:
-    """One L1 access (hit or miss); delivered only to prefetchers that
-    set ``needs_access_stream`` (e.g. DBCP's PC-trace accumulation)."""
-
-    index: int
-    tag: int
-    block: int
-    pc: int
-    is_write: bool
-    hit: bool
-    now: float
-
-
-@dataclass(frozen=True)
-class EvictionEvent:
-    """An L1 eviction; delivered only when ``needs_eviction_stream``.
-
-    ``fill_time`` and ``last_access`` are the victim line's lifetime
-    timestamps — the raw material of the timekeeping dead-block
-    predictor (live time = ``last_access - fill_time``).
-    """
-
-    index: int
-    tag: int
-    block: int
-    now: float
-    fill_time: float = 0.0
-    last_access: float = 0.0
-
-
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrefetchRequest:
     """A prefetch the hierarchy should issue.
 
@@ -113,8 +86,14 @@ class PrefetcherStats:
         self.updates = 0
 
 
-class Prefetcher(ABC):
-    """Abstract base class for L1-miss-stream prefetchers."""
+class Prefetcher(Component):
+    """Abstract base class for L1-miss-stream prefetchers.
+
+    A prefetcher is an engine :class:`~repro.engine.component.
+    Component`: :meth:`access` is the uniform entry point that
+    dispatches on event type, while the ``observe_*`` methods remain
+    the concrete hooks the hierarchy's hot path binds directly.
+    """
 
     #: set True when the prefetcher must see every L1 access (DBCP).
     needs_access_stream: bool = False
@@ -125,19 +104,36 @@ class Prefetcher(ABC):
         self.name = name
         self.stats = PrefetcherStats()
 
+    def access(self, event: MemoryEvent) -> List[PrefetchRequest]:
+        """Uniform component entry point: dispatch on the event type.
+
+        Misses train and predict, accesses feed the PC-trace stream,
+        evictions train dead-block state (and never predict).  Always
+        returns a list, possibly empty.
+        """
+        if isinstance(event, MissEvent):
+            return self.observe_miss(event)
+        if isinstance(event, AccessEvent):
+            return self.observe_access(event)
+        if isinstance(event, EvictionEvent):
+            self.observe_eviction(event)
+            return _NO_REQUESTS
+        raise TypeError(f"prefetcher cannot observe {type(event).__name__}")
+
     @abstractmethod
     def observe_miss(self, miss: MissEvent) -> List[PrefetchRequest]:
         """Process one L1 demand miss; return prefetches to issue."""
 
-    def observe_access(self, access: AccessEvent) -> Optional[List[PrefetchRequest]]:
+    def observe_access(self, access: AccessEvent) -> List[PrefetchRequest]:
         """Process one L1 access (only called if ``needs_access_stream``).
 
         May return prefetch requests: DBCP predicts a block dead — and
         prefetches its correlated successor — the moment the block's
         PC-trace signature matches a learned death signature, which can
-        happen on a *hit*, not only on a miss.
+        happen on a *hit*, not only on a miss.  Returns an empty list
+        when there is nothing to prefetch (never None).
         """
-        return None
+        return _NO_REQUESTS
 
     def observe_eviction(self, evt: EvictionEvent) -> None:
         """Process one L1 eviction (only called if ``needs_eviction_stream``)."""

@@ -103,7 +103,7 @@ class DeadBlockCorrelatingPrefetcher(Prefetcher):
         lru = self._table[signature & (self.config.sets - 1)]
         lru.put(signature >> (self.config.sets.bit_length() - 1), successor)
 
-    def observe_access(self, access: AccessEvent) -> Optional[List[PrefetchRequest]]:
+    def observe_access(self, access: AccessEvent) -> List[PrefetchRequest]:
         """Accumulate the block's PC trace; predict death on a match."""
         sig_mask = self._sig_mask
         signatures = self._live_signatures
@@ -116,7 +116,7 @@ class DeadBlockCorrelatingPrefetcher(Prefetcher):
 
         successor = self._probe(signature)
         if successor is None or successor == access.block:
-            return None
+            return []
         self.dead_predictions += 1
         self.stats.predictions += 1
         return [PrefetchRequest(successor)]

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple, Union
 
 from repro.cpu import OutOfOrderCore
+from repro.engine.probes import ProgressProbe, SanitizerProbe
 from repro.memory import MemoryHierarchy
 from repro.sim import resilience, sanitizer as sanitizer_mod
 from repro.sim.config import SimulationConfig
@@ -56,9 +57,12 @@ def _execute(
     core = OutOfOrderCore(config.core)
     warmup = int(len(trace) * warmup_fraction)
 
+    # Observation attaches as engine probes: the heartbeat/fault hook
+    # first (so a scheduled corruption lands before checks at the same
+    # mark), the sanitizer last.
+    probes = []
     sanitizer = sanitizer_mod.build_sanitizer(config.sanitize)
     corruption = sanitizer_mod.consume_scheduled_corruption()
-    progress = None
     if resilience.heartbeat_active() or corruption is not None:
         pending = [corruption]
 
@@ -72,12 +76,14 @@ def _execute(
                 sanitizer_mod.corrupt_state(hierarchy, prefetcher, kind)
             resilience.emit_heartbeat(done, total, sim_time)
 
-    core_result = core.run(
-        trace, hierarchy, warmup=warmup, progress=progress, sanitizer=sanitizer
-    )
-    hierarchy.finalize()
+        probes.append(ProgressProbe(progress))
     if sanitizer is not None:
-        sanitizer.finalize(hierarchy)
+        probes.append(SanitizerProbe(sanitizer))
+
+    core_result = core.run(trace, hierarchy, warmup=warmup, probes=probes)
+    hierarchy.finalize()
+    for probe in probes:
+        probe.on_finalize(hierarchy)
 
     return SimResult(
         workload=trace.name,

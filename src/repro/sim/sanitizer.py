@@ -457,6 +457,7 @@ def corrupt_state(hierarchy: Any, prefetcher: Any, kind: str) -> None:
         lru._entries[-2] = CacheLine(tag)
         return
     if kind == "tht-shape":
-        prefetcher.tht._history[0].append(0)
+        # Rows are immutable tuples; replace row 0 with an over-long one.
+        prefetcher.tht._history[0] = prefetcher.tht._history[0] + (0,)
         return
     raise ValueError(f"unknown corruption kind {kind!r}")

@@ -1,0 +1,152 @@
+"""Edge cases of the Figure 12 L2-access taxonomy.
+
+The paper's Figure 12 classifies L2 traffic into *prefetched original*
+(demand accesses covered by a prefetch), *non-prefetched original*,
+and *prefetched extra* (prefetch work that never covered a demand).
+The classification hinges on the per-line prefetch bit, and the two
+subtle transitions are:
+
+* a demand access that **merges with an in-flight prefetch** — the
+  block is resident in L2 but its fill is still in the future
+  (``fill_time > arrival``).  The demand must consume the prefetch bit
+  (it was covered: the prefetch saved most of a memory round trip) and
+  wait for the in-flight fill, not re-fetch;
+* a prefetched block **evicted before any demand touched it** — it
+  must move to the *extra* column exactly once, and only if its bit
+  was never consumed.
+"""
+
+import pytest
+
+from repro.memory import HierarchyParams, MemoryHierarchy
+from repro.prefetchers.base import PrefetchRequest
+
+
+def make_hierarchy(**overrides) -> MemoryHierarchy:
+    return MemoryHierarchy(HierarchyParams(model_icache=False, **overrides))
+
+
+def access(h, block, now=0.0, is_write=False, pc=0x1000):
+    index = block & (h.params.l1d.sets - 1)
+    tag = block >> h.params.l1d.index_bits
+    return h.access(now, index, tag, block, is_write, pc)
+
+
+def l2_probe(h, l1_block):
+    l2_block = l1_block >> h._l2_shift
+    return h.l2d.probe(l2_block & h._l2_index_mask, l2_block >> h._l2_index_bits)
+
+
+def evict_l2_set_of(h, l1_block, start_time, extra_fills=6):
+    """Demand-fill enough distinct tags to push ``l1_block`` out of L2."""
+    l2_sets = h.params.l2.sets
+    base_l2_block = l1_block >> h._l2_shift
+    t = start_time
+    for way in range(1, extra_fills):
+        sibling = (base_l2_block + way * l2_sets) << h._l2_shift
+        t = access(h, sibling, now=t).completion + 1.0
+    return t
+
+
+class TestMergeWithInflightPrefetch:
+    def test_demand_merge_consumes_prefetch_bit(self):
+        h = make_hierarchy()
+        h.issue_prefetch(PrefetchRequest(0x40), 0.0)
+        line = l2_probe(h, 0x40)
+        assert line is not None and line.prefetched
+        fill_time = line.fill_time
+        assert fill_time > 10.0  # the fetch is still in flight at t=10
+
+        result = access(h, 0x40, now=10.0)
+
+        # Covered demand: counted as prefetched original exactly once,
+        # the prefetch declared useful, the bit consumed.
+        assert h.stats.prefetched_original == 1
+        assert h.stats.useful_prefetches == 1
+        assert not line.prefetched
+        # Merge, not re-fetch: the demand waits for the in-flight fill
+        # (memory saw only the prefetch) ...
+        assert result.completion >= fill_time
+        assert h.memory.accesses == 1
+        # ... and it is an L2 hit in the taxonomy, not a new miss.
+        assert h.stats.l2_demand_hits == 1
+        assert h.stats.l2_demand_misses == 0
+
+    def test_merge_does_not_leak_into_extra_column(self):
+        h = make_hierarchy()
+        h.issue_prefetch(PrefetchRequest(0x40), 0.0)
+        access(h, 0x40, now=10.0)
+        # The same physical fetch must not be double-booked as extra.
+        assert h.stats.prefetch_redundant == 0
+        assert h.stats.prefetch_evicted_unused == 0
+        h.finalize()
+        assert h.stats.prefetch_residual_unused == 0
+        assert h.stats.prefetched_extra == 0
+
+    def test_second_demand_is_not_covered(self):
+        h = make_hierarchy()
+        h.issue_prefetch(PrefetchRequest(0x40), 0.0)
+        first = access(h, 0x40, now=10.0)
+        # Evict from L1 so the next demand reaches L2 again.
+        h.l1d.invalidate(0x40 & (h.params.l1d.sets - 1), 0x40 >> h.params.l1d.index_bits)
+        access(h, 0x40, now=first.completion + 100.0)
+        assert h.stats.l2_demand_accesses == 2
+        assert h.stats.prefetched_original == 1
+        assert h.stats.non_prefetched_original == 1
+
+
+class TestEvictedUnused:
+    def test_unused_prefetch_evicted_counts_extra_once(self):
+        h = make_hierarchy()
+        h.issue_prefetch(PrefetchRequest(0x40), 0.0)
+        evict_l2_set_of(h, 0x40, start_time=200.0)
+        assert h.stats.prefetch_evicted_unused == 1
+        assert l2_probe(h, 0x40) is None
+        # Already accounted at eviction time; finalize must not
+        # re-count it as residual.
+        h.finalize()
+        assert h.stats.prefetch_residual_unused == 0
+        assert h.stats.prefetched_extra == 1
+
+    def test_used_prefetch_evicted_is_not_extra(self):
+        h = make_hierarchy()
+        h.issue_prefetch(PrefetchRequest(0x40), 0.0)
+        covered = access(h, 0x40, now=200.0)  # consumes the bit
+        evict_l2_set_of(h, 0x40, start_time=covered.completion + 1.0)
+        assert l2_probe(h, 0x40) is None
+        assert h.stats.prefetch_evicted_unused == 0
+        assert h.stats.prefetched_original == 1
+
+    def test_lru_insertion_sacrifices_prefetch_first(self):
+        # With low-priority insertion a wrong prefetch is the set's
+        # first victim: one demand fill to a full set evicts it while
+        # every demand block survives.
+        h = make_hierarchy(prefetch_insert_policy="lru")
+        l2_sets = h.params.l2.sets
+        demand_blocks = [((0x40 >> 1) + way * l2_sets) << 1 for way in range(1, 4)]
+        t = 0.0
+        for block in demand_blocks:
+            t = access(h, block, now=t).completion + 1.0
+        h.issue_prefetch(PrefetchRequest(0x40), t)  # fills the 4th way
+        t = access(h, ((0x40 >> 1) + 4 * l2_sets) << 1, now=t + 200.0).completion
+        assert h.stats.prefetch_evicted_unused == 1
+        for block in demand_blocks:
+            assert l2_probe(h, block) is not None
+
+
+class TestTaxonomyInvariants:
+    def test_original_columns_partition_demand_accesses(self):
+        h = make_hierarchy()
+        h.issue_prefetch(PrefetchRequest(0x40), 0.0)
+        t = access(h, 0x40, now=10.0).completion
+        for block in (0x80, 0x100, 0x40):
+            t = access(h, block, now=t + 1.0).completion
+        stats = h.stats
+        assert (
+            stats.prefetched_original + stats.non_prefetched_original
+            == stats.l2_demand_accesses
+        )
+        breakdown = stats.breakdown_vs_original()
+        assert breakdown["prefetched_original"] + breakdown[
+            "non_prefetched_original"
+        ] == pytest.approx(1.0)
