@@ -1,0 +1,73 @@
+"""The campaign layer: pool/attempt equivalence and throughput gate.
+
+This PR's campaign optimizations (warm worker pool, workload-affinity
+scheduling, the mmap-backed trace cache, the long-lived-worker GC
+discipline) claim to be pure performance changes.  This module checks
+both halves of that claim:
+
+* **equivalence** — :func:`repro.bench.campaign.run_campaign_bench`
+  itself raises if any fig11 cell's :class:`SimResult` differs between
+  the warm-pool arm and the per-attempt arm, so a passing run *is* the
+  equivalence proof (``test_campaign_arms_agree`` keeps the property
+  visible as its own test);
+* **performance** — the pool/attempt wall-clock ratio must stay at or
+  above ``max(1.0, half the committed baseline)``
+  (``BENCH_campaign.json`` at the repository root).  A ratio below 1.0
+  means the "optimized" path is slower than the seed path outright; a
+  collapse to half the baseline means a change gave back the campaign
+  win.  Being a same-host two-arm ratio, the gate is meaningful on any
+  CI machine even though absolute seconds are not.
+
+The bench always runs at quick scale regardless of
+``REPRO_BENCH_SCALE`` — the campaign layer's overhead is per job, so
+short jobs probe it hardest; longer traces only dilute the signal.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.bench import run_campaign_bench
+from repro.bench.campaign import SCHEMA
+from repro.workloads import Scale
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
+
+
+def _fresh_bench(repeats: int = 2):
+    return run_campaign_bench(scale=Scale.QUICK, repeats=repeats, log=sys.stderr)
+
+
+def test_campaign_arms_agree():
+    """Every fig11 cell is identical under pool and attempt modes.
+
+    ``run_campaign_bench`` raises ``RuntimeError`` on any per-cell
+    mismatch, so completing at all proves the equality; the document
+    records it explicitly.
+    """
+    document = _fresh_bench(repeats=1)
+    assert document["results_identical"] is True
+    assert document["cells"] == 12
+
+
+def test_campaign_speedup_has_not_regressed():
+    """Fresh pool/attempt ratio holds the committed baseline's floor.
+
+    This is the CI campaign-smoke gate: the fresh ratio must be >= 1.0
+    (the warm pool must never lose to the per-attempt path) and >= half
+    the committed baseline (a larger drop means a change gave back the
+    campaign-layer win).
+    """
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    assert baseline["schema"] == SCHEMA, (
+        "BENCH_campaign.json was written by an incompatible benchmark "
+        "version; regenerate it with `repro-tcp bench --campaign`"
+    )
+    assert baseline["speedup"] >= 1.3  # the claim the PR ships with
+    fresh = _fresh_bench()
+    floor = max(1.0, baseline["speedup"] * 0.5)
+    assert fresh["speedup"] >= floor, (
+        f"campaign speedup regressed: fresh pool/attempt ratio "
+        f"{fresh['speedup']:.2f}x is below the floor {floor:.2f}x "
+        f"(committed baseline {baseline['speedup']:.2f}x)"
+    )

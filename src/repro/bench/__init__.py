@@ -17,11 +17,17 @@ exist as a result.  This package provides it:
     The benchmark proper: times the engine loop and the legacy driver
     over the Figure 11 workload mix for a set of prefetchers and emits
     ``BENCH_hotpath.json``.
+:mod:`repro.bench.campaign`
+    The campaign-layer benchmark: runs the fig11 cell mix through
+    ``prewarm`` twice — the seed per-attempt pathway vs the warm
+    worker pool with the mmap-backed trace cache — enforces per-cell
+    result equality, and emits ``BENCH_campaign.json``.
 
-Run it with ``repro-tcp bench`` (see ``docs/usage.md``) or
-``python -m repro.bench``.
+Run them with ``repro-tcp bench`` / ``repro-tcp bench --campaign``
+(see ``docs/usage.md``) or ``python -m repro.bench``.
 """
 
+from repro.bench.campaign import run_campaign_bench
 from repro.bench.hotpath import run_hotpath_bench
 
-__all__ = ["run_hotpath_bench"]
+__all__ = ["run_campaign_bench", "run_hotpath_bench"]

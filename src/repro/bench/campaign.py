@@ -1,0 +1,215 @@
+"""The campaign benchmark: warm-pool throughput vs the seed path.
+
+PR 3's hot-path bench measures one simulation; this one measures the
+*campaign* layer wrapped around ~150 of them.  Both arms run the same
+Figure 11 cell mix through :func:`repro.sim.parallel.prewarm` on cold
+process state and must produce per-cell identical
+:class:`~repro.sim.results.SimResult`\\ s:
+
+``attempt`` arm
+    The seed pathway: one short-lived process per attempt, no on-disk
+    trace cache, so every attempt pays fork/teardown and regenerates
+    its trace.
+``pool`` arm
+    This PR's pathway: warm workers with the workload-affinity queue,
+    the mmap-backed trace cache rooted in a private temporary
+    directory, and the long-lived-worker GC discipline.
+
+Arms are interleaved (attempt, pool, attempt, pool, …) so drift in
+machine load hits both equally, and each arm reports its fastest
+repeat — scheduling noise only ever adds time.  The wall-clock ratio
+is the campaign layer's speedup, comparable across hosts because both
+arms ran the same simulations on the same interpreter.
+
+Both arms run at their own *defaults* (``jobs=0`` = the CPU count):
+the comparison is system-vs-system — the seed campaign stack as it
+shipped against the optimized stack as it ships — mirroring how
+``repro.bench.legacy`` stands in for the seed per-access driver.
+
+The result is written to ``BENCH_campaign.json``; the committed copy
+at the repository root is the baseline ``benchmarks/
+test_campaign_perf.py`` compares against.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple
+
+from repro.sim import runner
+from repro.sim.config import SimulationConfig
+from repro.sim.parallel import prewarm
+from repro.sim.store import use_store
+from repro.workloads import Scale
+from repro.workloads import suite as workload_suite
+
+__all__ = [
+    "DEFAULT_CONFIG_LABELS",
+    "DEFAULT_WORKLOADS",
+    "SCHEMA",
+    "run_campaign_bench",
+]
+
+#: schema tag embedded in every result file (bump on layout changes).
+SCHEMA = "repro-tcp/campaign-bench/v1"
+
+#: the fig11 cell mix: every paper configuration over the three
+#: benchmarks whose behaviours dominate the suite (dense-stride
+#: scientific, pointer-chasing memory-bound, irregular
+#: instruction-heavy) — 12 cells.
+DEFAULT_WORKLOADS: Tuple[str, ...] = ("swim", "mcf", "gcc")
+DEFAULT_CONFIG_LABELS: Tuple[str, ...] = ("base", "tcp-8k", "tcp-8m", "dbcp-2m")
+
+
+def _config_for(label: str) -> SimulationConfig:
+    """The fig11 configuration behind a column label."""
+    if label == "base":
+        return SimulationConfig.baseline()
+    return SimulationConfig.for_prefetcher(label)
+
+
+def _reset_process_state() -> None:
+    """Forget every cached simulation and trace: each arm starts cold."""
+    runner.clear_cache()
+    workload_suite._CACHE.clear()
+
+
+def _run_arm(
+    mode: str,
+    configs: Sequence[SimulationConfig],
+    workloads: Sequence[str],
+    scale: Scale,
+    jobs: int,
+    trace_cache: object,
+) -> Tuple[float, Dict[Tuple[str, str], Dict[str, object]]]:
+    """One cold campaign under ``mode``; returns (seconds, cell results)."""
+    _reset_process_state()
+    started = time.perf_counter()
+    report = prewarm(
+        configs,
+        scale,
+        workloads,
+        jobs=jobs,
+        worker_mode=mode,
+        trace_cache=trace_cache,
+    )
+    elapsed = time.perf_counter() - started
+    report.raise_if_failed()
+    cells = {
+        (workload, config.resolved_label()): runner.simulate(
+            workload, config, scale
+        ).to_dict()
+        for workload in workloads
+        for config in configs
+    }
+    return elapsed, cells
+
+
+def run_campaign_bench(
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    config_labels: Sequence[str] = DEFAULT_CONFIG_LABELS,
+    scale: Scale = Scale.QUICK,
+    repeats: int = 3,
+    jobs: int = 0,
+    output: Optional[str] = None,
+    log: Optional[TextIO] = None,
+) -> Dict[str, object]:
+    """Run the campaign benchmark; return (and optionally write) results.
+
+    Parameters
+    ----------
+    workloads, config_labels:
+        The campaign grid (every workload × every configuration).
+    scale:
+        Trace length per cell (``Scale.QUICK`` = 20 000 accesses — the
+        campaign layer's overhead is per *job*, so short jobs probe it
+        hardest and keep the bench cheap).
+    repeats:
+        Timed campaigns per arm, interleaved; the fastest is reported.
+    jobs:
+        Worker count for both arms (0 = each mode's default, the CPU
+        count).
+    output:
+        Path to write the JSON document to (``BENCH_campaign.json``).
+    log:
+        Stream for one progress line per repeat (e.g. ``sys.stdout``).
+
+    Raises
+    ------
+    RuntimeError
+        If any cell's result differs between the two arms — the
+        benchmark refuses to time arms that disagree.
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    configs = [_config_for(label) for label in config_labels]
+    attempt_times: List[float] = []
+    pool_times: List[float] = []
+    attempt_cells: Dict[Tuple[str, str], Dict[str, object]] = {}
+    pool_cells: Dict[Tuple[str, str], Dict[str, object]] = {}
+    # Both arms run storeless: the store is orthogonal to worker mode
+    # and its disk writes would only add noise to the timing.
+    with use_store(None), tempfile.TemporaryDirectory(
+        prefix="repro-campaign-bench-"
+    ) as cache_dir:
+        for repeat in range(repeats):
+            attempt_s, attempt_cells = _run_arm(
+                "attempt", configs, workloads, scale, jobs, trace_cache=False
+            )
+            attempt_times.append(attempt_s)
+            pool_s, pool_cells = _run_arm(
+                "pool", configs, workloads, scale, jobs, trace_cache=cache_dir
+            )
+            pool_times.append(pool_s)
+            if log is not None:
+                log.write(
+                    f"repeat {repeat + 1}/{repeats}: "
+                    f"attempt {attempt_s:6.2f}s  pool {pool_s:6.2f}s  "
+                    f"({attempt_s / pool_s:.2f}x)\n"
+                )
+                log.flush()
+    _reset_process_state()
+
+    mismatched = sorted(
+        "/".join(cell)
+        for cell in set(attempt_cells) | set(pool_cells)
+        if attempt_cells.get(cell) != pool_cells.get(cell)
+    )
+    if mismatched:
+        raise RuntimeError(
+            "campaign arms disagree on "
+            f"{len(mismatched)} cell(s): {', '.join(mismatched)}"
+        )
+
+    attempt_best = min(attempt_times)
+    pool_best = min(pool_times)
+    cells = len(workloads) * len(configs)
+    document: Dict[str, object] = {
+        "schema": SCHEMA,
+        "scale": scale.name.lower(),
+        "repeats": repeats,
+        "jobs": jobs,
+        "workloads": list(workloads),
+        "configs": list(config_labels),
+        "cells": cells,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "attempt_seconds": attempt_best,
+        "pool_seconds": pool_best,
+        "attempt_seconds_all": attempt_times,
+        "pool_seconds_all": pool_times,
+        "attempt_cells_per_sec": cells / attempt_best,
+        "pool_cells_per_sec": cells / pool_best,
+        "speedup": attempt_best / pool_best,
+        "results_identical": True,
+    }
+    if output is not None:
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+    return document

@@ -35,7 +35,13 @@ import time
 from typing import List, Optional
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
-from repro.sim import PREFETCHERS, SimulationConfig, SimulationError, simulate
+from repro.sim import (
+    PREFETCHERS,
+    WORKER_MODES,
+    SimulationConfig,
+    SimulationError,
+    simulate,
+)
 from repro.sim import sanitizer as sanitizer_mod
 from repro.sim import store as store_mod
 from repro.workloads import BENCHMARK_ORDER, SUITE, Scale
@@ -91,6 +97,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="subset of benchmarks (default: whole suite)")
     run.add_argument("--jobs", type=int, default=1,
                      help="parallel workers to pre-warm simulations (0 = cpus)")
+    run.add_argument("--worker-mode", choices=WORKER_MODES, default=None,
+                     help="campaign worker strategy: 'pool' keeps warm "
+                          "workers draining the job queue, 'attempt' spawns "
+                          "one process per attempt (default: "
+                          "$REPRO_WORKER_MODE or pool)")
     run.add_argument("--resume", action="store_true",
                      help="checkpoint results to the on-disk store and "
                           "re-run only the missing (workload, config) pairs")
@@ -126,10 +137,15 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate_cmd.set_defaults(func=_cmd_simulate)
 
     bench = sub.add_parser(
-        "bench", help="measure per-access hot-path throughput"
+        "bench", help="measure hot-path or campaign-layer throughput"
     )
-    bench.add_argument("--scale", type=_parse_scale, default=Scale.STANDARD,
-                       help="trace length per run (default standard)")
+    bench.add_argument("--campaign", action="store_true",
+                       help="benchmark the campaign layer (warm pool + trace "
+                            "cache vs the per-attempt path) instead of the "
+                            "per-access hot path")
+    bench.add_argument("--scale", type=_parse_scale, default=None,
+                       help="trace length per run (default standard; "
+                            "quick with --campaign)")
     bench.add_argument("--repeats", type=int, default=3, metavar="N",
                        help="timed runs per cell; fastest wins (default 3)")
     bench.add_argument("--workloads", nargs="*", default=None,
@@ -137,9 +153,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="workloads to time (default: the fig11 mix)")
     bench.add_argument("--prefetchers", nargs="*", default=None,
                        choices=sorted(PREFETCHERS), metavar="NAME",
-                       help="prefetchers to time (default none/nextline/tcp-8k)")
-    bench.add_argument("--output", default="BENCH_hotpath.json", metavar="PATH",
-                       help="result file (default BENCH_hotpath.json; "
+                       help="hot-path prefetchers to time "
+                            "(default none/nextline/tcp-8k)")
+    bench.add_argument("--jobs", type=int, default=0, metavar="N",
+                       help="campaign worker count (0 = each mode's default)")
+    bench.add_argument("--output", default=None, metavar="PATH",
+                       help="result file (default BENCH_hotpath.json, or "
+                            "BENCH_campaign.json with --campaign; "
                             "'-' skips writing)")
     bench.set_defaults(func=_cmd_bench)
 
@@ -240,11 +260,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             stall_timeout=args.stall_timeout,
             progress=_campaign_progress,
+            worker_mode=args.worker_mode,
+        )
+        recycled = (
+            f", {report.recycled} worker(s) recycled" if report.recycled else ""
         )
         print(
             f"pre-warmed {report.executed} simulation(s) in "
             f"{time.time() - started:.1f}s with jobs={args.jobs} "
-            f"({report.skipped} skipped, {report.retried} attempt(s) retried)\n"
+            f"({report.skipped} skipped, {report.retried} attempt(s) "
+            f"retried{recycled})\n"
         )
         if not report.ok:
             print(report.summary(), file=sys.stderr)
@@ -293,14 +318,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.campaign:
+        return _cmd_bench_campaign(args)
     from repro.bench import run_hotpath_bench
     from repro.bench.hotpath import DEFAULT_PREFETCHERS, DEFAULT_WORKLOADS
 
-    output = None if args.output == "-" else args.output
+    output = args.output if args.output is not None else "BENCH_hotpath.json"
+    output = None if output == "-" else output
     document = run_hotpath_bench(
         workloads=args.workloads or DEFAULT_WORKLOADS,
         prefetchers=args.prefetchers or DEFAULT_PREFETCHERS,
-        scale=args.scale,
+        scale=args.scale if args.scale is not None else Scale.STANDARD,
         repeats=args.repeats,
         output=output,
         log=sys.stdout,
@@ -309,6 +337,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"geomean speedup over the legacy driver: "
         f"{document['geomean_speedup']:.2f}x "
         f"(min {document['min_speedup']:.2f}x)"
+    )
+    if output is not None:
+        print(f"wrote {output}")
+    return 0
+
+
+def _cmd_bench_campaign(args: argparse.Namespace) -> int:
+    from repro.bench import run_campaign_bench
+    from repro.bench.campaign import DEFAULT_WORKLOADS
+
+    output = args.output if args.output is not None else "BENCH_campaign.json"
+    output = None if output == "-" else output
+    document = run_campaign_bench(
+        workloads=args.workloads or DEFAULT_WORKLOADS,
+        scale=args.scale if args.scale is not None else Scale.QUICK,
+        repeats=args.repeats,
+        jobs=args.jobs,
+        output=output,
+        log=sys.stdout,
+    )
+    print(
+        f"warm pool + trace cache vs per-attempt over "
+        f"{document['cells']} cells: {document['speedup']:.2f}x "
+        f"({document['attempt_seconds']:.2f}s -> "
+        f"{document['pool_seconds']:.2f}s, results identical)"
     )
     if output is not None:
         print(f"wrote {output}")

@@ -20,6 +20,7 @@ taxonomy, and a deterministic fault injector for testing.
 from repro.sim.config import PREFETCHERS, SimulationConfig, prefetcher_factory
 from repro.sim.parallel import experiment_configs, prewarm
 from repro.sim.resilience import (
+    WORKER_MODES,
     CampaignReport,
     CorruptResult,
     InvariantViolation,
@@ -29,6 +30,7 @@ from repro.sim.resilience import (
     SimulationError,
     StallTimeout,
     WorkerCrash,
+    resolve_worker_mode,
 )
 from repro.sim.results import SimResult, SuiteResult, validate_result
 from repro.sim.runner import simulate, simulate_suite
@@ -52,6 +54,7 @@ __all__ = [
     "StallTimeout",
     "SuiteResult",
     "Sweep",
+    "WORKER_MODES",
     "WorkerCrash",
     "active_store",
     "build_sanitizer",
@@ -59,6 +62,7 @@ __all__ = [
     "improvement_table",
     "prefetcher_factory",
     "prewarm",
+    "resolve_worker_mode",
     "sanitize_level",
     "set_active_store",
     "simulate",

@@ -14,27 +14,37 @@ cache at zero cost.  The CLI exposes it as ``repro-tcp run ... --jobs
 N --retries R --timeout S``.
 
 Workers re-derive everything from the (workload name, config, scale)
-key — traces are regenerated deterministically per worker — so nothing
-large crosses process boundaries except the finished
+key — traces come from the on-disk trace cache (mmap-shared between
+fork children) or are regenerated deterministically per worker — so
+nothing large crosses process boundaries except the finished
 :class:`~repro.sim.results.SimResult` objects.  Jobs already present
 in the cache or the store are skipped, which is what makes a
 killed-then-restarted campaign resume instead of starting over.
+
+By default campaigns run in the warm-pool worker mode with
+workload-affinity scheduling: pending jobs are grouped by benchmark,
+groups are ordered longest-expected-first, and a pool worker runs all
+configs of one benchmark against a single trace before moving on.
+``worker_mode="attempt"`` (or ``REPRO_WORKER_MODE=attempt``) restores
+the one-process-per-attempt behavior.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.sim import store as store_mod
 from repro.sim.config import SimulationConfig
 from repro.sim.resilience import (
     CampaignReport,
     RetryPolicy,
+    resolve_worker_mode,
     run_supervised,
 )
 from repro.sim.results import SimResult, validate_result
 from repro.sim.runner import _RESULT_CACHE, simulate
-from repro.workloads import BENCHMARK_ORDER, Scale
+from repro.workloads import BENCHMARK_ORDER, SUITE, Scale, cache_trace
+from repro.workloads import io as trace_io
 
 __all__ = ["experiment_configs", "prewarm"]
 
@@ -49,12 +59,41 @@ def _job_key(job: Job) -> str:
 def _run_job(job: Job) -> SimResult:
     """Worker entry point: run one simulation, return its result.
 
-    Runs uncached (``use_cache=False``): the worker is a throwaway
-    process, and the parent — not the worker — is responsible for
-    installing the result into the cache and the store.
+    Runs uncached (``use_cache=False``): the parent — not the worker —
+    is responsible for installing the result into the cache and the
+    store.  The raw access count is passed straight through, so
+    campaigns at custom scales (any positive count, not just the three
+    ``Scale`` presets) work.
     """
     workload, config, accesses = job
-    return simulate(workload, config, Scale(accesses), use_cache=False)
+    return simulate(workload, config, accesses, use_cache=False)
+
+
+def _expected_cost(name: str, njobs: int) -> float:
+    """Relative expected wall-clock for one benchmark's job group.
+
+    Memory-bound benchmarks (low ``base_ipc``) drive far more hierarchy
+    activity per access and therefore simulate slower, so expected cost
+    scales with the group size over the benchmark's base IPC.
+    """
+    spec = SUITE.get(name)
+    ipc = spec.base_ipc if spec is not None else 4.0
+    return njobs / ipc
+
+
+def _affinity_order(pending: Sequence[Job]) -> List[Job]:
+    """Group jobs by workload, longest-expected group first.
+
+    Contiguous groups give pool workers trace affinity (one generated
+    trace serves every config of the benchmark); scheduling the most
+    expensive groups first keeps a straggler group from serialising the
+    campaign tail.
+    """
+    groups: Dict[str, List[Job]] = {}
+    for job in pending:
+        groups.setdefault(job[0], []).append(job)
+    ordered = sorted(groups, key=lambda name: -_expected_cost(name, len(groups[name])))
+    return [job for name in ordered for job in groups[name]]
 
 
 def _silence_worker_store() -> None:
@@ -81,24 +120,38 @@ def experiment_configs() -> List[SimulationConfig]:
 
 def prewarm(
     configs: Optional[Iterable[SimulationConfig]] = None,
-    scale: Scale = Scale.STANDARD,
+    scale: Union[Scale, int] = Scale.STANDARD,
     benchmarks: Optional[Sequence[str]] = None,
     jobs: int = 0,
     retries: int = 2,
     timeout: Optional[float] = None,
     stall_timeout: Optional[float] = None,
     progress: Optional[Callable[[int, int, str, str], None]] = None,
+    worker_mode: Optional[str] = None,
+    trace_cache: Union[None, bool, str] = None,
 ) -> CampaignReport:
     """Fill the result cache for ``configs`` x ``benchmarks`` in parallel.
 
-    ``jobs``: worker processes (0 = cpu count; 1 = in-process, which
-    keeps the function usable where multiprocessing is unavailable).
-    Each job gets up to ``retries`` extra attempts and, with
-    ``timeout``, a per-attempt wall-clock budget in seconds.
-    ``stall_timeout`` arms the heartbeat watchdog instead: an attempt
-    is killed only when it emits no progress heartbeat for that many
-    seconds, so a slow-but-progressing job is never lost to a
-    wall-clock guess.
+    ``scale`` is a :class:`~repro.workloads.Scale` preset or a raw
+    positive access count.  ``jobs``: worker processes (0 = cpu count;
+    1 = in-process, which keeps the function usable where
+    multiprocessing is unavailable).  Each job gets up to ``retries``
+    extra attempts and, with ``timeout``, a per-attempt wall-clock
+    budget in seconds.  ``stall_timeout`` arms the heartbeat watchdog
+    instead: an attempt is killed only when it emits no progress
+    heartbeat for that many seconds, so a slow-but-progressing job is
+    never lost to a wall-clock guess.
+
+    ``worker_mode`` selects ``"pool"`` (the default: warm long-lived
+    workers with workload-affinity scheduling) or ``"attempt"`` (one
+    process per attempt); ``REPRO_WORKER_MODE`` overrides the default
+    when the argument is omitted.  ``trace_cache`` controls the on-disk
+    trace cache: ``None`` honours ``REPRO_TRACE_CACHE`` and defaults to
+    a directory next to the result store, ``False`` disables it, a path
+    uses that directory.  When enabled, the parent writes each pending
+    benchmark's trace once before workers start, so fork-mode children
+    share the generated pages and spawn-mode children mmap the same
+    archive instead of regenerating.
 
     Returns a :class:`~repro.sim.resilience.CampaignReport`:
     ``report.executed`` counts *successful* simulations, failed jobs
@@ -113,25 +166,29 @@ def prewarm(
     """
     config_list = list(configs) if configs is not None else experiment_configs()
     names = tuple(benchmarks) if benchmarks is not None else BENCHMARK_ORDER
+    accesses = scale.accesses if isinstance(scale, Scale) else int(scale)
+    if accesses <= 0:
+        raise ValueError(f"scale must be positive, got {accesses}")
     store = store_mod.active_store()
 
     report = CampaignReport()
     pending: List[Job] = []
     for config in config_list:
         for name in names:
-            key = (name, scale.accesses, config)
+            key = (name, accesses, config)
             if key in _RESULT_CACHE:
                 report.skipped += 1
                 continue
             if store is not None:
-                stored = store.get(name, scale.accesses, config)
+                stored = store.get(name, accesses, config)
                 if stored is not None:
                     _RESULT_CACHE[key] = stored
                     report.skipped += 1
                     continue
-            pending.append((name, config, scale.accesses))
+            pending.append((name, config, accesses))
     if not pending:
         return report
+    pending = _affinity_order(pending)
 
     by_key = {_job_key(job): job for job in pending}
     heartbeat = None
@@ -152,20 +209,31 @@ def prewarm(
             store.put_progress(workload, accesses, config, done, total, sim_time)
 
     policy = RetryPolicy(retries=retries, timeout=timeout, stall_timeout=stall_timeout)
-    report.merge(
-        run_supervised(
-            pending,
-            _run_job,
-            workers=jobs,
-            policy=policy,
-            key=_job_key,
-            validate=validate_result,
-            progress=progress,
-            heartbeat=heartbeat,
-            child_setup=_silence_worker_store,
-            in_process=True if jobs == 1 or len(pending) == 1 else None,
+    mode = resolve_worker_mode(worker_mode, default="pool")
+    cache_root = trace_io.resolve_trace_cache(trace_cache)
+    with trace_io.trace_cache_scope(cache_root):
+        if cache_root is not None:
+            # Write each distinct trace once in the parent: fork-mode
+            # children inherit the generated pages, spawn-mode children
+            # mmap the archive instead of regenerating it per attempt.
+            for name in dict.fromkeys(job[0] for job in pending):
+                cache_trace(name, accesses)
+        report.merge(
+            run_supervised(
+                pending,
+                _run_job,
+                workers=jobs,
+                policy=policy,
+                key=_job_key,
+                validate=validate_result,
+                progress=progress,
+                heartbeat=heartbeat,
+                child_setup=_silence_worker_store,
+                in_process=True if jobs == 1 or len(pending) == 1 else None,
+                mode=mode,
+                group=lambda job: job[0],
+            )
         )
-    )
 
     # Install successes into the in-process cache and checkpoint them.
     for job_key, result in report.completed.items():

@@ -10,10 +10,18 @@ This module provides the campaign resilience primitives:
 * a structured error taxonomy (:class:`SimulationError`,
   :class:`WorkerCrash`, :class:`JobTimeout`, :class:`CorruptResult`)
   so every failure is classified, never a bare traceback;
-* :func:`run_supervised` — a supervisor that runs each job *attempt*
-  in its own short-lived process (crash isolation: a dead worker loses
-  exactly one attempt), enforces per-job timeouts, and retries with
-  deterministic exponential backoff + jitter;
+* :func:`run_supervised` — a supervisor with two worker modes.
+  ``attempt`` mode runs each job *attempt* in its own short-lived
+  process (crash isolation: a dead worker loses exactly one attempt),
+  enforces per-job timeouts, and retries with deterministic
+  exponential backoff + jitter.  ``pool`` mode keeps a *warm pool* of
+  long-lived workers draining a job queue: interpreter spawn, imports,
+  and each worker's in-process trace cache are amortised across jobs,
+  and jobs sharing an affinity ``group`` (e.g. one benchmark's trace)
+  stay on the same worker.  Crash isolation is preserved — a dead pool
+  worker is recycled and only its in-flight job is charged an attempt
+  — and retries of pooled failures fall back to the per-attempt mode.
+  The mode is selected per call or via ``REPRO_WORKER_MODE``;
 * :class:`CampaignReport` — successes and failures counted separately,
   with a human-readable failure summary;
 * a deterministic fault-injection hook (``REPRO_FAULT_RATE`` /
@@ -31,6 +39,7 @@ identically.
 
 from __future__ import annotations
 
+import gc
 import hashlib
 import multiprocessing
 import multiprocessing.connection
@@ -56,12 +65,15 @@ __all__ = [
     "RetryPolicy",
     "SimulationError",
     "StallTimeout",
+    "WORKER_MODES",
+    "WORKER_MODE_ENV",
     "WorkerCrash",
     "default_workers",
     "emit_heartbeat",
     "heartbeat_active",
     "is_retryable",
     "maybe_inject_fault",
+    "resolve_worker_mode",
     "run_supervised",
     "set_fault_injector",
     "set_heartbeat_sink",
@@ -294,6 +306,35 @@ def supervision_context() -> Optional[multiprocessing.context.BaseContext]:
     return None
 
 
+WORKER_MODE_ENV = "REPRO_WORKER_MODE"
+
+#: supported worker dispatch modes.  ``pool`` keeps long-lived workers
+#: draining a job queue (startup amortised, affinity-aware); ``attempt``
+#: spawns one short-lived process per attempt (the PR 1 behavior, and
+#: the retry fallback for pooled failures).
+WORKER_MODES = ("pool", "attempt")
+
+
+def resolve_worker_mode(mode: Optional[str] = None, default: str = "attempt") -> str:
+    """Resolve an explicit mode, ``REPRO_WORKER_MODE``, or the default.
+
+    An explicit ``mode`` wins and must be valid; an unrecognised
+    environment value is ignored (campaigns should never die over a
+    typo'd knob) and the caller's ``default`` applies.
+    """
+    if mode:
+        normalized = mode.strip().lower()
+        if normalized not in WORKER_MODES:
+            raise ValueError(
+                f"unknown worker mode {mode!r}; expected one of {WORKER_MODES}"
+            )
+        return normalized
+    env = os.environ.get(WORKER_MODE_ENV, "").strip().lower()
+    if env in WORKER_MODES:
+        return env
+    return default
+
+
 def default_workers(jobs: int = 0) -> int:
     """Resolve a ``--jobs`` value to a worker count (0 = CPU count).
 
@@ -374,6 +415,8 @@ class CampaignReport:
     skipped: int = 0
     #: attempts beyond each job's first (i.e. how much retrying it took).
     retried: int = 0
+    #: replacement workers spawned after a pool worker died (pool mode).
+    recycled: int = 0
 
     @property
     def executed(self) -> int:
@@ -392,6 +435,7 @@ class CampaignReport:
         self.failures.extend(other.failures)
         self.skipped += other.skipped
         self.retried += other.retried
+        self.recycled += other.recycled
         return self
 
     def summary(self) -> str:
@@ -400,6 +444,8 @@ class CampaignReport:
             f"campaign: {self.executed} succeeded, {self.failed} failed, "
             f"{self.skipped} skipped (cached), {self.retried} retried attempt(s)"
         )
+        if self.recycled:
+            head += f", {self.recycled} worker(s) recycled"
         if not self.failures:
             return head
         lines = [head, "failures:"]
@@ -484,6 +530,7 @@ def _run_in_process(
     validate: Optional[Callable[[Any], None]],
     progress: Optional[Callable[[int, int, str, str], None]],
     heartbeat: Optional[Callable[[str, int, int, float], None]] = None,
+    attempt_offset: int = 0,
 ) -> CampaignReport:
     """Serial fallback where multiprocessing is unavailable.
 
@@ -491,16 +538,21 @@ def _run_in_process(
     the injector's ``crash``/``timeout``/``stall`` kinds surface as
     their taxonomy exceptions instead; per-attempt wall-clock limits
     are not enforced.  Heartbeats are delivered synchronously.
+
+    ``attempt_offset`` shifts the absolute attempt numbers (the pool
+    fallback passes 1 so attempt hashes — fault injection, backoff
+    jitter — line up with "this job already burned attempt 1").
     """
     report = CampaignReport()
     total = len(jobs)
+    first = attempt_offset + 1
     for job in jobs:
         job_key = key(job)
         last: SimulationError = SimulationError("no attempts made")
         attempts_made = 0
-        for attempt in range(1, policy.retries + 2):
+        for attempt in range(first, policy.retries + 2):
             attempts_made = attempt
-            if attempt > 1:
+            if attempt > first:
                 report.retried += 1
                 time.sleep(policy.backoff(job_key, attempt))
             try:
@@ -558,6 +610,429 @@ def _run_in_process(
 _EOF = object()
 
 
+def _drain_pipe(
+    conn: multiprocessing.connection.Connection,
+    on_beat: Callable[[int, int, float], None],
+) -> Any:
+    """Consume queued messages from one worker pipe.
+
+    Heartbeats go to ``on_beat``; the first final payload (``ok`` /
+    ``err`` tuple) is returned.  Returns ``None`` when only heartbeats
+    were pending, ``_EOF`` when the pipe closed with no final payload.
+    """
+    while True:
+        try:
+            if not conn.poll():
+                return None
+            payload = conn.recv()
+        except (EOFError, OSError):
+            return _EOF
+        if isinstance(payload, tuple) and len(payload) == 4 and payload[0] == "hb":
+            on_beat(payload[1], payload[2], payload[3])
+            continue
+        return payload
+
+
+# ---------------------------------------------------------------------------
+# Warm worker pool
+# ---------------------------------------------------------------------------
+
+
+def _pool_worker_entry(
+    job_conn: multiprocessing.connection.Connection,
+    result_conn: multiprocessing.connection.Connection,
+    run_one: Callable[[Any], Any],
+    child_setup: Optional[Callable[[], None]],
+) -> None:
+    """Worker body for pool mode: drain jobs until told to stop.
+
+    Per-job outcomes use exactly the same tagged-tuple protocol as
+    :func:`_attempt_entry`, so the parent classifies pooled and
+    per-attempt results with shared code.  The process-wide heartbeat
+    sink is installed once and reused across jobs — one of the costs
+    the pool amortises.
+
+    Long-lived workers also apply the standard warm-worker GC
+    discipline: the post-import heap is frozen (it is permanent, so
+    scanning it every generation-2 pass is pure overhead — and under
+    ``fork`` the scan's refcount writes would unshare copy-on-write
+    pages), the cycle collector is paused while a job runs, and one
+    explicit collection runs between jobs.  A simulation allocates
+    heavily but almost nothing survives it, so the inter-job collect is
+    where the garbage actually dies; pausing the collector mid-job only
+    defers that work, it cannot leak across jobs.  Short-lived
+    per-attempt workers get the same effect for free from process exit.
+    """
+    try:
+        if child_setup is not None:
+            child_setup()
+        set_heartbeat_sink(_pipe_heartbeat_sink(result_conn))
+        gc.collect()
+        gc.freeze()
+        gc.disable()
+        while True:
+            try:
+                message = job_conn.recv()
+            except (EOFError, OSError):
+                break  # parent gone: nothing left to serve
+            if not isinstance(message, tuple) or message[0] != "job":
+                break  # ("stop",) or anything unexpected
+            _, job, job_key, attempt = message
+            try:
+                fault = maybe_inject_fault(job_key, attempt)
+                if fault == "crash":
+                    os._exit(13)
+                if fault == "timeout":
+                    time.sleep(3600.0)
+                if fault == "stall":
+                    result_conn.send(("hb", 0, 0, 0.0))
+                    time.sleep(3600.0)
+                if fault == "error":
+                    raise SimulationError(
+                        f"injected fault ({job_key}, attempt {attempt})"
+                    )
+                if fault == "state-corrupt":
+                    from repro.sim import sanitizer as _sanitizer
+
+                    _sanitizer.schedule_state_corruption()
+                result = run_one(job)
+                if fault == "corrupt":
+                    result = _corrupted(result)
+                result_conn.send(("ok", result))
+            except SimulationError as exc:
+                result_conn.send(("err", type(exc).__name__, str(exc)))
+            except BaseException as exc:  # classify unexpected worker bugs too
+                result_conn.send(("err", "SimulationError", f"{type(exc).__name__}: {exc}"))
+            gc.collect()
+    finally:
+        set_heartbeat_sink(None)
+        result_conn.close()
+        job_conn.close()
+
+
+@dataclass
+class _PoolWorker:
+    process: multiprocessing.process.BaseProcess
+    job_conn: multiprocessing.connection.Connection  # parent -> worker
+    result_conn: multiprocessing.connection.Connection  # worker -> parent
+    #: affinity group this worker is currently serving.
+    group: Optional[str] = None
+    #: in-flight job as (job, key, attempt), or None when idle.
+    current: Optional[Tuple[Any, str, int]] = None
+    deadline: Optional[float] = None
+    last_beat: float = 0.0
+    progress: Optional[Tuple[int, int, float]] = None
+    jobs_done: int = 0
+
+
+def _run_pool(
+    jobs: Sequence[Any],
+    run_one: Callable[[Any], Any],
+    *,
+    context: multiprocessing.context.BaseContext,
+    workers: int,
+    policy: RetryPolicy,
+    key: Callable[[Any], str],
+    group: Optional[Callable[[Any], str]],
+    validate: Optional[Callable[[Any], None]],
+    progress: Optional[Callable[[int, int, str, str], None]],
+    heartbeat: Optional[Callable[[str, int, int, float], None]],
+    child_setup: Optional[Callable[[], None]],
+) -> CampaignReport:
+    """Warm-pool dispatcher: long-lived workers drain the job queue.
+
+    Jobs are bucketed into affinity groups (``group(job)``, defaulting
+    to the job key) in first-appearance order; a worker sticks to its
+    group until it is empty, then claims the next untouched group, and
+    at the tail helps whichever in-progress group has the most work
+    left, so one straggler group never serialises the finish.
+
+    Crash isolation matches attempt mode: a dead worker charges only
+    its in-flight job one attempt and is recycled (a replacement spawns
+    while undispatched work remains).  Retryable pooled failures are
+    re-run through the per-attempt supervisor with ``attempt_offset=1``
+    so absolute attempt numbers — and with them fault-injection and
+    backoff hashes — stay identical to a pure per-attempt campaign.
+    """
+    report = CampaignReport()
+    total = len(jobs)
+    group_of = group or key
+    groups: Dict[str, List[Tuple[Any, str]]] = {}
+    for job in jobs:
+        groups.setdefault(group_of(job), []).append((job, key(job)))
+    order = list(groups)
+    claimed: set = set()
+    #: pooled first attempts that failed retryably, for the fallback.
+    fallback: List[Tuple[Any, str]] = []
+    pool: List[_PoolWorker] = []
+
+    def _spawn_worker() -> _PoolWorker:
+        job_recv, job_send = context.Pipe(duplex=False)
+        result_recv, result_send = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_pool_worker_entry,
+            args=(job_recv, result_send, run_one, child_setup),
+        )
+        process.start()
+        job_recv.close()
+        result_send.close()
+        worker = _PoolWorker(
+            process, job_send, result_recv, last_beat=time.monotonic()
+        )
+        pool.append(worker)
+        return worker
+
+    def _take_next(worker: _PoolWorker) -> Optional[Tuple[Any, str]]:
+        queue = groups.get(worker.group or "")
+        if not queue:
+            for name in order:  # claim the next untouched group
+                if name not in claimed and groups[name]:
+                    claimed.add(name)
+                    worker.group = name
+                    queue = groups[name]
+                    break
+            else:  # tail: help the in-progress group with the most left
+                name = max(
+                    (g for g in order if groups[g]),
+                    key=lambda g: len(groups[g]),
+                    default=None,
+                )
+                if name is None:
+                    return None
+                worker.group = name
+                queue = groups[name]
+        return queue.pop(0)
+
+    def _dispatch(worker: _PoolWorker) -> bool:
+        """Hand the worker its next job; False when idle or send failed."""
+        item = _take_next(worker)
+        if item is None:
+            return False
+        job, job_key = item
+        try:
+            worker.job_conn.send(("job", job, job_key, 1))
+        except (BrokenPipeError, OSError):
+            # The worker died before we noticed; put the job back (it
+            # was never attempted) and let the sentinel path recycle.
+            groups[group_of(job)].insert(0, item)
+            return False
+        now = time.monotonic()
+        worker.current = (job, job_key, 1)
+        worker.deadline = now + policy.timeout if policy.timeout else None
+        worker.last_beat = now
+        worker.progress = None
+        return True
+
+    def _charge(worker: _PoolWorker, error: SimulationError) -> None:
+        """The in-flight job's pooled attempt failed: fallback or fail."""
+        job, job_key, attempt = worker.current
+        worker.current = None
+        worker.deadline = None
+        if policy.retries >= 1 and is_retryable(error):
+            fallback.append((job, job_key))
+        else:
+            report.failures.append(
+                JobFailure(job_key, type(error).__name__, str(error), attempt)
+            )
+            if progress is not None:
+                progress(report.executed + report.failed, total, job_key, "FAILED")
+
+    def _complete(worker: _PoolWorker, result: Any) -> None:
+        job, job_key, _ = worker.current
+        if validate is not None:
+            try:
+                validate(result)
+            except Exception as exc:
+                _charge(worker, CorruptResult(f"{job_key}: {exc}"))
+                return
+        worker.current = None
+        worker.deadline = None
+        worker.jobs_done += 1
+        report.completed[job_key] = result
+        if progress is not None:
+            progress(report.executed + report.failed, total, job_key, "ok")
+
+    def _on_beat(worker: _PoolWorker) -> Callable[[int, int, float], None]:
+        def update(done: int, n: int, sim_time: float) -> None:
+            worker.last_beat = time.monotonic()
+            worker.progress = (done, n, sim_time)
+            if heartbeat is not None and worker.current is not None:
+                heartbeat(worker.current[1], done, n, sim_time)
+
+        return update
+
+    def _retire(worker: _PoolWorker) -> None:
+        """Remove one dead worker from the pool and reap it."""
+        pool.remove(worker)
+        worker.job_conn.close()
+        worker.result_conn.close()
+        worker.process.join(timeout=5.0)
+        if worker.process.is_alive():  # pragma: no cover - stuck worker
+            worker.process.kill()
+            worker.process.join(timeout=5.0)
+
+    def _recycle() -> None:
+        """Replace lost capacity while undispatched work remains."""
+        while any(groups.values()) and len(pool) < workers:
+            worker = _spawn_worker()
+            report.recycled += 1
+            if not _dispatch(worker):
+                break
+
+    def _kill(worker: _PoolWorker, error: SimulationError) -> None:
+        """Terminate one overdue/stalled worker, charge its job, recycle."""
+        worker.process.terminate()
+        _charge(worker, error)
+        _retire(worker)
+        _recycle()
+
+    try:
+        for _ in range(min(workers, total)):
+            _spawn_worker()
+        for worker in list(pool):
+            _dispatch(worker)
+
+        while any(groups.values()) or any(w.current for w in pool):
+            now = time.monotonic()
+            # Watchdog: wall-clock deadlines and heartbeat stalls, for
+            # workers with a job in flight only.  Drain first so a
+            # final payload (or fresh beat) racing the check wins.
+            for worker in list(pool):
+                if worker.current is None:
+                    continue
+                overdue = worker.deadline is not None and now > worker.deadline
+                stalled = (
+                    policy.stall_timeout is not None
+                    and now - worker.last_beat > policy.stall_timeout
+                )
+                if not (overdue or stalled):
+                    continue
+                payload = _drain_pipe(worker.result_conn, _on_beat(worker))
+                if payload is not None and payload is not _EOF:
+                    if payload[0] == "ok":
+                        _complete(worker, payload[1])
+                    else:
+                        _charge(worker, _rebuild_error(payload[1], payload[2]))
+                    _dispatch(worker)
+                    continue
+                if payload is _EOF:
+                    continue  # the sentinel path below will handle the death
+                if overdue:
+                    attempt_no = worker.current[2]
+                    error: SimulationError = JobTimeout(
+                        f"attempt exceeded {policy.timeout:.3g}s "
+                        f"(attempt {attempt_no})"
+                    )
+                elif now - worker.last_beat <= policy.stall_timeout:
+                    continue  # the drain picked up a fresh heartbeat
+                else:
+                    reached = (
+                        f"; last progress {worker.progress[0]}/{worker.progress[1]}"
+                        f" accesses at sim time {worker.progress[2]:.0f}"
+                        if worker.progress is not None
+                        else " before the first heartbeat"
+                    )
+                    error = StallTimeout(
+                        f"no heartbeat for {policy.stall_timeout:.3g}s "
+                        f"(attempt {worker.current[2]}){reached}"
+                    )
+                _kill(worker, error)
+
+            if not pool:
+                _recycle()
+                if not pool:
+                    break  # no capacity and nothing recyclable
+                continue
+
+            wait_for = 0.2
+            now = time.monotonic()
+            deadlines = [w.deadline for w in pool if w.deadline is not None]
+            if policy.stall_timeout is not None:
+                deadlines += [
+                    w.last_beat + policy.stall_timeout
+                    for w in pool
+                    if w.current is not None
+                ]
+            if deadlines:
+                wait_for = min(wait_for, max(min(deadlines) - now, 0.0) + 0.001)
+            fired = multiprocessing.connection.wait(
+                [w.result_conn for w in pool]
+                + [w.process.sentinel for w in pool],
+                timeout=wait_for,
+            )
+            if not fired:
+                continue
+            for worker in list(pool):
+                conn_fired = worker.result_conn in fired
+                sentinel_fired = worker.process.sentinel in fired
+                if not (conn_fired or sentinel_fired):
+                    continue
+                payload = _drain_pipe(worker.result_conn, _on_beat(worker))
+                if payload is None and sentinel_fired:
+                    # One more drain catches a final payload racing the
+                    # sentinel; anything else is a worker death.
+                    payload = _drain_pipe(worker.result_conn, _on_beat(worker))
+                if payload is None and sentinel_fired:
+                    payload = _EOF
+                if payload is _EOF:
+                    worker.process.join(timeout=5.0)
+                    if worker.current is not None:
+                        code = worker.process.exitcode
+                        _charge(
+                            worker, WorkerCrash(f"worker exited with code {code}")
+                        )
+                    _retire(worker)
+                    _recycle()
+                elif payload is not None:
+                    if payload[0] == "ok":
+                        _complete(worker, payload[1])
+                    else:
+                        _charge(worker, _rebuild_error(payload[1], payload[2]))
+                    _dispatch(worker)
+                # else: heartbeats only — the worker is alive and working.
+    finally:
+        for worker in pool:
+            try:
+                worker.job_conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in pool:
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=2.0)
+            worker.job_conn.close()
+            worker.result_conn.close()
+
+    if fallback:
+        # Per-attempt mode is the retry path: each fallback job already
+        # burned attempt 1 in the pool, so the sub-supervisor numbers
+        # its attempts from 2 (attempt_offset=1) and inherits the full
+        # remaining retry budget.
+        report.retried += len(fallback)
+        settled = report.executed + report.failed
+        sub_progress: Optional[Callable[[int, int, str, str], None]] = None
+        if progress is not None:
+            def sub_progress(done: int, _sub_total: int, job_key: str, status: str) -> None:
+                progress(settled + done, total, job_key, status)
+
+        sub = run_supervised(
+            [job for job, _ in fallback],
+            run_one,
+            workers=min(workers, len(fallback)),
+            policy=policy,
+            key=key,
+            validate=validate,
+            progress=sub_progress,
+            heartbeat=heartbeat,
+            child_setup=child_setup,
+            mode="attempt",
+            attempt_offset=1,
+        )
+        report.merge(sub)
+    return report
+
+
 def run_supervised(
     jobs: Sequence[Any],
     run_one: Callable[[Any], Any],
@@ -570,15 +1045,25 @@ def run_supervised(
     heartbeat: Optional[Callable[[str, int, int, float], None]] = None,
     child_setup: Optional[Callable[[], None]] = None,
     in_process: Optional[bool] = None,
+    mode: Optional[str] = None,
+    group: Optional[Callable[[Any], str]] = None,
+    attempt_offset: int = 0,
 ) -> CampaignReport:
     """Run ``run_one`` over ``jobs`` under supervision; never raises.
 
-    Each attempt runs in its own short-lived process, so a crash loses
-    one attempt and nothing else.  Failed attempts retry up to
-    ``policy.retries`` times with exponential backoff + jitter — except
-    :class:`InvariantViolation`, which is deterministic and fails the
-    job immediately.  Jobs that exhaust the budget land in the report's
-    ``failures``, the rest in ``completed`` (keyed by ``key(job)``).
+    Two worker modes (``mode``, or ``REPRO_WORKER_MODE``, default
+    ``attempt``).  In **attempt** mode each attempt runs in its own
+    short-lived process, so a crash loses one attempt and nothing else.
+    In **pool** mode (:func:`_run_pool`) long-lived workers drain the
+    queue with affinity to ``group(job)`` and retryable failures fall
+    back to attempt mode; crash isolation is identical.  Failed
+    attempts retry up to ``policy.retries`` times with exponential
+    backoff + jitter — except :class:`InvariantViolation`, which is
+    deterministic and fails the job immediately.  Jobs that exhaust the
+    budget land in the report's ``failures``, the rest in ``completed``
+    (keyed by ``key(job)``).  ``attempt_offset`` shifts absolute
+    attempt numbering (the pool fallback uses it; campaigns should
+    leave it 0).
 
     Workers stream progress heartbeats over the result pipe (published
     by the simulation loop via :func:`emit_heartbeat`).  The watchdog
@@ -601,21 +1086,38 @@ def run_supervised(
     jobs = list(jobs)
     if not jobs:
         return CampaignReport()
+    mode = resolve_worker_mode(mode)
 
     context = None if in_process else supervision_context()
     if context is None:
         if in_process is False:
             raise SimulationError("multiprocessing unavailable and in_process=False")
         return _run_in_process(
-            jobs, run_one, key, policy, validate, progress, heartbeat
+            jobs, run_one, key, policy, validate, progress, heartbeat,
+            attempt_offset=attempt_offset,
         )
 
     workers = min(default_workers(workers), len(jobs))
+    if mode == "pool" and attempt_offset == 0:
+        return _run_pool(
+            jobs,
+            run_one,
+            context=context,
+            workers=workers,
+            policy=policy,
+            key=key,
+            group=group,
+            validate=validate,
+            progress=progress,
+            heartbeat=heartbeat,
+            child_setup=child_setup,
+        )
+
     report = CampaignReport()
     total = len(jobs)
     # (job, key, next attempt number, earliest start time)
     ready: List[Tuple[Any, str, int, float]] = [
-        (job, key(job), 1, 0.0) for job in jobs
+        (job, key(job), attempt_offset + 1, 0.0) for job in jobs
     ]
     running: List[_Attempt] = []
 
@@ -655,29 +1157,17 @@ def run_supervised(
         """Consume queued pipe messages from one attempt.
 
         Heartbeats update the attempt's watchdog state (and are
-        forwarded to the ``heartbeat`` callback); the first final
-        payload (``ok``/``err`` tuple) is returned.  Returns ``None``
-        when only heartbeats were pending, ``_EOF`` when the pipe is
-        closed with no final payload.
+        forwarded to the ``heartbeat`` callback); see
+        :func:`_drain_pipe` for the return convention.
         """
-        while True:
-            try:
-                if not attempt.conn.poll():
-                    return None
-                payload = attempt.conn.recv()
-            except (EOFError, OSError):
-                return _EOF
-            if (
-                isinstance(payload, tuple)
-                and len(payload) == 4
-                and payload[0] == "hb"
-            ):
-                attempt.last_beat = time.monotonic()
-                attempt.progress = (payload[1], payload[2], payload[3])
-                if heartbeat is not None:
-                    heartbeat(attempt.key, payload[1], payload[2], payload[3])
-                continue
-            return payload
+
+        def on_beat(done: int, n: int, sim_time: float) -> None:
+            attempt.last_beat = time.monotonic()
+            attempt.progress = (done, n, sim_time)
+            if heartbeat is not None:
+                heartbeat(attempt.key, done, n, sim_time)
+
+        return _drain_pipe(attempt.conn, on_beat)
 
     def _finish(attempt: _Attempt, payload: Any) -> None:
         """Remove one finished/dead attempt and classify its outcome."""

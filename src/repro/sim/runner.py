@@ -99,17 +99,21 @@ def _execute(
 def simulate(
     workload: Union[str, Trace],
     config: Optional[SimulationConfig] = None,
-    scale: Scale = Scale.STANDARD,
+    scale: Union[Scale, int] = Scale.STANDARD,
     use_cache: bool = True,
     warmup_fraction: float = WARMUP_FRACTION,
 ) -> SimResult:
     """Run one workload under one configuration; return its result.
 
     ``workload`` may be a suite benchmark name (generated at ``scale``)
-    or a prebuilt :class:`Trace`.  Results for named workloads are
-    memoised per process — and, when a persistent store is active
-    (:func:`repro.sim.store.active_store`), checkpointed to disk and
-    resumed from it — unless ``use_cache=False``.  The first
+    or a prebuilt :class:`Trace`.  ``scale`` is a :class:`Scale` preset
+    or a raw positive access count; it only applies to *named*
+    workloads — a prebuilt :class:`Trace` fixes its own length, so
+    combining one with a non-default ``scale`` raises ``ValueError``
+    (slice the trace instead of passing a scale).  Results for named
+    workloads are memoised per process — and, when a persistent store
+    is active (:func:`repro.sim.store.active_store`), checkpointed to
+    disk and resumed from it — unless ``use_cache=False``.  The first
     ``warmup_fraction`` of the trace trains state without being counted.
     """
     from repro.sim import store as store_mod
@@ -120,18 +124,27 @@ def simulate(
 
     store = None
     if isinstance(workload, str):
-        key = (workload, scale.accesses, config)
+        accesses = scale.accesses if isinstance(scale, Scale) else int(scale)
+        if accesses <= 0:
+            raise ValueError(f"scale must be positive, got {accesses}")
+        key = (workload, accesses, config)
         if use_cache:
             if key in _RESULT_CACHE:
                 return _RESULT_CACHE[key]
             store = store_mod.active_store()
             if store is not None:
-                stored = store.get(workload, scale.accesses, config)
+                stored = store.get(workload, accesses, config)
                 if stored is not None:
                     _RESULT_CACHE[key] = stored
                     return stored
-        trace = generate(workload, scale)
+        trace = generate(workload, accesses)
     else:
+        if scale is not Scale.STANDARD:
+            raise ValueError(
+                "scale does not apply to a prebuilt Trace (its length is "
+                "fixed at construction); slice the trace to the length "
+                "you want instead of passing a scale"
+            )
         key = None
         trace = workload
 
@@ -151,7 +164,7 @@ def simulate(
 
 def simulate_suite(
     config: Optional[SimulationConfig] = None,
-    scale: Scale = Scale.STANDARD,
+    scale: Union[Scale, int] = Scale.STANDARD,
     benchmarks: Optional[Tuple[str, ...]] = None,
 ) -> SuiteResult:
     """Run one configuration over the whole suite (Figure 1 order)."""

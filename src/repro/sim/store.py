@@ -316,6 +316,16 @@ def default_store_dir() -> Path:
     return Path(os.path.expanduser("~")) / ".cache" / "repro-tcp"
 
 
+def default_trace_cache_dir() -> Path:
+    """Where generated traces are cached by default: next to the store.
+
+    The trace cache (:mod:`repro.workloads.io`) and the result store
+    are two tiers of the same campaign persistence, so they live under
+    the same root unless ``REPRO_TRACE_CACHE`` says otherwise.
+    """
+    return default_store_dir() / "traces"
+
+
 def store_from_env() -> Optional[ResultStore]:
     """A store configured purely by the environment, or ``None``.
 

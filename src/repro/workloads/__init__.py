@@ -14,12 +14,18 @@ instruction gap) plus an ILP parameter, which is everything the CPU
 timing model and memory hierarchy need.
 """
 
-from repro.workloads.io import load_trace, save_trace
+from repro.workloads.io import (
+    TRACE_CACHE_ENV,
+    load_trace,
+    save_trace,
+    trace_cache_scope,
+)
 from repro.workloads.kernels import TraceBuilder
 from repro.workloads.suite import (
     BENCHMARK_ORDER,
     SUITE,
     BenchmarkSpec,
+    cache_trace,
     generate,
     generate_all,
 )
@@ -30,10 +36,13 @@ __all__ = [
     "BenchmarkSpec",
     "SUITE",
     "Scale",
+    "TRACE_CACHE_ENV",
     "Trace",
     "TraceBuilder",
+    "cache_trace",
     "generate",
     "generate_all",
     "load_trace",
     "save_trace",
+    "trace_cache_scope",
 ]

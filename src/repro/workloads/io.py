@@ -1,43 +1,86 @@
-"""Trace persistence: save and load traces as ``.npz`` files.
+"""Trace persistence: save/load ``.npz`` traces, plus the trace cache.
 
 Downstream users of the simulator often want to run the same trace
 through many configurations, hand traces between machines, or feed in
 traces captured from real programs (e.g. converted Pin/Valgrind logs).
 This module defines the on-disk format:
 
-* a compressed numpy ``.npz`` archive with the five trace arrays
-  (``addrs``, ``pcs``, ``is_load``, ``gaps``, ``deps``);
+* a numpy ``.npz`` archive with the five trace arrays (``addrs``,
+  ``pcs``, ``is_load``, ``gaps``, ``deps``) — compressed for portable
+  archives, *uncompressed* for cache entries so they can be
+  memory-mapped;
 * a JSON-encoded metadata entry (``meta``) carrying the trace name,
   its ILP parameter, and a format version for forward compatibility.
 
 ``save_trace``/``load_trace`` round-trip exactly; ``load_trace``
 validates the arrays through the normal :class:`Trace` constructor, so
 corrupt or inconsistent files fail loudly rather than simulating
+garbage.  ``load_trace(..., mmap_mode="r")`` maps the archive's members
+directly (numpy's ``np.load`` silently ignores ``mmap_mode`` for
+``.npz``), so campaign workers reading the same cached trace share
+pages instead of each materialising a private copy.
+
+On top of the format sits the **on-disk trace cache** used by
+:func:`repro.workloads.suite.generate`: spec-fingerprinted archives
+under ``REPRO_TRACE_CACHE`` (defaulting next to the result store).  The
+fingerprint covers the format version, the suite revision, the
+benchmark's generator bytecode, and the access count, so editing a
+generator invalidates its cached traces automatically; a corrupt or
+mismatched entry is treated as a miss and regenerated — never loaded as
 garbage.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import zipfile
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Union
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.workloads.trace import Trace
 
-__all__ = ["FORMAT_VERSION", "load_trace", "save_trace"]
+__all__ = [
+    "FORMAT_VERSION",
+    "TRACE_CACHE_ENV",
+    "cached_trace_path",
+    "load_cached_trace",
+    "load_trace",
+    "resolve_trace_cache",
+    "save_trace",
+    "spec_fingerprint",
+    "store_cached_trace",
+    "trace_cache_dir",
+    "trace_cache_scope",
+]
 
 #: bump when the on-disk layout changes incompatibly.
 FORMAT_VERSION = 1
 
 _REQUIRED_KEYS = ("addrs", "pcs", "is_load", "gaps", "deps", "meta")
 
+#: the dtypes the archive stores; the mmap path hands these straight to
+#: the Trace (no astype — a copy would defeat page sharing).
+_ARRAY_DTYPES = {
+    "addrs": np.uint64,
+    "pcs": np.uint64,
+    "is_load": np.bool_,
+    "gaps": np.uint16,
+    "deps": np.int32,
+}
 
-def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
+
+def save_trace(trace: Trace, path: Union[str, Path], compress: bool = True) -> Path:
     """Write ``trace`` to ``path`` (``.npz`` appended if missing).
 
-    Returns the path actually written.
+    ``compress=False`` stores the members raw so :func:`load_trace` can
+    memory-map them (the trace cache uses this; traces compress poorly
+    anyway — the address streams are high-entropy).  Returns the path
+    actually written.
     """
     path = Path(path)
     if path.suffix != ".npz":
@@ -51,7 +94,8 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
             "instructions": trace.instruction_count,
         }
     )
-    np.savez_compressed(
+    saver = np.savez_compressed if compress else np.savez
+    saver(
         path,
         addrs=trace.addrs,
         pcs=trace.pcs,
@@ -63,36 +107,312 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
     return path
 
 
-def load_trace(path: Union[str, Path]) -> Trace:
-    """Read a trace written by :func:`save_trace`.
+def _mmap_npz_arrays(
+    path: Path,
+) -> Tuple[Optional[Dict[str, np.ndarray]], Optional[bytes]]:
+    """Memory-map the members of an *uncompressed* ``.npz`` archive.
 
-    Raises :class:`ValueError` on missing arrays, version mismatch, or
-    any inconsistency the :class:`Trace` constructor detects.
+    ``np.load(..., mmap_mode=...)`` silently ignores the request for
+    ``.npz`` files, so this walks the zip directory itself: for each
+    stored (ZIP_STORED) member it parses the local file header to find
+    the ``.npy`` payload, reads the npy header, and maps the raw data
+    with :func:`np.memmap`.  Returns ``(None, None)`` when any member
+    is compressed — the caller falls back to an eager read — and raises
+    ``ValueError`` on a structurally corrupt archive.
     """
-    path = Path(path)
-    with np.load(path) as archive:
-        missing = [key for key in _REQUIRED_KEYS if key not in archive.files]
-        if missing:
-            raise ValueError(f"{path} is not a trace file (missing {missing})")
-        meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
-        version = meta.get("version")
-        if version != FORMAT_VERSION:
-            raise ValueError(
-                f"{path} has trace-format version {version}; this library "
-                f"reads version {FORMAT_VERSION}"
-            )
-        trace = Trace(
-            name=str(meta["name"]),
-            addrs=archive["addrs"].astype(np.uint64),
-            pcs=archive["pcs"].astype(np.uint64),
-            is_load=archive["is_load"].astype(bool),
-            gaps=archive["gaps"].astype(np.uint16),
-            deps=archive["deps"].astype(np.int32),
-            base_ipc=float(meta["base_ipc"]),
+    arrays: Dict[str, np.ndarray] = {}
+    meta_bytes: Optional[bytes] = None
+    try:
+        archive = zipfile.ZipFile(path)
+    except zipfile.BadZipFile as exc:
+        raise ValueError(f"{path} is corrupt: {exc}") from exc
+    with archive:
+        infos = archive.infolist()
+        if any(info.compress_type != zipfile.ZIP_STORED for info in infos):
+            return None, None
+        with path.open("rb") as handle:
+            for info in infos:
+                # The central directory gives the *local header* offset;
+                # the payload starts after the fixed 30-byte header plus
+                # the member name and extra field (lengths at 26 and 28).
+                handle.seek(info.header_offset)
+                local = handle.read(30)
+                if len(local) != 30 or local[:4] != b"PK\x03\x04":
+                    raise ValueError(
+                        f"{path}: corrupt local header for member {info.filename!r}"
+                    )
+                name_len = int.from_bytes(local[26:28], "little")
+                extra_len = int.from_bytes(local[28:30], "little")
+                handle.seek(info.header_offset + 30 + name_len + extra_len)
+                version = np.lib.format.read_magic(handle)
+                if version == (1, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+                elif version == (2, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+                else:
+                    raise ValueError(
+                        f"{path}: unsupported npy format version {version}"
+                    )
+                key = info.filename
+                if key.endswith(".npy"):
+                    key = key[:-4]
+                if key == "meta":
+                    handle.seek(info.header_offset + 30 + name_len + extra_len)
+                    meta_bytes = bytes(np.lib.format.read_array(handle))
+                    continue
+                arrays[key] = np.memmap(
+                    path,
+                    dtype=dtype,
+                    mode="r",
+                    shape=shape,
+                    offset=handle.tell(),
+                    order="F" if fortran else "C",
+                )
+    return arrays, meta_bytes
+
+
+def _build_trace(path: Path, arrays: Dict[str, Any], meta_raw: bytes) -> Trace:
+    """Validate metadata and assemble the :class:`Trace` (shared tail)."""
+    meta = json.loads(meta_raw.decode("utf-8"))
+    version = meta.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"{path} has trace-format version {version}; this library "
+            f"reads version {FORMAT_VERSION}"
         )
+    columns = {}
+    for key, dtype in _ARRAY_DTYPES.items():
+        column = arrays[key]
+        # astype copies; skip it when the archive already stores the
+        # canonical dtype (always true for our own files) so a mapped
+        # column stays a shared mapping.
+        if column.dtype != dtype:
+            column = column.astype(dtype)
+        columns[key] = column
+    trace = Trace(
+        name=str(meta["name"]),
+        addrs=columns["addrs"],
+        pcs=columns["pcs"],
+        is_load=columns["is_load"],
+        gaps=columns["gaps"],
+        deps=columns["deps"],
+        base_ipc=float(meta["base_ipc"]),
+    )
     declared = meta.get("accesses")
     if declared is not None and declared != len(trace):
         raise ValueError(
             f"{path} declares {declared} accesses but contains {len(trace)}"
         )
+    return trace
+
+
+def load_trace(path: Union[str, Path], mmap_mode: Optional[str] = None) -> Trace:
+    """Read a trace written by :func:`save_trace`.
+
+    With ``mmap_mode="r"`` (the only supported mode) the arrays of an
+    uncompressed archive are memory-mapped read-only — concurrent
+    processes loading the same file share the pages; a compressed
+    archive silently falls back to an eager read.  Raises
+    :class:`ValueError` on a corrupt or truncated archive, missing
+    arrays, version mismatch, or any inconsistency the :class:`Trace`
+    constructor detects.
+    """
+    path = Path(path)
+    if mmap_mode not in (None, "r"):
+        raise ValueError(f"mmap_mode must be None or 'r', got {mmap_mode!r}")
+    if mmap_mode == "r":
+        arrays, meta_raw = _mmap_npz_arrays(path)
+        if arrays is not None:
+            missing = [
+                key for key in _REQUIRED_KEYS
+                if key != "meta" and key not in arrays
+            ]
+            if missing or meta_raw is None:
+                missing += ["meta"] if meta_raw is None else []
+                raise ValueError(f"{path} is not a trace file (missing {missing})")
+            return _build_trace(path, arrays, meta_raw)
+    try:
+        with np.load(path) as archive:
+            missing = [key for key in _REQUIRED_KEYS if key not in archive.files]
+            if missing:
+                raise ValueError(f"{path} is not a trace file (missing {missing})")
+            meta_raw = bytes(archive["meta"])
+            arrays = {key: archive[key] for key in _ARRAY_DTYPES}
+    except zipfile.BadZipFile as exc:
+        raise ValueError(f"{path} is corrupt: {exc}") from exc
+    return _build_trace(path, arrays, meta_raw)
+
+
+# ----------------------------------------------------------------------
+# The on-disk trace cache
+# ----------------------------------------------------------------------
+
+TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"
+
+#: environment values that mean "cache disabled".
+_DISABLED_VALUES = frozenset({"", "0", "off", "none", "no", "false"})
+
+_UNSET = object()
+
+#: process-level override installed by :func:`trace_cache_scope`
+#: (campaigns use it so fork children inherit the setting without
+#: re-reading the environment).
+_CACHE_OVERRIDE: Any = _UNSET
+
+
+def _dir_from_env() -> Optional[Path]:
+    env = os.environ.get(TRACE_CACHE_ENV)
+    if env is None or env.strip().lower() in _DISABLED_VALUES:
+        return None
+    return Path(env)
+
+
+def trace_cache_dir() -> Optional[Path]:
+    """The active trace-cache directory, or ``None`` when disabled.
+
+    Plain :func:`~repro.workloads.suite.generate` calls only cache when
+    a directory is configured — via :func:`trace_cache_scope` (what
+    campaigns install) or ``REPRO_TRACE_CACHE`` — so ad-hoc use stays
+    hermetic by default.
+    """
+    if _CACHE_OVERRIDE is not _UNSET:
+        return _CACHE_OVERRIDE
+    return _dir_from_env()
+
+
+def resolve_trace_cache(requested: Union[None, bool, str, Path] = None) -> Optional[Path]:
+    """Map a campaign's ``trace_cache`` argument onto a directory.
+
+    ``False`` disables the cache, a path selects that directory, and
+    ``None`` defers to the active scope/environment — defaulting, for
+    campaigns, to a ``traces/`` directory next to the result store
+    (:func:`repro.sim.store.default_trace_cache_dir`).
+    """
+    if requested is False:
+        return None
+    if requested not in (None, True):
+        return Path(requested)
+    if _CACHE_OVERRIDE is not _UNSET:
+        return _CACHE_OVERRIDE
+    if TRACE_CACHE_ENV in os.environ:
+        return _dir_from_env()
+    from repro.sim.store import default_trace_cache_dir  # lazy: avoid cycle
+
+    return default_trace_cache_dir()
+
+
+@contextmanager
+def trace_cache_scope(root: Optional[Union[str, Path]]) -> Iterator[Optional[Path]]:
+    """Pin the trace cache to ``root`` (``None`` = disabled) for a scope.
+
+    Both the process override and ``REPRO_TRACE_CACHE`` are set — the
+    override serves this process and its fork children, the environment
+    variable serves spawn-mode children — and both are restored on exit.
+    """
+    global _CACHE_OVERRIDE
+    root = Path(root) if root is not None else None
+    previous_override = _CACHE_OVERRIDE
+    previous_env = os.environ.get(TRACE_CACHE_ENV)
+    _CACHE_OVERRIDE = root
+    os.environ[TRACE_CACHE_ENV] = "off" if root is None else str(root)
+    try:
+        yield root
+    finally:
+        _CACHE_OVERRIDE = previous_override
+        if previous_env is None:
+            os.environ.pop(TRACE_CACHE_ENV, None)
+        else:
+            os.environ[TRACE_CACHE_ENV] = previous_env
+
+
+def spec_fingerprint(name: str, accesses: int) -> str:
+    """Fingerprint of everything that determines a generated trace.
+
+    Covers the archive format version, the suite's declared
+    ``TRACE_REVISION``, the benchmark name and access count, its base
+    IPC, and a hash of the generator function's bytecode and constants
+    — so editing a generator (logic *or* tuning constants) invalidates
+    its cache entries without anyone remembering to bump a counter.
+    Kernel-level changes that only show through called helpers are what
+    ``TRACE_REVISION`` exists for.
+    """
+    from repro.workloads import suite  # lazy: suite imports this module
+
+    hasher = hashlib.sha256()
+    hasher.update(
+        f"{FORMAT_VERSION}|{suite.TRACE_REVISION}|{name}|{int(accesses)}|".encode()
+    )
+    spec = suite.SUITE.get(name)
+    if spec is not None:
+        code = spec.build.__code__
+        hasher.update(code.co_code)
+        hasher.update(repr(code.co_consts).encode())
+        hasher.update(f"|{spec.base_ipc}".encode())
+    return hasher.hexdigest()[:16]
+
+
+def cached_trace_path(name: str, accesses: int, root: Union[str, Path]) -> Path:
+    """Where the cache entry for ``(name, accesses)`` lives under ``root``."""
+    return Path(root) / f"{name}-{int(accesses)}-{spec_fingerprint(name, accesses)}.npz"
+
+
+def store_cached_trace(
+    trace: Trace,
+    name: str,
+    accesses: int,
+    root: Union[None, str, Path] = None,
+) -> Optional[Path]:
+    """Write one cache entry atomically; best-effort (``None`` on failure).
+
+    Entries are written uncompressed (mappable) to a pid-unique
+    temporary file and renamed into place, so concurrent writers and
+    readers never see a half-written archive.
+    """
+    root = Path(root) if root is not None else trace_cache_dir()
+    if root is None:
+        return None
+    path = cached_trace_path(name, accesses, root)
+    tmp = root / f".{path.stem}.{os.getpid()}.tmp.npz"
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+        save_trace(trace, tmp, compress=False)
+        os.replace(tmp, path)
+        return path
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def load_cached_trace(
+    name: str,
+    accesses: int,
+    root: Union[None, str, Path] = None,
+) -> Optional[Trace]:
+    """Fetch one cache entry, memory-mapped; ``None`` on any miss.
+
+    A fingerprint mismatch is simply a different filename (a miss); a
+    truncated, corrupt, or version-mismatched archive — anything
+    :func:`load_trace` rejects — is also treated as a miss so the
+    caller regenerates instead of simulating garbage.
+    """
+    root = Path(root) if root is not None else trace_cache_dir()
+    if root is None:
+        return None
+    path = cached_trace_path(name, accesses, root)
+    if not path.exists():
+        return None
+    try:
+        trace = load_trace(path, mmap_mode="r")
+    except Exception:
+        return None
+    # Generators emit whole kernel chunks, so the realised length is
+    # only approximately the requested count — the fingerprint in the
+    # filename (generator bytecode + requested accesses) is what pins
+    # the entry to this request; the name check catches hand-renamed
+    # files.
+    if trace.name != name:
+        return None
     return trace

@@ -37,11 +37,13 @@ Three layout/continuity rules matter for the reproduction:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.util.rng import make_rng
+from repro.workloads import io as trace_io
 from repro.workloads.kernels import (
     TraceBuilder,
     hash_table_walk,
@@ -53,7 +55,22 @@ from repro.workloads.kernels import (
 )
 from repro.workloads.trace import Scale, Trace
 
-__all__ = ["BENCHMARK_ORDER", "SUITE", "BenchmarkSpec", "generate", "generate_all"]
+__all__ = [
+    "BENCHMARK_ORDER",
+    "SUITE",
+    "BenchmarkSpec",
+    "TRACE_REVISION",
+    "cache_trace",
+    "generate",
+    "generate_all",
+]
+
+#: bump when a change to the *kernels* (not the per-benchmark builders,
+#: whose bytecode is hashed directly) alters generated traces — it
+#: feeds the on-disk trace-cache fingerprint
+#: (:func:`repro.workloads.io.spec_fingerprint`), so stale cached
+#: traces are invalidated instead of silently reused.
+TRACE_REVISION = 1
 
 KB = 1024
 MB = 1024 * KB
@@ -683,22 +700,55 @@ assert set(SUITE) == set(BENCHMARK_ORDER), "suite and ordering disagree"
 _CACHE: Dict[Tuple[str, int], Trace] = {}
 
 
-def generate(name: str, scale: Scale = Scale.STANDARD) -> Trace:
-    """Generate (or fetch from cache) the named benchmark's trace."""
+def generate(name: str, scale: Union[Scale, int] = Scale.STANDARD) -> Trace:
+    """Generate (or fetch from cache) the named benchmark's trace.
+
+    ``scale`` is a :class:`Scale` preset or a raw positive access
+    count.  Lookup order: the in-process cache, then — when a
+    trace-cache directory is active (``REPRO_TRACE_CACHE`` or a
+    campaign's :func:`repro.workloads.io.trace_cache_scope`) — the
+    on-disk cache via a read-only mmap, and finally deterministic
+    regeneration, which writes back through to the disk cache.
+    """
     if name not in SUITE:
         raise KeyError(f"unknown benchmark {name!r}; choose from {sorted(SUITE)}")
-    key = (name, scale.accesses)
+    accesses = scale.accesses if isinstance(scale, Scale) else int(scale)
+    if accesses <= 0:
+        raise ValueError(f"accesses must be positive, got {accesses}")
+    key = (name, accesses)
     cached = _CACHE.get(key)
     if cached is not None:
         return cached
-    spec = SUITE[name]
-    builder = TraceBuilder(name, base_ipc=spec.base_ipc)
-    spec.build(builder, make_rng(name), scale.accesses)
-    trace = builder.build()
+    trace = trace_io.load_cached_trace(name, accesses)
+    if trace is None:
+        spec = SUITE[name]
+        builder = TraceBuilder(name, base_ipc=spec.base_ipc)
+        spec.build(builder, make_rng(name), accesses)
+        trace = builder.build()
+        trace_io.store_cached_trace(trace, name, accesses)
     _CACHE[key] = trace
     return trace
 
 
-def generate_all(scale: Scale = Scale.STANDARD) -> Dict[str, Trace]:
+def cache_trace(name: str, scale: Union[Scale, int] = Scale.STANDARD) -> Optional[Path]:
+    """Ensure the named trace exists in the on-disk cache (best-effort).
+
+    Campaigns call this in the parent before spawning workers so each
+    trace is generated and written exactly once; returns the entry's
+    path, or ``None`` when no cache directory is active or the write
+    failed.
+    """
+    accesses = scale.accesses if isinstance(scale, Scale) else int(scale)
+    trace = generate(name, accesses)
+    root = trace_io.trace_cache_dir()
+    if root is None:
+        return None
+    path = trace_io.cached_trace_path(name, accesses, root)
+    if path.exists():
+        return path
+    return trace_io.store_cached_trace(trace, name, accesses, root)
+
+
+def generate_all(scale: Union[Scale, int] = Scale.STANDARD) -> Dict[str, Trace]:
     """Generate every benchmark, in the paper's Figure 1 order."""
     return {name: generate(name, scale) for name in BENCHMARK_ORDER}

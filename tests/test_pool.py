@@ -1,0 +1,307 @@
+"""Tests for the warm worker pool and workload-affinity scheduling.
+
+These prove the pool acceptance paths: long-lived workers amortise
+process startup across jobs; affinity keeps one benchmark's configs on
+one worker; a worker killed mid-campaign loses only its in-flight job
+(the worker is recycled, the job retried through the per-attempt
+fallback with continuous attempt numbering); and the store/resume
+behaviour is identical to per-attempt mode.
+"""
+
+import os
+
+import pytest
+
+from repro.sim import SimulationConfig, prewarm, simulate
+from repro.sim import store as store_mod
+from repro.sim.parallel import _affinity_order, _job_key
+from repro.sim.resilience import (
+    WORKER_MODE_ENV,
+    WORKER_MODES,
+    InvariantViolation,
+    RetryPolicy,
+    StallTimeout,
+    resolve_worker_mode,
+    run_supervised,
+    set_fault_injector,
+)
+from repro.sim.runner import clear_cache
+from repro.sim.store import ResultStore
+from repro.workloads import Scale
+
+BASE = SimulationConfig.baseline()
+TCP = SimulationConfig.for_prefetcher("tcp-8k")
+FAST_POLICY = RetryPolicy(retries=2, backoff_base=0.0)
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    clear_cache()
+    yield
+    clear_cache()
+    set_fault_injector(None)
+    store_mod.clear_active_store()
+
+
+class TestModeSelection:
+    def test_explicit_mode_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKER_MODE_ENV, "attempt")
+        assert resolve_worker_mode("pool") == "pool"
+
+    def test_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(WORKER_MODE_ENV, "attempt")
+        assert resolve_worker_mode(None, default="pool") == "attempt"
+
+    def test_invalid_env_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv(WORKER_MODE_ENV, "carrier-pigeon")
+        assert resolve_worker_mode(None, default="pool") == "pool"
+
+    def test_invalid_explicit_mode_raises(self):
+        with pytest.raises(ValueError):
+            resolve_worker_mode("carrier-pigeon")
+
+    def test_modes_constant(self):
+        assert set(WORKER_MODES) == {"pool", "attempt"}
+
+
+class TestAffinityOrder:
+    def test_groups_are_contiguous(self):
+        jobs = [
+            ("gcc", BASE, 100), ("swim", BASE, 100),
+            ("gcc", TCP, 100), ("swim", TCP, 100),
+        ]
+        ordered = _affinity_order(jobs)
+        names = [job[0] for job in ordered]
+        # each workload's jobs are adjacent
+        assert sorted(set(names)) == ["gcc", "swim"]
+        first_gcc = names.index("gcc")
+        assert names[first_gcc : first_gcc + 2] == ["gcc", "gcc"]
+
+    def test_expensive_group_first(self):
+        # mcf (heavily memory-bound, low base IPC) must be scheduled
+        # before eon (compute-bound) when group sizes are equal.
+        jobs = [("eon", BASE, 100), ("mcf", BASE, 100),
+                ("eon", TCP, 100), ("mcf", TCP, 100)]
+        ordered = _affinity_order(jobs)
+        assert [job[0] for job in ordered] == ["mcf", "mcf", "eon", "eon"]
+
+    def test_larger_group_outranks_smaller_at_same_ipc(self):
+        # swim and applu share base_ipc, so group size decides.
+        jobs = [("swim", BASE, 100), ("applu", BASE, 100), ("applu", TCP, 100)]
+        ordered = _affinity_order(jobs)
+        assert [job[0] for job in ordered] == ["applu", "applu", "swim"]
+
+
+class TestPoolSupervisor:
+    """run_supervised(mode="pool") over trivial job functions."""
+
+    def test_workers_are_reused_across_jobs(self):
+        report = run_supervised(
+            list(range(8)),
+            lambda job: os.getpid(),
+            workers=2,
+            policy=FAST_POLICY,
+            key=str,
+            mode="pool",
+        )
+        assert report.ok
+        assert len(set(report.completed.values())) <= 2  # 8 jobs, <= 2 pids
+
+    def test_affinity_sticks_to_one_worker(self):
+        # One worker drains groups in order: all of a, then all of b.
+        order = []
+        report = run_supervised(
+            ["a1", "b1", "a2", "b2", "a3", "b3"],
+            lambda job: job,
+            workers=1,
+            policy=FAST_POLICY,
+            key=str,
+            mode="pool",
+            group=lambda job: job[0],
+            progress=lambda done, total, key, status: order.append(key),
+        )
+        assert report.ok
+        assert order == ["a1", "a2", "a3", "b1", "b2", "b3"]
+
+    def test_crash_recycles_worker_and_retries_one_job(self):
+        # The single worker dies on its first job with four undispatched
+        # jobs behind it: a replacement *must* spawn to finish them.
+        set_fault_injector(
+            lambda key, attempt: "crash" if key == "0" and attempt == 1 else None
+        )
+        report = run_supervised(
+            list(range(5)),
+            lambda job: job * 10,
+            workers=1,
+            policy=FAST_POLICY,
+            key=str,
+            mode="pool",
+        )
+        assert report.ok, report.summary()
+        assert report.completed == {str(i): i * 10 for i in range(5)}
+        assert report.retried == 1  # only the in-flight job was charged
+        assert report.recycled >= 1
+        assert "recycled" in report.summary()
+
+    def test_fallback_attempt_numbering_is_continuous(self):
+        # Every job crashes on absolute attempt 1 and only attempt 1.
+        # If the fallback restarted numbering at 1, it would crash
+        # forever; continuous numbering (attempt 2) must succeed.
+        set_fault_injector(lambda key, attempt: "crash" if attempt == 1 else None)
+        report = run_supervised(
+            list(range(4)),
+            lambda job: job,
+            workers=2,
+            policy=FAST_POLICY,
+            key=str,
+            mode="pool",
+        )
+        assert report.ok, report.summary()
+        assert report.retried == 4
+
+    def test_exhausted_retries_fail_with_taxonomy_class(self):
+        set_fault_injector(lambda key, attempt: "crash")
+        report = run_supervised(
+            ["only"],
+            lambda job: job,
+            workers=1,
+            policy=RetryPolicy(retries=1, backoff_base=0.0),
+            key=str,
+            mode="pool",
+        )
+        assert report.failed == 1
+        assert report.failures[0].error == "WorkerCrash"
+        assert report.failures[0].attempts == 2  # pool try + fallback try
+
+    def test_invariant_violation_is_not_retried(self):
+        def violate(job):
+            raise InvariantViolation("deterministic bug")
+
+        report = run_supervised(
+            ["x"], violate, workers=1, policy=FAST_POLICY, key=str, mode="pool",
+        )
+        assert report.failed == 1
+        assert report.failures[0].error == "InvariantViolation"
+        assert report.failures[0].attempts == 1
+        assert report.retried == 0
+
+    def test_timeout_kills_pooled_job_then_fallback_succeeds(self):
+        set_fault_injector(
+            lambda key, attempt: "timeout" if attempt == 1 else None
+        )
+        report = run_supervised(
+            ["slow"],
+            lambda job: job,
+            workers=1,
+            policy=RetryPolicy(retries=1, timeout=0.5, backoff_base=0.0),
+            key=str,
+            mode="pool",
+        )
+        assert report.ok, report.summary()
+        assert report.retried == 1
+        assert report.recycled == 0  # no undispatched work: no replacement
+
+    def test_stall_watchdog_fires_in_pool_mode(self):
+        set_fault_injector(lambda key, attempt: "stall")
+        report = run_supervised(
+            ["quiet"],
+            lambda job: job,
+            workers=1,
+            policy=RetryPolicy(retries=0, stall_timeout=0.5, backoff_base=0.0),
+            key=str,
+            mode="pool",
+        )
+        assert report.failed == 1
+        assert report.failures[0].error == StallTimeout.__name__
+        assert "no heartbeat" in report.failures[0].message
+
+
+class TestPoolCampaigns:
+    """prewarm-level behaviour: equality with attempt mode, store parity."""
+
+    BENCHES = ("fma3d", "eon")
+
+    def _campaign(self, mode, **kwargs):
+        clear_cache()
+        report = prewarm(
+            [BASE, TCP], Scale.QUICK, self.BENCHES,
+            jobs=2, worker_mode=mode, trace_cache=False, **kwargs,
+        )
+        results = {
+            _job_key((name, config, Scale.QUICK.accesses)): simulate(
+                name, config, Scale.QUICK
+            ).to_dict()
+            for name in self.BENCHES
+            for config in (BASE, TCP)
+        }
+        return report, results
+
+    def test_pool_matches_attempt_per_cell(self):
+        attempt_report, attempt_results = self._campaign("attempt")
+        pool_report, pool_results = self._campaign("pool")
+        assert attempt_report.ok and pool_report.ok
+        assert attempt_results == pool_results
+
+    def test_pool_campaign_with_trace_cache(self, tmp_path):
+        clear_cache()
+        report = prewarm(
+            [BASE], Scale.QUICK, ("fma3d",), jobs=2,
+            worker_mode="pool", trace_cache=str(tmp_path),
+        )
+        assert report.ok
+        assert report.executed == 1
+        cached = list(tmp_path.glob("fma3d-*.npz"))
+        assert len(cached) == 1  # parent pre-wrote the trace once
+
+    def test_custom_int_scale_campaign(self):
+        clear_cache()
+        report = prewarm(
+            [BASE], 5000, ("fma3d",), jobs=2,
+            worker_mode="pool", trace_cache=False,
+        )
+        assert report.ok, report.summary()
+        assert report.executed == 1
+
+    def test_killed_worker_store_resume_parity(self, tmp_path):
+        """Acceptance: a mid-campaign kill under pool mode loses only the
+        in-flight job, the campaign completes, and the store resumes
+        exactly as in per-attempt mode."""
+        store_dir = tmp_path / "store"
+        crash_key = f"fma3d/base@{Scale.QUICK.accesses}"
+        set_fault_injector(
+            lambda key, attempt: "crash" if key == crash_key and attempt == 1 else None
+        )
+        clear_cache()
+        with store_mod.use_store(ResultStore(store_dir)):
+            report = prewarm(
+                [BASE, TCP], Scale.QUICK, self.BENCHES,
+                jobs=2, worker_mode="pool", trace_cache=False,
+            )
+        assert report.ok, report.summary()
+        assert report.retried == 1
+        assert report.executed == 4
+        assert len(ResultStore(store_dir)) == 4  # every result checkpointed
+
+        # a restarted campaign replays everything from the store
+        set_fault_injector(None)
+        clear_cache()
+        with store_mod.use_store(ResultStore(store_dir)):
+            resumed = prewarm(
+                [BASE, TCP], Scale.QUICK, self.BENCHES,
+                jobs=2, worker_mode="pool", trace_cache=False,
+            )
+        assert resumed.skipped == 4
+        assert resumed.executed == 0
+
+    def test_env_selects_mode_for_prewarm(self, monkeypatch):
+        # REPRO_WORKER_MODE=attempt must reach the supervisor: with the
+        # injector crashing *pool* workers' first attempts only via the
+        # recycled counter we can tell which path ran.
+        monkeypatch.setenv(WORKER_MODE_ENV, "attempt")
+        set_fault_injector(lambda key, attempt: "crash" if attempt == 1 else None)
+        clear_cache()
+        report = prewarm(
+            [BASE], Scale.QUICK, self.BENCHES, jobs=2, trace_cache=False,
+        )
+        assert report.ok
+        assert report.recycled == 0  # attempt mode never recycles

@@ -81,6 +81,35 @@ class TestRunner:
         with pytest.raises(ValueError):
             simulate("fma3d", scale=Scale.QUICK, warmup_fraction=1.5)
 
+    def test_raw_access_count_scale(self):
+        result = simulate(
+            "fma3d", SimulationConfig.baseline(), 5000, use_cache=False
+        )
+        assert result.ipc > 0
+        # a custom count simulates fewer accesses than the quick preset
+        quick = simulate("fma3d", SimulationConfig.baseline(), Scale.QUICK)
+        assert result.memory.demand_accesses < quick.memory.demand_accesses
+
+    def test_non_positive_scale_rejected(self):
+        with pytest.raises(ValueError):
+            simulate("fma3d", SimulationConfig.baseline(), 0)
+        with pytest.raises(ValueError):
+            simulate("fma3d", SimulationConfig.baseline(), -100)
+
+    def test_prebuilt_trace_rejects_non_default_scale(self):
+        from repro.workloads import generate
+
+        trace = generate("fma3d", Scale.QUICK)
+        with pytest.raises(ValueError, match="prebuilt Trace"):
+            simulate(trace, SimulationConfig.baseline(), Scale.QUICK)
+
+    def test_prebuilt_trace_with_default_scale_ok(self):
+        from repro.workloads import generate
+
+        trace = generate("fma3d", Scale.QUICK)
+        result = simulate(trace, SimulationConfig.baseline())
+        assert result.workload == "fma3d"
+
     def test_improvement_requires_same_workload(self):
         a = simulate("fma3d", SimulationConfig.baseline(), Scale.QUICK)
         b = simulate("eon", SimulationConfig.baseline(), Scale.QUICK)

@@ -1,12 +1,35 @@
-"""Tests for trace persistence (repro.workloads.io)."""
+"""Tests for trace persistence and the trace cache (repro.workloads.io)."""
 
 import json
 
 import numpy as np
 import pytest
 
-from repro.workloads import Scale, generate, load_trace, save_trace
-from repro.workloads.io import FORMAT_VERSION
+from repro.workloads import (
+    BENCHMARK_ORDER,
+    Scale,
+    generate,
+    load_trace,
+    save_trace,
+    trace_cache_scope,
+)
+from repro.workloads import suite as suite_mod
+from repro.workloads.io import (
+    FORMAT_VERSION,
+    cached_trace_path,
+    load_cached_trace,
+    spec_fingerprint,
+    store_cached_trace,
+)
+
+ARRAYS = ("addrs", "pcs", "is_load", "gaps", "deps")
+
+
+def _assert_traces_equal(a, b):
+    assert a.name == b.name
+    assert a.base_ipc == b.base_ipc
+    for field in ARRAYS:
+        assert (getattr(a, field) == getattr(b, field)).all(), field
 
 
 class TestRoundTrip:
@@ -67,3 +90,117 @@ class TestValidation:
         np.savez(path, **data)
         with pytest.raises(ValueError):
             load_trace(path)
+
+    @pytest.mark.parametrize("mmap_mode", [None, "r"])
+    def test_byte_truncated_archive_fails_loudly(self, tmp_path, mmap_mode):
+        trace = generate("fma3d", Scale.QUICK)
+        path = save_trace(trace, tmp_path / "cut", compress=False)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises((ValueError, OSError, KeyError, EOFError)):
+            load_trace(path, mmap_mode=mmap_mode)
+
+    def test_garbage_bytes_fail_loudly(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises((ValueError, OSError)):
+            load_trace(path)
+
+
+class TestRoundTripWholeSuite:
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_every_benchmark_roundtrips_at_quick(self, name, tmp_path):
+        trace = generate(name, Scale.QUICK)
+        loaded = load_trace(save_trace(trace, tmp_path / name))
+        _assert_traces_equal(trace, loaded)
+
+
+class TestMmapLoad:
+    def test_uncompressed_archive_is_memory_mapped(self, tmp_path):
+        trace = generate("mcf", Scale.QUICK)
+        path = save_trace(trace, tmp_path / "mcf", compress=False)
+        loaded = load_trace(path, mmap_mode="r")
+        assert isinstance(loaded.addrs, np.memmap)
+        _assert_traces_equal(trace, loaded)
+
+    def test_compressed_archive_falls_back_to_eager_read(self, tmp_path):
+        trace = generate("mcf", Scale.QUICK)
+        path = save_trace(trace, tmp_path / "mcf", compress=True)
+        loaded = load_trace(path, mmap_mode="r")
+        assert not isinstance(loaded.addrs, np.memmap)
+        _assert_traces_equal(trace, loaded)
+
+    def test_unsupported_mmap_mode_rejected(self, tmp_path):
+        trace = generate("mcf", Scale.QUICK)
+        path = save_trace(trace, tmp_path / "mcf", compress=False)
+        with pytest.raises(ValueError, match="mmap_mode"):
+            load_trace(path, mmap_mode="r+")
+
+    def test_mmap_simulates_identically(self, tmp_path):
+        from repro.sim import SimulationConfig, simulate
+
+        trace = generate("eon", Scale.QUICK)
+        path = save_trace(trace, tmp_path / "eon", compress=False)
+        loaded = load_trace(path, mmap_mode="r")
+        a = simulate(trace, SimulationConfig.baseline())
+        b = simulate(loaded, SimulationConfig.baseline())
+        assert a.ipc == b.ipc
+
+
+class TestTraceCache:
+    ACCESSES = Scale.QUICK.accesses
+
+    @pytest.fixture(autouse=True)
+    def _fresh_memory_cache(self):
+        suite_mod._CACHE.clear()
+        yield
+        suite_mod._CACHE.clear()
+
+    def test_generate_writes_through_and_reads_back(self, tmp_path):
+        with trace_cache_scope(tmp_path):
+            first = generate("swim", Scale.QUICK)
+            entry = cached_trace_path("swim", self.ACCESSES, tmp_path)
+            assert entry.exists()
+            suite_mod._CACHE.clear()
+            second = generate("swim", Scale.QUICK)
+        assert isinstance(second.addrs, np.memmap)  # came from disk
+        _assert_traces_equal(first, second)
+
+    def test_fingerprint_mismatch_is_a_miss(self, tmp_path):
+        with trace_cache_scope(tmp_path):
+            generate("swim", Scale.QUICK)
+            entry = cached_trace_path("swim", self.ACCESSES, tmp_path)
+            stale = entry.with_name(f"swim-{self.ACCESSES}-{'0' * 16}.npz")
+            entry.rename(stale)
+            assert load_cached_trace("swim", self.ACCESSES, tmp_path) is None
+            suite_mod._CACHE.clear()
+            trace = generate("swim", Scale.QUICK)  # regenerated, not garbage
+        assert not isinstance(trace.addrs, np.memmap)
+
+    def test_corrupt_cache_entry_falls_back_to_regeneration(self, tmp_path):
+        with trace_cache_scope(tmp_path):
+            fresh = generate("swim", Scale.QUICK)
+            entry = cached_trace_path("swim", self.ACCESSES, tmp_path)
+            entry.write_bytes(b"corrupted beyond recognition")
+            assert load_cached_trace("swim", self.ACCESSES, tmp_path) is None
+            suite_mod._CACHE.clear()
+            regenerated = generate("swim", Scale.QUICK)
+        _assert_traces_equal(fresh, regenerated)
+
+    def test_wrong_name_inside_archive_is_a_miss(self, tmp_path):
+        mcf = generate("mcf", Scale.QUICK)
+        store_cached_trace(mcf, "mcf", self.ACCESSES, tmp_path)
+        entry = cached_trace_path("mcf", self.ACCESSES, tmp_path)
+        imposter = cached_trace_path("swim", self.ACCESSES, tmp_path)
+        entry.rename(imposter)
+        assert load_cached_trace("swim", self.ACCESSES, tmp_path) is None
+
+    def test_fingerprint_covers_accesses_and_name(self):
+        base = spec_fingerprint("swim", 1000)
+        assert spec_fingerprint("swim", 2000) != base
+        assert spec_fingerprint("mcf", 1000) != base
+        assert spec_fingerprint("swim", 1000) == base
+
+    def test_scope_disables_with_none(self, tmp_path):
+        with trace_cache_scope(None):
+            generate("swim", Scale.QUICK)
+        assert list(tmp_path.iterdir()) == []
