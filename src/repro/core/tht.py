@@ -36,9 +36,13 @@ class TagHistoryTable:
         # row itself with no per-call copy, and a shift builds exactly
         # one new object.  Initialised to zeros, matching cold hardware.
         self._history: List[Tuple[int, ...]] = [(0,) * depth for _ in range(rows)]
+        #: observation counters (per-miss cadence, plain int adds).
+        self.reads = 0
+        self.pushes = 0
 
     def read(self, index: int) -> Tuple[int, ...]:
         """Return the tag sequence at ``index`` (oldest first)."""
+        self.reads += 1
         return self._history[index]
 
     def push(self, index: int, tag: int) -> Tuple[int, ...]:
@@ -48,10 +52,18 @@ class TagHistoryTable:
         ``(tag1 .. tagk)`` becomes ``(tag2 .. tagk, miss_tag)``,
         establishing the miss tag as the most recent history.
         """
+        self.pushes += 1
         history = self._history
         row = history[index][1:] + (tag,)
         history[index] = row
         return row
+
+    def occupancy(self) -> float:
+        """Fraction of rows holding any non-cold history (a full scan —
+        observers call this at end of run, never per access)."""
+        cold = (0,) * self.depth
+        touched = sum(1 for row in self._history if row != cold)
+        return touched / self.rows
 
     def compose_block(self, tag: int, index: int) -> int:
         """Rebuild an L1 block address number from a predicted tag.
@@ -67,11 +79,13 @@ class TagHistoryTable:
         return self.rows * self.depth * self.tag_bytes
 
     def reset(self) -> None:
-        """Zero all rows."""
+        """Zero all rows (and the observation counters)."""
         history = self._history
         cold = (0,) * self.depth
         for index in range(self.rows):
             history[index] = cold
+        self.reads = 0
+        self.pushes = 0
 
     def __repr__(self) -> str:
         return (

@@ -33,7 +33,13 @@ from repro.engine.events import (
     MemoryEvent,
     MissEvent,
 )
-from repro.engine.probes import Probe, ProgressProbe, SanitizerProbe, resolve_probes
+from repro.engine.probes import (
+    MetricsProbe,
+    Probe,
+    ProgressProbe,
+    SanitizerProbe,
+    resolve_probes,
+)
 
 __all__ = [
     "AccessEvent",
@@ -41,6 +47,7 @@ __all__ = [
     "Component",
     "EvictionEvent",
     "MemoryEvent",
+    "MetricsProbe",
     "MissEvent",
     "Probe",
     "ProgressProbe",

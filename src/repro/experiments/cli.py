@@ -35,6 +35,7 @@ import time
 from typing import List, Optional
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.obs import metrics as obs_metrics
 from repro.sim import (
     PREFETCHERS,
     WORKER_MODES,
@@ -123,6 +124,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--sanitize", choices=sanitizer_mod.LEVELS, default=None,
                      help="runtime invariant checking tier (default: "
                           "$REPRO_SANITIZE or off)")
+    run.add_argument("--obs", choices=obs_metrics.OBS_CHOICES, default=None,
+                     help="observability: metrics, span tracing, or both "
+                          "(default: $REPRO_OBS or off)")
     run.set_defaults(func=_cmd_run)
 
     simulate_cmd = sub.add_parser("simulate", help="simulate one benchmark")
@@ -134,6 +138,10 @@ def _build_parser() -> argparse.ArgumentParser:
                               default=None,
                               help="runtime invariant checking tier (default: "
                                    "$REPRO_SANITIZE or off)")
+    simulate_cmd.add_argument("--obs", choices=obs_metrics.OBS_CHOICES,
+                              default=None,
+                              help="observability: metrics, span tracing, or "
+                                   "both (default: $REPRO_OBS or off)")
     simulate_cmd.set_defaults(func=_cmd_simulate)
 
     bench = sub.add_parser(
@@ -164,12 +172,27 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.set_defaults(func=_cmd_bench)
 
     trace_cmd = sub.add_parser(
-        "trace", help="export a benchmark's memory trace to a .npz file"
+        "trace",
+        help="export a benchmark's memory trace, or summarize an "
+             "observability span trace",
     )
-    trace_cmd.add_argument("benchmark", choices=sorted(SUITE))
+    trace_cmd.add_argument(
+        "target",
+        metavar="BENCHMARK|summarize",
+        help="a benchmark name (export its memory trace to .npz) or "
+             "'summarize' (per-stage breakdown of a span-trace .jsonl)",
+    )
+    trace_cmd.add_argument(
+        "path", nargs="?", default=None,
+        help="with 'summarize': the trace file (default: the newest "
+             "trace under the store's obs directory)",
+    )
     trace_cmd.add_argument("--scale", type=_parse_scale, default=Scale.STANDARD)
     trace_cmd.add_argument("--output", default=None,
                            help="output path (default <benchmark>-<scale>.npz)")
+    trace_cmd.add_argument("--top", type=int, default=5, metavar="N",
+                           help="with 'summarize': slowest spans to show "
+                                "(default 5)")
     trace_cmd.set_defaults(func=_cmd_trace)
     return parser
 
@@ -218,6 +241,17 @@ def _apply_sanitize(level: Optional[str]) -> None:
         os.environ[sanitizer_mod.SANITIZE_ENV] = level
 
 
+def _apply_obs(value: Optional[str]) -> None:
+    """Install an ``--obs`` choice for this process *and* workers.
+
+    Carried by the environment for the same reason as ``--sanitize``:
+    campaign workers inherit it without threading a flag through every
+    layer.
+    """
+    if value is not None:
+        os.environ[obs_metrics.OBS_ENV] = value
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     names: List[str] = (
         list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -228,6 +262,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
 
     _apply_sanitize(args.sanitize)
+    _apply_obs(args.obs)
     store = _resolve_store(args)
     store_mod.set_active_store(store)
     if store is not None:
@@ -269,8 +304,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"pre-warmed {report.executed} simulation(s) in "
             f"{time.time() - started:.1f}s with jobs={args.jobs} "
             f"({report.skipped} skipped, {report.retried} attempt(s) "
-            f"retried{recycled})\n"
+            f"retried{recycled})"
         )
+        if report.trace_path:
+            print(f"campaign trace: {report.trace_path}")
+            print("  (inspect with: repro-tcp trace summarize)")
+        if report.profile_dir:
+            print(f"profiles: {report.profile_dir}")
+        print()
         if not report.ok:
             print(report.summary(), file=sys.stderr)
             failures += report.failed
@@ -302,6 +343,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     _apply_sanitize(args.sanitize)
+    _apply_obs(args.obs)
     base = simulate(args.benchmark, SimulationConfig.baseline(), args.scale)
     config = SimulationConfig.for_prefetcher(args.prefetcher)
     result = simulate(args.benchmark, config, args.scale)
@@ -314,6 +356,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             "L2 access taxonomy: "
             + ", ".join(f"{key}={value:.1%}" for key, value in breakdown.items())
         )
+    mode = obs_metrics.resolve_obs()
+    if mode.metrics or mode.trace:
+        print(f"observability artifacts: {store_mod.default_obs_dir()}")
     return 0
 
 
@@ -369,12 +414,51 @@ def _cmd_bench_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.target == "summarize":
+        return _cmd_trace_summarize(args)
+    if args.target not in SUITE:
+        print(
+            f"error: unknown benchmark {args.target!r}; choose from "
+            + ", ".join(sorted(SUITE))
+            + " (or 'summarize')",
+            file=sys.stderr,
+        )
+        return 2
     from repro.workloads import generate, save_trace
 
-    trace = generate(args.benchmark, args.scale)
-    output = args.output or f"{args.benchmark}-{args.scale.name.lower()}.npz"
+    trace = generate(args.target, args.scale)
+    output = args.output or f"{args.target}-{args.scale.name.lower()}.npz"
     path = save_trace(trace, output)
     print(f"wrote {path} ({trace.describe()})")
+    return 0
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from repro.obs import trace as obs_trace
+
+    path = args.path
+    if path is None:
+        obs_dir = store_mod.default_obs_dir()
+        candidates = sorted(
+            obs_dir.glob("trace-*.jsonl"),
+            key=lambda p: p.stat().st_mtime,
+        )
+        if not candidates:
+            print(
+                f"error: no trace files under {obs_dir}; run a campaign "
+                f"with --obs trace (or REPRO_OBS=trace) first, or pass "
+                f"a path",
+                file=sys.stderr,
+            )
+            return 2
+        path = candidates[-1]
+    try:
+        events = obs_trace.load_events(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"file:  {path}")
+    print(obs_trace.render_summary(obs_trace.summarize(events, top=args.top)))
     return 0
 
 

@@ -123,6 +123,16 @@ class MSHRFile(Component):
         self._reap(now)
         return len(self._inflight)
 
+    def occupancy(self) -> int:
+        """Registers currently held, completed-but-unreaped included.
+
+        A strictly read-only view for observers (the metrics probe):
+        ``outstanding`` reaps, and an observer-triggered reap would
+        shift ``acquire`` start times and ``peak_occupancy`` — i.e.
+        change the simulation it is watching.
+        """
+        return len(self._inflight)
+
     def clear(self) -> None:
         """Drop all state (between simulation runs)."""
         self._inflight.clear()

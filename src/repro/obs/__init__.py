@@ -1,0 +1,82 @@
+"""repro.obs — the observability layer: metrics, span tracing, profiling.
+
+Three thin, independently usable pieces threaded through the existing
+layers (engine probes, memory hierarchy, campaign supervisor):
+
+* :mod:`repro.obs.metrics` — ``Counter``/``Gauge``/``Histogram`` and
+  the process-level :class:`MetricsRegistry`; near-zero cost when
+  disabled (one global read per event batch, one integer compare per
+  access via the probe marks).
+* :mod:`repro.obs.spans` — ``span("simulate")`` context managers
+  emitting ``repro-tcp/obs/v1`` JSONL events; campaign workers forward
+  them over the supervisor pipe into one merged trace per campaign.
+* :mod:`repro.obs.trace` — the reading side: validation, begin/end
+  pairing, the per-stage ``summarize`` breakdown.
+* :mod:`repro.obs.profile` — opt-in ``REPRO_PROFILE=cprofile|interval``
+  per-job profiling with output next to the result store.
+
+The load-bearing invariant, enforced by the differential tests: with
+everything enabled, simulation *results* are bit-identical to a run
+with everything disabled — observation never perturbs the simulated
+machine.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ObsMode,
+    active_registry,
+    metrics_enabled,
+    resolve_obs,
+    set_active_registry,
+    use_registry,
+)
+from repro.obs.profile import maybe_profile, profile_dir, profile_mode
+from repro.obs.spans import (
+    SCHEMA,
+    TraceCollector,
+    set_span_sink,
+    span,
+    span_sink,
+    synthesize_abort,
+    use_span_sink,
+)
+from repro.obs.trace import (
+    iter_events,
+    load_events,
+    pair_spans,
+    render_summary,
+    summarize,
+    validate_event,
+)
+
+__all__ = [
+    "SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsMode",
+    "TraceCollector",
+    "active_registry",
+    "iter_events",
+    "load_events",
+    "maybe_profile",
+    "metrics_enabled",
+    "pair_spans",
+    "profile_dir",
+    "profile_mode",
+    "render_summary",
+    "resolve_obs",
+    "set_active_registry",
+    "set_span_sink",
+    "span",
+    "span_sink",
+    "summarize",
+    "synthesize_abort",
+    "use_registry",
+    "use_span_sink",
+    "validate_event",
+]

@@ -1,0 +1,399 @@
+"""Metric primitives and the process-level registry.
+
+The observability layer follows the sanitizer's cost discipline: when
+nothing is enabled the simulation pays **one integer compare per
+access** (the probe-mark sentinel in the CPU loop) and zero
+allocations — there is no registry object, no disabled-counter
+increment, nothing.  Enabling metrics costs only what the probes and
+layer hooks actually record at mark cadence.
+
+Three primitive types cover the repro's needs:
+
+``Counter``
+    A monotonically increasing total (cache hits, prefetches issued,
+    retries).  ``inc`` only accepts non-negative deltas.
+``Gauge``
+    A point-in-time level that can move both ways (queue depth, MSHR
+    occupancy).  ``set`` records the level; min/max/last are kept.
+``Histogram``
+    A distribution over observations (per-interval miss counts,
+    per-job wall seconds).  Fixed bucket boundaries chosen at
+    construction; counts, sum and min/max are kept — enough to render
+    p50/p90-ish summaries without storing samples.
+
+A :class:`MetricsRegistry` owns all instruments for one scope (one
+simulation run, one campaign).  The *active* registry mirrors the
+result store's module-global pattern (:func:`set_active_registry` /
+:func:`use_registry` / :func:`active_registry`): layers that want to
+record — the trace cache, the campaign scheduler — ask for the active
+registry and do nothing when there is none.
+
+What is enabled comes from ``REPRO_OBS`` (``off`` | ``metrics`` |
+``trace`` | ``all``, comma-separated combinations tolerated), parsed
+by :func:`resolve_obs`.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OBS_CHOICES",
+    "OBS_ENV",
+    "ObsMode",
+    "active_registry",
+    "clear_active_registry",
+    "metrics_enabled",
+    "resolve_obs",
+    "set_active_registry",
+    "trace_enabled",
+    "use_registry",
+]
+
+OBS_ENV = "REPRO_OBS"
+
+#: default histogram bucket boundaries — powers of two up to 64k cover
+#: everything the repro observes per interval (mark cadence is 2048
+#: accesses, so per-interval event counts fit comfortably).
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(float(2 ** i) for i in range(17))
+
+
+class ObsMode:
+    """What the ``REPRO_OBS`` setting enables (a frozen pair of flags)."""
+
+    __slots__ = ("metrics", "trace")
+
+    def __init__(self, metrics: bool = False, trace: bool = False) -> None:
+        object.__setattr__(self, "metrics", bool(metrics))
+        object.__setattr__(self, "trace", bool(trace))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("ObsMode is immutable")
+
+    def __repr__(self) -> str:
+        return f"ObsMode(metrics={self.metrics}, trace={self.trace})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ObsMode)
+            and self.metrics == other.metrics
+            and self.trace == other.trace
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.metrics, self.trace))
+
+    @property
+    def enabled(self) -> bool:
+        return self.metrics or self.trace
+
+
+_OBS_VALUES = {
+    "off": ObsMode(),
+    "metrics": ObsMode(metrics=True),
+    "trace": ObsMode(trace=True),
+    "all": ObsMode(metrics=True, trace=True),
+}
+
+#: the single-token values (for CLI ``choices=``; :func:`resolve_obs`
+#: additionally accepts comma-separated combinations).
+OBS_CHOICES: Tuple[str, ...] = ("off", "metrics", "trace", "all")
+
+
+def resolve_obs(requested: Optional[str] = None) -> ObsMode:
+    """Map a ``--obs``/``REPRO_OBS`` value onto an :class:`ObsMode`.
+
+    ``None`` defers to the environment (default ``off``).  Values
+    combine with commas (``metrics,trace`` == ``all``); unknown tokens
+    raise ``ValueError`` so a typo can never silently disable the
+    observation a user asked for.
+    """
+    if requested is None:
+        requested = os.environ.get(OBS_ENV, "off")
+    metrics = trace = False
+    for token in str(requested).split(","):
+        token = token.strip().lower()
+        if not token:
+            continue
+        mode = _OBS_VALUES.get(token)
+        if mode is None:
+            raise ValueError(
+                f"unknown obs mode {token!r}; expected one of "
+                f"{sorted(_OBS_VALUES)} (comma-separated combinations allowed)"
+            )
+        metrics = metrics or mode.metrics
+        trace = trace or mode.trace
+    return ObsMode(metrics=metrics, trace=trace)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, delta: Union[int, float] = 1) -> None:
+        if delta < 0:
+            raise ValueError(f"counter {self.name}: negative delta {delta}")
+        self.value += delta
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A level that moves both ways; tracks last/min/max/samples."""
+
+    __slots__ = ("name", "last", "min", "max", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.last: float = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.samples = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        value = float(value)
+        self.last = value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.samples += 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "gauge",
+            "last": self.last,
+            "min": self.min if self.samples else None,
+            "max": self.max if self.samples else None,
+            "samples": self.samples,
+        }
+
+
+class Histogram:
+    """A bucketed distribution of observations.
+
+    ``buckets`` are upper-inclusive boundaries; one overflow bucket
+    (``inf``) is always appended.  Counts per bucket plus total count,
+    sum, min and max are kept — samples themselves are not stored.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError(f"histogram {name}: needs at least one bucket")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram {name}: duplicate bucket boundaries")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: Union[int, float]) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+        }
+
+
+class MetricsRegistry:
+    """All instruments for one observation scope, keyed by name.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first
+    call with a name defines the instrument, later calls return the
+    same object (a type clash raises — two layers silently sharing a
+    name across types would corrupt both).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+
+    def _get(self, name: str, cls: type, *args: Any) -> Any:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name, *args)
+            self._instruments[name] = instrument
+            return instrument
+        if not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, requested {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get(name, Histogram, buckets)
+
+    def get(self, name: str) -> Optional[Union[Counter, Gauge, Histogram]]:
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def to_dict(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-serialisable snapshot of every instrument (sorted)."""
+        return {
+            name: self._instruments[name].to_dict()
+            for name in sorted(self._instruments)
+        }
+
+    def merge(self, snapshot: Dict[str, Dict[str, Any]]) -> None:
+        """Fold a ``to_dict`` snapshot from another process into this one.
+
+        Counters and histogram counts/sums add; gauges keep the
+        widest min/max envelope and the latest ``last``.  Used by the
+        campaign layer to aggregate per-worker metrics into one
+        campaign-level registry.  Unknown/malformed entries are
+        skipped — a worker's metrics are advisory, never fatal.
+        """
+        for name, payload in snapshot.items():
+            if not isinstance(payload, dict):
+                continue
+            kind = payload.get("type")
+            try:
+                if kind == "counter":
+                    self.counter(name).inc(payload.get("value", 0))
+                elif kind == "gauge":
+                    gauge = self.gauge(name)
+                    samples = int(payload.get("samples", 0))
+                    if samples > 0:
+                        low = payload.get("min")
+                        high = payload.get("max")
+                        if low is not None and float(low) < gauge.min:
+                            gauge.min = float(low)
+                        if high is not None and float(high) > gauge.max:
+                            gauge.max = float(high)
+                        gauge.last = float(payload.get("last", gauge.last))
+                        gauge.samples += samples
+                elif kind == "histogram":
+                    buckets = payload.get("buckets")
+                    hist = self.histogram(
+                        name, buckets if buckets else DEFAULT_BUCKETS
+                    )
+                    counts = payload.get("counts", [])
+                    if list(hist.buckets) == list(buckets or hist.buckets) and len(
+                        counts
+                    ) == len(hist.counts):
+                        for i, c in enumerate(counts):
+                            hist.counts[i] += int(c)
+                        hist.count += int(payload.get("count", 0))
+                        hist.sum += float(payload.get("sum", 0.0))
+                        low = payload.get("min")
+                        high = payload.get("max")
+                        if low is not None and float(low) < hist.min:
+                            hist.min = float(low)
+                        if high is not None and float(high) > hist.max:
+                            hist.max = float(high)
+            except (TypeError, ValueError):
+                continue
+
+
+# ---------------------------------------------------------------------------
+# The active registry (mirrors repro.sim.store's active-store pattern)
+# ---------------------------------------------------------------------------
+
+_ACTIVE_REGISTRY: Optional[MetricsRegistry] = None
+
+
+def set_active_registry(
+    registry: Optional[MetricsRegistry],
+) -> Optional[MetricsRegistry]:
+    """Install the registry layer hooks record into; returns the old one."""
+    global _ACTIVE_REGISTRY
+    previous = _ACTIVE_REGISTRY
+    _ACTIVE_REGISTRY = registry
+    return previous
+
+
+def clear_active_registry() -> None:
+    global _ACTIVE_REGISTRY
+    _ACTIVE_REGISTRY = None
+
+
+def active_registry() -> Optional[MetricsRegistry]:
+    """The registry to record into right now, or ``None`` (= disabled).
+
+    Hot paths must check for ``None`` once per *event batch*, never
+    per access — the per-access discipline is the probe mark.
+    """
+    return _ACTIVE_REGISTRY
+
+
+@contextmanager
+def use_registry(
+    registry: Optional[MetricsRegistry],
+) -> Iterator[Optional[MetricsRegistry]]:
+    """Context manager: temporarily make ``registry`` the active one."""
+    previous = set_active_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_active_registry(previous)
+
+
+def metrics_enabled() -> bool:
+    """True when a registry is active (cheap single global read)."""
+    return _ACTIVE_REGISTRY is not None
+
+
+def trace_enabled() -> bool:
+    """True when a span sink is active (see :mod:`repro.obs.spans`)."""
+    from repro.obs import spans
+
+    return spans.span_sink() is not None

@@ -1,0 +1,170 @@
+"""Opt-in per-job profiling hooks (``REPRO_PROFILE``).
+
+When a campaign cell is slow the metrics say *which stage*; the
+profiler says *which function*.  Two modes, selected by the
+``REPRO_PROFILE`` environment variable (opt-in precisely because both
+perturb timing — never enabled implicitly):
+
+``cprofile``
+    Wraps the job in :mod:`cProfile` and dumps a standard ``.prof``
+    file per cell (load with ``pstats`` or ``snakeviz``).  High
+    per-call overhead, exact call counts.
+``interval``
+    A sampling thread captures the worker's main-thread stack every
+    ``REPRO_PROFILE_INTERVAL_MS`` milliseconds (default 10) and writes
+    collapsed-stack lines (``a;b;c <count>`` — flamegraph-ready).  Low
+    overhead, statistical.
+
+Output lands next to the result store (``REPRO_PROFILE_DIR`` or
+``<store dir>/profiles``), one file per job labelled by its campaign
+key, and campaign summaries point at the directory.  Because the
+setting travels through the environment, campaign workers (fork or
+spawn) inherit it with no plumbing.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+import threading
+from collections import Counter as _TallyCounter
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+__all__ = [
+    "PROFILE_DIR_ENV",
+    "PROFILE_ENV",
+    "maybe_profile",
+    "profile_dir",
+    "profile_mode",
+]
+
+PROFILE_ENV = "REPRO_PROFILE"
+PROFILE_DIR_ENV = "REPRO_PROFILE_DIR"
+PROFILE_INTERVAL_ENV = "REPRO_PROFILE_INTERVAL_MS"
+
+_MODES = ("cprofile", "interval")
+_OFF_VALUES = frozenset({"", "0", "off", "none", "no", "false"})
+
+
+def profile_mode() -> Optional[str]:
+    """The requested mode (``cprofile``/``interval``) or ``None``.
+
+    An unrecognised value raises ``ValueError`` — a typo must not
+    silently run unprofiled.
+    """
+    raw = os.environ.get(PROFILE_ENV, "").strip().lower()
+    if raw in _OFF_VALUES:
+        return None
+    if raw not in _MODES:
+        raise ValueError(
+            f"{PROFILE_ENV}={raw!r}: expected one of {_MODES} (or unset)"
+        )
+    return raw
+
+
+def profile_dir() -> Path:
+    """Where profile files land: ``REPRO_PROFILE_DIR`` or next to the store.
+
+    Campaign parents pin the resolved directory into
+    ``REPRO_PROFILE_DIR`` before spawning workers: a worker runs with
+    its store silenced, so without the pin its fallback would disagree
+    with the parent's store-relative default.
+    """
+    env = os.environ.get(PROFILE_DIR_ENV)
+    if env:
+        return Path(env)
+    from repro.sim.store import active_store, default_store_dir  # lazy: avoid cycle
+
+    store = active_store()
+    root = Path(store.root) if store is not None else default_store_dir()
+    return root / "profiles"
+
+
+def _safe_label(label: str) -> str:
+    """Filesystem-safe version of a campaign job key."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", label).strip("_") or "job"
+
+
+class _IntervalSampler:
+    """Background thread sampling the calling thread's stack."""
+
+    def __init__(self, target_thread_id: int, interval_s: float) -> None:
+        self._target = target_thread_id
+        self._interval = interval_s
+        self._stop = threading.Event()
+        self._tally: "_TallyCounter[str]" = _TallyCounter()
+        self.samples = 0
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-sampler", daemon=True
+        )
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            frame = sys._current_frames().get(self._target)
+            if frame is None:
+                continue
+            stack = []
+            while frame is not None:
+                code = frame.f_code
+                stack.append(f"{code.co_name} ({code.co_filename}:{code.co_firstlineno})")
+                frame = frame.f_back
+            self._tally[";".join(reversed(stack))] += 1
+            self.samples += 1
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def write(self, path: Path) -> None:
+        with path.open("w", encoding="utf-8") as handle:
+            for stack, count in self._tally.most_common():
+                handle.write(f"{stack} {count}\n")
+
+
+@contextmanager
+def maybe_profile(
+    label: str, out_dir: Union[None, str, Path] = None
+) -> Iterator[Optional[Path]]:
+    """Profile the body per ``REPRO_PROFILE``; yields the output path.
+
+    Yields ``None`` when profiling is off (the common case — the
+    disabled cost is one env read per *job*).  Output file name is the
+    sanitised ``label`` plus ``.prof`` (cprofile) or ``.stacks``
+    (interval).  Write failures are deliberately loud: a user who
+    opted into profiling should never get silence.
+    """
+    mode = profile_mode()
+    if mode is None:
+        yield None
+        return
+    root = Path(out_dir) if out_dir is not None else profile_dir()
+    root.mkdir(parents=True, exist_ok=True)
+    if mode == "cprofile":
+        import cProfile
+
+        path = root / f"{_safe_label(label)}.prof"
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            yield path
+        finally:
+            profiler.disable()
+            profiler.dump_stats(str(path))
+    else:
+        interval_ms = float(os.environ.get(PROFILE_INTERVAL_ENV, "10"))
+        path = root / f"{_safe_label(label)}.stacks"
+        sampler = _IntervalSampler(
+            threading.get_ident(), max(interval_ms, 0.1) / 1000.0
+        )
+        sampler.start()
+        try:
+            yield path
+        finally:
+            sampler.stop()
+            sampler.write(path)

@@ -1,0 +1,280 @@
+"""Span tracing: where a run's wall-clock time actually goes.
+
+A *span* is one named stage with a begin and an end —
+``span("generate")``, ``span("simulate")``, ``span("store")`` — emitted
+as JSON events (schema ``repro-tcp/obs/v1``) to the process's *span
+sink*.  When no sink is installed, :func:`span` returns a shared no-op
+context manager: disabled tracing costs one global read per stage (a
+handful per simulation), never anything per access.
+
+Event shapes (one JSON object per line in a trace file):
+
+``begin``
+    ``{"schema", "ev": "begin", "span", "name", "t", "pid", "parent",
+    ...attrs}`` — ``span`` is a process-unique id (``"<pid>-<n>"``),
+    ``parent`` the enclosing span's id or ``None``, ``t`` wall-clock
+    seconds (``time.time``), extra keyword attrs inlined.
+``end``
+    ``{"schema", "ev": "end", "span", "name", "t", "pid", "dur",
+    "status"}`` — ``dur`` from a monotonic clock, ``status`` one of
+    ``ok`` / ``error`` / ``aborted``; a close synthesized by the
+    campaign supervisor for a crashed worker additionally carries
+    ``"synthesized": true``.
+``metrics``
+    ``{"schema", "ev": "metrics", "name", "t", "pid", "metrics"}`` — a
+    :meth:`~repro.obs.metrics.MetricsRegistry.to_dict` snapshot riding
+    in the trace stream so one file carries both signals.
+
+Campaign workers install a sink that forwards events over the existing
+duplex-pipe protocol (:mod:`repro.sim.resilience`); the parent folds
+them into a :class:`TraceCollector` together with its own spans and
+writes one merged, chronologically ordered trace per campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+from contextlib import contextmanager
+
+__all__ = [
+    "SCHEMA",
+    "TraceCollector",
+    "span",
+    "span_sink",
+    "set_span_sink",
+    "synthesize_abort",
+    "use_span_sink",
+]
+
+#: schema tag stamped on every event line (bump on layout changes).
+SCHEMA = "repro-tcp/obs/v1"
+
+#: sink signature: receives one event dict, must not mutate it.
+SpanSink = Callable[[Dict[str, Any]], None]
+
+_SINK: Optional[SpanSink] = None
+
+#: per-process monotonic span-id counter.
+_NEXT_ID = 0
+
+#: stack of open span ids in this process (the sim is single-threaded;
+#: nesting is lexical).
+_OPEN_STACK: List[str] = []
+
+
+def set_span_sink(sink: Optional[SpanSink]) -> Optional[SpanSink]:
+    """Install the event sink for this process; returns the old one."""
+    global _SINK
+    previous = _SINK
+    _SINK = sink
+    return previous
+
+
+def span_sink() -> Optional[SpanSink]:
+    """The active sink, or ``None`` when tracing is disabled."""
+    return _SINK
+
+
+@contextmanager
+def use_span_sink(sink: Optional[SpanSink]) -> Iterator[Optional[SpanSink]]:
+    """Context manager: temporarily install ``sink``."""
+    previous = set_span_sink(sink)
+    try:
+        yield sink
+    finally:
+        set_span_sink(previous)
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    """A live span: emits ``begin`` on enter, ``end`` on exit."""
+
+    __slots__ = ("name", "attrs", "span_id", "_t0", "_mono0")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.span_id = ""
+        self._t0 = 0.0
+        self._mono0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        global _NEXT_ID
+        sink = _SINK
+        if sink is None:  # sink removed between span() and enter: no-op
+            return self
+        _NEXT_ID += 1
+        self.span_id = f"{os.getpid()}-{_NEXT_ID}"
+        self._t0 = time.time()
+        self._mono0 = time.perf_counter()
+        event: Dict[str, Any] = {
+            "schema": SCHEMA,
+            "ev": "begin",
+            "span": self.span_id,
+            "name": self.name,
+            "t": self._t0,
+            "pid": os.getpid(),
+            "parent": _OPEN_STACK[-1] if _OPEN_STACK else None,
+        }
+        for key, value in self.attrs.items():
+            event.setdefault(key, value)
+        _OPEN_STACK.append(self.span_id)
+        sink(event)
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if not self.span_id:
+            return
+        if _OPEN_STACK and _OPEN_STACK[-1] == self.span_id:
+            _OPEN_STACK.pop()
+        sink = _SINK
+        if sink is None:
+            return
+        sink(
+            {
+                "schema": SCHEMA,
+                "ev": "end",
+                "span": self.span_id,
+                "name": self.name,
+                "t": time.time(),
+                "pid": os.getpid(),
+                "dur": time.perf_counter() - self._mono0,
+                "status": "ok" if exc_type is None else "error",
+            }
+        )
+
+
+def span(name: str, **attrs: Any) -> Union[_NoopSpan, _Span]:
+    """A traced stage: ``with span("simulate", workload="swim"): ...``.
+
+    With no sink installed this returns a shared no-op object — the
+    disabled cost is one global read and one branch per *stage*.
+    """
+    if _SINK is None:
+        return _NOOP
+    return _Span(name, attrs)
+
+
+def emit_metrics(name: str, snapshot: Dict[str, Any]) -> None:
+    """Emit a metrics snapshot into the trace stream (no-op unsinked)."""
+    sink = _SINK
+    if sink is None:
+        return
+    sink(
+        {
+            "schema": SCHEMA,
+            "ev": "metrics",
+            "name": name,
+            "t": time.time(),
+            "pid": os.getpid(),
+            "metrics": snapshot,
+        }
+    )
+
+
+def synthesize_abort(begin_event: Dict[str, Any], t: Optional[float] = None) -> Dict[str, Any]:
+    """Build the ``aborted`` close for a span whose owner died.
+
+    The campaign supervisor calls this from its recycle path with the
+    forwarded ``begin`` event of each span a crashed worker left open;
+    the synthesized ``end`` keeps the trace well-formed (every begin
+    has exactly one close) and marks the loss explicitly rather than
+    leaving a dangling span.
+    """
+    now = time.time() if t is None else t
+    return {
+        "schema": SCHEMA,
+        "ev": "end",
+        "span": begin_event["span"],
+        "name": begin_event.get("name", "?"),
+        "t": now,
+        "pid": begin_event.get("pid"),
+        "dur": max(0.0, now - float(begin_event.get("t", now))),
+        "status": "aborted",
+        "synthesized": True,
+    }
+
+
+class TraceCollector:
+    """Accumulates events from this process and forwarded workers.
+
+    ``sink`` is installable as the process span sink; ``add`` folds in
+    events forwarded over a worker pipe.  :meth:`write` sorts the
+    buffer chronologically (by wall-clock ``t``, then span id for a
+    stable tie-break) and writes one JSONL file — the merged campaign
+    trace.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def sink(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+    add = sink
+
+    def open_spans(self) -> Dict[str, Dict[str, Any]]:
+        """Begin events not yet matched by an end, keyed by span id."""
+        open_by_id: Dict[str, Dict[str, Any]] = {}
+        for event in self.events:
+            kind = event.get("ev")
+            if kind == "begin":
+                open_by_id[event.get("span")] = event
+            elif kind == "end":
+                open_by_id.pop(event.get("span"), None)
+        return open_by_id
+
+    def close_aborted(self, span_ids: Optional[Iterator[str]] = None) -> int:
+        """Synthesize ``aborted`` closes for open spans; returns count.
+
+        With ``span_ids`` the closes are limited to those ids (the
+        supervisor passes the spans owned by one dead worker); without,
+        every open span is closed — the end-of-campaign sweep.
+        """
+        open_by_id = self.open_spans()
+        if span_ids is not None:
+            wanted = set(span_ids)
+            open_by_id = {
+                sid: ev for sid, ev in open_by_id.items() if sid in wanted
+            }
+        for begin in open_by_id.values():
+            self.events.append(synthesize_abort(begin))
+        return len(open_by_id)
+
+    def sorted_events(self) -> List[Dict[str, Any]]:
+        return sorted(
+            self.events,
+            key=lambda e: (e.get("t", 0.0), str(e.get("span", ""))),
+        )
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the merged chronologically ordered JSONL trace."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + f".{os.getpid()}.tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            for event in self.sorted_events():
+                handle.write(
+                    json.dumps(event, separators=(",", ":"), allow_nan=False)
+                )
+                handle.write("\n")
+        os.replace(tmp, path)
+        return path

@@ -1,0 +1,252 @@
+"""Reading side of the span trace: validate, pair, summarize.
+
+The writing side (:mod:`repro.obs.spans`) emits ``repro-tcp/obs/v1``
+JSONL events; this module consumes them:
+
+* :func:`validate_event` / :func:`iter_events` — strict per-line schema
+  validation (the CI ``obs-smoke`` job runs every emitted line through
+  it; a malformed line is a bug, not noise).
+* :func:`pair_spans` — match ``begin``/``end`` events into closed
+  spans, surfacing dangling begins explicitly.
+* :func:`summarize` — the per-stage wall-clock breakdown behind the
+  ``repro-tcp trace summarize`` CLI: wall time, per-stage totals over
+  *leaf* spans (leaves partition busy time without double-counting
+  their parents), coverage (leaf time / wall — can exceed 1 under
+  parallelism), the top-N slowest spans, and abort counts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.obs.spans import SCHEMA
+
+__all__ = [
+    "iter_events",
+    "load_events",
+    "pair_spans",
+    "render_summary",
+    "summarize",
+    "validate_event",
+]
+
+_STATUSES = frozenset({"ok", "error", "aborted"})
+
+
+def validate_event(event: Any) -> Dict[str, Any]:
+    """Check one decoded event against the ``repro-tcp/obs/v1`` schema.
+
+    Returns the event on success; raises ``ValueError`` naming the
+    first violated constraint otherwise.
+    """
+    if not isinstance(event, dict):
+        raise ValueError("event is not an object")
+    if event.get("schema") != SCHEMA:
+        raise ValueError(f"schema is {event.get('schema')!r}, expected {SCHEMA!r}")
+    kind = event.get("ev")
+    if kind not in ("begin", "end", "metrics"):
+        raise ValueError(f"ev is {kind!r}, expected begin/end/metrics")
+    t = event.get("t")
+    if not isinstance(t, (int, float)) or isinstance(t, bool) or t < 0:
+        raise ValueError(f"t is {t!r}, expected a non-negative number")
+    name = event.get("name")
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"name is {name!r}, expected a non-empty string")
+    if kind in ("begin", "end"):
+        span_id = event.get("span")
+        if not isinstance(span_id, str) or not span_id:
+            raise ValueError(f"span is {span_id!r}, expected a non-empty string")
+    if kind == "begin":
+        parent = event.get("parent")
+        if parent is not None and not isinstance(parent, str):
+            raise ValueError(f"parent is {parent!r}, expected a string or null")
+    if kind == "end":
+        dur = event.get("dur")
+        if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+            raise ValueError(f"dur is {dur!r}, expected a non-negative number")
+        status = event.get("status")
+        if status not in _STATUSES:
+            raise ValueError(
+                f"status is {status!r}, expected one of {sorted(_STATUSES)}"
+            )
+    if kind == "metrics" and not isinstance(event.get("metrics"), dict):
+        raise ValueError("metrics event is missing its metrics object")
+    return event
+
+
+def iter_events(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
+    """Yield validated events from a trace file; loud on any bad line."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                event = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+            try:
+                yield validate_event(event)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from exc
+
+
+def load_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    return list(iter_events(path))
+
+
+def pair_spans(
+    events: Iterable[Dict[str, Any]],
+) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """Match begins to ends; return ``(closed spans, dangling begins)``.
+
+    Each closed span is ``{"span", "name", "pid", "parent", "begin_t",
+    "end_t", "dur", "status", "synthesized", "attrs"}`` where ``attrs``
+    carries any extra keys from the begin event (workload, config,
+    job key…).  An end without a begin raises — that trace is corrupt,
+    not merely incomplete.
+    """
+    known = {
+        "schema", "ev", "span", "name", "t", "pid", "parent", "dur", "status",
+        "synthesized",
+    }
+    begins: Dict[str, Dict[str, Any]] = {}
+    closed: List[Dict[str, Any]] = []
+    for event in events:
+        kind = event.get("ev")
+        if kind == "begin":
+            begins[event["span"]] = event
+        elif kind == "end":
+            begin = begins.pop(event["span"], None)
+            if begin is None:
+                raise ValueError(
+                    f"end event for span {event['span']!r} has no begin"
+                )
+            closed.append(
+                {
+                    "span": event["span"],
+                    "name": begin["name"],
+                    "pid": begin.get("pid"),
+                    "parent": begin.get("parent"),
+                    "begin_t": begin["t"],
+                    "end_t": event["t"],
+                    "dur": event["dur"],
+                    "status": event.get("status", "ok"),
+                    "synthesized": bool(event.get("synthesized", False)),
+                    "attrs": {
+                        k: v for k, v in begin.items() if k not in known
+                    },
+                }
+            )
+    return closed, list(begins.values())
+
+
+def summarize(
+    events: Iterable[Dict[str, Any]], top: int = 5
+) -> Dict[str, Any]:
+    """Per-stage breakdown of a trace (the ``trace summarize`` payload).
+
+    ``wall`` is the duration of the unique root span when there is
+    exactly one (a campaign trace's ``campaign`` span), else the
+    wall-clock extent of all events.  ``stages`` aggregates *leaf*
+    spans by name — leaves partition busy time, so their total is
+    directly comparable to ``wall`` (``coverage`` = leaf total /
+    wall; >1 means parallelism).
+    """
+    events = list(events)
+    closed, dangling = pair_spans(events)
+    parents = {s["parent"] for s in closed if s["parent"] is not None}
+    roots = [s for s in closed if s["parent"] is None]
+    leaves = [s for s in closed if s["span"] not in parents]
+
+    if events:
+        t_min = min(e["t"] for e in events)
+        t_max = max(e["t"] for e in events)
+        extent = t_max - t_min
+    else:
+        extent = 0.0
+    wall = roots[0]["dur"] if len(roots) == 1 else extent
+
+    stages: Dict[str, Dict[str, Any]] = {}
+    for leaf in leaves:
+        stage = stages.setdefault(
+            leaf["name"], {"count": 0, "total": 0.0, "max": 0.0}
+        )
+        stage["count"] += 1
+        stage["total"] += leaf["dur"]
+        if leaf["dur"] > stage["max"]:
+            stage["max"] = leaf["dur"]
+    for stage in stages.values():
+        stage["mean"] = stage["total"] / stage["count"]
+    leaf_total = sum(s["total"] for s in stages.values())
+
+    non_roots = [s for s in closed if s["parent"] is not None] or closed
+    slowest = sorted(non_roots, key=lambda s: s["dur"], reverse=True)[:top]
+    metrics_events = sum(1 for e in events if e.get("ev") == "metrics")
+
+    return {
+        "schema": SCHEMA,
+        "events": len(events),
+        "spans": len(closed),
+        "dangling": len(dangling),
+        "aborted": sum(1 for s in closed if s["status"] == "aborted"),
+        "errors": sum(1 for s in closed if s["status"] == "error"),
+        "metrics_events": metrics_events,
+        "pids": len({e.get("pid") for e in events}),
+        "wall": wall,
+        "stage_total": leaf_total,
+        "coverage": (leaf_total / wall) if wall > 0 else 0.0,
+        "stages": dict(
+            sorted(stages.items(), key=lambda kv: kv[1]["total"], reverse=True)
+        ),
+        "slowest": [
+            {
+                "name": s["name"],
+                "dur": s["dur"],
+                "pid": s["pid"],
+                "status": s["status"],
+                "attrs": s["attrs"],
+            }
+            for s in slowest
+        ],
+    }
+
+
+def render_summary(summary: Dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`summarize` payload."""
+    lines = [
+        f"trace: {summary['events']} events, {summary['spans']} spans "
+        f"({summary['pids']} process(es), "
+        f"{summary['metrics_events']} metrics snapshot(s))",
+        f"wall:  {summary['wall']:.3f}s   stage total: "
+        f"{summary['stage_total']:.3f}s   coverage: {summary['coverage']:.1%}",
+    ]
+    if summary["dangling"] or summary["aborted"] or summary["errors"]:
+        lines.append(
+            f"health: {summary['dangling']} dangling, "
+            f"{summary['aborted']} aborted, {summary['errors']} errored"
+        )
+    if summary["stages"]:
+        lines.append("per-stage breakdown:")
+        width = max(len(name) for name in summary["stages"])
+        for name, stage in summary["stages"].items():
+            share = stage["total"] / summary["wall"] if summary["wall"] > 0 else 0.0
+            lines.append(
+                f"  {name:<{width}}  {stage['total']:8.3f}s  "
+                f"{share:6.1%}  x{stage['count']}  "
+                f"mean {stage['mean']:.3f}s  max {stage['max']:.3f}s"
+            )
+    if summary["slowest"]:
+        lines.append(f"slowest {len(summary['slowest'])} span(s):")
+        for entry in summary["slowest"]:
+            attrs = entry["attrs"]
+            detail = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            suffix = f"  [{detail}]" if detail else ""
+            status = "" if entry["status"] == "ok" else f"  ({entry['status']})"
+            lines.append(
+                f"  {entry['dur']:8.3f}s  {entry['name']}{suffix}{status}"
+            )
+    return "\n".join(lines)

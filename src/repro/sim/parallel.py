@@ -31,8 +31,15 @@ the one-process-per-attempt behavior.
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from contextlib import ExitStack
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
+from repro.obs import spans as obs_spans
 from repro.sim import store as store_mod
 from repro.sim.config import SimulationConfig
 from repro.sim.resilience import (
@@ -49,6 +56,9 @@ from repro.workloads import io as trace_io
 __all__ = ["experiment_configs", "prewarm"]
 
 Job = Tuple[str, SimulationConfig, int]
+
+#: buckets for per-job wall-clock histograms: 1 ms .. ~2.3 h.
+_WALL_BUCKETS = tuple(0.001 * 2**i for i in range(24))
 
 
 def _job_key(job: Job) -> str:
@@ -211,13 +221,88 @@ def prewarm(
     policy = RetryPolicy(retries=retries, timeout=timeout, stall_timeout=stall_timeout)
     mode = resolve_worker_mode(worker_mode, default="pool")
     cache_root = trace_io.resolve_trace_cache(trace_cache)
-    with trace_io.trace_cache_scope(cache_root):
+
+    # Campaign observability (REPRO_OBS): one registry aggregates the
+    # parent's counters and every worker's forwarded snapshot; one
+    # collector merges all workers' span streams into a single trace.
+    obs = obs_metrics.resolve_obs()
+    registry = obs_metrics.active_registry() if obs.metrics else None
+    owns_registry = False
+    if obs.metrics and registry is None:
+        registry = obs_metrics.MetricsRegistry()
+        owns_registry = True
+    outer_sink = obs_spans.span_sink()
+    collector = obs_spans.TraceCollector() if obs.trace and outer_sink is None else None
+    campaign_root: List[Optional[str]] = [None]
+
+    span_cb: Optional[Callable[[Dict[str, object]], None]] = None
+    if collector is not None or outer_sink is not None or registry is not None:
+
+        def span_cb(event: Dict[str, object]) -> None:
+            # Worker span streams restart their parent chains at None
+            # (each worker's stack is its own); re-root them under the
+            # campaign span so the merged trace is one tree and the
+            # per-stage breakdown never counts the root as a leaf.
+            if (
+                campaign_root[0] is not None
+                and event.get("ev") == "begin"
+                and event.get("parent") is None
+            ):
+                event = dict(event, parent=campaign_root[0])
+            if collector is not None:
+                collector.add(event)
+            elif outer_sink is not None:
+                outer_sink(event)
+            if registry is None:
+                return
+            kind = event.get("ev")
+            if kind == "metrics":
+                # A worker run's end-of-job snapshot: fold it in.
+                registry.merge(event.get("metrics", {}))
+            elif kind == "end" and event.get("name") == "attempt":
+                registry.histogram(
+                    "campaign.job_wall_s", buckets=_WALL_BUCKETS
+                ).observe(float(event.get("dur", 0.0)))
+
+    if registry is not None:
+        caller_progress = progress
+
+        def progress(done: int, total: int, job_key: str, status: str) -> None:
+            registry.gauge("campaign.queue_depth").set(total - done)
+            if caller_progress is not None:
+                caller_progress(done, total, job_key, status)
+
+    with ExitStack() as stack:
+        if obs_profile.profile_mode() is not None and not os.environ.get(
+            obs_profile.PROFILE_DIR_ENV
+        ):
+            # Pin the parent's store-relative profile directory for the
+            # workers, whose own store view is silenced (see
+            # obs_profile.profile_dir); fork and spawn children both
+            # inherit the environment.
+            stack.callback(os.environ.pop, obs_profile.PROFILE_DIR_ENV, None)
+            os.environ[obs_profile.PROFILE_DIR_ENV] = str(obs_profile.profile_dir())
+        if registry is not None:
+            stack.enter_context(obs_metrics.use_registry(registry))
+        if collector is not None:
+            # The parent's own spans route through span_cb too, so the
+            # in-process fallback records the same per-job histograms
+            # the multiprocessing path gets from forwarded events.
+            stack.enter_context(obs_spans.use_span_sink(span_cb))
+            root = stack.enter_context(
+                obs_spans.span(
+                    "campaign", jobs=len(pending), scale=accesses, mode=mode
+                )
+            )
+            campaign_root[0] = root.span_id
+        stack.enter_context(trace_io.trace_cache_scope(cache_root))
         if cache_root is not None:
             # Write each distinct trace once in the parent: fork-mode
             # children inherit the generated pages, spawn-mode children
             # mmap the archive instead of regenerating it per attempt.
-            for name in dict.fromkeys(job[0] for job in pending):
-                cache_trace(name, accesses)
+            with obs_spans.span("trace-precache", scale=accesses):
+                for name in dict.fromkeys(job[0] for job in pending):
+                    cache_trace(name, accesses)
         report.merge(
             run_supervised(
                 pending,
@@ -232,15 +317,62 @@ def prewarm(
                 in_process=True if jobs == 1 or len(pending) == 1 else None,
                 mode=mode,
                 group=lambda job: job[0],
+                span=span_cb,
             )
         )
 
-    # Install successes into the in-process cache and checkpoint them.
-    for job_key, result in report.completed.items():
-        workload, config, accesses = by_key[job_key]
-        _RESULT_CACHE[(workload, accesses, config)] = result
-        if store is not None:
-            store.put(workload, accesses, config, result)
-    if store is not None and report.ok:
-        store.clear_progress()  # campaign finished; markers are stale
+        # Install successes into the in-process cache and checkpoint
+        # them (inside the campaign span: persisting is campaign work).
+        with obs_spans.span("install", results=report.executed):
+            for job_key, result in report.completed.items():
+                workload, config, n_accesses = by_key[job_key]
+                _RESULT_CACHE[(workload, n_accesses, config)] = result
+                if store is not None:
+                    store.put(workload, n_accesses, config, result)
+        if store is not None and report.ok:
+            store.clear_progress()  # campaign finished; markers are stale
+
+        if registry is not None:
+            counter = registry.counter
+            counter("campaign.jobs").inc(len(pending))
+            counter("campaign.completed").inc(report.executed)
+            counter("campaign.failed").inc(report.failed)
+            counter("campaign.skipped").inc(report.skipped)
+            counter("campaign.retried").inc(report.retried)
+            counter("campaign.recycled").inc(report.recycled)
+
+    if collector is not None:
+        if registry is not None:
+            # Final campaign snapshot rides in the trace, added directly
+            # (not via span_cb, which would merge it back into itself).
+            collector.add(
+                {
+                    "schema": obs_spans.SCHEMA,
+                    "ev": "metrics",
+                    "name": "campaign",
+                    "t": time.time(),
+                    "pid": os.getpid(),
+                    "metrics": registry.to_dict(),
+                }
+            )
+        # Safety sweep: the supervisor already closed spans of dead
+        # workers; anything still open here is closed as aborted rather
+        # than written dangling.
+        collector.close_aborted()
+        stamp = f"{os.getpid()}-{time.time_ns()}"
+        path = collector.write(
+            store_mod.default_obs_dir() / f"trace-campaign-{stamp}.jsonl"
+        )
+        report.trace_path = str(path)
+    elif owns_registry and outer_sink is None:
+        # Metrics without tracing: the aggregated snapshot would vanish
+        # with this registry, so persist it standalone.
+        stamp = f"{os.getpid()}-{time.time_ns()}"
+        path = store_mod.default_obs_dir() / f"metrics-campaign-{stamp}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(registry.to_dict(), handle, indent=2)
+            handle.write("\n")
+    if obs_profile.profile_mode() is not None:
+        report.profile_dir = str(obs_profile.profile_dir())
     return report

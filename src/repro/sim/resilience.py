@@ -56,6 +56,10 @@ from typing import (
     Tuple,
 )
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
+from repro.obs import spans as obs_spans
+
 __all__ = [
     "CampaignReport",
     "CorruptResult",
@@ -279,6 +283,44 @@ def _pipe_heartbeat_sink(
     return send
 
 
+def _pipe_span_sink(
+    conn: multiprocessing.connection.Connection,
+) -> Callable[[Dict[str, Any]], None]:
+    """A span-event sink forwarding over the result pipe.
+
+    Unlike heartbeats, span events are never rate-limited: each one is
+    a begin/end boundary the parent needs to pair (a dropped end would
+    read as a dangling span).  Volume is bounded by span granularity —
+    a handful per job, not per access.
+    """
+
+    def send(event: Dict[str, Any]) -> None:
+        try:
+            conn.send(("sp", event))
+        except (BrokenPipeError, OSError):  # parent gone; nothing to do
+            pass
+
+    return send
+
+
+def _reset_child_obs(
+    conn: Optional[multiprocessing.connection.Connection],
+) -> None:
+    """Reset fork-inherited observability state in a worker.
+
+    Under ``fork`` a worker inherits the parent's active span sink and
+    metrics registry.  Recording into either would corrupt the parent's
+    picture (a campaign TraceCollector in the child buffers events the
+    parent never sees; a shared registry double-counts after fork).
+    Workers therefore *unconditionally* reinstall: the pipe-forwarding
+    sink when the parent asked for spans (``conn``), else no sink; and
+    no active registry (each run builds its own and ships the snapshot
+    through the span stream).
+    """
+    obs_spans.set_span_sink(_pipe_span_sink(conn) if conn is not None else None)
+    obs_metrics.set_active_registry(None)
+
+
 # ---------------------------------------------------------------------------
 # Platform probes
 # ---------------------------------------------------------------------------
@@ -417,6 +459,11 @@ class CampaignReport:
     retried: int = 0
     #: replacement workers spawned after a pool worker died (pool mode).
     recycled: int = 0
+    #: merged span-trace file written for this campaign (``REPRO_OBS``
+    #: tracing on), else None.
+    trace_path: Optional[str] = None
+    #: directory holding per-job profiles (``REPRO_PROFILE`` on), else None.
+    profile_dir: Optional[str] = None
 
     @property
     def executed(self) -> int:
@@ -436,6 +483,10 @@ class CampaignReport:
         self.skipped += other.skipped
         self.retried += other.retried
         self.recycled += other.recycled
+        if self.trace_path is None:
+            self.trace_path = other.trace_path
+        if self.profile_dir is None:
+            self.profile_dir = other.profile_dir
         return self
 
     def summary(self) -> str:
@@ -446,6 +497,10 @@ class CampaignReport:
         )
         if self.recycled:
             head += f", {self.recycled} worker(s) recycled"
+        if self.trace_path:
+            head += f"\ntrace: {self.trace_path}"
+        if self.profile_dir:
+            head += f"\nprofiles: {self.profile_dir}"
         if not self.failures:
             return head
         lines = [head, "failures:"]
@@ -469,35 +524,46 @@ def _attempt_entry(
     job_key: str,
     attempt: int,
     child_setup: Optional[Callable[[], None]],
+    forward_spans: bool = False,
 ) -> None:
     """Worker body for one attempt: run the job, report over the pipe.
 
     Every outcome is reported as a tagged tuple; a worker that dies
     before sending anything is classified as a crash by the parent.
+
+    The ``attempt`` span opens *before* the fault-injection point on
+    purpose: a ``crash``/``timeout``/``stall`` fault then dies with the
+    span open, exercising the supervisor's synthesized-abort path the
+    same way a real mid-job death would.
     """
     try:
         if child_setup is not None:
             child_setup()
-        fault = maybe_inject_fault(job_key, attempt)
-        if fault == "crash":
-            os._exit(13)
-        if fault == "timeout":
-            time.sleep(3600.0)
-        if fault == "stall":
-            # Prove liveness once, then go silent: only the stall
-            # watchdog (not a wall-clock budget) can reclaim this job.
-            conn.send(("hb", 0, 0, 0.0))
-            time.sleep(3600.0)
-        if fault == "error":
-            raise SimulationError(f"injected fault ({job_key}, attempt {attempt})")
-        if fault == "state-corrupt":
-            from repro.sim import sanitizer as _sanitizer
+        _reset_child_obs(conn if forward_spans else None)
+        with obs_profile.maybe_profile(f"{job_key}-attempt{attempt}"):
+            with obs_spans.span("attempt", key=job_key, attempt=attempt):
+                fault = maybe_inject_fault(job_key, attempt)
+                if fault == "crash":
+                    os._exit(13)
+                if fault == "timeout":
+                    time.sleep(3600.0)
+                if fault == "stall":
+                    # Prove liveness once, then go silent: only the stall
+                    # watchdog (not a wall-clock budget) can reclaim this job.
+                    conn.send(("hb", 0, 0, 0.0))
+                    time.sleep(3600.0)
+                if fault == "error":
+                    raise SimulationError(
+                        f"injected fault ({job_key}, attempt {attempt})"
+                    )
+                if fault == "state-corrupt":
+                    from repro.sim import sanitizer as _sanitizer
 
-            _sanitizer.schedule_state_corruption()
-        set_heartbeat_sink(_pipe_heartbeat_sink(conn))
-        result = run_one(job)
-        if fault == "corrupt":
-            result = _corrupted(result)
+                    _sanitizer.schedule_state_corruption()
+                set_heartbeat_sink(_pipe_heartbeat_sink(conn))
+                result = run_one(job)
+                if fault == "corrupt":
+                    result = _corrupted(result)
         conn.send(("ok", result))
     except SimulationError as exc:
         conn.send(("err", type(exc).__name__, str(exc)))
@@ -520,6 +586,10 @@ class _Attempt:
     last_beat: float = 0.0
     #: latest reported progress: (accesses done, total, sim time).
     progress: Optional[Tuple[int, int, float]] = None
+    #: forwarded span begins not yet matched by an end, by span id —
+    #: the supervisor synthesizes ``aborted`` ends for these if the
+    #: worker dies or is killed mid-span.
+    open_spans: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
 
 def _run_in_process(
@@ -574,7 +644,13 @@ def _run_in_process(
                         lambda done, n, t, _key=job_key: heartbeat(_key, done, n, t)
                     )
                 try:
-                    result = run_one(job)
+                    # In-process attempts report to whatever span sink
+                    # the campaign installed (no pipe to forward over).
+                    with obs_profile.maybe_profile(f"{job_key}-attempt{attempt}"):
+                        with obs_spans.span(
+                            "attempt", key=job_key, attempt=attempt
+                        ):
+                            result = run_one(job)
                 finally:
                     set_heartbeat_sink(None)
                 if fault == "corrupt":
@@ -613,12 +689,17 @@ _EOF = object()
 def _drain_pipe(
     conn: multiprocessing.connection.Connection,
     on_beat: Callable[[int, int, float], None],
+    on_span: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> Any:
     """Consume queued messages from one worker pipe.
 
-    Heartbeats go to ``on_beat``; the first final payload (``ok`` /
-    ``err`` tuple) is returned.  Returns ``None`` when only heartbeats
+    Heartbeats go to ``on_beat`` and forwarded span events (``("sp",
+    event)``) to ``on_span``; the first final payload (``ok`` / ``err``
+    tuple) is returned.  Returns ``None`` when only stream messages
     were pending, ``_EOF`` when the pipe closed with no final payload.
+    Span events arriving with no ``on_span`` (a worker mis-wired to
+    forward into a non-tracing parent) are dropped, not misclassified
+    as a final payload.
     """
     while True:
         try:
@@ -629,6 +710,10 @@ def _drain_pipe(
             return _EOF
         if isinstance(payload, tuple) and len(payload) == 4 and payload[0] == "hb":
             on_beat(payload[1], payload[2], payload[3])
+            continue
+        if isinstance(payload, tuple) and len(payload) == 2 and payload[0] == "sp":
+            if on_span is not None:
+                on_span(payload[1])
             continue
         return payload
 
@@ -643,6 +728,7 @@ def _pool_worker_entry(
     result_conn: multiprocessing.connection.Connection,
     run_one: Callable[[Any], Any],
     child_setup: Optional[Callable[[], None]],
+    forward_spans: bool = False,
 ) -> None:
     """Worker body for pool mode: drain jobs until told to stop.
 
@@ -666,6 +752,7 @@ def _pool_worker_entry(
     try:
         if child_setup is not None:
             child_setup()
+        _reset_child_obs(result_conn if forward_spans else None)
         set_heartbeat_sink(_pipe_heartbeat_sink(result_conn))
         gc.collect()
         gc.freeze()
@@ -679,25 +766,30 @@ def _pool_worker_entry(
                 break  # ("stop",) or anything unexpected
             _, job, job_key, attempt = message
             try:
-                fault = maybe_inject_fault(job_key, attempt)
-                if fault == "crash":
-                    os._exit(13)
-                if fault == "timeout":
-                    time.sleep(3600.0)
-                if fault == "stall":
-                    result_conn.send(("hb", 0, 0, 0.0))
-                    time.sleep(3600.0)
-                if fault == "error":
-                    raise SimulationError(
-                        f"injected fault ({job_key}, attempt {attempt})"
-                    )
-                if fault == "state-corrupt":
-                    from repro.sim import sanitizer as _sanitizer
+                # Span opens before fault injection (see _attempt_entry):
+                # a crash/timeout/stall fault must die mid-span so the
+                # supervisor's synthesized-abort path is exercised.
+                with obs_profile.maybe_profile(f"{job_key}-attempt{attempt}"):
+                    with obs_spans.span("attempt", key=job_key, attempt=attempt):
+                        fault = maybe_inject_fault(job_key, attempt)
+                        if fault == "crash":
+                            os._exit(13)
+                        if fault == "timeout":
+                            time.sleep(3600.0)
+                        if fault == "stall":
+                            result_conn.send(("hb", 0, 0, 0.0))
+                            time.sleep(3600.0)
+                        if fault == "error":
+                            raise SimulationError(
+                                f"injected fault ({job_key}, attempt {attempt})"
+                            )
+                        if fault == "state-corrupt":
+                            from repro.sim import sanitizer as _sanitizer
 
-                    _sanitizer.schedule_state_corruption()
-                result = run_one(job)
-                if fault == "corrupt":
-                    result = _corrupted(result)
+                            _sanitizer.schedule_state_corruption()
+                        result = run_one(job)
+                        if fault == "corrupt":
+                            result = _corrupted(result)
                 result_conn.send(("ok", result))
             except SimulationError as exc:
                 result_conn.send(("err", type(exc).__name__, str(exc)))
@@ -723,6 +815,8 @@ class _PoolWorker:
     last_beat: float = 0.0
     progress: Optional[Tuple[int, int, float]] = None
     jobs_done: int = 0
+    #: forwarded span begins not yet matched by an end (see _Attempt).
+    open_spans: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
 
 def _run_pool(
@@ -738,6 +832,7 @@ def _run_pool(
     progress: Optional[Callable[[int, int, str, str], None]],
     heartbeat: Optional[Callable[[str, int, int, float], None]],
     child_setup: Optional[Callable[[], None]],
+    span: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> CampaignReport:
     """Warm-pool dispatcher: long-lived workers drain the job queue.
 
@@ -771,7 +866,7 @@ def _run_pool(
         result_recv, result_send = context.Pipe(duplex=False)
         process = context.Process(
             target=_pool_worker_entry,
-            args=(job_recv, result_send, run_one, child_setup),
+            args=(job_recv, result_send, run_one, child_setup, span is not None),
         )
         process.start()
         job_recv.close()
@@ -861,6 +956,34 @@ def _run_pool(
 
         return update
 
+    def _on_span(
+        worker: _PoolWorker,
+    ) -> Optional[Callable[[Dict[str, Any]], None]]:
+        if span is None:
+            return None
+
+        def forward(event: Dict[str, Any]) -> None:
+            if event.get("ev") == "begin":
+                worker.open_spans[event["span"]] = event
+            elif event.get("ev") == "end":
+                worker.open_spans.pop(event.get("span"), None)
+            span(event)
+
+        return forward
+
+    def _abort_spans(worker: _PoolWorker) -> None:
+        """Synthesize ``aborted`` ends for spans the worker left open.
+
+        A worker that crashed or was killed between a span's begin and
+        end would otherwise leave a dangling span in the merged trace;
+        the supervisor closes them on the worker's behalf, marked
+        ``synthesized`` so analysis can tell them from real ends.
+        """
+        if span is not None:
+            for begin in worker.open_spans.values():
+                span(obs_spans.synthesize_abort(begin))
+        worker.open_spans.clear()
+
     def _retire(worker: _PoolWorker) -> None:
         """Remove one dead worker from the pool and reap it."""
         pool.remove(worker)
@@ -882,6 +1005,7 @@ def _run_pool(
     def _kill(worker: _PoolWorker, error: SimulationError) -> None:
         """Terminate one overdue/stalled worker, charge its job, recycle."""
         worker.process.terminate()
+        _abort_spans(worker)
         _charge(worker, error)
         _retire(worker)
         _recycle()
@@ -907,7 +1031,9 @@ def _run_pool(
                 )
                 if not (overdue or stalled):
                     continue
-                payload = _drain_pipe(worker.result_conn, _on_beat(worker))
+                payload = _drain_pipe(
+                    worker.result_conn, _on_beat(worker), _on_span(worker)
+                )
                 if payload is not None and payload is not _EOF:
                     if payload[0] == "ok":
                         _complete(worker, payload[1])
@@ -967,15 +1093,20 @@ def _run_pool(
                 sentinel_fired = worker.process.sentinel in fired
                 if not (conn_fired or sentinel_fired):
                     continue
-                payload = _drain_pipe(worker.result_conn, _on_beat(worker))
+                payload = _drain_pipe(
+                    worker.result_conn, _on_beat(worker), _on_span(worker)
+                )
                 if payload is None and sentinel_fired:
                     # One more drain catches a final payload racing the
                     # sentinel; anything else is a worker death.
-                    payload = _drain_pipe(worker.result_conn, _on_beat(worker))
+                    payload = _drain_pipe(
+                        worker.result_conn, _on_beat(worker), _on_span(worker)
+                    )
                 if payload is None and sentinel_fired:
                     payload = _EOF
                 if payload is _EOF:
                     worker.process.join(timeout=5.0)
+                    _abort_spans(worker)
                     if worker.current is not None:
                         code = worker.process.exitcode
                         _charge(
@@ -1026,6 +1157,7 @@ def _run_pool(
             progress=sub_progress,
             heartbeat=heartbeat,
             child_setup=child_setup,
+            span=span,
             mode="attempt",
             attempt_offset=1,
         )
@@ -1048,6 +1180,7 @@ def run_supervised(
     mode: Optional[str] = None,
     group: Optional[Callable[[Any], str]] = None,
     attempt_offset: int = 0,
+    span: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> CampaignReport:
     """Run ``run_one`` over ``jobs`` under supervision; never raises.
 
@@ -1080,6 +1213,16 @@ def run_supervised(
     writes).  ``progress`` is called as ``(done, total, key, status)``
     after each job settles.  ``in_process`` forces (or forbids) the
     serial fallback; by default it is used when no start method works.
+
+    ``span`` (if given) receives every observability span event the
+    workers forward over their result pipes (:mod:`repro.obs.spans`
+    dicts, in arrival order) — campaigns pass a
+    :meth:`TraceCollector.add <repro.obs.spans.TraceCollector>` here to
+    merge all workers' spans into one trace.  If a worker dies or is
+    killed with spans open, the supervisor synthesizes ``aborted`` end
+    events for them so the merged trace never contains a dangling span.
+    In the in-process fallback workers emit straight to the active span
+    sink instead and ``span`` is unused.
     """
     policy = policy or RetryPolicy()
     key = key or (lambda job: repr(job))
@@ -1111,6 +1254,7 @@ def run_supervised(
             progress=progress,
             heartbeat=heartbeat,
             child_setup=child_setup,
+            span=span,
         )
 
     report = CampaignReport()
@@ -1125,7 +1269,10 @@ def run_supervised(
         parent_conn, child_conn = context.Pipe(duplex=False)
         process = context.Process(
             target=_attempt_entry,
-            args=(child_conn, run_one, job, job_key, attempt, child_setup),
+            args=(
+                child_conn, run_one, job, job_key, attempt, child_setup,
+                span is not None,
+            ),
         )
         process.start()
         child_conn.close()
@@ -1167,13 +1314,30 @@ def run_supervised(
             if heartbeat is not None:
                 heartbeat(attempt.key, done, n, sim_time)
 
-        return _drain_pipe(attempt.conn, on_beat)
+        on_span = None
+        if span is not None:
+            def on_span(event: Dict[str, Any]) -> None:
+                if event.get("ev") == "begin":
+                    attempt.open_spans[event["span"]] = event
+                elif event.get("ev") == "end":
+                    attempt.open_spans.pop(event.get("span"), None)
+                span(event)
+
+        return _drain_pipe(attempt.conn, on_beat, on_span)
+
+    def _abort_spans(attempt: _Attempt) -> None:
+        """Close spans a dead/killed attempt left open (see _run_pool)."""
+        if span is not None:
+            for begin in attempt.open_spans.values():
+                span(obs_spans.synthesize_abort(begin))
+        attempt.open_spans.clear()
 
     def _finish(attempt: _Attempt, payload: Any) -> None:
         """Remove one finished/dead attempt and classify its outcome."""
         running.remove(attempt)
         attempt.conn.close()
         attempt.process.join(timeout=5.0)
+        _abort_spans(attempt)
         if payload is None or payload is _EOF:
             code = attempt.process.exitcode
             _settle(attempt, WorkerCrash(f"worker exited with code {code}"))
@@ -1201,6 +1365,7 @@ def run_supervised(
             attempt.process.join(timeout=5.0)
         running.remove(attempt)
         attempt.conn.close()
+        _abort_spans(attempt)
         _settle(attempt, error)
 
     try:

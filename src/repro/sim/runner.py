@@ -15,11 +15,17 @@ resumes from its checkpoints instead of starting over.
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from contextlib import ExitStack
 from typing import Dict, Optional, Tuple, Union
 
 from repro.cpu import OutOfOrderCore
-from repro.engine.probes import ProgressProbe, SanitizerProbe
+from repro.engine.probes import MetricsProbe, ProgressProbe, SanitizerProbe
 from repro.memory import MemoryHierarchy
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
 from repro.sim import resilience, sanitizer as sanitizer_mod
 from repro.sim.config import SimulationConfig
 from repro.sim.results import SimResult, SuiteResult
@@ -77,6 +83,13 @@ def _execute(
             resilience.emit_heartbeat(done, total, sim_time)
 
         probes.append(ProgressProbe(progress))
+    registry = obs_metrics.active_registry()
+    if registry is not None:
+        # Strictly read-only observation (see MetricsProbe): attaching
+        # it changes mark cadence at most, never simulated state — the
+        # enabled-vs-disabled differential test enforces bit-identical
+        # results.
+        probes.append(MetricsProbe(registry))
     if sanitizer is not None:
         probes.append(SanitizerProbe(sanitizer))
 
@@ -94,6 +107,62 @@ def _execute(
         prefetcher_storage_bytes=prefetcher.storage_bytes(),
         prefetcher_predictions=prefetcher.stats.predictions,
     )
+
+
+def _obs_scope(stack: ExitStack):
+    """Install per-run observability per ``REPRO_OBS`` (on ``stack``).
+
+    Returns ``(registry, owns_registry, collector)``:
+
+    * ``registry`` — the metrics registry hooks record into for this
+      run: an already-active one (a campaign parent's), or a fresh one
+      installed for the run when ``REPRO_OBS`` enables metrics, else
+      ``None``.
+    * ``owns_registry`` — whether this run created the registry (and
+      should surface its snapshot itself).
+    * ``collector`` — a :class:`~repro.obs.spans.TraceCollector`
+      installed as the span sink when tracing is enabled and no sink is
+      already active (campaign workers already have the pipe-forwarding
+      sink; standalone runs get a per-run trace file).
+    """
+    mode = obs_metrics.resolve_obs()
+    registry = obs_metrics.active_registry()
+    owns_registry = False
+    if mode.metrics and registry is None:
+        registry = obs_metrics.MetricsRegistry()
+        stack.enter_context(obs_metrics.use_registry(registry))
+        owns_registry = True
+    collector = None
+    if mode.trace and obs_spans.span_sink() is None:
+        collector = obs_spans.TraceCollector()
+        stack.enter_context(obs_spans.use_span_sink(collector.sink))
+    return registry, owns_registry, collector
+
+
+def _flush_obs(name, label, owned_registry, collector) -> None:
+    """Write per-run observability artifacts for a standalone run.
+
+    No-op in campaign workers: their events already rode the pipe sink
+    to the parent (``collector`` is None there and the metrics snapshot
+    was emitted into the span stream).
+    """
+    from repro.sim import store as store_mod
+
+    stamp = f"{os.getpid()}-{time.time_ns()}"
+    if collector is not None and collector.events:
+        collector.write(
+            store_mod.default_obs_dir() / f"trace-{name}-{label}-{stamp}.jsonl"
+        )
+    if (
+        owned_registry is not None
+        and collector is None
+        and obs_spans.span_sink() is None
+    ):
+        path = store_mod.default_obs_dir() / f"metrics-{name}-{label}-{stamp}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(owned_registry.to_dict(), handle, indent=2)
+            handle.write("\n")
 
 
 def simulate(
@@ -123,6 +192,7 @@ def simulate(
         raise ValueError(f"warmup fraction must be in [0, 1), got {warmup_fraction}")
 
     store = None
+    accesses = None
     if isinstance(workload, str):
         accesses = scale.accesses if isinstance(scale, Scale) else int(scale)
         if accesses <= 0:
@@ -137,7 +207,6 @@ def simulate(
                 if stored is not None:
                     _RESULT_CACHE[key] = stored
                     return stored
-        trace = generate(workload, accesses)
     else:
         if scale is not Scale.STANDARD:
             raise ValueError(
@@ -146,19 +215,36 @@ def simulate(
                 "you want instead of passing a scale"
             )
         key = None
-        trace = workload
 
-    result = _execute(trace, config, warmup_fraction)
-    if key is not None and use_cache:
-        # Validate BEFORE caching or checkpointing: a silently-wrong
-        # result must never poison the cache or the on-disk store.
-        try:
-            result.validate()
-        except ValueError as exc:
-            raise resilience.CorruptResult(f"{key[0]}: {exc}") from exc
-        _RESULT_CACHE[key] = result
-        if store is not None:
-            store.put(key[0], key[1], config, result)
+    name = workload if isinstance(workload, str) else workload.name
+    label = config.resolved_label()
+    with ExitStack() as stack:
+        registry, owns_registry, collector = _obs_scope(stack)
+        if isinstance(workload, str):
+            with obs_spans.span("generate", workload=name, accesses=accesses):
+                trace = generate(workload, accesses)
+        else:
+            trace = workload
+        with obs_spans.span("simulate", workload=name, config=label):
+            result = _execute(trace, config, warmup_fraction)
+        if key is not None and use_cache:
+            # Validate BEFORE caching or checkpointing: a silently-wrong
+            # result must never poison the cache or the on-disk store.
+            try:
+                result.validate()
+            except ValueError as exc:
+                raise resilience.CorruptResult(f"{key[0]}: {exc}") from exc
+            _RESULT_CACHE[key] = result
+            if store is not None:
+                with obs_spans.span("store", workload=name, config=label):
+                    store.put(key[0], key[1], config, result)
+        if registry is not None and owns_registry:
+            # Only a run that built its own registry ships the snapshot
+            # into the span stream; a campaign-owned registry is shared
+            # across runs, and re-emitting its cumulative totals per run
+            # would double-count when the campaign folds events back in.
+            obs_spans.emit_metrics(f"run:{name}/{label}", registry.to_dict())
+    _flush_obs(name, label, registry if owns_registry else None, collector)
     return result
 
 

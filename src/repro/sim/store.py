@@ -47,6 +47,7 @@ __all__ = [
     "active_store",
     "clear_active_store",
     "config_fingerprint",
+    "default_obs_dir",
     "default_store_dir",
     "set_active_store",
     "store_from_env",
@@ -314,6 +315,19 @@ def default_store_dir() -> Path:
     if env:
         return Path(env)
     return Path(os.path.expanduser("~")) / ".cache" / "repro-tcp"
+
+
+def default_obs_dir() -> Path:
+    """Where observability output (traces, metrics snapshots) lands.
+
+    Next to the *active* store when one is installed — a campaign's
+    trace belongs with the results it describes — else under the
+    default store root.  Mirrors :func:`default_trace_cache_dir`.
+    """
+    store = active_store()
+    if store is not None:
+        return store.root / "obs"
+    return default_store_dir() / "obs"
 
 
 def default_trace_cache_dir() -> Path:

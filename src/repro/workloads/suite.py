@@ -42,6 +42,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
 from repro.util.rng import make_rng
 from repro.workloads import io as trace_io
 from repro.workloads.kernels import (
@@ -716,16 +717,23 @@ def generate(name: str, scale: Union[Scale, int] = Scale.STANDARD) -> Trace:
     if accesses <= 0:
         raise ValueError(f"accesses must be positive, got {accesses}")
     key = (name, accesses)
+    registry = obs_metrics.active_registry()
     cached = _CACHE.get(key)
     if cached is not None:
+        if registry is not None:
+            registry.counter("trace_cache.memory_hits").inc()
         return cached
     trace = trace_io.load_cached_trace(name, accesses)
     if trace is None:
+        if registry is not None:
+            registry.counter("trace_cache.misses").inc()
         spec = SUITE[name]
         builder = TraceBuilder(name, base_ipc=spec.base_ipc)
         spec.build(builder, make_rng(name), accesses)
         trace = builder.build()
         trace_io.store_cached_trace(trace, name, accesses)
+    elif registry is not None:
+        registry.counter("trace_cache.disk_hits").inc()
     _CACHE[key] = trace
     return trace
 

@@ -1,0 +1,11 @@
+"""Shared pytest configuration for the repro test suite."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate tests/golden/*.json from the current simulator "
+        "instead of comparing against it (commit the diff deliberately)",
+    )

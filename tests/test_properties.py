@@ -127,3 +127,88 @@ class TestCoreTimingProperties:
         h = MemoryHierarchy(HierarchyParams(model_icache=False))
         result = OutOfOrderCore(CoreParams(issue_width=width)).run(trace, h)
         assert 0 < result.ipc <= width + 1e-9
+
+
+class TestObsProperties:
+    """Conservation laws for the observability layer (repro.obs)."""
+
+    @settings(deadline=None, max_examples=50)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            max_size=100,
+        )
+    )
+    def test_histogram_conserves_observations(self, values):
+        import math
+
+        from repro.obs.metrics import Histogram
+
+        h = Histogram("h", buckets=(1.0, 10.0, 1000.0))
+        for v in values:
+            h.observe(v)
+        d = h.to_dict()
+        # Every observation lands in exactly one bucket.
+        assert sum(d["counts"]) == d["count"] == len(values)
+        assert d["sum"] == pytest.approx(math.fsum(values), abs=1e-6)
+        if values:
+            assert d["min"] == min(values)
+            assert d["max"] == max(values)
+            assert d["min"] <= h.mean <= d["max"] or d["count"] == 0
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.lists(st.booleans(), max_size=40))
+    def test_spans_are_well_nested(self, script):
+        """Arbitrary open/close interleavings produce a well-nested
+        tree: each span's parent is whatever was open when it began,
+        and all durations are non-negative."""
+        from repro.obs import spans as obs_spans
+        from repro.obs.trace import pair_spans
+
+        collector = obs_spans.TraceCollector()
+        opened = []
+        expect_parent = {}
+        try:
+            with obs_spans.use_span_sink(collector.sink):
+                for do_open in script:
+                    if do_open or not opened:
+                        parent = opened[-1].span_id if opened else None
+                        span = obs_spans.span(f"n{len(expect_parent)}")
+                        span.__enter__()
+                        expect_parent[span.span_id] = parent
+                        opened.append(span)
+                    else:
+                        opened.pop().__exit__(None, None, None)
+                while opened:
+                    opened.pop().__exit__(None, None, None)
+        finally:
+            del obs_spans._OPEN_STACK[:]
+        closed, dangling = pair_spans(collector.sorted_events())
+        assert dangling == []
+        assert len(closed) == len(expect_parent)
+        for record in closed:
+            assert record["parent"] == expect_parent[record["span"]]
+            assert record["dur"] >= 0
+            assert record["end_t"] >= record["begin_t"]
+
+    def test_run_metrics_conservation(self):
+        """The probe's per-interval histograms partition its counters:
+        interval deltas must sum to the final totals, which in turn
+        equal the simulator's own statistics."""
+        from repro.obs import metrics as obs_metrics
+        from repro.sim import SimulationConfig, simulate
+        from repro.sim.runner import clear_cache
+        from repro.workloads import Scale
+
+        clear_cache()
+        registry = obs_metrics.MetricsRegistry()
+        with obs_metrics.use_registry(registry):
+            result = simulate(
+                "swim", SimulationConfig.for_prefetcher("tcp-8k"),
+                Scale.QUICK, use_cache=False, warmup_fraction=0.0,
+            )
+        snap = registry.to_dict()
+        for name in ("l1.hits", "l1.misses", "l2.hits", "l2.misses"):
+            assert snap[f"interval.{name}"]["sum"] == snap[name]["value"]
+        assert snap["l1.hits"]["value"] == result.memory.l1_hits
+        assert snap["l1.misses"]["value"] == result.memory.l1_misses
