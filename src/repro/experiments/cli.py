@@ -194,6 +194,22 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="with 'summarize': slowest spans to show "
                                 "(default 5)")
     trace_cmd.set_defaults(func=_cmd_trace)
+
+    store_cmd = sub.add_parser(
+        "store", help="inspect and maintain the on-disk result store"
+    )
+    store_cmd.add_argument(
+        "action",
+        choices=("status", "verify", "compact", "repair"),
+        help="status: read-only overview; verify: read-only integrity "
+             "scan (exit 1 on bad records); compact: drop superseded "
+             "duplicate records; repair: quarantine bad records and "
+             "truncate any torn tail",
+    )
+    store_cmd.add_argument("--store-dir", default=None, metavar="DIR",
+                           help="store directory (default $REPRO_STORE_DIR "
+                                "or ~/.cache/repro-tcp)")
+    store_cmd.set_defaults(func=_cmd_store)
     return parser
 
 
@@ -224,6 +240,78 @@ def _resolve_store(args: argparse.Namespace) -> Optional[store_mod.ResultStore]:
     if args.resume:
         return store_mod.ResultStore(store_mod.default_store_dir())
     return store_mod.store_from_env()
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    root = args.store_dir or store_mod.default_store_dir()
+    store = store_mod.ResultStore(root)
+
+    if args.action in ("status", "verify"):
+        report = store.verify()  # read-only scan, never repairs
+        print(f"store:       {report['path']} ({report['size_bytes']} bytes)")
+        print(
+            f"records:     {report['records']} "
+            f"({report['live']} live, {report['garbage']} superseded)"
+        )
+        print(
+            f"integrity:   {report['checksummed']} checksummed, "
+            f"{report['legacy']} legacy (pre-checksum), "
+            f"{report['stale']} foreign-schema"
+        )
+        if report["torn_tail"]:
+            print(
+                "torn tail:   yes — a partial record from an interrupted "
+                "write; truncated automatically on the next load (or by "
+                "'store repair')"
+            )
+        if args.action == "status":
+            markers = store.progress_entries()
+            if markers:
+                print(f"in-progress: {len(markers)} incomplete job marker(s)")
+            if store.quarantine_path.exists():
+                count = sum(
+                    1
+                    for line in store.quarantine_path.read_text(
+                        encoding="utf-8"
+                    ).splitlines()
+                    if line.strip()
+                )
+                print(f"quarantine:  {count} record(s) in {store.quarantine_path}")
+        if report["bad"]:
+            print(f"bad records: {len(report['bad'])}")
+            for entry in report["bad"]:
+                print(f"  - {entry}")
+            if args.action == "verify":
+                print(
+                    "verify: FAILED — run 'repro-tcp store repair' to "
+                    "quarantine these records",
+                    file=sys.stderr,
+                )
+                return 1
+        elif args.action == "verify":
+            print("verify: OK")
+        return 0
+
+    if args.action == "compact":
+        before = len(store)
+        dropped = store.compact(force=True)
+        print(
+            f"compacted {store.path}: dropped {dropped} superseded "
+            f"record(s), {before} live record(s) kept"
+        )
+        return 0
+
+    # repair: a forced repairing load — quarantines bad records,
+    # truncates any torn tail, then reports the resulting health.
+    health = store.repair()
+    print(
+        f"repaired {store.path}: {health['records']} live record(s), "
+        f"{health['quarantined']} quarantined, "
+        f"{health['torn_truncated']} torn tail(s) truncated"
+    )
+    if health["quarantined"]:
+        print(f"quarantine:  {store.quarantine_path}")
+    return 0
 
 
 def _campaign_progress(done: int, total: int, key: str, status: str) -> None:
@@ -273,6 +361,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"record(s) to {store.quarantine_path}; they will be re-run",
                 file=sys.stderr,
             )
+        if store.torn_truncated:
+            print(
+                f"note: truncated {store.torn_truncated} torn record "
+                f"tail(s) left by an interrupted write; the affected "
+                f"job(s) will be re-run"
+            )
         for marker in store.progress_entries().values():
             done, total = marker.get("done", 0), marker.get("total", 0)
             if total:
@@ -306,6 +400,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"({report.skipped} skipped, {report.retried} attempt(s) "
             f"retried{recycled})"
         )
+        health_line = report.store_health_line()
+        if health_line:
+            print(health_line)
         if report.trace_path:
             print(f"campaign trace: {report.trace_path}")
             print("  (inspect with: repro-tcp trace summarize)")
@@ -330,6 +427,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
             continue
         print(result.render())
         print(f"  ({time.time() - started:.1f}s at scale={args.scale.name.lower()})\n")
+
+    if store is not None and store.degraded:
+        # The campaign ran to completion on the in-memory fallback, but
+        # results written after the degradation point were lost: report
+        # it under its taxonomy name and fail the run.
+        print(
+            f"error: StoreDegraded: result store at {store.root} fell back "
+            f"to in-memory-only ({store.degraded_reason}); "
+            f"{store.lost_writes} result write(s) were not persisted and "
+            f"will re-run on resume",
+            file=sys.stderr,
+        )
+        failures += 1
 
     if failures:
         print(

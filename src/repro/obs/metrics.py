@@ -224,7 +224,11 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.sum / self.count if self.count else 0.0
+        if not self.count:
+            return 0.0
+        # naive float accumulation can land sum/count an ulp outside the
+        # observed envelope; the true mean always lies within [min, max]
+        return min(max(self.sum / self.count, self.min), self.max)
 
     def to_dict(self) -> Dict[str, Any]:
         return {

@@ -29,6 +29,7 @@ from repro.sim.resilience import (
     RetryPolicy,
     SimulationError,
     StallTimeout,
+    StoreDegraded,
     WorkerCrash,
     resolve_worker_mode,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "SimulationConfig",
     "SimulationError",
     "StallTimeout",
+    "StoreDegraded",
     "SuiteResult",
     "Sweep",
     "WORKER_MODES",

@@ -197,6 +197,8 @@ def prewarm(
                     continue
             pending.append((name, config, accesses))
     if not pending:
+        if store is not None:
+            report.store_health = store.health()
         return report
     pending = _affinity_order(pending)
 
@@ -331,6 +333,8 @@ def prewarm(
                     store.put(workload, n_accesses, config, result)
         if store is not None and report.ok:
             store.clear_progress()  # campaign finished; markers are stale
+        if store is not None:
+            report.store_health = store.health()
 
         if registry is not None:
             counter = registry.counter
@@ -340,6 +344,8 @@ def prewarm(
             counter("campaign.skipped").inc(report.skipped)
             counter("campaign.retried").inc(report.retried)
             counter("campaign.recycled").inc(report.recycled)
+            if store is not None and store.degraded:
+                counter("campaign.store_degraded").inc()
 
     if collector is not None:
         if registry is not None:

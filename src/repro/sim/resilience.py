@@ -63,12 +63,14 @@ from repro.obs import spans as obs_spans
 __all__ = [
     "CampaignReport",
     "CorruptResult",
+    "IO_FAULT_KINDS",
     "InvariantViolation",
     "JobFailure",
     "JobTimeout",
     "RetryPolicy",
     "SimulationError",
     "StallTimeout",
+    "StoreDegraded",
     "WORKER_MODES",
     "WORKER_MODE_ENV",
     "WorkerCrash",
@@ -77,10 +79,12 @@ __all__ = [
     "heartbeat_active",
     "is_retryable",
     "maybe_inject_fault",
+    "maybe_inject_io_fault",
     "resolve_worker_mode",
     "run_supervised",
     "set_fault_injector",
     "set_heartbeat_sink",
+    "set_io_fault_injector",
     "supervision_context",
 ]
 
@@ -115,6 +119,20 @@ class CorruptResult(SimulationError):
     """A result (from a worker or the on-disk store) failed validation."""
 
 
+class StoreDegraded(SimulationError):
+    """The persistent result store fell back to in-memory-only operation.
+
+    Raised nowhere in the hot path — the store *never* kills a campaign
+    over I/O trouble.  After bounded write retries fail persistently
+    (ENOSPC, EIO, an unacquirable lock), the store flips its
+    ``degraded`` flag, keeps serving and accepting results in memory,
+    and the campaign runs to completion.  This class exists for the
+    *reporting* side: the CLI surfaces the degradation under this name
+    and exits nonzero, because results produced after the degradation
+    point were never persisted.
+    """
+
+
 class InvariantViolation(SimulationError):
     """The simulator's internal state broke a runtime invariant.
 
@@ -145,6 +163,7 @@ ERROR_CLASSES: Dict[str, type] = {
     "StallTimeout": StallTimeout,
     "CorruptResult": CorruptResult,
     "InvariantViolation": InvariantViolation,
+    "StoreDegraded": StoreDegraded,
 }
 
 
@@ -179,10 +198,21 @@ FAULT_KIND_ENV = "REPRO_FAULT_KIND"
 #: goes silent forever, so only the stall watchdog can reclaim the job.
 FAULT_KINDS = ("crash", "error", "timeout", "corrupt", "state-corrupt", "stall")
 
+#: I/O-layer fault kinds, injected at the store and trace-cache write
+#: paths rather than into jobs: ``io-enospc``/``io-eio`` raise the
+#: corresponding ``OSError`` from the write, ``io-torn`` silently
+#: persists a partial, newline-less record — exactly what a kill -9
+#: mid-flush leaves behind, so the next loader must truncate it.
+IO_FAULT_KINDS = ("io-enospc", "io-eio", "io-torn")
+
 #: test hook: a callable ``(job_key, attempt) -> Optional[str]``
 #: returning a fault kind (or None).  Takes precedence over the
 #: environment knobs.  Only effective in-process or under ``fork``.
 _FAULT_INJECTOR: Optional[Callable[[str, int], Optional[str]]] = None
+
+#: test hook for the I/O layer, same shape, keyed by operation
+#: (e.g. ``store|results.jsonl|swim@100000``) instead of job.
+_IO_FAULT_INJECTOR: Optional[Callable[[str, int], Optional[str]]] = None
 
 
 def set_fault_injector(
@@ -191,6 +221,14 @@ def set_fault_injector(
     """Install (or with ``None`` clear) the fault-injection callable."""
     global _FAULT_INJECTOR
     _FAULT_INJECTOR = injector
+
+
+def set_io_fault_injector(
+    injector: Optional[Callable[[str, int], Optional[str]]],
+) -> None:
+    """Install (or with ``None`` clear) the I/O fault-injection callable."""
+    global _IO_FAULT_INJECTOR
+    _IO_FAULT_INJECTOR = injector
 
 
 def _unit_interval(token: str) -> float:
@@ -218,7 +256,34 @@ def maybe_inject_fault(job_key: str, attempt: int) -> Optional[str]:
     if rate <= 0.0 or _unit_interval(f"fault|{job_key}|{attempt}") >= rate:
         return None
     kind = os.environ.get(FAULT_KIND_ENV, "crash")
+    if kind in IO_FAULT_KINDS:
+        return None  # an I/O fault targets writes, not jobs
     return kind if kind in FAULT_KINDS else "crash"
+
+
+def maybe_inject_io_fault(op_key: str, attempt: int = 1) -> Optional[str]:
+    """The I/O fault kind planned for this (operation, attempt), if any.
+
+    Same deterministic scheme as :func:`maybe_inject_fault`, but keyed
+    by write operation and restricted to :data:`IO_FAULT_KINDS`, so
+    ``REPRO_FAULT_KIND=io-enospc`` perturbs the persistence layer while
+    leaving job execution untouched (and vice versa).
+    """
+    if _IO_FAULT_INJECTOR is not None:
+        return _IO_FAULT_INJECTOR(op_key, attempt)
+    rate_text = os.environ.get(FAULT_RATE_ENV)
+    if not rate_text:
+        return None
+    try:
+        rate = float(rate_text)
+    except ValueError:
+        return None
+    kind = os.environ.get(FAULT_KIND_ENV, "")
+    if kind not in IO_FAULT_KINDS:
+        return None
+    if rate <= 0.0 or _unit_interval(f"iofault|{op_key}|{attempt}") >= rate:
+        return None
+    return kind
 
 
 def _corrupted(result: Any) -> Any:
@@ -464,6 +529,9 @@ class CampaignReport:
     trace_path: Optional[str] = None
     #: directory holding per-job profiles (``REPRO_PROFILE`` on), else None.
     profile_dir: Optional[str] = None
+    #: durability counters from the campaign's result store
+    #: (:meth:`repro.sim.store.ResultStore.health`), else None.
+    store_health: Optional[Dict[str, Any]] = None
 
     @property
     def executed(self) -> int:
@@ -487,7 +555,27 @@ class CampaignReport:
             self.trace_path = other.trace_path
         if self.profile_dir is None:
             self.profile_dir = other.profile_dir
+        if self.store_health is None:
+            self.store_health = other.store_health
         return self
+
+    def store_health_line(self) -> Optional[str]:
+        """One-line digest of store durability, or None without a store."""
+        health = self.store_health
+        if not health:
+            return None
+        line = (
+            f"store: {health.get('records', 0)} record(s), "
+            f"quarantined {health.get('quarantined', 0)}, "
+            f"torn-truncated {health.get('torn_truncated', 0)}, "
+            f"compacted {health.get('compacted', 0)}"
+        )
+        if health.get("degraded"):
+            line += (
+                f"; DEGRADED to in-memory-only, {health.get('lost_writes', 0)} "
+                f"write(s) lost ({health.get('degraded_reason')})"
+            )
+        return line
 
     def summary(self) -> str:
         """Human-readable campaign digest (one line per failure)."""
@@ -497,6 +585,9 @@ class CampaignReport:
         )
         if self.recycled:
             head += f", {self.recycled} worker(s) recycled"
+        health_line = self.store_health_line()
+        if health_line:
+            head += f"\n{health_line}"
         if self.trace_path:
             head += f"\ntrace: {self.trace_path}"
         if self.profile_dir:

@@ -18,8 +18,9 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from contextlib import ExitStack
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Optional, Set, Tuple, Union
 
 from repro.cpu import OutOfOrderCore
 from repro.engine.probes import MetricsProbe, ProgressProbe, SanitizerProbe
@@ -50,6 +51,23 @@ def clear_cache() -> None:
 #: measurement starts (the analogue of the paper's 1B skipped
 #: instructions before its 2B measured ones).
 WARMUP_FRACTION = 0.25
+
+#: store roots already reported as degraded (warn once, not per put).
+_DEGRADED_WARNED: Set[str] = set()
+
+
+def _warn_store_degraded(store) -> None:
+    root = str(store.root)
+    if root in _DEGRADED_WARNED:
+        return
+    _DEGRADED_WARNED.add(root)
+    warnings.warn(
+        f"result store at {root} degraded to in-memory-only "
+        f"({store.degraded_reason}); results from this point on are not "
+        f"persisted and a resumed campaign will re-run them",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def _execute(
@@ -238,6 +256,8 @@ def simulate(
             if store is not None:
                 with obs_spans.span("store", workload=name, config=label):
                     store.put(key[0], key[1], config, result)
+                if store.degraded:
+                    _warn_store_degraded(store)
         if registry is not None and owns_registry:
             # Only a run that built its own registry ships the snapshot
             # into the span stream; a campaign-owned registry is shared

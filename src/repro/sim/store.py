@@ -10,17 +10,39 @@ underneath it: an append-only JSON-lines file of validated
 Design points:
 
 * **Write-through, append-only.**  ``put`` validates, appends one
-  line, and flushes — a killed campaign keeps every completed result.
+  line, and fsyncs — a killed campaign keeps every completed result.
+* **Checksummed framing.**  Every record carries a crc32 of its own
+  canonical JSON (schema minor version bump); bit rot and partially
+  flushed lines are detected on load instead of being plotted.
+  Records written before the checksum era load fine (the crc check
+  only applies when the field is present).
+* **Torn tail vs quarantine.**  A crash mid-append leaves a final
+  chunk with no terminating newline — ``json.dumps`` output never
+  contains a raw newline, so "missing terminator" identifies a torn
+  write precisely.  Torn tails are truncated and counted
+  (``torn_truncated``); only *complete* lines that are unparsable,
+  checksum-mismatched, or invariant-violating are quarantined.
+* **Advisory locking.**  Loads take a shared ``flock``, appends,
+  rewrites and compactions an exclusive one, both with a bounded wait
+  and stale-holder diagnostics (:mod:`repro.util.locking`).  The index
+  is invalidated by (mtime_ns, size), so concurrent writers observe
+  each other's appends on the next read.
+* **Compaction.**  Superseded duplicates (same key re-put) are dead
+  weight; once they exceed half the file past a minimum size, the log
+  is rewritten under exclusive lock keeping only the live record per
+  key (foreign-schema lines are preserved untouched).
+* **Graceful degradation.**  Write failures get a bounded
+  retry+backoff; if the medium stays broken (ENOSPC, EIO, lock never
+  acquired) the store demotes itself to in-memory-only instead of
+  killing the campaign: ``degraded``/``lost_writes`` record the event,
+  the campaign completes, and the CLI reports ``StoreDegraded`` with a
+  nonzero exit.
 * **Schema versioning.**  Records carry ``schema``; records written by
   an incompatible store version are ignored (treated as absent), so a
   format change can never resurrect stale bytes as results.
 * **Config-hash invalidation.**  The key includes a SHA-256
   fingerprint of the full :class:`~repro.sim.config.SimulationConfig`
   (machine parameters included), so any config change misses cleanly.
-* **Quarantine, never trust.**  Every record is re-validated on load;
-  unparsable or invariant-violating lines are moved to
-  ``quarantine.jsonl`` and the store file is rewritten without them —
-  a corrupt checkpoint is re-run, never silently plotted.
 
 The *active store* module global is how the rest of the package opts
 in: :func:`active_store` returns the explicitly installed store, else
@@ -30,19 +52,27 @@ both).  ``simulate()`` reads and writes through whatever is active.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
+import time
+import zlib
 from contextlib import contextmanager
-from dataclasses import replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
+from repro.obs import metrics as obs_metrics
 from repro.sim.config import SimulationConfig
 from repro.sim.results import SimResult, validate_result
+from repro.util.locking import FileLock, LockTimeout
 
 __all__ = [
+    "COMPACT_GARBAGE_RATIO",
+    "COMPACT_MIN_RECORDS",
     "ResultStore",
+    "SCHEMA_MINOR",
     "SCHEMA_VERSION",
     "active_store",
     "clear_active_store",
@@ -57,9 +87,26 @@ __all__ = [
 #: bump when the record layout or SimResult payload shape changes;
 #: older records are then invisible (and harmless).
 SCHEMA_VERSION = 1
+#: compatible additions within a schema version; minor 1 added the
+#: per-record ``crc`` field (crc32 of the canonical record sans crc).
+SCHEMA_MINOR = 1
 
 STORE_DIR_ENV = "REPRO_STORE_DIR"
 NO_STORE_ENV = "REPRO_NO_STORE"
+#: override (seconds) for how long store operations wait on the lock.
+LOCK_TIMEOUT_ENV = "REPRO_STORE_LOCK_TIMEOUT"
+
+#: bounded retry for transient write failures: attempts beyond the
+#: first, with exponential backoff starting at WRITE_BACKOFF seconds.
+WRITE_RETRIES = 3
+WRITE_BACKOFF = 0.02
+
+#: compaction triggers once the log holds at least MIN_RECORDS record
+#: lines and more than GARBAGE_RATIO of them are superseded duplicates.
+COMPACT_MIN_RECORDS = 32
+COMPACT_GARBAGE_RATIO = 0.5
+
+_LOCK_WAIT_BUCKETS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 30.0)
 
 #: (workload, accesses, config fingerprint)
 StoreKey = Tuple[str, int, str]
@@ -82,8 +129,64 @@ def config_fingerprint(config: SimulationConfig) -> str:
     return hashlib.sha256(repr(config).encode("utf-8")).hexdigest()[:16]
 
 
+def _checksum(record: Dict[str, Any]) -> int:
+    """crc32 of the record's canonical JSON, excluding the crc itself.
+
+    ``sort_keys`` makes the digest independent of key order, so a
+    record survives being parsed and re-serialised by other tooling.
+    """
+    body = {k: v for k, v in record.items() if k != "crc"}
+    text = json.dumps(body, sort_keys=True, separators=(",", ":"), allow_nan=False)
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+
+
+def _frame(record: Dict[str, Any]) -> str:
+    """Serialise a record with its checksum stamped in."""
+    framed = dict(record)
+    framed["crc"] = _checksum(framed)
+    return json.dumps(framed, separators=(",", ":"), allow_nan=False)
+
+
+def _maybe_io_fault(op_key: str, attempt: int) -> Optional[str]:
+    """Deterministic injected I/O fault for this operation, if any."""
+    # imported lazily: resilience pulls in the whole supervision layer
+    from repro.sim.resilience import maybe_inject_io_fault
+
+    return maybe_inject_io_fault(op_key, attempt)
+
+
+@dataclass
+class _ScanState:
+    """Everything one pass over the log file learns."""
+
+    index: Dict[StoreKey, SimResult] = field(default_factory=dict)
+    #: surviving lines in file order (complete, decodable or foreign).
+    good: List[str] = field(default_factory=list)
+    #: (line number, text, reason) for quarantine-worthy lines.
+    bad: List[Tuple[int, str, str]] = field(default_factory=list)
+    #: latest surviving line per key (compaction keeps exactly these).
+    latest: Dict[StoreKey, str] = field(default_factory=dict)
+    #: foreign-schema lines, preserved verbatim.
+    foreign: List[str] = field(default_factory=list)
+    stale: int = 0
+    #: schema-matching record lines that decoded cleanly (live + superseded).
+    records: int = 0
+    checksummed: int = 0
+    #: bytes of partial, newline-less tail chunk (0 = no torn tail).
+    torn_bytes: int = 0
+    size: int = 0
+
+    @property
+    def needs_repair(self) -> bool:
+        return bool(self.bad) or self.torn_bytes > 0
+
+    @property
+    def garbage(self) -> int:
+        return self.records - len(self.index)
+
+
 class ResultStore:
-    """Append-only JSON-lines store of validated simulation results."""
+    """Append-only, checksummed, lock-coordinated JSON-lines store."""
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
@@ -91,20 +194,32 @@ class ResultStore:
         self.path = self.root / "results.jsonl"
         self.quarantine_path = self.root / "quarantine.jsonl"
         self.progress_path = self.root / "progress.jsonl"
+        self._lock = FileLock(self.root / "store.lock", timeout=_lock_timeout())
         self._index: Optional[Dict[StoreKey, SimResult]] = None
+        self._index_stat: Optional[Tuple[int, int]] = None
+        self._latest: Dict[StoreKey, str] = {}
+        self._foreign: List[str] = []
+        self._records = 0
         self._progress: Optional[Dict[StoreKey, Dict[str, Any]]] = None
+        self._progress_stat: Optional[Tuple[int, int]] = None
         #: corrupt records found (and quarantined) by the last load.
         self.quarantined = 0
         #: records ignored because their schema version is foreign.
         self.stale = 0
+        #: torn (partial, newline-less) tails truncated by this object.
+        self.torn_truncated = 0
+        #: superseded records dropped by compaction through this object.
+        self.compacted = 0
+        #: True once persistence failed for good: writes stay in memory.
+        self.degraded = False
+        self.degraded_reason: Optional[str] = None
+        #: puts (and progress markers) accepted but not persisted.
+        self.lost_writes = 0
 
-    # -- loading ----------------------------------------------------------
+    # -- scanning and repair ----------------------------------------------
 
-    def _decode(self, line: str) -> Tuple[StoreKey, SimResult]:
-        """Parse one record line; raise ``ValueError`` if it is corrupt."""
-        record = json.loads(line)
-        if not isinstance(record, dict):
-            raise ValueError("record is not an object")
+    def _decode(self, record: Dict[str, Any]) -> Tuple[StoreKey, SimResult]:
+        """Extract and validate one parsed record; ValueError if corrupt."""
         key = (
             str(record["workload"]),
             int(record["accesses"]),
@@ -118,55 +233,165 @@ class ResultStore:
             )
         return key, result
 
-    def _load(self) -> Dict[StoreKey, SimResult]:
-        if self._index is not None:
-            return self._index
-        index: Dict[StoreKey, SimResult] = {}
-        good_lines: List[str] = []
-        bad_lines: List[str] = []
-        self.quarantined = 0
-        self.stale = 0
-        if self.path.exists():
-            with self.path.open("r", encoding="utf-8") as handle:
-                for line in handle:
-                    text = line.strip()
-                    if not text:
-                        continue
-                    try:
-                        record = json.loads(text)
-                        if (
-                            not isinstance(record, dict)
-                            or record.get("schema") != SCHEMA_VERSION
-                        ):
-                            if isinstance(record, dict) and "schema" in record:
-                                self.stale += 1  # foreign version: ignore, keep
-                                good_lines.append(text)
-                                continue
-                            raise ValueError("missing schema version")
-                        key, result = self._decode(text)
-                    except (ValueError, KeyError, TypeError):
-                        self.quarantined += 1
-                        bad_lines.append(text)
-                        continue
-                    index[key] = result  # last write wins
-                    good_lines.append(text)
-        if bad_lines:
+    def _scan(self) -> _ScanState:
+        """One read-only pass over the log; classifies every line.
+
+        Caller holds (at least) the shared lock.  A final chunk with no
+        terminating newline is a torn append — ``json.dumps`` output
+        cannot contain a raw newline, so the terminator is the commit
+        point.  Complete lines that fail to parse, fail their
+        checksum, or violate result invariants are quarantine-worthy.
+        """
+        state = _ScanState()
+        try:
+            data = self.path.read_bytes()
+        except FileNotFoundError:
+            return state
+        state.size = len(data)
+        if not data:
+            return state
+        chunks = data.split(b"\n")
+        lines = chunks[:-1]
+        if not data.endswith(b"\n"):
+            state.torn_bytes = len(chunks[-1])
+        for lineno, raw in enumerate(lines, start=1):
+            try:
+                text = raw.decode("utf-8").strip()
+            except UnicodeDecodeError:
+                state.bad.append((lineno, repr(raw[:256]), "undecodable bytes"))
+                continue
+            if not text:
+                continue
+            try:
+                record = json.loads(text)
+            except ValueError:
+                state.bad.append((lineno, text, "unparsable JSON"))
+                continue
+            if not isinstance(record, dict) or "schema" not in record:
+                state.bad.append((lineno, text, "missing schema version"))
+                continue
+            if record["schema"] != SCHEMA_VERSION:
+                state.stale += 1  # foreign version: ignore, keep
+                state.foreign.append(text)
+                state.good.append(text)
+                continue
+            if "crc" in record:
+                try:
+                    stored = int(record["crc"])
+                except (TypeError, ValueError):
+                    stored = -1
+                if stored != _checksum(record):
+                    state.bad.append((lineno, text, "checksum mismatch"))
+                    continue
+            try:
+                key, result = self._decode(record)
+            except (ValueError, KeyError, TypeError) as exc:
+                state.bad.append((lineno, text, f"invalid record: {exc}"))
+                continue
+            state.records += 1
+            if "crc" in record:
+                state.checksummed += 1
+            state.index[key] = result  # last write wins
+            state.latest[key] = text
+            state.good.append(text)
+        return state
+
+    def _repair_locked(self, state: _ScanState) -> None:
+        """Quarantine bad lines / truncate a torn tail.  Exclusive lock held."""
+        if state.bad:
             with self.quarantine_path.open("a", encoding="utf-8") as handle:
-                for text in bad_lines:
+                for _, text, _ in state.bad:
                     handle.write(text + "\n")
-            self._rewrite(good_lines)
-        self._index = index
-        return index
+            self._rewrite(state.good)  # also drops any torn tail
+        elif state.torn_bytes:
+            os.truncate(self.path, state.size - state.torn_bytes)
+        if state.torn_bytes:
+            self.torn_truncated += 1
+            self._count("store.torn_truncated")
+        if state.bad:
+            self._count("store.quarantined", len(state.bad))
+
+    def _install(self, state: _ScanState) -> None:
+        """Adopt a scan as the current in-memory view of the log."""
+        self._index = state.index
+        self._latest = state.latest
+        self._foreign = state.foreign
+        self._records = state.records
+        self.quarantined = len(state.bad)
+        self.stale = state.stale
+        self._index_stat = self._stat()
+
+    def _stat(self) -> Optional[Tuple[int, int]]:
+        """(mtime_ns, size) of the log, or None if absent/unreadable."""
+        try:
+            st = os.stat(self.path)
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size)
+
+    def _load(self) -> Dict[StoreKey, SimResult]:
+        """The live index, rescanning when the file changed underneath us."""
+        if self.degraded:
+            if self._index is None:
+                self._index = {}
+            return self._index
+        if self._index is not None and self._stat() == self._index_stat:
+            return self._index
+        try:
+            with self._lock.shared() as waited:
+                self._observe_lock_wait(waited)
+                state = self._scan()
+            if state.needs_repair:
+                # upgrade to exclusive; rescan first — a concurrent
+                # loader may have repaired while we waited.
+                with self._lock.exclusive() as waited:
+                    self._observe_lock_wait(waited)
+                    state = self._scan()
+                    self._repair_locked(state)
+            self._install(state)
+        except LockTimeout as exc:
+            self._degrade(exc)
+            if self._index is None:
+                self._index = {}
+        return self._index
+
+    def _refresh_locked(self) -> Dict[StoreKey, SimResult]:
+        """Rescan+repair+install under an already-held exclusive lock."""
+        if self._index is not None and self._stat() == self._index_stat:
+            return self._index
+        state = self._scan()
+        if state.needs_repair:
+            self._repair_locked(state)
+        self._install(state)
+        return self._index
 
     def _rewrite(self, lines: List[str]) -> None:
         """Atomically replace the store file with the surviving records."""
         tmp = self.path.with_suffix(".jsonl.tmp")
-        with tmp.open("w", encoding="utf-8") as handle:
-            for text in lines:
-                handle.write(text + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, self.path)
+        try:
+            with tmp.open("w", encoding="utf-8") as handle:
+                for text in lines:
+                    handle.write(text + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        finally:
+            # a mid-write failure must not leave the temp file behind
+            tmp.unlink(missing_ok=True)
+
+    # -- metrics helpers ---------------------------------------------------
+
+    def _count(self, name: str, delta: int = 1) -> None:
+        registry = obs_metrics.active_registry()
+        if registry is not None and delta:
+            registry.counter(name).inc(delta)
+
+    def _observe_lock_wait(self, waited: float) -> None:
+        registry = obs_metrics.active_registry()
+        if registry is not None:
+            registry.histogram(
+                "store.lock_wait_s", buckets=_LOCK_WAIT_BUCKETS
+            ).observe(waited)
 
     # -- reading ----------------------------------------------------------
 
@@ -194,42 +419,209 @@ class ResultStore:
         config: SimulationConfig,
         result: SimResult,
     ) -> None:
-        """Validate and durably append one result (write-through)."""
+        """Validate and durably append one result (write-through).
+
+        Never raises on I/O trouble: transient failures are retried
+        with backoff, persistent ones demote the store to
+        in-memory-only (:attr:`degraded`) so the campaign completes and
+        the loss is *reported* rather than fatal.  Validation errors
+        still raise — an invalid result must never enter the store.
+        """
         validate_result(result)
         key = (workload, accesses, config_fingerprint(config))
         record = {
             "schema": SCHEMA_VERSION,
+            "minor": SCHEMA_MINOR,
             "workload": workload,
             "accesses": accesses,
             "config": key[2],
             "config_label": config.resolved_label(),
             "result": result.to_dict(),
         }
-        line = json.dumps(record, separators=(",", ":"), allow_nan=False)
-        index = self._load()
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        line = _frame(record)
+        if not self.degraded:
+            try:
+                with self._lock.exclusive() as waited:
+                    self._observe_lock_wait(waited)
+                    self._refresh_locked()  # also repairs any torn tail
+                    try:
+                        self._append_locked(line, op_key=f"{workload}@{accesses}")
+                    except OSError as exc:
+                        self._degrade(exc)
+                    else:
+                        self._records += 1
+                        self._latest[key] = line
+                        self._maybe_compact_locked()
+                        self._index_stat = self._stat()
+            except LockTimeout as exc:
+                self._degrade(exc)
+        index = self._index if self._index is not None else {}
+        self._index = index
         index[key] = result
+        if self.degraded:
+            self.lost_writes += 1
+            self._count("store.lost_writes")
+
+    def _append_locked(self, line: str, op_key: str) -> None:
+        """Append one framed line with fsync, bounded retry, and faults.
+
+        An injected ``io-torn`` fault writes a newline-less prefix and
+        *returns success* — that is what a crash mid-flush looks like
+        to the next reader, which truncates it (and counts it).
+        """
+        data = (line + "\n").encode("utf-8")
+        last_exc: Optional[OSError] = None
+        for attempt in range(1, WRITE_RETRIES + 2):
+            if attempt > 1:
+                self._count("store.write_retries")
+                time.sleep(WRITE_BACKOFF * 2 ** (attempt - 2))
+            kind = _maybe_io_fault(f"store|{self.path.name}|{op_key}", attempt)
+            try:
+                if kind == "io-enospc":
+                    raise OSError(errno.ENOSPC, "injected: no space left on device")
+                if kind == "io-eio":
+                    raise OSError(errno.EIO, "injected: input/output error")
+                payload = data if kind != "io-torn" else data[: max(len(data) // 2, 1)]
+                with self.path.open("ab") as handle:
+                    handle.write(payload)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                return
+            except OSError as exc:
+                last_exc = exc
+        assert last_exc is not None
+        raise last_exc
+
+    def _degrade(self, exc: BaseException) -> None:
+        """Fall back to in-memory-only operation, permanently."""
+        if not self.degraded:
+            self.degraded = True
+            self.degraded_reason = f"{type(exc).__name__}: {exc}"
+            self._count("store.degraded")
+        if self._index is None:
+            self._index = {}
 
     def clear(self) -> None:
-        """Drop every stored record (keeps the quarantine file)."""
-        if self.path.exists():
-            self.path.unlink()
+        """Drop every stored record and progress marker (keeps quarantine)."""
+        try:
+            with self._lock.exclusive():
+                self.path.unlink(missing_ok=True)
+                self.progress_path.unlink(missing_ok=True)
+        except (LockTimeout, OSError):
+            pass
         self._index = {}
+        self._index_stat = self._stat()
+        self._latest = {}
+        self._foreign = []
+        self._records = 0
+        self._progress = {}
+        self._progress_stat = None
         self.quarantined = 0
         self.stale = 0
+
+    # -- compaction --------------------------------------------------------
+
+    def compact(self, force: bool = False) -> int:
+        """Drop superseded duplicate records; returns how many were dropped.
+
+        Runs under the exclusive lock.  Without ``force`` the rewrite
+        only happens past the garbage threshold (``COMPACT_MIN_RECORDS``
+        record lines, more than ``COMPACT_GARBAGE_RATIO`` superseded).
+        """
+        if self.degraded:
+            return 0
+        try:
+            with self._lock.exclusive() as waited:
+                self._observe_lock_wait(waited)
+                self._refresh_locked()
+                return self._compact_locked(force=force)
+        except LockTimeout as exc:
+            self._degrade(exc)
+            return 0
+
+    def _garbage_exceeds_threshold(self) -> bool:
+        live = len(self._index or {})
+        return (
+            self._records >= COMPACT_MIN_RECORDS
+            and self._records - live > self._records * COMPACT_GARBAGE_RATIO
+        )
+
+    def _maybe_compact_locked(self) -> None:
+        if self._garbage_exceeds_threshold():
+            self._compact_locked(force=True)
+
+    def _compact_locked(self, force: bool) -> int:
+        """Rewrite keeping one line per key.  Exclusive lock held."""
+        dropped = self._records - len(self._latest)
+        if dropped <= 0 or not (force or self._garbage_exceeds_threshold()):
+            return 0
+        try:
+            self._rewrite(self._foreign + list(self._latest.values()))
+        except OSError as exc:
+            self._degrade(exc)
+            return 0
+        self._records = len(self._latest)
+        self._index_stat = self._stat()
+        self.compacted += dropped
+        self._count("store.compactions")
+        self._count("store.compacted_records", dropped)
+        return dropped
+
+    # -- integrity tooling -------------------------------------------------
+
+    def verify(self) -> Dict[str, Any]:
+        """Read-only integrity report; never modifies the store."""
+        try:
+            with self._lock.shared() as waited:
+                self._observe_lock_wait(waited)
+                state = self._scan()
+        except LockTimeout:
+            state = self._scan()  # a report beats no report
+        return {
+            "path": str(self.path),
+            "size_bytes": state.size,
+            "records": state.records,
+            "live": len(state.index),
+            "garbage": state.garbage,
+            "stale": state.stale,
+            "checksummed": state.checksummed,
+            "legacy": state.records - state.checksummed,
+            "torn_tail": state.torn_bytes > 0,
+            "bad": [f"line {n}: {reason}" for n, _, reason in state.bad],
+        }
+
+    def repair(self) -> Dict[str, Any]:
+        """Force a fresh repairing load; returns :meth:`health`."""
+        self._index = None
+        self._index_stat = None
+        self._load()
+        return self.health()
+
+    def health(self) -> Dict[str, Any]:
+        """Current durability counters, for campaign summaries."""
+        return {
+            "records": len(self._load()),
+            "quarantined": self.quarantined,
+            "stale": self.stale,
+            "torn_truncated": self.torn_truncated,
+            "compacted": self.compacted,
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
+            "lost_writes": self.lost_writes,
+        }
 
     # -- mid-run progress markers -----------------------------------------
     #
     # Coarse checkpoints of *incomplete* jobs, fed by worker heartbeats.
     # Append-only JSON lines, last write wins; flushed but not fsynced
-    # (losing the last marker costs nothing — the job re-runs anyway,
-    # the marker only reports how far a preempted job got).
+    # and written without taking the lock (losing a marker costs
+    # nothing — the job re-runs anyway, the marker only reports how far
+    # a preempted job got).  Markers are checksummed like results;
+    # damaged ones are skipped, never quarantined.
 
     def _load_progress(self) -> Dict[StoreKey, Dict[str, Any]]:
-        if self._progress is not None:
+        stat = self._progress_stat_now()
+        if self._progress is not None and stat == self._progress_stat:
             return self._progress
         progress: Dict[StoreKey, Dict[str, Any]] = {}
         if self.progress_path.exists():
@@ -245,6 +637,8 @@ class ResultStore:
                             or record.get("schema") != SCHEMA_VERSION
                         ):
                             continue
+                        if "crc" in record and int(record["crc"]) != _checksum(record):
+                            continue  # damaged marker: worthless, skip
                         key = (
                             str(record["workload"]),
                             int(record["accesses"]),
@@ -254,7 +648,15 @@ class ResultStore:
                     except (ValueError, KeyError, TypeError):
                         continue  # a torn marker line is worthless; skip
         self._progress = progress
+        self._progress_stat = stat
         return progress
+
+    def _progress_stat_now(self) -> Optional[Tuple[int, int]]:
+        try:
+            st = os.stat(self.progress_path)
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size)
 
     def put_progress(
         self,
@@ -269,6 +671,7 @@ class ResultStore:
         key = (workload, accesses, config_fingerprint(config))
         record = {
             "schema": SCHEMA_VERSION,
+            "minor": SCHEMA_MINOR,
             "workload": workload,
             "accesses": accesses,
             "config": key[2],
@@ -277,11 +680,23 @@ class ResultStore:
             "sim_time": float(sim_time),
         }
         progress = self._load_progress()
-        line = json.dumps(record, separators=(",", ":"), allow_nan=False)
-        with self.progress_path.open("a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
         progress[key] = record
+        if self.degraded:
+            return
+        line = _frame(record)
+        kind = _maybe_io_fault(f"progress|{workload}@{accesses}", 1)
+        if kind in ("io-enospc", "io-eio"):
+            return  # advisory write: drop it, don't degrade the store
+        data = (line + "\n").encode("utf-8")
+        if kind == "io-torn":
+            data = data[: max(len(data) // 2, 1)]
+        try:
+            with self.progress_path.open("ab") as handle:
+                handle.write(data)
+                handle.flush()
+        except OSError:
+            return  # advisory write: losing it is fine
+        self._progress_stat = self._progress_stat_now()
 
     def get_progress(
         self, workload: str, accesses: int, config: SimulationConfig
@@ -296,9 +711,22 @@ class ResultStore:
 
     def clear_progress(self) -> None:
         """Drop every checkpoint marker (e.g. after a campaign finishes)."""
-        if self.progress_path.exists():
-            self.progress_path.unlink()
+        try:
+            self.progress_path.unlink(missing_ok=True)
+        except OSError:
+            pass  # advisory file on possibly-broken media
         self._progress = {}
+        self._progress_stat = None
+
+
+def _lock_timeout() -> float:
+    env = os.environ.get(LOCK_TIMEOUT_ENV)
+    if env:
+        try:
+            return float(env)
+        except ValueError:
+            pass
+    return 30.0
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,204 @@
+"""Advisory inter-process file locking with bounded waits.
+
+The result store and the trace cache are both multi-writer once
+campaigns run concurrently (sweep-as-a-service, multi-host shards
+merging into one store).  POSIX ``flock`` is the coordination
+primitive: it is advisory (readers that do not opt in are unaffected),
+it is released automatically by the kernel when the holder dies (no
+stale lock files to clean up), and shared/exclusive modes map exactly
+onto load vs append/rewrite.
+
+:class:`FileLock` wraps it with the policies the callers need:
+
+* **Bounded waits.**  Acquisition polls with exponential backoff up to
+  a deadline and raises :class:`LockTimeout` instead of blocking
+  forever — a wedged writer must never wedge every other campaign.
+* **Stale-holder diagnostics.**  The exclusive holder records its pid
+  and acquisition time in the lock file; a timed-out waiter reads it
+  back and reports whether that process is even alive.  (With
+  ``flock`` a dead holder's lock is already gone, so "held by a dead
+  pid" indicates an inherited descriptor — worth naming in the error.)
+* **Graceful absence.**  On platforms without ``fcntl``, or
+  filesystems that refuse ``flock`` (some network mounts), locking
+  silently degrades to a no-op: single-writer behaviour is unchanged
+  and multi-writer coordination is merely advisory anyway.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+try:  # pragma: no cover - absence exercised only on non-POSIX hosts
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["DEFAULT_LOCK_TIMEOUT", "FileLock", "LockTimeout", "locking_supported"]
+
+#: default bound on how long an acquisition may wait, in seconds.
+DEFAULT_LOCK_TIMEOUT = 30.0
+
+#: errno values flock raises while the lock is merely *held elsewhere*
+#: (everything else means the filesystem cannot lock at all).
+_WOULD_BLOCK = (errno.EACCES, errno.EAGAIN)
+
+
+def locking_supported() -> bool:
+    """Whether this platform can take advisory locks at all."""
+    return fcntl is not None
+
+
+class LockTimeout(TimeoutError):
+    """An advisory lock could not be acquired within its wait bound."""
+
+
+class FileLock:
+    """One advisory ``flock`` on one path, shared or exclusive.
+
+    Locks are never held across public API calls of the owning object
+    — acquire, do the file work, release — so a single lock path per
+    resource cannot deadlock with itself and lock *ordering* questions
+    only arise between distinct resources (see docs/architecture.md
+    §5.6: the store lock and the trace-cache generation lock are never
+    held simultaneously).
+    """
+
+    def __init__(
+        self, path: Union[str, Path], timeout: Optional[float] = None
+    ) -> None:
+        self.path = Path(path)
+        self.timeout = DEFAULT_LOCK_TIMEOUT if timeout is None else float(timeout)
+        self._fd: Optional[int] = None
+        #: False once the filesystem refused to lock (no-op from then on).
+        self.supported = locking_supported()
+
+    # -- core acquire/release ---------------------------------------------
+
+    def acquire(
+        self, exclusive: bool = True, timeout: Optional[float] = None
+    ) -> float:
+        """Take the lock; returns seconds spent waiting.
+
+        Raises :class:`LockTimeout` when the bound elapses.  On
+        filesystems that cannot lock, returns immediately (0.0) and
+        flips :attr:`supported` off.
+        """
+        if not self.supported:
+            return 0.0
+        if self._fd is not None:
+            raise RuntimeError(f"lock {self.path} is already held by this object")
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        except OSError:
+            self.supported = False
+            return 0.0
+        flags = fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH
+        bound = self.timeout if timeout is None else float(timeout)
+        started = time.monotonic()
+        deadline = started + bound
+        delay = 0.002
+        while True:
+            try:
+                fcntl.flock(fd, flags | fcntl.LOCK_NB)
+                break
+            except OSError as exc:
+                if exc.errno not in _WOULD_BLOCK:
+                    # EOPNOTSUPP/ENOLCK and friends: this filesystem
+                    # cannot lock; proceed unlocked rather than dying.
+                    os.close(fd)
+                    self.supported = False
+                    return 0.0
+                if time.monotonic() >= deadline:
+                    holder = self._describe_holder(fd)
+                    os.close(fd)
+                    raise LockTimeout(
+                        f"could not acquire {'exclusive' if exclusive else 'shared'} "
+                        f"lock on {self.path} within {bound:.3g}s{holder}"
+                    ) from exc
+                time.sleep(delay)
+                delay = min(delay * 2, 0.05)
+        self._fd = fd
+        if exclusive:
+            self._write_holder(fd)
+        return time.monotonic() - started
+
+    def release(self) -> None:
+        """Drop the lock (no-op if not held)."""
+        fd, self._fd = self._fd, None
+        if fd is None:
+            return
+        try:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        except OSError:  # pragma: no cover - unlock cannot usefully fail
+            pass
+        finally:
+            os.close(fd)
+
+    # -- context-manager forms --------------------------------------------
+
+    @contextmanager
+    def exclusive(self, timeout: Optional[float] = None) -> Iterator[float]:
+        """``with lock.exclusive() as waited:`` — yields the wait time."""
+        waited = self.acquire(exclusive=True, timeout=timeout)
+        try:
+            yield waited
+        finally:
+            self.release()
+
+    @contextmanager
+    def shared(self, timeout: Optional[float] = None) -> Iterator[float]:
+        """``with lock.shared() as waited:`` — yields the wait time."""
+        waited = self.acquire(exclusive=False, timeout=timeout)
+        try:
+            yield waited
+        finally:
+            self.release()
+
+    # -- stale-holder diagnostics -----------------------------------------
+
+    def _write_holder(self, fd: int) -> None:
+        """Record who holds the exclusive lock (best-effort)."""
+        try:
+            payload = json.dumps({"pid": os.getpid(), "t": time.time()})
+            os.ftruncate(fd, 0)
+            os.pwrite(fd, payload.encode("utf-8"), 0)
+        except OSError:  # diagnostics only; never fail an acquisition
+            pass
+
+    def _read_holder(self) -> Optional[Dict[str, Any]]:
+        try:
+            record = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    def _describe_holder(self, fd: int) -> str:
+        """A human-readable suffix naming the (possibly stale) holder."""
+        holder = self._read_holder()
+        if holder is None or "pid" not in holder:
+            return ""
+        pid = holder.get("pid")
+        try:
+            os.kill(int(pid), 0)
+            alive = True
+        except (OSError, TypeError, ValueError):
+            alive = False
+        age = ""
+        try:
+            age = f", held for {time.time() - float(holder['t']):.0f}s"
+        except (KeyError, TypeError, ValueError):
+            pass
+        if alive:
+            return f" (held by live pid {pid}{age})"
+        return (
+            f" (last exclusive holder pid {pid} is gone{age}; a dead holder's "
+            f"flock auto-releases, so this lock is held via an inherited "
+            f"descriptor or another live process)"
+        )

@@ -32,6 +32,7 @@ garbage.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
@@ -42,12 +43,16 @@ from typing import Any, Dict, Iterator, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.util.locking import FileLock, LockTimeout
 from repro.workloads.trace import Trace
 
 __all__ = [
     "FORMAT_VERSION",
+    "GENERATION_LOCK_TIMEOUT",
     "TRACE_CACHE_ENV",
     "cached_trace_path",
+    "generation_lock",
     "load_cached_trace",
     "load_trace",
     "resolve_trace_cache",
@@ -325,6 +330,54 @@ def trace_cache_scope(root: Optional[Union[str, Path]]) -> Iterator[Optional[Pat
             os.environ[TRACE_CACHE_ENV] = previous_env
 
 
+def _maybe_io_fault(op_key: str, attempt: int = 1) -> Optional[str]:
+    """Injected I/O fault for this cache write, if any (test/CI knob)."""
+    # imported lazily: workloads must not depend on the sim layer at
+    # import time (sim.store imports this module's siblings)
+    from repro.sim.resilience import maybe_inject_io_fault
+
+    return maybe_inject_io_fault(op_key, attempt)
+
+
+#: bound on waiting for another process to finish generating a trace.
+#: Generation of the largest scales takes minutes, so this is long; on
+#: timeout the waiter generates the trace itself (duplicate work is
+#: safe — entries are content-fingerprinted and replaced atomically).
+GENERATION_LOCK_TIMEOUT = 600.0
+
+
+@contextmanager
+def generation_lock(
+    name: str, accesses: int, root: Union[None, str, Path] = None
+) -> Iterator[bool]:
+    """Single-flight lock for generating ``(name, accesses)``'s entry.
+
+    N pool workers that all miss on the same trace would each burn
+    minutes generating identical arrays; under this lock the first
+    generates while the rest block, then re-check the cache and hit.
+    Yields True when the lock was acquired — the caller should re-check
+    the cache before generating — and False when locking is unavailable
+    or timed out, in which case generating anyway is correct, just
+    possibly duplicated.
+    """
+    root = Path(root) if root is not None else trace_cache_dir()
+    if root is None:
+        yield False
+        return
+    lock = FileLock(
+        root / f".{name}-{int(accesses)}.genlock", timeout=GENERATION_LOCK_TIMEOUT
+    )
+    try:
+        lock.acquire(exclusive=True)
+        acquired = True
+    except (LockTimeout, OSError):
+        acquired = False
+    try:
+        yield acquired
+    finally:
+        lock.release()
+
+
 def spec_fingerprint(name: str, accesses: int) -> str:
     """Fingerprint of everything that determines a generated trace.
 
@@ -373,12 +426,25 @@ def store_cached_trace(
         return None
     path = cached_trace_path(name, accesses, root)
     tmp = root / f".{path.stem}.{os.getpid()}.tmp.npz"
+    fault = _maybe_io_fault(f"trace-cache|{path.name}")
     try:
         root.mkdir(parents=True, exist_ok=True)
+        if fault == "io-enospc":
+            raise OSError(errno.ENOSPC, "injected: no space left on device")
+        if fault == "io-eio":
+            raise OSError(errno.EIO, "injected: input/output error")
         save_trace(trace, tmp, compress=False)
+        if fault == "io-torn":
+            # a crash mid-write: the published archive is truncated, so
+            # the next load_cached_trace treats it as a miss and rebuilds
+            with tmp.open("r+b") as handle:
+                handle.truncate(max(tmp.stat().st_size // 2, 1))
         os.replace(tmp, path)
         return path
     except OSError:
+        registry = obs_metrics.active_registry()
+        if registry is not None:
+            registry.counter("trace_cache.write_failures").inc()
         try:
             tmp.unlink()
         except OSError:

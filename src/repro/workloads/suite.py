@@ -725,13 +725,23 @@ def generate(name: str, scale: Union[Scale, int] = Scale.STANDARD) -> Trace:
         return cached
     trace = trace_io.load_cached_trace(name, accesses)
     if trace is None:
-        if registry is not None:
-            registry.counter("trace_cache.misses").inc()
-        spec = SUITE[name]
-        builder = TraceBuilder(name, base_ipc=spec.base_ipc)
-        spec.build(builder, make_rng(name), accesses)
-        trace = builder.build()
-        trace_io.store_cached_trace(trace, name, accesses)
+        # Single-flight: when N workers miss on the same trace at once,
+        # one generates under the lock while the rest wait, re-check,
+        # and hit.  A yielded False (no cache dir, lock timeout) means
+        # generating here is correct, just possibly duplicated.
+        with trace_io.generation_lock(name, accesses) as held:
+            if held:
+                trace = trace_io.load_cached_trace(name, accesses)
+            if trace is None:
+                if registry is not None:
+                    registry.counter("trace_cache.misses").inc()
+                spec = SUITE[name]
+                builder = TraceBuilder(name, base_ipc=spec.base_ipc)
+                spec.build(builder, make_rng(name), accesses)
+                trace = builder.build()
+                trace_io.store_cached_trace(trace, name, accesses)
+            elif registry is not None:
+                registry.counter("trace_cache.singleflight_hits").inc()
     elif registry is not None:
         registry.counter("trace_cache.disk_hits").inc()
     _CACHE[key] = trace

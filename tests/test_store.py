@@ -1,13 +1,22 @@
 """Tests for the persistent checkpointed result store (repro.sim.store)."""
 
+import errno
 import json
+import os
 
 import pytest
 
 from repro.sim import SimulationConfig, simulate
+from repro.sim import resilience
 from repro.sim import store as store_mod
 from repro.sim.runner import clear_cache
-from repro.sim.store import ResultStore, SCHEMA_VERSION, config_fingerprint
+from repro.sim.store import (
+    COMPACT_MIN_RECORDS,
+    ResultStore,
+    SCHEMA_MINOR,
+    SCHEMA_VERSION,
+    config_fingerprint,
+)
 from repro.workloads import Scale
 
 BASE = SimulationConfig.baseline()
@@ -23,6 +32,13 @@ def store(tmp_path):
 def result():
     clear_cache()
     return simulate("eon", BASE, Scale.QUICK)
+
+
+@pytest.fixture()
+def io_faults():
+    """Install an I/O fault injector for the test, cleared afterwards."""
+    yield resilience.set_io_fault_injector
+    resilience.set_io_fault_injector(None)
 
 
 class TestFingerprint:
@@ -112,6 +128,230 @@ class TestQuarantine:
         assert reopened.get("eon", Scale.QUICK.accesses, BASE) is None
         assert reopened.stale == 1
         assert reopened.quarantined == 0
+
+
+class TestChecksums:
+    def test_records_carry_crc_and_minor(self, store, result):
+        store.put("eon", Scale.QUICK.accesses, BASE, result)
+        record = json.loads(store.path.read_text().strip())
+        assert record["minor"] == SCHEMA_MINOR
+        assert record["crc"] == store_mod._checksum(record)
+
+    def test_checksum_catches_payload_tamper(self, store, result):
+        """A field invariants can't check (the label) is still protected."""
+        store.put("eon", Scale.QUICK.accesses, BASE, result)
+        record = json.loads(store.path.read_text().strip())
+        record["config_label"] = "tampered"
+        store.path.write_text(json.dumps(record) + "\n")
+        reopened = ResultStore(store.root)
+        assert reopened.get("eon", Scale.QUICK.accesses, BASE) is None
+        assert reopened.quarantined == 1
+
+    def test_legacy_record_without_crc_still_loads(self, store, result):
+        store.put("eon", Scale.QUICK.accesses, BASE, result)
+        record = json.loads(store.path.read_text().strip())
+        del record["crc"]
+        del record["minor"]
+        store.path.write_text(json.dumps(record) + "\n")
+        reopened = ResultStore(store.root)
+        assert reopened.get("eon", Scale.QUICK.accesses, BASE) is not None
+        assert reopened.quarantined == 0
+        report = reopened.verify()
+        assert report["legacy"] == 1 and report["checksummed"] == 0
+
+
+class TestTornTail:
+    def test_partial_tail_truncated_not_quarantined(self, store, result):
+        store.put("eon", Scale.QUICK.accesses, BASE, result)
+        whole = store.path.read_text()
+        with store.path.open("a", encoding="utf-8") as handle:
+            handle.write(whole.strip()[: len(whole) // 2])  # no newline
+        reopened = ResultStore(store.root)
+        assert reopened.get("eon", Scale.QUICK.accesses, BASE) is not None
+        assert reopened.torn_truncated == 1
+        assert reopened.quarantined == 0
+        assert store.path.read_bytes().endswith(b"\n")
+        third = ResultStore(store.root)
+        assert len(third) == 1 and third.torn_truncated == 0
+
+    def test_put_repairs_torn_tail_first(self, store, result):
+        store.put("eon", Scale.QUICK.accesses, BASE, result)
+        with store.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"schema": 1, "partial')  # torn append, no newline
+        writer = ResultStore(store.root)
+        writer.put("eon", 54321, BASE, result)
+        assert writer.torn_truncated == 1
+        reopened = ResultStore(store.root)
+        assert len(reopened) == 2
+        assert reopened.quarantined == 0 and reopened.get("eon", 54321, BASE)
+
+    def test_torn_only_file_truncates_to_empty(self, store, result):
+        store.path.write_bytes(b'{"schema": 1, "partial')
+        assert len(store) == 0
+        assert store.torn_truncated == 1
+        assert store.path.read_bytes() == b""
+
+
+class TestConcurrentVisibility:
+    def test_appends_visible_across_objects(self, tmp_path, result):
+        writer = ResultStore(tmp_path)
+        reader = ResultStore(tmp_path)
+        assert len(reader) == 0  # index loaded while empty
+        writer.put("eon", Scale.QUICK.accesses, BASE, result)
+        # mtime/size invalidation: the stale index refreshes on read
+        assert reader.get("eon", Scale.QUICK.accesses, BASE) is not None
+
+
+class TestCompaction:
+    def _lines(self, store):
+        return [
+            line
+            for line in store.path.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+
+    def test_explicit_compact_keeps_last_write(self, store, result):
+        for _ in range(5):
+            store.put("eon", Scale.QUICK.accesses, BASE, result)
+        assert len(self._lines(store)) == 5
+        dropped = store.compact(force=True)
+        assert dropped == 4
+        assert len(self._lines(store)) == 1
+        reopened = ResultStore(store.root)
+        assert reopened.get("eon", Scale.QUICK.accesses, BASE) is not None
+
+    def test_auto_compaction_bounds_garbage(self, store, result):
+        for _ in range(COMPACT_MIN_RECORDS + 5):
+            store.put("eon", Scale.QUICK.accesses, BASE, result)
+        assert len(self._lines(store)) < COMPACT_MIN_RECORDS
+        assert store.compacted >= COMPACT_MIN_RECORDS - 1
+        assert ResultStore(store.root).get("eon", Scale.QUICK.accesses, BASE)
+
+    def test_compaction_preserves_foreign_schema_lines(self, store, result):
+        store.put("eon", Scale.QUICK.accesses, BASE, result)
+        store.put("eon", Scale.QUICK.accesses, BASE, result)
+        foreign = json.dumps({"schema": SCHEMA_VERSION + 1, "payload": "keep me"})
+        with store.path.open("a", encoding="utf-8") as handle:
+            handle.write(foreign + "\n")
+        compactor = ResultStore(store.root)
+        assert compactor.compact(force=True) == 1
+        text = store.path.read_text(encoding="utf-8")
+        assert "keep me" in text
+        assert len(self._lines(compactor)) == 2  # foreign + live record
+
+
+class TestDegradation:
+    def test_persistent_write_failure_degrades_to_memory(
+        self, store, result, io_faults
+    ):
+        io_faults(lambda op, attempt: "io-enospc" if op.startswith("store|") else None)
+        store.put("eon", Scale.QUICK.accesses, BASE, result)
+        assert store.degraded
+        assert store.lost_writes == 1
+        assert "ENOSPC" in store.degraded_reason or "28" in store.degraded_reason
+        # the result is still served from memory; nothing reached disk
+        assert store.get("eon", Scale.QUICK.accesses, BASE) is not None
+        assert not store.path.exists() or store.path.stat().st_size == 0
+        store.put("eon", 54321, BASE, result)  # further puts don't raise
+        assert store.lost_writes == 2
+        health = store.health()
+        assert health["degraded"] and health["lost_writes"] == 2
+
+    def test_transient_write_failure_is_retried(self, store, result, io_faults):
+        io_faults(
+            lambda op, attempt: "io-eio"
+            if attempt == 1 and op.startswith("store|")
+            else None
+        )
+        store.put("eon", Scale.QUICK.accesses, BASE, result)
+        assert not store.degraded
+        reopened = ResultStore(store.root)
+        assert reopened.get("eon", Scale.QUICK.accesses, BASE) is not None
+
+    def test_torn_write_truncated_on_next_load(self, store, result, io_faults):
+        io_faults(lambda op, attempt: "io-torn" if op.startswith("store|") else None)
+        store.put("eon", Scale.QUICK.accesses, BASE, result)
+        assert not store.degraded  # a torn write looks like success
+        assert store.get("eon", Scale.QUICK.accesses, BASE) is not None  # memory
+        resilience.set_io_fault_injector(None)
+        reopened = ResultStore(store.root)
+        assert reopened.get("eon", Scale.QUICK.accesses, BASE) is None
+        assert reopened.torn_truncated == 1
+        assert reopened.quarantined == 0
+
+    def test_lock_timeout_degrades_instead_of_hanging(self, tmp_path, result):
+        from repro.util.locking import FileLock
+
+        store = ResultStore(tmp_path)
+        blocker = FileLock(tmp_path / "store.lock")
+        blocker.acquire(exclusive=True)
+        try:
+            store._lock.timeout = 0.2
+            store.put("eon", Scale.QUICK.accesses, BASE, result)
+        finally:
+            blocker.release()
+        assert store.degraded and store.lost_writes == 1
+        assert store.get("eon", Scale.QUICK.accesses, BASE) is not None
+
+
+class TestVerifyRepair:
+    def test_verify_is_readonly_and_reports(self, store, result):
+        store.put("eon", Scale.QUICK.accesses, BASE, result)
+        with store.path.open("a", encoding="utf-8") as handle:
+            handle.write("{not json}\n")
+            handle.write('{"schema": 1, "torn')  # partial tail
+        before = store.path.read_bytes()
+        fresh = ResultStore(store.root)
+        report = fresh.verify()
+        assert report["records"] == 1 and report["live"] == 1
+        assert len(report["bad"]) == 1
+        assert report["torn_tail"] is True
+        assert store.path.read_bytes() == before  # untouched
+
+    def test_repair_quarantines_and_truncates(self, store, result):
+        store.put("eon", Scale.QUICK.accesses, BASE, result)
+        with store.path.open("a", encoding="utf-8") as handle:
+            handle.write("{not json}\n")
+            handle.write('{"schema": 1, "torn')
+        fresh = ResultStore(store.root)
+        health = fresh.repair()
+        assert health["records"] == 1
+        assert health["quarantined"] == 1
+        assert health["torn_truncated"] == 1
+        assert fresh.quarantine_path.exists()
+        clean = ResultStore(store.root)
+        report = clean.verify()
+        assert not report["bad"] and not report["torn_tail"]
+
+
+class TestSatelliteFixes:
+    def test_clear_also_clears_progress(self, store):
+        store.put_progress("eon", 1000, BASE, 5, 10, 1.0)
+        assert store.progress_entries()
+        assert store.progress_path.exists()
+        store.clear()
+        assert store.progress_entries() == {}
+        assert not store.progress_path.exists()
+        assert ResultStore(store.root).progress_entries() == {}
+
+    def test_rewrite_failure_leaves_no_tmp(self, store, monkeypatch):
+        def boom(fd):
+            raise OSError(errno.ENOSPC, "no space left on device")
+
+        monkeypatch.setattr(os, "fsync", boom)
+        with pytest.raises(OSError):
+            store._rewrite(['{"schema": 1}'])
+        assert not list(store.root.glob("*.tmp"))
+
+    def test_progress_markers_checksummed_torn_skipped(self, store):
+        store.put_progress("eon", 1000, BASE, 5, 10, 1.0)
+        marker = json.loads(store.progress_path.read_text().strip())
+        assert marker["crc"] == store_mod._checksum(marker)
+        with store.progress_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"schema": 1, "torn')  # partial marker line
+        reopened = ResultStore(store.root)
+        entries = reopened.progress_entries()
+        assert len(entries) == 1  # the damaged marker is skipped, not fatal
 
 
 class TestActiveStore:

@@ -1,0 +1,118 @@
+"""Tests for the `repro-tcp store` subcommand and degraded campaign runs."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.sim import SimulationConfig, simulate
+from repro.sim import store as store_mod
+from repro.sim.runner import clear_cache
+from repro.sim.store import ResultStore
+from repro.workloads import Scale
+
+BASE = SimulationConfig.baseline()
+
+
+@pytest.fixture()
+def active_store_guard():
+    """Undo the active-store installation `run` leaves behind."""
+    yield
+    store_mod.clear_active_store()
+
+
+@pytest.fixture()
+def populated(tmp_path):
+    clear_cache()
+    result = simulate("eon", BASE, Scale.QUICK)
+    store = ResultStore(tmp_path / "store")
+    store.put("eon", Scale.QUICK.accesses, BASE, result)
+    store.put("eon", Scale.QUICK.accesses, BASE, result)  # superseded dup
+    return store
+
+
+class TestStoreSubcommand:
+    def test_status_on_empty_store(self, tmp_path, capsys):
+        assert main(["store", "status", "--store-dir", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "records:" in output
+
+    def test_verify_clean_store(self, populated, capsys):
+        assert main(["store", "verify", "--store-dir", str(populated.root)]) == 0
+        output = capsys.readouterr().out
+        assert "verify: OK" in output
+        assert "2 checksummed" in output
+
+    def test_verify_fails_on_bad_record_without_repairing(self, populated, capsys):
+        with populated.path.open("a", encoding="utf-8") as handle:
+            handle.write("{corrupt}\n")
+        before = populated.path.read_bytes()
+        assert main(["store", "verify", "--store-dir", str(populated.root)]) == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.err
+        assert "store repair" in captured.err
+        assert populated.path.read_bytes() == before  # verify never writes
+
+    def test_repair_quarantines_then_verify_passes(self, populated, capsys):
+        with populated.path.open("a", encoding="utf-8") as handle:
+            handle.write("{corrupt}\n")
+        assert main(["store", "repair", "--store-dir", str(populated.root)]) == 0
+        output = capsys.readouterr().out
+        assert "1 quarantined" in output
+        assert main(["store", "verify", "--store-dir", str(populated.root)]) == 0
+        assert "verify: OK" in capsys.readouterr().out
+
+    def test_compact_drops_superseded(self, populated, capsys):
+        assert main(["store", "compact", "--store-dir", str(populated.root)]) == 0
+        output = capsys.readouterr().out
+        assert "dropped 1 superseded" in output
+        lines = [
+            line
+            for line in populated.path.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+        assert len(lines) == 1
+
+    def test_status_reports_quarantine(self, populated, capsys):
+        with populated.path.open("a", encoding="utf-8") as handle:
+            handle.write("{corrupt}\n")
+        assert main(["store", "repair", "--store-dir", str(populated.root)]) == 0
+        capsys.readouterr()
+        assert main(["store", "status", "--store-dir", str(populated.root)]) == 0
+        assert "quarantine:  1 record(s)" in capsys.readouterr().out
+
+
+class TestDegradedRun:
+    def test_io_faults_degrade_but_complete(
+        self, tmp_path, capsys, monkeypatch, active_store_guard
+    ):
+        """Under persistent ENOSPC the campaign completes, reports
+        StoreDegraded, and exits nonzero."""
+        monkeypatch.setenv("REPRO_FAULT_RATE", "1.0")
+        monkeypatch.setenv("REPRO_FAULT_KIND", "io-enospc")
+        clear_cache()
+        with pytest.warns(RuntimeWarning, match="degraded to in-memory-only"):
+            code = main(
+                ["run", "fig1", "--scale", "quick", "--benchmarks", "fma3d",
+                 "--store-dir", str(tmp_path / "store")]
+            )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "[fig1]" in captured.out  # the experiment still rendered
+        assert "StoreDegraded" in captured.err
+        assert "in-memory-only" in captured.err
+
+    def test_resume_after_clean_run_persists(
+        self, tmp_path, capsys, active_store_guard
+    ):
+        clear_cache()
+        root = tmp_path / "store"
+        assert main(["run", "fig1", "--scale", "quick", "--benchmarks", "fma3d",
+                     "--store-dir", str(root)]) == 0
+        capsys.readouterr()
+        store = ResultStore(root)
+        assert len(store) > 0
+        with store.path.open(encoding="utf-8") as handle:
+            for line in handle:
+                record = json.loads(line)
+                assert record["crc"] == store_mod._checksum(record)

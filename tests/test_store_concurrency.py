@@ -1,0 +1,182 @@
+"""Concurrency tests: file locking, multiprocess store writes, single-flight.
+
+The stress test forks real processes hammering one store directory; it
+is the executable form of the store's central claim — committed records
+survive arbitrary interleaving with zero quarantined or lost lines.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.sim import SimulationConfig, simulate
+from repro.sim.runner import clear_cache
+from repro.sim.store import ResultStore
+from repro.util.locking import FileLock, LockTimeout, locking_supported
+from repro.workloads import Scale, generate, trace_cache_scope
+from repro.workloads import io as trace_io
+from repro.workloads import suite as suite_mod
+
+BASE = SimulationConfig.baseline()
+
+needs_locking = pytest.mark.skipif(
+    not locking_supported(), reason="fcntl locking unavailable"
+)
+
+
+class TestFileLock:
+    def test_exclusive_excludes_exclusive(self, tmp_path):
+        path = tmp_path / "x.lock"
+        holder = FileLock(path)
+        holder.acquire(exclusive=True)
+        try:
+            contender = FileLock(path, timeout=0.2)
+            with pytest.raises(LockTimeout) as excinfo:
+                contender.acquire(exclusive=True)
+            # the timeout diagnostic names the live holder
+            assert str(os.getpid()) in str(excinfo.value)
+        finally:
+            holder.release()
+
+    def test_shared_locks_coexist(self, tmp_path):
+        path = tmp_path / "x.lock"
+        a = FileLock(path)
+        b = FileLock(path, timeout=0.2)
+        a.acquire(exclusive=False)
+        try:
+            assert b.acquire(exclusive=False) >= 0.0
+        finally:
+            b.release()
+            a.release()
+
+    def test_shared_blocks_exclusive(self, tmp_path):
+        path = tmp_path / "x.lock"
+        reader = FileLock(path)
+        reader.acquire(exclusive=False)
+        try:
+            writer = FileLock(path, timeout=0.2)
+            with pytest.raises(LockTimeout):
+                writer.acquire(exclusive=True)
+        finally:
+            reader.release()
+
+    def test_release_frees_the_lock(self, tmp_path):
+        path = tmp_path / "x.lock"
+        first = FileLock(path)
+        first.acquire(exclusive=True)
+        first.release()
+        second = FileLock(path, timeout=0.2)
+        second.acquire(exclusive=True)
+        second.release()
+
+    def test_reacquire_while_held_is_an_error(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock")
+        lock.acquire(exclusive=True)
+        try:
+            with pytest.raises(RuntimeError):
+                lock.acquire(exclusive=True)
+        finally:
+            lock.release()
+
+    def test_context_managers(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock")
+        with lock.exclusive() as waited:
+            assert waited >= 0.0
+        with lock.shared():
+            pass
+
+
+def _hammer(root, worker, per_worker):
+    """Child process body: put `per_worker` records into the shared store."""
+    clear_cache()
+    result = simulate("eon", BASE, Scale.QUICK)
+    store = ResultStore(root)
+    for i in range(per_worker):
+        store.put("eon", 1000 + worker * per_worker + i, BASE, result)
+    if store.degraded or store.lost_writes:
+        raise SystemExit(2)
+
+
+@needs_locking
+class TestMultiprocessStress:
+    def test_concurrent_puts_lose_nothing(self, tmp_path):
+        workers, per_worker = 4, 12
+        root = tmp_path / "store"
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(target=_hammer, args=(root, w, per_worker))
+            for w in range(workers)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+        merged = ResultStore(root)
+        assert len(merged) == workers * per_worker
+        assert merged.quarantined == 0
+        assert merged.torn_truncated == 0
+        report = merged.verify()
+        assert not report["bad"] and not report["torn_tail"]
+        assert report["live"] == workers * per_worker
+        # every committed record is readable
+        for w in range(workers):
+            for i in range(per_worker):
+                assert merged.get("eon", 1000 + w * per_worker + i, BASE) is not None
+
+
+class TestGenerationLock:
+    def test_no_cache_dir_yields_false(self):
+        with trace_cache_scope(None):
+            with trace_io.generation_lock("mcf", 1000) as held:
+                assert held is False
+
+    def test_acquires_when_free(self, tmp_path):
+        with trace_io.generation_lock("mcf", 1000, root=tmp_path) as held:
+            assert held is True
+        assert (tmp_path / ".mcf-1000.genlock").exists()
+
+    @needs_locking
+    def test_contended_lock_yields_false(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(trace_io, "GENERATION_LOCK_TIMEOUT", 0.2)
+        holder = FileLock(tmp_path / ".mcf-1000.genlock")
+        holder.acquire(exclusive=True)
+        try:
+            with trace_io.generation_lock("mcf", 1000, root=tmp_path) as held:
+                assert held is False
+        finally:
+            holder.release()
+
+
+class TestSingleFlightGenerate:
+    def test_recheck_under_lock_skips_rebuild(self, tmp_path, monkeypatch):
+        """A miss that turns into a hit after acquiring the lock never builds.
+
+        Models the pool-worker race: everyone misses, one generates, the
+        rest re-check the cache under the lock and find it populated.
+        """
+        with trace_cache_scope(tmp_path):
+            suite_mod._CACHE.clear()  # force a miss so the disk cache fills
+            generate("mcf", Scale.QUICK)
+            suite_mod._CACHE.clear()
+
+            real_load = trace_io.load_cached_trace
+            calls = {"n": 0}
+
+            def flaky_load(name, accesses, root=None):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    return None  # the pre-lock check misses
+                return real_load(name, accesses, root)
+
+            class Boom:
+                def __init__(self, *args, **kwargs):
+                    raise AssertionError("rebuilt a trace that was cached")
+
+            monkeypatch.setattr(trace_io, "load_cached_trace", flaky_load)
+            monkeypatch.setattr(suite_mod, "TraceBuilder", Boom)
+            trace = generate("mcf", Scale.QUICK)
+            assert trace.name == "mcf"
+            assert calls["n"] == 2
+            suite_mod._CACHE.clear()
