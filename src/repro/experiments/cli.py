@@ -70,6 +70,18 @@ def _parse_retries(text: str) -> int:
     return value
 
 
+def _parse_max_failures(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"max-failures must be an integer, got {text!r}"
+        )
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"max-failures must be >= 1, got {value}")
+    return value
+
+
 def _parse_timeout(text: str) -> float:
     try:
         value = float(text)
@@ -121,6 +133,15 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="kill a worker that emits no progress heartbeat "
                           "for this long (a slow-but-progressing job is "
                           "never killed; default off)")
+    run.add_argument("--max-failures", type=_parse_max_failures, default=None,
+                     metavar="N",
+                     help="abort the campaign once N jobs have permanently "
+                          "failed instead of draining the whole sweep "
+                          "(default: drain)")
+    run.add_argument("--hosts", default=None, metavar="SPEC",
+                     help="shard the campaign across a host fleet: "
+                          "'local[:N]' or '[ssh:]host[:N]', comma separated "
+                          "(default: $REPRO_HOSTS, else single-host)")
     run.add_argument("--sanitize", choices=sanitizer_mod.LEVELS, default=None,
                      help="runtime invariant checking tier (default: "
                           "$REPRO_SANITIZE or off)")
@@ -210,6 +231,21 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="store directory (default $REPRO_STORE_DIR "
                                 "or ~/.cache/repro-tcp)")
     store_cmd.set_defaults(func=_cmd_store)
+
+    fleet_cmd = sub.add_parser(
+        "fleet", help="inspect and merge multi-host campaign shards"
+    )
+    fleet_cmd.add_argument(
+        "action",
+        choices=("status", "merge"),
+        help="status: list per-host store shards and their record "
+             "counts; merge: fold every shard into the main result log "
+             "(deduped by config fingerprint) and remove it",
+    )
+    fleet_cmd.add_argument("--store-dir", default=None, metavar="DIR",
+                           help="store directory (default $REPRO_STORE_DIR "
+                                "or ~/.cache/repro-tcp)")
+    fleet_cmd.set_defaults(func=_cmd_fleet)
     return parser
 
 
@@ -314,6 +350,45 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.sim import fabric as fabric_mod
+
+    root = args.store_dir or store_mod.default_store_dir()
+    status = fabric_mod.fleet_status(root)
+    print(
+        f"store:  {status['root']} ({status['main_live']} live record(s) "
+        f"in the main log)"
+    )
+    if not status["shards"]:
+        print("shards: none")
+        return 0
+    for shard in status["shards"]:
+        line = (
+            f"  shard {shard['host']}: {shard['live']} live record(s) "
+            f"({shard['records']} total)"
+        )
+        if shard["bad"]:
+            line += f", {shard['bad']} bad"
+        print(line)
+    if args.action == "status":
+        return 0
+
+    store = store_mod.ResultStore(root)
+    merged, adopted = store_mod.merge_shards(store)
+    print(
+        f"merged {merged} shard(s): adopted {adopted} new record(s) "
+        f"into {store.path}"
+    )
+    if store.degraded:
+        print(
+            f"error: StoreDegraded: merge fell back to in-memory-only "
+            f"({store.degraded_reason}); shards were kept on disk",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _campaign_progress(done: int, total: int, key: str, status: str) -> None:
     print(f"  [{done}/{total}] {key}: {status}", flush=True)
 
@@ -376,8 +451,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     f"({100.0 * done / total:.0f}%) before interruption"
                 )
 
+    hosts = args.hosts if args.hosts is not None else os.environ.get("REPRO_HOSTS")
     failures = 0
-    if args.jobs != 1:
+    if args.jobs != 1 or hosts:
         from repro.sim import prewarm
 
         started = time.time()
@@ -390,6 +466,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             stall_timeout=args.stall_timeout,
             progress=_campaign_progress,
             worker_mode=args.worker_mode,
+            hosts=hosts,
+            max_failures=args.max_failures,
         )
         recycled = (
             f", {report.recycled} worker(s) recycled" if report.recycled else ""
@@ -400,6 +478,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"({report.skipped} skipped, {report.retried} attempt(s) "
             f"retried{recycled})"
         )
+        if report.per_host:
+            shares = ", ".join(
+                f"{host}={count}" for host, count in sorted(report.per_host.items())
+            )
+            print(f"fleet: {shares}")
+        if report.hosts_lost:
+            print(
+                f"fleet losses: {report.hosts_lost} host(s) lost, "
+                f"{report.reassigned} job(s) reassigned"
+            )
         health_line = report.store_health_line()
         if health_line:
             print(health_line)
@@ -409,6 +497,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if report.profile_dir:
             print(f"profiles: {report.profile_dir}")
         print()
+        if report.interrupted:
+            # A graceful SIGTERM/SIGINT: completed work is checkpointed;
+            # resume with the same command to pick up where it stopped.
+            print(report.summary(), file=sys.stderr)
+            print(
+                "interrupted: campaign stopped by signal; completed results "
+                "were checkpointed — re-run with --resume to continue",
+                file=sys.stderr,
+            )
+            return 130
+        if report.aborted is not None:
+            print(report.summary(), file=sys.stderr)
+            print(f"error: campaign aborted: {report.aborted}", file=sys.stderr)
+            return 1
+        if report.fleet_degraded is not None:
+            # The campaign completed, but not on the fleet the user
+            # asked for: report it under its taxonomy name and fail.
+            print(
+                f"error: FleetDegraded: {report.fleet_degraded}",
+                file=sys.stderr,
+            )
+            failures += 1
         if not report.ok:
             print(report.summary(), file=sys.stderr)
             failures += report.failed

@@ -9,20 +9,26 @@ statistics.  :mod:`repro.sim.sweep` runs labelled configuration
 matrices over the suite with a process-level result cache (experiments
 share baseline runs).
 
-Campaign fault tolerance lives in two modules:
+Campaign fault tolerance lives in three modules:
 :mod:`repro.sim.store` is the persistent checkpoint tier below the
-in-process cache (validated, schema-versioned, config-hash keyed), and
+in-process cache (validated, schema-versioned, config-hash keyed),
 :mod:`repro.sim.resilience` supervises parallel campaigns — crash
 isolation, per-job timeouts, bounded retries, structured error
-taxonomy, and a deterministic fault injector for testing.
+taxonomy, graceful shutdown, and a deterministic fault injector for
+testing — and :mod:`repro.sim.fabric` shards a campaign across hosts,
+surviving lost, partitioned, or slow ones.
 """
 
 from repro.sim.config import PREFETCHERS, SimulationConfig, prefetcher_factory
 from repro.sim.parallel import experiment_configs, prewarm
 from repro.sim.resilience import (
     WORKER_MODES,
+    CampaignInterrupted,
     CampaignReport,
     CorruptResult,
+    FleetDegraded,
+    HostLost,
+    HostPartition,
     InvariantViolation,
     JobFailure,
     JobTimeout,
@@ -39,10 +45,28 @@ from repro.sim.sanitizer import Sanitizer, build_sanitizer, sanitize_level
 from repro.sim.store import ResultStore, active_store, set_active_store, use_store
 from repro.sim.sweep import Sweep, improvement_table
 
+
+def __getattr__(name):
+    # Lazy re-exports: fabric must stay importable as ``python -m
+    # repro.sim.fabric`` (the agent entry point) without tripping
+    # runpy's already-in-sys.modules warning, so the package does not
+    # import it eagerly.
+    if name in ("HostSpec", "parse_hosts"):
+        from repro.sim import fabric
+
+        return getattr(fabric, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "PREFETCHERS",
+    "CampaignInterrupted",
     "CampaignReport",
     "CorruptResult",
+    "FleetDegraded",
+    "HostLost",
+    "HostPartition",
+    "HostSpec",
     "InvariantViolation",
     "JobFailure",
     "JobTimeout",
@@ -62,6 +86,7 @@ __all__ = [
     "build_sanitizer",
     "experiment_configs",
     "improvement_table",
+    "parse_hosts",
     "prefetcher_factory",
     "prewarm",
     "resolve_worker_mode",

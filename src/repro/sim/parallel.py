@@ -45,8 +45,10 @@ from repro.sim.config import SimulationConfig
 from repro.sim.resilience import (
     CampaignReport,
     RetryPolicy,
+    graceful_shutdown,
     resolve_worker_mode,
     run_supervised,
+    shutdown_requested,
 )
 from repro.sim.results import SimResult, validate_result
 from repro.sim.runner import _RESULT_CACHE, simulate
@@ -139,6 +141,8 @@ def prewarm(
     progress: Optional[Callable[[int, int, str, str], None]] = None,
     worker_mode: Optional[str] = None,
     trace_cache: Union[None, bool, str] = None,
+    hosts: Union[None, str, Sequence] = None,
+    max_failures: Optional[int] = None,
 ) -> CampaignReport:
     """Fill the result cache for ``configs`` x ``benchmarks`` in parallel.
 
@@ -173,6 +177,22 @@ def prewarm(
     mid-run checkpoint markers (``progress.jsonl``) so a preempted long
     job reports how far it got; a job's marker is dropped once its
     result is checkpointed for real.
+
+    ``hosts`` shards the campaign across a fleet instead of local
+    workers: a :func:`repro.sim.fabric.parse_hosts` spec string (e.g.
+    ``"local:2"`` or ``"ssh:node-a:4,node-b"``) or a prepared
+    ``HostSpec`` sequence.  Each host runs an agent process, writes its
+    finished results to its own store shard, and the fabric coordinator
+    reassigns a lost host's work to the survivors; when every host is
+    unreachable, the leftover jobs fall back to the local supervisor
+    and the report carries ``fleet_degraded``.  Shards (including those
+    of a previous crashed coordinator) are merged into the main log
+    before the pending scan, so ``--resume`` is fleet-wide.
+
+    ``max_failures`` aborts the campaign (``report.aborted``) once that
+    many jobs have permanently failed, instead of draining the sweep.
+    SIGTERM/SIGINT similarly stop the campaign at the next job boundary
+    with ``report.interrupted`` set, after checkpointing what finished.
     """
     config_list = list(configs) if configs is not None else experiment_configs()
     names = tuple(benchmarks) if benchmarks is not None else BENCHMARK_ORDER
@@ -180,6 +200,17 @@ def prewarm(
     if accesses <= 0:
         raise ValueError(f"scale must be positive, got {accesses}")
     store = store_mod.active_store()
+    if store is not None:
+        # Fold in any host shards left by an earlier fleet run whose
+        # coordinator died before merging: fleet-wide resume means the
+        # pending scan below must see every result any host finished.
+        store_mod.merge_shards(store)
+
+    host_specs = None
+    if hosts is not None:
+        from repro.sim import fabric as fabric_mod
+
+        host_specs = fabric_mod.parse_hosts(hosts) if isinstance(hosts, str) else list(hosts)
 
     report = CampaignReport()
     pending: List[Job] = []
@@ -214,13 +245,20 @@ def prewarm(
             if total <= 0 or job_key not in by_key:
                 return
             last = marked.get(job_key, 0)
-            if done - last < total // 10 + 1:
+            # A shutdown is in flight: every beat is the potential last
+            # word on this job, so bypass the 10% write damping.
+            if done - last < total // 10 + 1 and not shutdown_requested():
                 return
             marked[job_key] = done
             workload, config, accesses = by_key[job_key]
             store.put_progress(workload, accesses, config, done, total, sim_time)
 
-    policy = RetryPolicy(retries=retries, timeout=timeout, stall_timeout=stall_timeout)
+    policy = RetryPolicy(
+        retries=retries,
+        timeout=timeout,
+        stall_timeout=stall_timeout,
+        max_failures=max_failures,
+    )
     mode = resolve_worker_mode(worker_mode, default="pool")
     cache_root = trace_io.resolve_trace_cache(trace_cache)
 
@@ -305,23 +343,54 @@ def prewarm(
             with obs_spans.span("trace-precache", scale=accesses):
                 for name in dict.fromkeys(job[0] for job in pending):
                     cache_trace(name, accesses)
-        report.merge(
-            run_supervised(
-                pending,
+        # One signal interrupts cleanly (checkpoint, reap workers, exit
+        # 130 upstream); a second of the same kind is immediately fatal.
+        stack.enter_context(graceful_shutdown())
+
+        def _local_run(
+            batch: List[Job], settled: int = 0
+        ) -> CampaignReport:
+            local_progress = progress
+            if settled and progress is not None:
+
+                def local_progress(done: int, _total: int, k: str, s: str) -> None:
+                    progress(settled + done, len(pending), k, s)
+
+            return run_supervised(
+                batch,
                 _run_job,
                 workers=jobs,
                 policy=policy,
                 key=_job_key,
                 validate=validate_result,
-                progress=progress,
+                progress=local_progress,
                 heartbeat=heartbeat,
                 child_setup=_silence_worker_store,
-                in_process=True if jobs == 1 or len(pending) == 1 else None,
+                in_process=True if jobs == 1 or len(batch) == 1 else None,
                 mode=mode,
                 group=lambda job: job[0],
                 span=span_cb,
             )
-        )
+
+        if host_specs:
+            from repro.sim import fabric as fabric_mod
+
+            report.merge(
+                fabric_mod.run_fleet(
+                    pending,
+                    hosts=host_specs,
+                    key=_job_key,
+                    store_root=store.root if store is not None else None,
+                    policy=policy,
+                    group=lambda job: job[0],
+                    progress=progress,
+                    heartbeat=heartbeat,
+                    span=span_cb,
+                    fallback=_local_run,
+                )
+            )
+        else:
+            report.merge(_local_run(pending))
 
         # Install successes into the in-process cache and checkpoint
         # them (inside the campaign span: persisting is campaign work).
@@ -331,7 +400,11 @@ def prewarm(
                 _RESULT_CACHE[(workload, n_accesses, config)] = result
                 if store is not None:
                     store.put(workload, n_accesses, config, result)
-        if store is not None and report.ok:
+        if store is not None and host_specs:
+            # Fold the fleet's host shards into the main log (deduped by
+            # config fingerprint; the main log wins ties) and drop them.
+            store_mod.merge_shards(store)
+        if store is not None and report.ok and not report.interrupted and report.aborted is None:
             store.clear_progress()  # campaign finished; markers are stale
         if store is not None:
             report.store_health = store.health()
@@ -344,6 +417,10 @@ def prewarm(
             counter("campaign.skipped").inc(report.skipped)
             counter("campaign.retried").inc(report.retried)
             counter("campaign.recycled").inc(report.recycled)
+            if report.hosts_lost:
+                counter("campaign.hosts_lost").inc(report.hosts_lost)
+            if report.reassigned:
+                counter("campaign.reassigned").inc(report.reassigned)
             if store is not None and store.degraded:
                 counter("campaign.store_degraded").inc()
 

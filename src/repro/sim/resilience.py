@@ -61,8 +61,13 @@ from repro.obs import profile as obs_profile
 from repro.obs import spans as obs_spans
 
 __all__ = [
+    "CampaignInterrupted",
     "CampaignReport",
     "CorruptResult",
+    "FleetDegraded",
+    "HOST_FAULT_KINDS",
+    "HostLost",
+    "HostPartition",
     "IO_FAULT_KINDS",
     "InvariantViolation",
     "JobFailure",
@@ -76,15 +81,21 @@ __all__ = [
     "WorkerCrash",
     "default_workers",
     "emit_heartbeat",
+    "graceful_shutdown",
     "heartbeat_active",
     "is_retryable",
     "maybe_inject_fault",
+    "maybe_inject_host_fault",
     "maybe_inject_io_fault",
+    "request_shutdown",
     "resolve_worker_mode",
     "run_supervised",
     "set_fault_injector",
     "set_heartbeat_sink",
+    "set_host_fault_injector",
     "set_io_fault_injector",
+    "shutdown_requested",
+    "shutdown_watch_active",
     "supervision_context",
 ]
 
@@ -133,6 +144,48 @@ class StoreDegraded(SimulationError):
     """
 
 
+class HostLost(WorkerCrash):
+    """A fleet host (its agent process or transport) died mid-campaign.
+
+    Subclasses :class:`WorkerCrash` because the recovery story is the
+    same — the in-flight job is charged one attempt and reassigned —
+    just one supervision level up: a host is to the fleet coordinator
+    what a worker process is to the pool supervisor.
+    """
+
+
+class HostPartition(StallTimeout):
+    """A fleet host stopped responding (heartbeat-silent) but never died.
+
+    The network-partition analogue of a worker stall: the transport is
+    nominally alive, yet nothing — heartbeats, results, errors — has
+    arrived within the stall window.  The coordinator treats the host
+    as lost (its jobs are reassigned) because an unreachable host and a
+    dead one are indistinguishable from this side of the wire.
+    """
+
+
+class FleetDegraded(SimulationError):
+    """Every fleet host became unreachable; the campaign fell back to
+    single-host (local, in-tree supervisor) execution.
+
+    Like :class:`StoreDegraded`, this is a *reporting* class: the
+    campaign still completes — locally — but the CLI surfaces the
+    degradation under this name and exits nonzero, because the
+    requested fleet never materialised or was entirely lost.
+    """
+
+
+class CampaignInterrupted(SimulationError):
+    """The campaign was stopped by SIGTERM/SIGINT before it finished.
+
+    Raised from in-process supervision paths when a graceful-shutdown
+    request arrives mid-run; multiprocess supervisors instead stop
+    dispatching, reap their workers, and return a partial report with
+    ``interrupted`` set.  Either way no completed result is lost.
+    """
+
+
 class InvariantViolation(SimulationError):
     """The simulator's internal state broke a runtime invariant.
 
@@ -164,6 +217,10 @@ ERROR_CLASSES: Dict[str, type] = {
     "CorruptResult": CorruptResult,
     "InvariantViolation": InvariantViolation,
     "StoreDegraded": StoreDegraded,
+    "HostLost": HostLost,
+    "HostPartition": HostPartition,
+    "FleetDegraded": FleetDegraded,
+    "CampaignInterrupted": CampaignInterrupted,
 }
 
 
@@ -172,9 +229,10 @@ def is_retryable(error: SimulationError) -> bool:
 
     Crashes, timeouts, and transient corruption are worth retrying; an
     :class:`InvariantViolation` is deterministic simulator breakage and
-    is not.
+    is not, and a :class:`CampaignInterrupted` means the operator asked
+    us to stop — retrying would defy the shutdown request.
     """
-    return not isinstance(error, InvariantViolation)
+    return not isinstance(error, (InvariantViolation, CampaignInterrupted))
 
 
 def _rebuild_error(kind: str, message: str) -> SimulationError:
@@ -205,6 +263,14 @@ FAULT_KINDS = ("crash", "error", "timeout", "corrupt", "state-corrupt", "stall")
 #: mid-flush leaves behind, so the next loader must truncate it.
 IO_FAULT_KINDS = ("io-enospc", "io-eio", "io-torn")
 
+#: fleet-layer fault kinds, injected at the coordinator against whole
+#: hosts rather than into jobs: ``host-lost`` kills a host's agent
+#: process outright after a dispatch, ``host-partition`` mutes a host
+#: (its messages are discarded, as if the network dropped them) until
+#: the stall watchdog reclaims it, ``host-slow`` stretches a host's
+#: job turnaround without ever losing it — the host must survive.
+HOST_FAULT_KINDS = ("host-lost", "host-partition", "host-slow")
+
 #: test hook: a callable ``(job_key, attempt) -> Optional[str]``
 #: returning a fault kind (or None).  Takes precedence over the
 #: environment knobs.  Only effective in-process or under ``fork``.
@@ -213,6 +279,10 @@ _FAULT_INJECTOR: Optional[Callable[[str, int], Optional[str]]] = None
 #: test hook for the I/O layer, same shape, keyed by operation
 #: (e.g. ``store|results.jsonl|swim@100000``) instead of job.
 _IO_FAULT_INJECTOR: Optional[Callable[[str, int], Optional[str]]] = None
+
+#: test hook for the fleet layer, same shape, keyed by host
+#: (``(host_id, dispatch_number)``) instead of job.
+_HOST_FAULT_INJECTOR: Optional[Callable[[str, int], Optional[str]]] = None
 
 
 def set_fault_injector(
@@ -229,6 +299,14 @@ def set_io_fault_injector(
     """Install (or with ``None`` clear) the I/O fault-injection callable."""
     global _IO_FAULT_INJECTOR
     _IO_FAULT_INJECTOR = injector
+
+
+def set_host_fault_injector(
+    injector: Optional[Callable[[str, int], Optional[str]]],
+) -> None:
+    """Install (or with ``None`` clear) the host fault-injection callable."""
+    global _HOST_FAULT_INJECTOR
+    _HOST_FAULT_INJECTOR = injector
 
 
 def _unit_interval(token: str) -> float:
@@ -258,6 +336,8 @@ def maybe_inject_fault(job_key: str, attempt: int) -> Optional[str]:
     kind = os.environ.get(FAULT_KIND_ENV, "crash")
     if kind in IO_FAULT_KINDS:
         return None  # an I/O fault targets writes, not jobs
+    if kind in HOST_FAULT_KINDS:
+        return None  # a host fault targets whole fleet hosts, not jobs
     return kind if kind in FAULT_KINDS else "crash"
 
 
@@ -282,6 +362,33 @@ def maybe_inject_io_fault(op_key: str, attempt: int = 1) -> Optional[str]:
     if kind not in IO_FAULT_KINDS:
         return None
     if rate <= 0.0 or _unit_interval(f"iofault|{op_key}|{attempt}") >= rate:
+        return None
+    return kind
+
+
+def maybe_inject_host_fault(host_id: str, dispatch: int = 1) -> Optional[str]:
+    """The host fault kind planned for this (host, dispatch), if any.
+
+    Same deterministic scheme as :func:`maybe_inject_fault`, but keyed
+    by host and restricted to :data:`HOST_FAULT_KINDS`, so
+    ``REPRO_FAULT_KIND=host-lost`` perturbs the fleet layer while
+    leaving both job execution and the persistence layer untouched —
+    and, critically, leaving the local-fallback workers a degraded
+    fleet runs on completely healthy.
+    """
+    if _HOST_FAULT_INJECTOR is not None:
+        return _HOST_FAULT_INJECTOR(host_id, dispatch)
+    rate_text = os.environ.get(FAULT_RATE_ENV)
+    if not rate_text:
+        return None
+    try:
+        rate = float(rate_text)
+    except ValueError:
+        return None
+    kind = os.environ.get(FAULT_KIND_ENV, "")
+    if kind not in HOST_FAULT_KINDS:
+        return None
+    if rate <= 0.0 or _unit_interval(f"hostfault|{host_id}|{dispatch}") >= rate:
         return None
     return kind
 
@@ -387,6 +494,113 @@ def _reset_child_obs(
 
 
 # ---------------------------------------------------------------------------
+# Graceful shutdown
+# ---------------------------------------------------------------------------
+
+#: process-wide "stop now" latch set by SIGTERM/SIGINT under
+#: :func:`graceful_shutdown` (or directly via :func:`request_shutdown`).
+#: Supervisor loops poll it between dispatches: no new work starts, live
+#: workers are reaped (terminate, then kill), and the campaign returns a
+#: partial report with ``interrupted`` set instead of dying mid-write.
+_SHUTDOWN_REQUESTED = False
+
+#: signal number that triggered the shutdown (for the exit-status story:
+#: 128+SIGTERM vs 130 for SIGINT), or None.
+_SHUTDOWN_SIGNAL: Optional[int] = None
+
+
+def request_shutdown(signum: Optional[int] = None) -> None:
+    """Latch a graceful-shutdown request (idempotent, signal-safe)."""
+    global _SHUTDOWN_REQUESTED, _SHUTDOWN_SIGNAL
+    _SHUTDOWN_REQUESTED = True
+    if _SHUTDOWN_SIGNAL is None:
+        _SHUTDOWN_SIGNAL = signum
+
+
+def shutdown_requested() -> bool:
+    """Whether a graceful shutdown has been requested in this process."""
+    return _SHUTDOWN_REQUESTED
+
+
+def shutdown_signal() -> Optional[int]:
+    """The signal that triggered the pending shutdown, if any."""
+    return _SHUTDOWN_SIGNAL
+
+
+def clear_shutdown() -> None:
+    """Reset the shutdown latch (tests, and campaign (re)entry)."""
+    global _SHUTDOWN_REQUESTED, _SHUTDOWN_SIGNAL
+    _SHUTDOWN_REQUESTED = False
+    _SHUTDOWN_SIGNAL = None
+
+
+#: live :class:`graceful_shutdown` contexts with handlers installed —
+#: tells the simulation's progress probe that a mid-run shutdown check
+#: is worth the compare even when no heartbeat sink is active.
+_SHUTDOWN_WATCHERS = 0
+
+
+def shutdown_watch_active() -> bool:
+    """Whether a graceful-shutdown context is watching this process."""
+    return _SHUTDOWN_WATCHERS > 0
+
+
+class graceful_shutdown:
+    """Context manager installing SIGTERM/SIGINT → :func:`request_shutdown`.
+
+    The first signal latches the request and lets the supervisor wind
+    down cleanly (checkpoint markers, reap workers, partial report); a
+    second signal of the same kind restores default disposition mid-way
+    so an operator can still force an exit.  Installing handlers is only
+    legal from the main thread — elsewhere (e.g. a campaign driven from
+    a worker thread) this degrades to a no-op and the usual
+    KeyboardInterrupt path applies.
+    """
+
+    def __init__(self) -> None:
+        self._previous: Dict[int, Any] = {}
+
+    def __enter__(self) -> "graceful_shutdown":
+        import signal as _signal
+
+        clear_shutdown()
+
+        def _handle(signum: int, frame: Any) -> None:
+            request_shutdown(signum)
+            # A repeat signal means "stop waiting": fall back to the
+            # default disposition so the next one is fatal.
+            try:
+                _signal.signal(signum, _signal.SIG_DFL)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+        for signum in (_signal.SIGTERM, _signal.SIGINT):
+            try:
+                self._previous[signum] = _signal.signal(signum, _handle)
+            except (ValueError, OSError):
+                # Not the main thread (or an embedded interpreter):
+                # graceful shutdown degrades to a no-op.
+                break
+        if self._previous:
+            global _SHUTDOWN_WATCHERS
+            _SHUTDOWN_WATCHERS += 1
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        import signal as _signal
+
+        if self._previous:
+            global _SHUTDOWN_WATCHERS
+            _SHUTDOWN_WATCHERS -= 1
+        for signum, previous in self._previous.items():
+            try:
+                _signal.signal(signum, previous)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        self._previous.clear()
+
+
+# ---------------------------------------------------------------------------
 # Platform probes
 # ---------------------------------------------------------------------------
 
@@ -478,6 +692,10 @@ class RetryPolicy:
     backoff_base: float = 0.05
     #: backoff ceiling.
     backoff_max: float = 2.0
+    #: fail-fast budget: abort the whole campaign once this many jobs
+    #: have *permanently* failed (exhausted their retries), instead of
+    #: draining the rest of a doomed sweep.  None = drain everything.
+    max_failures: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.retries < 0:
@@ -487,6 +705,10 @@ class RetryPolicy:
         if self.stall_timeout is not None and self.stall_timeout <= 0:
             raise ValueError(
                 f"stall timeout must be positive, got {self.stall_timeout}"
+            )
+        if self.max_failures is not None and self.max_failures < 1:
+            raise ValueError(
+                f"max failures must be >= 1, got {self.max_failures}"
             )
 
     def backoff(self, job_key: str, attempt: int) -> float:
@@ -532,6 +754,20 @@ class CampaignReport:
     #: durability counters from the campaign's result store
     #: (:meth:`repro.sim.store.ResultStore.health`), else None.
     store_health: Optional[Dict[str, Any]] = None
+    #: a graceful-shutdown request (SIGTERM/SIGINT) cut the campaign
+    #: short; ``completed`` holds everything that finished before it.
+    interrupted: bool = False
+    #: human-readable reason the campaign aborted early (``max_failures``
+    #: fail-fast tripped), else None.
+    aborted: Optional[str] = None
+    #: fleet hosts that died or partitioned mid-campaign.
+    hosts_lost: int = 0
+    #: jobs reassigned from a lost host to a survivor.
+    reassigned: int = 0
+    #: successful jobs per fleet host id (fleet campaigns only).
+    per_host: Dict[str, int] = field(default_factory=dict)
+    #: reason the fleet degraded to single-host local execution, else None.
+    fleet_degraded: Optional[str] = None
 
     @property
     def executed(self) -> int:
@@ -551,6 +787,15 @@ class CampaignReport:
         self.skipped += other.skipped
         self.retried += other.retried
         self.recycled += other.recycled
+        self.hosts_lost += other.hosts_lost
+        self.reassigned += other.reassigned
+        for host, count in other.per_host.items():
+            self.per_host[host] = self.per_host.get(host, 0) + count
+        self.interrupted = self.interrupted or other.interrupted
+        if self.aborted is None:
+            self.aborted = other.aborted
+        if self.fleet_degraded is None:
+            self.fleet_degraded = other.fleet_degraded
         if self.trace_path is None:
             self.trace_path = other.trace_path
         if self.profile_dir is None:
@@ -585,6 +830,22 @@ class CampaignReport:
         )
         if self.recycled:
             head += f", {self.recycled} worker(s) recycled"
+        if self.hosts_lost:
+            head += (
+                f", {self.hosts_lost} host(s) lost"
+                f" ({self.reassigned} job(s) reassigned)"
+            )
+        if self.per_host:
+            parts = ", ".join(
+                f"{host}={count}" for host, count in sorted(self.per_host.items())
+            )
+            head += f"\nper-host: {parts}"
+        if self.fleet_degraded:
+            head += f"\nFLEET DEGRADED to single-host: {self.fleet_degraded}"
+        if self.interrupted:
+            head += "\nINTERRUPTED: campaign stopped early by signal; partial results above"
+        if self.aborted:
+            head += f"\nABORTED: {self.aborted}"
         health_line = self.store_health_line()
         if health_line:
             head += f"\n{health_line}"
@@ -708,6 +969,18 @@ def _run_in_process(
     total = len(jobs)
     first = attempt_offset + 1
     for job in jobs:
+        if shutdown_requested():
+            report.interrupted = True
+            break
+        if (
+            policy.max_failures is not None
+            and report.failed >= policy.max_failures
+        ):
+            report.aborted = (
+                f"stopped after {report.failed} permanent failure(s) "
+                f"(max-failures={policy.max_failures})"
+            )
+            break
         job_key = key(job)
         last: SimulationError = SimulationError("no attempts made")
         attempts_made = 0
@@ -755,12 +1028,19 @@ def _run_in_process(
                         raise CorruptResult(f"{job_key}: {exc}") from exc
                 report.completed[job_key] = result
                 break
+            except CampaignInterrupted:
+                # Shutdown arrived mid-run: the half-done job is not a
+                # failure — it simply never finished.  Resume covers it.
+                report.interrupted = True
+                break
             except SimulationError as exc:
                 last = exc
                 if not is_retryable(exc):
                     break  # deterministic breakage: retrying cannot help
             except Exception as exc:
                 last = SimulationError(f"{type(exc).__name__}: {exc}")
+        if report.interrupted and job_key not in report.completed:
+            break
         if job_key not in report.completed:
             report.failures.append(
                 JobFailure(job_key, type(last).__name__, str(last), attempts_made)
@@ -1108,6 +1388,18 @@ def _run_pool(
             _dispatch(worker)
 
         while any(groups.values()) or any(w.current for w in pool):
+            if shutdown_requested():
+                report.interrupted = True
+                break
+            if (
+                policy.max_failures is not None
+                and report.failed >= policy.max_failures
+            ):
+                report.aborted = (
+                    f"stopped after {report.failed} permanent failure(s) "
+                    f"(max-failures={policy.max_failures})"
+                )
+                break
             now = time.monotonic()
             # Watchdog: wall-clock deadlines and heartbeat stalls, for
             # workers with a job in flight only.  Drain first so a
@@ -1213,20 +1505,29 @@ def _run_pool(
                     _dispatch(worker)
                 # else: heartbeats only — the worker is alive and working.
     finally:
+        stopping_early = report.interrupted or report.aborted is not None
         for worker in pool:
             try:
                 worker.job_conn.send(("stop",))
             except (BrokenPipeError, OSError):
                 pass
         for worker in pool:
+            if stopping_early and worker.process.is_alive():
+                # A mid-job worker only reads the stop message between
+                # jobs; don't wait out its simulation on a shutdown.
+                worker.process.terminate()
             worker.process.join(timeout=2.0)
             if worker.process.is_alive():
                 worker.process.terminate()
                 worker.process.join(timeout=2.0)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.kill()
+                worker.process.join(timeout=2.0)
+            _abort_spans(worker)
             worker.job_conn.close()
             worker.result_conn.close()
 
-    if fallback:
+    if fallback and not (report.interrupted or report.aborted):
         # Per-attempt mode is the retry path: each fallback job already
         # burned attempt 1 in the pool, so the sub-supervisor numbers
         # its attempts from 2 (attempt_offset=1) and inherits the full
@@ -1461,6 +1762,18 @@ def run_supervised(
 
     try:
         while ready or running:
+            if shutdown_requested():
+                report.interrupted = True
+                break
+            if (
+                policy.max_failures is not None
+                and report.failed >= policy.max_failures
+            ):
+                report.aborted = (
+                    f"stopped after {report.failed} permanent failure(s) "
+                    f"(max-failures={policy.max_failures})"
+                )
+                break
             now = time.monotonic()
             # Launch whatever is ready while worker slots are free.
             ready.sort(key=lambda item: item[3])
@@ -1544,5 +1857,9 @@ def run_supervised(
         for attempt in running:  # interrupted: never leak worker processes
             attempt.process.terminate()
             attempt.process.join(timeout=2.0)
+            if attempt.process.is_alive():  # pragma: no cover - stuck worker
+                attempt.process.kill()
+                attempt.process.join(timeout=2.0)
+            _abort_spans(attempt)
             attempt.conn.close()
     return report

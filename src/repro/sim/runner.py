@@ -87,7 +87,11 @@ def _execute(
     probes = []
     sanitizer = sanitizer_mod.build_sanitizer(config.sanitize)
     corruption = sanitizer_mod.consume_scheduled_corruption()
-    if resilience.heartbeat_active() or corruption is not None:
+    if (
+        resilience.heartbeat_active()
+        or corruption is not None
+        or resilience.shutdown_watch_active()
+    ):
         pending = [corruption]
 
         def progress(done: int, total: int, sim_time: float) -> None:
@@ -98,6 +102,14 @@ def _execute(
                 # undetectable in the measured result.
                 kind, pending[0] = pending[0], None
                 sanitizer_mod.corrupt_state(hierarchy, prefetcher, kind)
+            if resilience.shutdown_requested():
+                # Only the campaign parent runs with a shutdown watch
+                # installed (workers are reaped by their supervisor):
+                # abandon the in-flight simulation at the next progress
+                # mark so a SIGTERM'd in-process campaign stops promptly.
+                raise resilience.CampaignInterrupted(
+                    "graceful shutdown requested mid-simulation"
+                )
             resilience.emit_heartbeat(done, total, sim_time)
 
         probes.append(ProgressProbe(progress))

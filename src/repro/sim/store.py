@@ -79,6 +79,8 @@ __all__ = [
     "config_fingerprint",
     "default_obs_dir",
     "default_store_dir",
+    "list_shards",
+    "merge_shards",
     "set_active_store",
     "store_from_env",
     "use_store",
@@ -186,15 +188,34 @@ class _ScanState:
 
 
 class ResultStore:
-    """Append-only, checksummed, lock-coordinated JSON-lines store."""
+    """Append-only, checksummed, lock-coordinated JSON-lines store.
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    ``results_name`` selects which log file in ``root`` this object
+    fronts.  The default is the main campaign log; fleet host agents
+    pass ``shard-<host>.jsonl`` so every host appends to its *own* log
+    (no cross-host lock contention, no interleaved writers) and the
+    coordinator later folds the shards into the main log with
+    :func:`merge_shards`.  A non-default name gets its own lock,
+    quarantine, and progress siblings (``<stem>.lock`` etc. — extensions
+    chosen so ``shard-*.jsonl`` globs exactly the shard result logs).
+    """
+
+    def __init__(
+        self, root: Union[str, Path], results_name: str = "results.jsonl"
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
-        self.path = self.root / "results.jsonl"
-        self.quarantine_path = self.root / "quarantine.jsonl"
-        self.progress_path = self.root / "progress.jsonl"
-        self._lock = FileLock(self.root / "store.lock", timeout=_lock_timeout())
+        self.path = self.root / results_name
+        stem = Path(results_name).stem
+        if results_name == "results.jsonl":
+            self.quarantine_path = self.root / "quarantine.jsonl"
+            self.progress_path = self.root / "progress.jsonl"
+            lock_name = "store.lock"
+        else:
+            self.quarantine_path = self.root / f"{stem}.quarantine"
+            self.progress_path = self.root / f"{stem}.progress"
+            lock_name = f"{stem}.lock"
+        self._lock = FileLock(self.root / lock_name, timeout=_lock_timeout())
         self._index: Optional[Dict[StoreKey, SimResult]] = None
         self._index_stat: Optional[Tuple[int, int]] = None
         self._latest: Dict[StoreKey, str] = {}
@@ -519,6 +540,71 @@ class ResultStore:
         self.quarantined = 0
         self.stale = 0
 
+    # -- shard merging -----------------------------------------------------
+
+    def merge_from(self, other: "ResultStore") -> int:
+        """Fold another store's live records into this one; returns count.
+
+        Dedupe is by store key — ``(workload, accesses, config
+        fingerprint)`` — and *this* store wins ties: a record already
+        present here is never overwritten by a shard's copy (both were
+        validated results of the same deterministic simulation, so the
+        copies are interchangeable; keeping ours avoids churning the
+        log).  Adopted records are re-appended through the normal
+        checksummed, locked, fault-injected write path, so a merged log
+        is indistinguishable from one written directly.  Never raises
+        on I/O trouble: like :meth:`put`, persistent failure degrades
+        this store to in-memory-only and the adopted results survive in
+        the index (counted as ``lost_writes``).
+        """
+        theirs = other._load()  # a repairing scan under the shard's lock
+        adopted = 0
+        if not self.degraded:
+            try:
+                with self._lock.exclusive() as waited:
+                    self._observe_lock_wait(waited)
+                    self._refresh_locked()
+                    for key, result in theirs.items():
+                        if key in self._index:
+                            continue
+                        line = other._latest.get(key) or _frame(
+                            {
+                                "schema": SCHEMA_VERSION,
+                                "minor": SCHEMA_MINOR,
+                                "workload": key[0],
+                                "accesses": key[1],
+                                "config": key[2],
+                                "result": result.to_dict(),
+                            }
+                        )
+                        try:
+                            self._append_locked(
+                                line, op_key=f"merge|{key[0]}@{key[1]}"
+                            )
+                        except OSError as exc:
+                            self._degrade(exc)
+                            break
+                        self._records += 1
+                        self._latest[key] = line
+                        self._index[key] = result
+                        adopted += 1
+                    self._maybe_compact_locked()
+                    self._index_stat = self._stat()
+            except LockTimeout as exc:
+                self._degrade(exc)
+        if self.degraded:
+            index = self._index if self._index is not None else {}
+            self._index = index
+            for key, result in theirs.items():
+                if key not in index:
+                    index[key] = result
+                    adopted += 1
+                    self.lost_writes += 1
+                    self._count("store.lost_writes")
+        if adopted:
+            self._count("store.merged_records", adopted)
+        return adopted
+
     # -- compaction --------------------------------------------------------
 
     def compact(self, force: bool = False) -> int:
@@ -727,6 +813,45 @@ def _lock_timeout() -> float:
         except ValueError:
             pass
     return 30.0
+
+
+def list_shards(store: ResultStore) -> List[Path]:
+    """Per-host shard logs present in the store root, sorted by name."""
+    return sorted(
+        path
+        for path in store.root.glob("shard-*.jsonl")
+        if path != store.path
+    )
+
+
+def merge_shards(store: ResultStore, remove: bool = True) -> Tuple[int, int]:
+    """Fold every ``shard-<host>.jsonl`` in the root into the main log.
+
+    Returns ``(shards merged, records adopted)``.  With ``remove`` a
+    fully merged shard's log, lock, and progress files are deleted —
+    but only while the main store is healthy, so a merge that degraded
+    mid-way never destroys the only durable copy of a shard's results.
+    Shard quarantine files are always kept: they are evidence.
+
+    Idempotent and crash-safe: dedupe is by store key, so re-running
+    after a coordinator crash (shards present, some already folded)
+    adopts only what is missing.  This is the fleet-wide resume story —
+    any coordinator can pick up whatever shards the hosts left behind.
+    """
+    merged = 0
+    adopted = 0
+    for path in list_shards(store):
+        shard = ResultStore(store.root, results_name=path.name)
+        adopted += store.merge_from(shard)
+        merged += 1
+        if remove and not store.degraded:
+            stem = path.stem
+            for name in (path.name, f"{stem}.lock", f"{stem}.progress"):
+                try:
+                    (store.root / name).unlink(missing_ok=True)
+                except OSError:
+                    pass  # a leftover shard file re-merges harmlessly later
+    return merged, adopted
 
 
 # ---------------------------------------------------------------------------
