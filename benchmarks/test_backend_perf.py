@@ -1,0 +1,108 @@
+"""The backend layer: parity with, and speedup over, the python backend.
+
+The numpy batch-stepping backend (:mod:`repro.backend.vector`) claims
+to be a pure performance change.  This module checks both halves of
+that claim:
+
+* **parity** — on the same trace and configuration the numpy backend
+  must commit exactly the same cycles, instructions, and hierarchy
+  statistics as the ``python`` reference backend, including for the
+  configurations it handles by falling back to the reference loop;
+* **performance** — the numpy/python throughput ratio measured by
+  :func:`repro.bench.backend.run_backend_bench` must not regress by
+  more than 20% against the committed baseline (``BENCH_backend.json``
+  at the repository root).  The ratio compares two backends timed on
+  the same interpreter and host, so the gate is meaningful on any CI
+  machine even though raw accesses/sec are not.
+
+Scale selection follows the shared benchmark convention
+(``REPRO_BENCH_SCALE``); the regression gate uses fewer repeats at
+``quick`` scale, trading noise margin for runtime, which the 20%
+tolerance absorbs.  Note the gate compares ratios measured at possibly
+different scales: at ``quick`` scale the short cold-start-dominated
+traces batch almost nothing, so the fresh ratio reflects mostly the
+scalar epilogue — the committed baseline's 20% floor still holds
+because the epilogue alone clears it.
+"""
+
+import json
+import sys
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.backend import get_backend
+from repro.bench.backend import SCHEMA, run_backend_bench
+from repro.memory import MemoryHierarchy
+from repro.sim.config import SimulationConfig
+from repro.workloads import Scale, generate
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_backend.json"
+
+#: covers the batched path (none, nextline, tcp-8k) and every fallback
+#: reason the numpy backend knows (dbcp-2m observes the access stream,
+#: hybrid-8k gates L1 promotions).
+PARITY_PREFETCHERS = ("none", "nextline", "tcp-8k", "dbcp-2m", "hybrid-8k")
+
+
+def _run_both(workload: str, prefetcher: str, warmup: int = 0):
+    """Run one trace under the python and numpy backends."""
+    trace = generate(workload, Scale.QUICK)
+    config = SimulationConfig.for_prefetcher(prefetcher)
+
+    machines = {}
+    results = {}
+    for name in ("python", "numpy"):
+        machine = MemoryHierarchy(config.hierarchy)
+        machine.attach_prefetcher(config.build_prefetcher())
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            results[name] = get_backend(name).run(
+                trace, machine, config.core, warmup=warmup
+            )
+        machines[name] = machine
+    return results, machines
+
+
+@pytest.mark.parametrize("prefetcher", PARITY_PREFETCHERS)
+@pytest.mark.parametrize("workload", ("swim", "mcf"))
+def test_backends_commit_identical_results(workload, prefetcher):
+    """Python and numpy backends agree bit-for-bit on every outcome."""
+    results, machines = _run_both(workload, prefetcher)
+    assert results["numpy"].cycles == results["python"].cycles
+    assert results["numpy"].instructions == results["python"].instructions
+    assert results["numpy"].accesses == results["python"].accesses
+    assert machines["numpy"].stats == machines["python"].stats
+
+
+def test_backends_match_with_warmup():
+    """Warmup bookkeeping (snapshot point, measured window) also agrees."""
+    results, machines = _run_both("mcf", "tcp-8k", warmup=1000)
+    assert results["numpy"].cycles == results["python"].cycles
+    assert results["numpy"].instructions == results["python"].instructions
+    assert machines["numpy"].stats == machines["python"].stats
+    assert machines["numpy"].warmup_stats == machines["python"].warmup_stats
+
+
+def test_backend_speedup_has_not_regressed(scale):
+    """Fresh numpy/python ratio stays within 20% of the committed baseline.
+
+    This is the CI backend-parity gate.  It re-measures the full
+    default grid (which also re-asserts bit-identical results — the
+    bench raises on any divergence) and compares geomean speedups; a
+    >20% drop means an engine change gave back the backend's win.
+    """
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    assert baseline["schema"] == SCHEMA, (
+        "BENCH_backend.json was written by an incompatible benchmark "
+        "version; regenerate it with `repro-tcp bench --backend numpy`"
+    )
+    repeats = 2 if scale is Scale.QUICK else 3
+    fresh = run_backend_bench(scale=scale, repeats=repeats, log=sys.stderr)
+    floor = baseline["geomean_speedup"] * 0.8
+    assert fresh["geomean_speedup"] >= floor, (
+        f"backend speedup regressed: fresh geomean "
+        f"{fresh['geomean_speedup']:.2f}x is below 80% of the committed "
+        f"baseline ({baseline['geomean_speedup']:.2f}x)"
+    )

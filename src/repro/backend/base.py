@@ -1,0 +1,118 @@
+"""The simulation-backend interface and registry.
+
+A *backend* owns the per-access stepping of one run: given a trace, a
+cold memory hierarchy (prefetcher already attached), and the core
+parameters, it walks the trace and returns the timing result.  The
+contract is strict bit-identity — every backend must produce exactly
+the same :class:`~repro.cpu.core.CoreResult` and leave exactly the
+same counters on ``hierarchy.stats`` as the reference ``python``
+backend, for any configuration.  The differential suites
+(``tests/test_backend.py``, ``tests/test_backend_fuzz.py``, the golden
+corpus, and the 156-run oracle) enforce this, which is what lets
+results from different backends share one result store: the store
+fingerprint deliberately excludes the backend selection.
+
+Selection precedence (mirrors the sanitizer's): an explicit
+``SimulationConfig.backend`` wins, else the ``REPRO_BACKEND``
+environment variable, else ``"python"``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.cpu.core import CoreParams, CoreResult
+    from repro.engine.probes import Probe
+    from repro.memory.hierarchy import MemoryHierarchy
+    from repro.workloads.trace import Trace
+
+__all__ = [
+    "BACKEND_ENV",
+    "Backend",
+    "available_backends",
+    "backend_name",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+]
+
+#: environment variable naming the default backend for a process tree
+#: (campaign workers and fabric agents inherit it).
+BACKEND_ENV = "REPRO_BACKEND"
+
+DEFAULT_BACKEND = "python"
+
+
+class Backend:
+    """One implementation of the per-access simulation loop.
+
+    Backends are stateless between runs: ``run`` builds whatever
+    per-run machinery it needs from its arguments, so one registry
+    instance can serve many (possibly differently configured) runs.
+    """
+
+    #: registry name (also what ``SimResult``-producing layers report).
+    name: str = "abstract"
+
+    def run(
+        self,
+        trace: "Trace",
+        hierarchy: "MemoryHierarchy",
+        params: "CoreParams",
+        warmup: int = 0,
+        probes: Optional[Sequence["Probe"]] = None,
+    ) -> "CoreResult":
+        """Step ``trace`` through ``hierarchy``; return the core result.
+
+        Identical contract to :meth:`repro.cpu.OutOfOrderCore.run`:
+        ``warmup`` accesses train state without being measured, probes
+        fire at shared periodic marks, ``hierarchy.stats`` accumulates
+        the memory-side counters, and ``on_finalize`` is the caller's
+        job (after ``hierarchy.finalize()``).
+        """
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Callable[[], Backend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], Backend]) -> str:
+    """Add (or replace) a named backend factory; returns the name."""
+    _REGISTRY[name] = factory
+    return name
+
+
+def available_backends() -> tuple:
+    """Sorted names of every registered backend."""
+    return tuple(sorted(_REGISTRY))
+
+
+def backend_name(explicit: Optional[str] = None) -> str:
+    """Resolve the backend *name* for a run.
+
+    ``explicit`` (usually ``SimulationConfig.backend``) wins; else the
+    ``REPRO_BACKEND`` environment variable; else ``"python"``.
+    """
+    if explicit is not None:
+        return explicit
+    env = os.environ.get(BACKEND_ENV, "").strip().lower()
+    return env or DEFAULT_BACKEND
+
+
+def get_backend(name: str) -> Backend:
+    """Instantiate the named backend (ValueError lists the options)."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; choose from {available_backends()} "
+            f"(set via SimulationConfig.backend, --backend, or {BACKEND_ENV})"
+        ) from None
+    return factory()
+
+
+def resolve_backend(explicit: Optional[str] = None) -> Backend:
+    """Resolve config/environment precedence and instantiate."""
+    return get_backend(backend_name(explicit))

@@ -1,0 +1,92 @@
+"""The numpy batch-stepping backend (``--backend numpy``).
+
+:class:`NumpyBackend` routes a run to :class:`~repro.backend.vector.
+engine.VectorCore` — whole-trace precomputed state planes, batched
+hit-run stepping, scalar epilogue for misses and control-flow-coupled
+events (see the engine module docstring for the exact layering) — and
+falls back to the reference interpreted loop, with a one-line warning,
+for the configurations the batch model cannot represent:
+
+* a set-associative L1D (the replacement order couples every access);
+* prefetchers that observe the *access* stream (every hit trains
+  state, so there is no pure-timing batch to take — DBCP);
+* gated L1 promotions (asynchronous fills invalidate the precomputed
+  hit mask — the hybrid).
+
+The paper's machine (direct-mapped L1D) with the TCP family, stride,
+stream, markov, and nextline prefetchers all take the batched path.
+Either way the results are bit-identical to the python backend; the
+fallback only costs speed, never correctness.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional, Sequence, Set
+
+from repro.backend.base import Backend
+from repro.backend.vector.engine import VectorCore
+from repro.cpu.core import CoreParams, CoreResult, OutOfOrderCore
+from repro.engine.probes import Probe
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.workloads.trace import Trace
+
+__all__ = ["NumpyBackend", "VectorCore"]
+
+#: fallback reasons already warned about (once per process, not per run).
+_WARNED_FALLBACKS: Set[str] = set()
+
+
+def _fallback_reason(hierarchy: MemoryHierarchy) -> Optional[str]:
+    """Why this run cannot take the batched path (None = it can)."""
+    if hierarchy._l1_lines is None:
+        return "set-associative L1D"
+    if hierarchy._needs_access:
+        return "prefetcher observes the access stream"
+    if hierarchy._promotions_enabled:
+        return "gated L1 promotions"
+    if hierarchy.l2d._direct_mapped:
+        return "direct-mapped L2"
+    return None
+
+
+class NumpyBackend(Backend):
+    """Batch-stepping engine with a bit-exact scalar epilogue."""
+
+    name = "numpy"
+
+    def __init__(self, vector_min: Optional[int] = None) -> None:
+        self.vector_min = vector_min
+        #: engine accounting for the last run: VectorCore.engine_stats
+        #: when the batched path ran, or {"fallback": reason} when the
+        #: run was delegated to the reference loop.
+        self.last_engine_stats: dict = {}
+
+    def run(
+        self,
+        trace: Trace,
+        hierarchy: MemoryHierarchy,
+        params: CoreParams,
+        warmup: int = 0,
+        probes: Optional[Sequence[Probe]] = None,
+    ) -> CoreResult:
+        reason = _fallback_reason(hierarchy)
+        if reason is not None:
+            if reason not in _WARNED_FALLBACKS:
+                _WARNED_FALLBACKS.add(reason)
+                warnings.warn(
+                    f"numpy backend: {reason}; this configuration runs on "
+                    "the (bit-identical) python reference loop",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            self.last_engine_stats = {"fallback": reason}
+            core = OutOfOrderCore(params)
+            return core.run(trace, hierarchy, warmup=warmup, probes=probes)
+        if self.vector_min is not None:
+            core = VectorCore(params, vector_min=self.vector_min)
+        else:
+            core = VectorCore(params)
+        result = core.run(trace, hierarchy, warmup=warmup, probes=probes)
+        self.last_engine_stats = core.engine_stats
+        return result

@@ -22,12 +22,18 @@ exist as a result.  This package provides it:
     ``prewarm`` twice — the seed per-attempt pathway vs the warm
     worker pool with the mmap-backed trace cache — enforces per-cell
     result equality, and emits ``BENCH_campaign.json``.
+:mod:`repro.bench.backend`
+    The backend-layer benchmark: pits the numpy batch-stepping backend
+    against the ``python`` reference per (workload, prefetcher) cell,
+    enforces bit-identical results, and emits ``BENCH_backend.json``.
 
-Run them with ``repro-tcp bench`` / ``repro-tcp bench --campaign``
-(see ``docs/usage.md``) or ``python -m repro.bench``.
+Run them with ``repro-tcp bench`` / ``repro-tcp bench --campaign`` /
+``repro-tcp bench --backend numpy`` (see ``docs/usage.md``) or
+``python -m repro.bench``.
 """
 
+from repro.bench.backend import run_backend_bench
 from repro.bench.campaign import run_campaign_bench
 from repro.bench.hotpath import run_hotpath_bench
 
-__all__ = ["run_campaign_bench", "run_hotpath_bench"]
+__all__ = ["run_backend_bench", "run_campaign_bench", "run_hotpath_bench"]

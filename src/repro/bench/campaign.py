@@ -39,6 +39,7 @@ import tempfile
 import time
 from typing import Dict, List, Optional, Sequence, TextIO, Tuple
 
+from repro.backend import backend_name
 from repro.sim import runner
 from repro.sim.config import SimulationConfig
 from repro.sim.parallel import prewarm
@@ -191,6 +192,10 @@ def run_campaign_bench(
         "schema": SCHEMA,
         "scale": scale.name.lower(),
         "repeats": repeats,
+        # Campaign arms run through simulate(), so they honour the
+        # backend selection (REPRO_BACKEND / `repro-tcp bench
+        # --campaign --backend ...`); record which one was timed.
+        "backend": backend_name(),
         "jobs": jobs,
         "workloads": list(workloads),
         "configs": list(config_labels),

@@ -154,6 +154,10 @@ def run_hotpath_bench(
         "schema": SCHEMA,
         "scale": scale.name.lower(),
         "repeats": repeats,
+        # Both arms time the interpreted per-access loop, i.e. the
+        # "python" backend's engine; the numpy backend has its own
+        # bench (repro.bench.backend -> BENCH_backend.json).
+        "backend": "python",
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),

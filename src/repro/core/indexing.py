@@ -28,7 +28,7 @@ import enum
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.util.bitops import fold_xor, mask
+from repro.util.bitops import fold_xor, index_geometry, mask
 
 __all__ = ["IndexFunction", "PHTIndexScheme"]
 
@@ -70,11 +70,16 @@ class PHTIndexScheme:
             )
         # Precomputed masks (not dataclass fields; eq/hash unchanged).
         # compute() runs once per PHT probe — twice per L1 miss — so it
-        # must not rebuild masks on every call.
+        # must not rebuild masks on every call.  The two sub-fields are
+        # index spaces of 2**m and 2**n entries; their (bits, mask)
+        # pairs come from the same bitops helper the cache geometries
+        # use, so the split arithmetic is spelled exactly once.
         m = self.total_index_bits - self.miss_index_bits
         object.__setattr__(self, "sequence_bits", m)
-        object.__setattr__(self, "_sequence_mask", mask(m))
-        object.__setattr__(self, "_miss_mask", mask(self.miss_index_bits))
+        object.__setattr__(self, "_sequence_mask", index_geometry(1 << m)[1])
+        object.__setattr__(
+            self, "_miss_mask", index_geometry(1 << self.miss_index_bits)[1]
+        )
 
     def compute(self, tag_sequence: Sequence[int], miss_index: int) -> int:
         """Return the PHT set index for this (sequence, miss index)."""

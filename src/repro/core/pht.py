@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.core.indexing import IndexFunction, PHTIndexScheme
-from repro.util.bitops import is_power_of_two, log2_exact
+from repro.util.bitops import index_geometry, is_power_of_two
 from repro.util.lruset import LRUSet
 
 __all__ = ["PHTConfig", "PatternHistoryTable"]
@@ -51,7 +51,7 @@ class PHTConfig:
             raise ValueError(f"PHT associativity must be positive, got {self.ways}")
         if self.targets <= 0:
             raise ValueError(f"targets per entry must be positive, got {self.targets}")
-        if self.miss_index_bits > log2_exact(self.sets):
+        if self.miss_index_bits > index_geometry(self.sets)[0]:
             raise ValueError(
                 f"{self.miss_index_bits} miss-index bits cannot fit in a "
                 f"{self.sets}-set PHT index"
@@ -61,7 +61,7 @@ class PHTConfig:
     def index_scheme(self) -> PHTIndexScheme:
         """The Figure 9 index computation for this geometry."""
         return PHTIndexScheme(
-            total_index_bits=log2_exact(self.sets),
+            total_index_bits=index_geometry(self.sets)[0],
             miss_index_bits=self.miss_index_bits,
             function=self.index_function,
         )

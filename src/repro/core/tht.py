@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-from repro.util.bitops import is_power_of_two
+from repro.util.bitops import index_geometry, is_power_of_two
 
 __all__ = ["TagHistoryTable"]
 
@@ -30,7 +30,7 @@ class TagHistoryTable:
         self.depth = depth
         self.tag_bytes = tag_bytes
         #: bits in a row index == the L1's index_bits (one row per set).
-        self.index_bits = rows.bit_length() - 1
+        self.index_bits = index_geometry(rows)[0]
         # Row storage: a list of tuples; row i holds (tag1..tagk),
         # index 0 oldest.  Tuples, not lists: ``read`` then returns the
         # row itself with no per-call copy, and a shift builds exactly

@@ -34,6 +34,7 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.backend import BACKEND_ENV, available_backends
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.obs import metrics as obs_metrics
 from repro.sim import (
@@ -142,6 +143,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="shard the campaign across a host fleet: "
                           "'local[:N]' or '[ssh:]host[:N]', comma separated "
                           "(default: $REPRO_HOSTS, else single-host)")
+    run.add_argument("--backend", choices=available_backends(), default=None,
+                     help="simulation backend for every run in the campaign "
+                          "(workers inherit it; default: REPRO_BACKEND or "
+                          "'python'; results are bit-identical either way)")
     run.add_argument("--sanitize", choices=sanitizer_mod.LEVELS, default=None,
                      help="runtime invariant checking tier (default: "
                           "$REPRO_SANITIZE or off)")
@@ -155,6 +160,11 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate_cmd.add_argument("--prefetcher", default="none",
                               choices=sorted(PREFETCHERS))
     simulate_cmd.add_argument("--scale", type=_parse_scale, default=Scale.STANDARD)
+    simulate_cmd.add_argument("--backend", choices=available_backends(),
+                              default=None,
+                              help="simulation backend (default: REPRO_BACKEND "
+                                   "or 'python'; results are bit-identical "
+                                   "either way)")
     simulate_cmd.add_argument("--sanitize", choices=sanitizer_mod.LEVELS,
                               default=None,
                               help="runtime invariant checking tier (default: "
@@ -184,6 +194,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=sorted(PREFETCHERS), metavar="NAME",
                        help="hot-path prefetchers to time "
                             "(default none/nextline/tcp-8k)")
+    bench.add_argument("--backend", choices=available_backends(), default=None,
+                       help="without --campaign: pit this backend against the "
+                            "python reference per (workload, prefetcher) cell "
+                            "and write BENCH_backend.json; with --campaign: "
+                            "run the campaign bench under this backend")
     bench.add_argument("--jobs", type=int, default=0, metavar="N",
                        help="campaign worker count (0 = each mode's default)")
     bench.add_argument("--output", default=None, metavar="PATH",
@@ -415,6 +430,18 @@ def _apply_obs(value: Optional[str]) -> None:
         os.environ[obs_metrics.OBS_ENV] = value
 
 
+def _apply_backend(name: Optional[str]) -> None:
+    """Install a ``--backend`` choice for this process *and* workers.
+
+    Carried by the environment for the same reason as ``--sanitize``:
+    campaign workers inherit it without threading a flag through every
+    layer.  Safe precisely because backends are bit-identical by
+    contract — the selection can never change a result, only its cost.
+    """
+    if name is not None:
+        os.environ[BACKEND_ENV] = name
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     names: List[str] = (
         list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -424,6 +451,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"error: unknown experiment {name!r}", file=sys.stderr)
             return 2
 
+    _apply_backend(args.backend)
     _apply_sanitize(args.sanitize)
     _apply_obs(args.obs)
     store = _resolve_store(args)
@@ -562,6 +590,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    _apply_backend(args.backend)
     _apply_sanitize(args.sanitize)
     _apply_obs(args.obs)
     base = simulate(args.benchmark, SimulationConfig.baseline(), args.scale)
@@ -584,7 +613,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.campaign:
+        _apply_backend(args.backend)
         return _cmd_bench_campaign(args)
+    if args.backend is not None:
+        return _cmd_bench_backend(args)
     from repro.bench import run_hotpath_bench
     from repro.bench.hotpath import DEFAULT_PREFETCHERS, DEFAULT_WORKLOADS
 
@@ -602,6 +634,34 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"geomean speedup over the legacy driver: "
         f"{document['geomean_speedup']:.2f}x "
         f"(min {document['min_speedup']:.2f}x)"
+    )
+    if output is not None:
+        print(f"wrote {output}")
+    return 0
+
+
+def _cmd_bench_backend(args: argparse.Namespace) -> int:
+    from repro.bench.backend import (
+        DEFAULT_PREFETCHERS,
+        DEFAULT_WORKLOADS,
+        run_backend_bench,
+    )
+
+    output = args.output if args.output is not None else "BENCH_backend.json"
+    output = None if output == "-" else output
+    document = run_backend_bench(
+        workloads=args.workloads or DEFAULT_WORKLOADS,
+        prefetchers=args.prefetchers or DEFAULT_PREFETCHERS,
+        scale=args.scale if args.scale is not None else Scale.STANDARD,
+        repeats=args.repeats,
+        contender=args.backend,
+        output=output,
+        log=sys.stdout,
+    )
+    print(
+        f"geomean speedup of the {args.backend} backend over the python "
+        f"reference: {document['geomean_speedup']:.2f}x "
+        f"(min {document['min_speedup']:.2f}x, results bit-identical)"
     )
     if output is not None:
         print(f"wrote {output}")

@@ -24,7 +24,7 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.util.bitops import log2_exact, mask
+from repro.util.bitops import index_geometry, log2_exact
 
 __all__ = ["CacheGeometry", "LevelMap"]
 
@@ -72,11 +72,11 @@ class CacheGeometry:
                 f"ways*block ({self.ways}*{self.block_bytes})"
             )
         sets = self.size_bytes // (self.ways * self.block_bytes)
-        index_bits = log2_exact(sets)
+        index_bits, index_mask = index_geometry(sets)
         object.__setattr__(self, "sets", sets)
         object.__setattr__(self, "offset_bits", offset_bits)
         object.__setattr__(self, "index_bits", index_bits)
-        object.__setattr__(self, "index_mask", mask(index_bits))
+        object.__setattr__(self, "index_mask", index_mask)
         object.__setattr__(self, "tag_shift", offset_bits + index_bits)
 
     def block_address(self, addr: int) -> int:

@@ -95,12 +95,23 @@ class SimulationConfig:
     #: Checking never changes simulated results, so this field is
     #: excluded from the store's config fingerprint.
     sanitize: Optional[str] = None
+    #: simulation backend ("python" | "numpy"); None defers to the
+    #: ``REPRO_BACKEND`` environment variable (default "python").
+    #: Backends are required to be bit-identical, so the field is
+    #: ``repr=False``: it stays out of ``repr()``-derived store
+    #: fingerprints and golden-corpus filenames — results computed by
+    #: either backend are interchangeable checkpoints.  Equality and
+    #: hashing still include it, so the in-process result cache keys
+    #: runs per backend (the differential tests rely on that).
+    backend: Optional[str] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.sanitize is not None and self.sanitize not in ("off", "cheap", "full"):
             raise ValueError(
                 f"sanitize must be off, cheap, or full, got {self.sanitize!r}"
             )
+        if self.backend is not None and not isinstance(self.backend, str):
+            raise ValueError(f"backend must be a name or None, got {self.backend!r}")
 
     def resolved_label(self) -> str:
         return self.label if self.label is not None else self.prefetcher

@@ -220,6 +220,7 @@ def config_to_wire(config: SimulationConfig) -> Dict[str, Any]:
         "hierarchy": dataclasses.asdict(config.hierarchy),
         "label": config.label,
         "sanitize": config.sanitize,
+        "backend": config.backend,
     }
 
 
@@ -238,6 +239,7 @@ def config_from_wire(payload: Dict[str, Any]) -> SimulationConfig:
         hierarchy=HierarchyParams(**hierarchy),
         label=payload.get("label"),
         sanitize=payload.get("sanitize"),
+        backend=payload.get("backend"),
     )
 
 
@@ -310,6 +312,7 @@ class LocalTransport(Transport):
 #: simulation's semantics or observability can depend on).
 _SSH_FORWARD_ENV = (
     "REPRO_SANITIZE",
+    "REPRO_BACKEND",
     "REPRO_OBS",
     "REPRO_TRACE_CACHE",
     "REPRO_STORE_LOCK_TIMEOUT",

@@ -22,7 +22,7 @@ import warnings
 from contextlib import ExitStack
 from typing import Dict, Optional, Set, Tuple, Union
 
-from repro.cpu import OutOfOrderCore
+from repro.backend import resolve_backend
 from repro.engine.probes import MetricsProbe, ProgressProbe, SanitizerProbe
 from repro.memory import MemoryHierarchy
 from repro.obs import metrics as obs_metrics
@@ -78,7 +78,10 @@ def _execute(
     hierarchy = MemoryHierarchy(config.hierarchy)
     prefetcher = config.build_prefetcher()
     hierarchy.attach_prefetcher(prefetcher)
-    core = OutOfOrderCore(config.core)
+    # Backend selection: config field -> REPRO_BACKEND -> "python".
+    # All backends are bit-identical by contract, so the choice never
+    # appears in result fingerprints (see SimulationConfig.backend).
+    backend = resolve_backend(config.backend)
     warmup = int(len(trace) * warmup_fraction)
 
     # Observation attaches as engine probes: the heartbeat/fault hook
@@ -123,7 +126,9 @@ def _execute(
     if sanitizer is not None:
         probes.append(SanitizerProbe(sanitizer))
 
-    core_result = core.run(trace, hierarchy, warmup=warmup, probes=probes)
+    core_result = backend.run(
+        trace, hierarchy, config.core, warmup=warmup, probes=probes
+    )
     hierarchy.finalize()
     for probe in probes:
         probe.on_finalize(hierarchy)

@@ -14,6 +14,7 @@ from typing import Iterable
 __all__ = [
     "bit_slice",
     "fold_xor",
+    "index_geometry",
     "is_power_of_two",
     "log2_exact",
     "mask",
@@ -58,6 +59,21 @@ def log2_exact(value: int) -> int:
     if not is_power_of_two(value):
         raise ValueError(f"expected a power of two, got {value}")
     return value.bit_length() - 1
+
+
+def index_geometry(count: int) -> "tuple[int, int]":
+    """Return ``(index_bits, index_mask)`` for a power-of-two table size.
+
+    Every power-of-two-sized lookup structure in the simulator — cache
+    set arrays, THT rows, PHT sets, the vector backend's state planes —
+    derives the same pair of constants from its entry count: the number
+    of index bits and the mask selecting them.  Centralising the pair
+    here keeps the derivations identical everywhere (they used to be
+    re-spelled inline in ``memory/address.py`` and ``core/indexing.py``)
+    and enforces the power-of-two invariant in one place.
+    """
+    bits = log2_exact(count)
+    return bits, mask(bits)
 
 
 def truncated_add(values: Iterable[int], width: int) -> int:
