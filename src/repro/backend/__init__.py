@@ -14,6 +14,11 @@ implementation for a run from ``SimulationConfig.backend``, the
     planes precomputed as ndarrays, hit runs stepped in batches, a
     scalar epilogue for misses/prefetch/MSHR events — bit-identical to
     ``python`` by contract and by differential test.
+``native``
+    the numpy batch path with the scalar epilogue compiled to C
+    (:mod:`repro.backend.native`); requires the ``_native`` extension
+    (built on demand, or via ``pip install .[native]``) and falls back
+    to ``numpy`` with a once-per-process warning when it is missing.
 """
 
 from __future__ import annotations
@@ -27,12 +32,14 @@ from repro.backend.base import (
     register_backend,
     resolve_backend,
 )
+from repro.backend.native import NativeBackend
 from repro.backend.python import PythonBackend
 from repro.backend.vector import NumpyBackend
 
 __all__ = [
     "BACKEND_ENV",
     "Backend",
+    "NativeBackend",
     "NumpyBackend",
     "PythonBackend",
     "available_backends",
@@ -44,3 +51,4 @@ __all__ = [
 
 register_backend("python", PythonBackend)
 register_backend("numpy", NumpyBackend)
+register_backend("native", NativeBackend)

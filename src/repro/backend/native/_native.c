@@ -1,0 +1,1689 @@
+/* _native.c — the compiled scalar epilogue behind the `native` backend.
+ *
+ * This module compiles the flattened per-access miss path of
+ * repro/backend/vector/engine.py (the "scalar epilogue") into a C
+ * extension.  The design constraint is strict bit-identity with the
+ * python reference loop, so the Engine object does NOT keep its own
+ * copies of simulator state: it operates directly on the *live*
+ * Python containers (the MSHR in-flight dict, the L2 per-set LRU
+ * dicts, the THT history rows, the PHT sets, DRAM's completion list,
+ * the poisoned/resident sets) through the CPython C API, and unboxes
+ * only pure scalars (bus clocks, counters) plus flat numpy planes
+ * (trace columns, L1D state, completion/commit timelines) shared with
+ * the Python driver via the buffer protocol.  All floating-point
+ * arithmetic is plain IEEE double in source order — the same ops, in
+ * the same order, that the CPython interpreter performs — so cycle
+ * counts match the reference bit for bit.
+ *
+ * The Python driver (repro/backend/native/engine.py) keeps the numpy
+ * batch path and calls Engine.step(i, limit, ...) for every scalar
+ * stretch; probes, warmup accounting, and span boundaries stay in
+ * Python.  Three callbacks reach back for the paths that must run
+ * interpreted: instruction-fetch misses, generic (non-TCP) prefetcher
+ * training, and L1 eviction events.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <stdint.h>
+#include <string.h>
+#include <time.h>
+
+typedef struct {
+    double t;
+    long long b;
+} HeapItem;
+
+typedef struct {
+    PyObject_HEAD
+
+    /* ---- read-only trace planes (borrowed buffers) ---- */
+    Py_buffer idx_b, instr_b, blocks_b, tags_b, deps_b, load_b, incs_b,
+        l2i_b, l2t_b, fb_b;
+    const long long *idx, *instr, *blocks, *tags, *deps, *l2i, *l2t, *fb;
+    const unsigned char *load;
+    const double *incs;
+    int have_fb;
+
+    /* ---- read-write planes ---- */
+    Py_buffer comp_b, cmt_b;
+    double *comp_arr, *cmt_arr;
+    Py_ssize_t n;
+    Py_buffer l1tag_b, l1la_b, l1ft_b, l1dirty_b;
+    long long *l1tag;
+    double *l1la, *l1ft;
+    unsigned char *l1dirty;
+    Py_buffer thtsum_b;
+    long long *thtsum;
+    int have_thtsum;
+
+    /* ---- live Python containers / objects (owned refs) ---- */
+    PyObject *msh_inf;    /* dict: block -> completion */
+    PyObject *mem_comp;   /* list[float] (mutated in place) */
+    PyObject *pf_inflight;/* list[float] (mutated in place) */
+    PyObject *l2_entries; /* list[dict] */
+    PyObject *l2_sets;    /* list[LRUSet] */
+    PyObject *pht_sets;   /* list[LRUSet] or None */
+    PyObject *tht_hist;   /* list[tuple[int, ...]] or None */
+    PyObject *poisoned;   /* set[int] */
+    PyObject *resident;   /* set[int] */
+    PyObject *cacheline;  /* CacheLine class */
+    PyObject *l1i_lookup; /* bound method */
+    PyObject *ab, *db, *mab, *mdb; /* buses */
+    PyObject *mshr, *memory, *hierarchy;
+    PyObject *ifetch_cb, *observe_cb, *evict_cb;
+
+    /* ---- machine scalars ---- */
+    long long window;
+    Py_ssize_t lsq;
+    double ls_s, inv_cr;
+    long long l1_lat, l2_lat, l1_beats, mem_beats, mem_lat;
+    Py_ssize_t mem_maxc, msh_entries, l2_ways, pf_max, pht_ways, pht_targets;
+    long long l2_shift, l2_imask, l1_ib, l1i_mask, seq_mask, miss_mask;
+    int l2_ibits, l1i_bits, n_bits, tht_ib;
+    long long pf_delay;
+    double pf_busy_thr;
+    int lru_pf, ideal_l2, model_icache, tcp_fast, has_prefetcher, needs_evict;
+
+    /* ---- mirrored component scalars (synced at boundaries) ---- */
+    double a_nf, a_by, a_qc;
+    long long a_tr;
+    double d_nf, d_by, d_qc;
+    long long d_tr;
+    double ma_nf, ma_by, ma_qc;
+    long long ma_tr;
+    double md_nf, md_by, md_qc;
+    long long md_tr;
+    long long msh_fs, msh_mg, msh_pk;
+    long long mem_acc;
+
+    /* ---- lazy-deletion MSHR heap (C-owned; rebuilt on sync_in) ---- */
+    HeapItem *heap;
+    Py_ssize_t heap_len, heap_cap;
+
+    /* ---- stat deltas (drained by take_stats) ---- */
+    long long dc, ldc, stc, hc, ifc;
+    long long l1m, l2a, l2h, l2m, pfo, useful, mgd, wb1, wb2;
+    long long pfr, pfi, pfred, pfdq, pfdb, pfev;
+    long long pfl, pfu, pfp, tl, tp, pu, pl, ph;
+    long long sc;
+    Py_ssize_t poison_peak;
+    long long epi_ns;
+} EngineObject;
+
+/* interned attribute names (module-lifetime) */
+static PyObject *s_entries, *s_last_access, *s_prefetched, *s_fill_time,
+    *s_dirty, *s_next_free, *s_busy_cycles, *s_queued_cycles, *s_transfers,
+    *s_earliest, *s_full_stalls, *s_merges, *s_peak_occupancy,
+    *s_completions_attr, *s_accesses, *s_pf_inflight_attr;
+
+/* ================= small helpers ================= */
+
+static int
+heap_reserve(EngineObject *e, Py_ssize_t need)
+{
+    if (need <= e->heap_cap)
+        return 0;
+    Py_ssize_t cap = e->heap_cap ? e->heap_cap : 64;
+    while (cap < need)
+        cap *= 2;
+    HeapItem *p = PyMem_Realloc(e->heap, cap * sizeof(HeapItem));
+    if (p == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    e->heap = p;
+    e->heap_cap = cap;
+    return 0;
+}
+
+static int
+heap_push(EngineObject *e, double t, long long b)
+{
+    if (heap_reserve(e, e->heap_len + 1) < 0)
+        return -1;
+    Py_ssize_t pos = e->heap_len++;
+    while (pos > 0) {
+        Py_ssize_t parent = (pos - 1) >> 1;
+        if (e->heap[parent].t <= t)
+            break;
+        e->heap[pos] = e->heap[parent];
+        pos = parent;
+    }
+    e->heap[pos].t = t;
+    e->heap[pos].b = b;
+    return 0;
+}
+
+static void
+heap_popmin(EngineObject *e, HeapItem *out)
+{
+    *out = e->heap[0];
+    Py_ssize_t len = --e->heap_len;
+    if (len == 0)
+        return;
+    HeapItem last = e->heap[len];
+    Py_ssize_t pos = 0;
+    for (;;) {
+        Py_ssize_t child = 2 * pos + 1;
+        if (child >= len)
+            break;
+        if (child + 1 < len && e->heap[child + 1].t < e->heap[child].t)
+            child += 1;
+        if (e->heap[child].t >= last.t)
+            break;
+        e->heap[pos] = e->heap[child];
+        pos = child;
+    }
+    e->heap[pos] = last;
+}
+
+/* first key of a dict (borrowed ref), NULL if empty */
+static PyObject *
+dict_first_key(PyObject *d)
+{
+    PyObject *k, *v;
+    Py_ssize_t pos = 0;
+    if (PyDict_Next(d, &pos, &k, &v))
+        return k;
+    return NULL;
+}
+
+static int
+attr_true(PyObject *obj, PyObject *name)
+{
+    PyObject *v = PyObject_GetAttr(obj, name);
+    if (v == NULL)
+        return -1;
+    int res = PyObject_IsTrue(v);
+    Py_DECREF(v);
+    return res;
+}
+
+static double
+attr_double(PyObject *obj, PyObject *name, int *err)
+{
+    PyObject *v = PyObject_GetAttr(obj, name);
+    if (v == NULL) {
+        *err = 1;
+        return 0.0;
+    }
+    double d = PyFloat_AsDouble(v);
+    Py_DECREF(v);
+    if (d == -1.0 && PyErr_Occurred()) {
+        *err = 1;
+        return 0.0;
+    }
+    return d;
+}
+
+static long long
+attr_ll(PyObject *obj, PyObject *name, int *err)
+{
+    PyObject *v = PyObject_GetAttr(obj, name);
+    if (v == NULL) {
+        *err = 1;
+        return 0;
+    }
+    long long r = PyLong_AsLongLong(v);
+    Py_DECREF(v);
+    if (r == -1 && PyErr_Occurred()) {
+        *err = 1;
+        return 0;
+    }
+    return r;
+}
+
+static int
+set_attr_double(PyObject *obj, PyObject *name, double val)
+{
+    PyObject *v = PyFloat_FromDouble(val);
+    if (v == NULL)
+        return -1;
+    int r = PyObject_SetAttr(obj, name, v);
+    Py_DECREF(v);
+    return r;
+}
+
+static int
+set_attr_ll(PyObject *obj, PyObject *name, long long val)
+{
+    PyObject *v = PyLong_FromLongLong(val);
+    if (v == NULL)
+        return -1;
+    int r = PyObject_SetAttr(obj, name, v);
+    Py_DECREF(v);
+    return r;
+}
+
+static int
+list_append_double(PyObject *list, double val)
+{
+    PyObject *v = PyFloat_FromDouble(val);
+    if (v == NULL)
+        return -1;
+    int r = PyList_Append(list, v);
+    Py_DECREF(v);
+    return r;
+}
+
+/* `msh_inf.get(b) == t` with the reference's equality semantics */
+static int
+mshr_match(EngineObject *e, long long b, double t)
+{
+    PyObject *bo = PyLong_FromLongLong(b);
+    if (bo == NULL)
+        return -1;
+    PyObject *val = PyDict_GetItemWithError(e->msh_inf, bo);
+    Py_DECREF(bo);
+    if (val == NULL) {
+        if (PyErr_Occurred())
+            PyErr_Clear();
+        return 0;
+    }
+    double dv = PyFloat_AsDouble(val);
+    if (dv == -1.0 && PyErr_Occurred()) {
+        PyErr_Clear();
+        return 0;
+    }
+    return dv == t;
+}
+
+/* `if msh_inf.get(b) == t: del msh_inf[b]` */
+static int
+mshr_del_if_match(EngineObject *e, long long b, double t)
+{
+    PyObject *bo = PyLong_FromLongLong(b);
+    if (bo == NULL)
+        return -1;
+    PyObject *val = PyDict_GetItemWithError(e->msh_inf, bo);
+    if (val != NULL) {
+        double dv = PyFloat_AsDouble(val);
+        if (dv == -1.0 && PyErr_Occurred())
+            PyErr_Clear();
+        else if (dv == t) {
+            if (PyDict_DelItem(e->msh_inf, bo) < 0) {
+                Py_DECREF(bo);
+                return -1;
+            }
+        }
+    }
+    else if (PyErr_Occurred()) {
+        Py_DECREF(bo);
+        return -1;
+    }
+    Py_DECREF(bo);
+    return 0;
+}
+
+/* delete the sorted prefix of mem_comp with value <= bound (the
+ * reference's `[x for x in mem_comp if x > bound]` after a sort) */
+static int
+memcomp_prefix_filter(EngineObject *e, double bound)
+{
+    Py_ssize_t len = PyList_GET_SIZE(e->mem_comp);
+    Py_ssize_t k = 0;
+    while (k < len) {
+        double v = PyFloat_AsDouble(PyList_GET_ITEM(e->mem_comp, k));
+        if (v == -1.0 && PyErr_Occurred())
+            return -1;
+        if (v > bound)
+            break;
+        k++;
+    }
+    if (k == 0)
+        return 0;
+    return PyList_SetSlice(e->mem_comp, 0, k, NULL);
+}
+
+/* ================= boundary sync ================= */
+
+static int
+sync_out_internal(EngineObject *e)
+{
+    if (set_attr_double(e->ab, s_next_free, e->a_nf) < 0 ||
+        set_attr_double(e->ab, s_busy_cycles, e->a_by) < 0 ||
+        set_attr_double(e->ab, s_queued_cycles, e->a_qc) < 0 ||
+        set_attr_ll(e->ab, s_transfers, e->a_tr) < 0)
+        return -1;
+    if (set_attr_double(e->db, s_next_free, e->d_nf) < 0 ||
+        set_attr_double(e->db, s_busy_cycles, e->d_by) < 0 ||
+        set_attr_double(e->db, s_queued_cycles, e->d_qc) < 0 ||
+        set_attr_ll(e->db, s_transfers, e->d_tr) < 0)
+        return -1;
+    if (set_attr_double(e->mab, s_next_free, e->ma_nf) < 0 ||
+        set_attr_double(e->mab, s_busy_cycles, e->ma_by) < 0 ||
+        set_attr_double(e->mab, s_queued_cycles, e->ma_qc) < 0 ||
+        set_attr_ll(e->mab, s_transfers, e->ma_tr) < 0)
+        return -1;
+    if (set_attr_double(e->mdb, s_next_free, e->md_nf) < 0 ||
+        set_attr_double(e->mdb, s_busy_cycles, e->md_by) < 0 ||
+        set_attr_double(e->mdb, s_queued_cycles, e->md_qc) < 0 ||
+        set_attr_ll(e->mdb, s_transfers, e->md_tr) < 0)
+        return -1;
+    /* mshr._earliest = min(inflight.values(), default=inf) */
+    double earliest = Py_HUGE_VAL;
+    PyObject *k, *v;
+    Py_ssize_t pos = 0;
+    while (PyDict_Next(e->msh_inf, &pos, &k, &v)) {
+        double dv = PyFloat_AsDouble(v);
+        if (dv == -1.0 && PyErr_Occurred())
+            return -1;
+        if (dv < earliest)
+            earliest = dv;
+    }
+    if (set_attr_double(e->mshr, s_earliest, earliest) < 0 ||
+        set_attr_ll(e->mshr, s_full_stalls, e->msh_fs) < 0 ||
+        set_attr_ll(e->mshr, s_merges, e->msh_mg) < 0 ||
+        set_attr_ll(e->mshr, s_peak_occupancy, e->msh_pk) < 0)
+        return -1;
+    if (PyObject_SetAttr(e->memory, s_completions_attr, e->mem_comp) < 0 ||
+        set_attr_ll(e->memory, s_accesses, e->mem_acc) < 0)
+        return -1;
+    if (PyObject_SetAttr(e->hierarchy, s_pf_inflight_attr, e->pf_inflight) < 0)
+        return -1;
+    return 0;
+}
+
+static int
+sync_in_internal(EngineObject *e)
+{
+    int err = 0;
+    e->a_nf = attr_double(e->ab, s_next_free, &err);
+    e->a_by = attr_double(e->ab, s_busy_cycles, &err);
+    e->a_qc = attr_double(e->ab, s_queued_cycles, &err);
+    e->a_tr = attr_ll(e->ab, s_transfers, &err);
+    e->d_nf = attr_double(e->db, s_next_free, &err);
+    e->d_by = attr_double(e->db, s_busy_cycles, &err);
+    e->d_qc = attr_double(e->db, s_queued_cycles, &err);
+    e->d_tr = attr_ll(e->db, s_transfers, &err);
+    e->ma_nf = attr_double(e->mab, s_next_free, &err);
+    e->ma_by = attr_double(e->mab, s_busy_cycles, &err);
+    e->ma_qc = attr_double(e->mab, s_queued_cycles, &err);
+    e->ma_tr = attr_ll(e->mab, s_transfers, &err);
+    e->md_nf = attr_double(e->mdb, s_next_free, &err);
+    e->md_by = attr_double(e->mdb, s_busy_cycles, &err);
+    e->md_qc = attr_double(e->mdb, s_queued_cycles, &err);
+    e->md_tr = attr_ll(e->mdb, s_transfers, &err);
+    e->msh_fs = attr_ll(e->mshr, s_full_stalls, &err);
+    e->msh_mg = attr_ll(e->mshr, s_merges, &err);
+    e->msh_pk = attr_ll(e->mshr, s_peak_occupancy, &err);
+    e->mem_acc = attr_ll(e->memory, s_accesses, &err);
+    if (err)
+        return -1;
+    /* The Python side rebinds these lists (MainMemory.fetch filters
+     * by rebuilding); chase the current objects. */
+    PyObject *mc = PyObject_GetAttr(e->memory, s_completions_attr);
+    if (mc == NULL)
+        return -1;
+    Py_SETREF(e->mem_comp, mc);
+    PyObject *pfq = PyObject_GetAttr(e->hierarchy, s_pf_inflight_attr);
+    if (pfq == NULL)
+        return -1;
+    Py_SETREF(e->pf_inflight, pfq);
+    /* rebuild the lazy-deletion heap from the live dict */
+    Py_ssize_t sz = PyDict_GET_SIZE(e->msh_inf);
+    if (heap_reserve(e, sz ? sz : 1) < 0)
+        return -1;
+    e->heap_len = 0;
+    PyObject *k, *v;
+    Py_ssize_t pos = 0;
+    while (PyDict_Next(e->msh_inf, &pos, &k, &v)) {
+        double dv = PyFloat_AsDouble(v);
+        if (dv == -1.0 && PyErr_Occurred())
+            return -1;
+        long long b = PyLong_AsLongLong(k);
+        if (b == -1 && PyErr_Occurred())
+            return -1;
+        if (heap_push(e, dv, b) < 0)
+            return -1;
+    }
+    return 0;
+}
+
+/* ================= prefetch issue ================= */
+
+static int
+issue_pf_c(EngineObject *e, long long pb, double t)
+{
+    e->pfr++;
+    long long l2b = pb >> e->l2_shift;
+    long long i2 = l2b & e->l2_imask;
+    long long t2 = l2b >> e->l2_ibits;
+    PyObject *entries = PyList_GET_ITEM(e->l2_entries, i2); /* borrowed */
+    PyObject *t2o = PyLong_FromLongLong(t2);
+    if (t2o == NULL)
+        return -1;
+    PyObject *line = PyDict_GetItemWithError(entries, t2o);
+    if (line == NULL && PyErr_Occurred()) {
+        Py_DECREF(t2o);
+        return -1;
+    }
+    if (line != NULL) {
+        e->pfred++;
+        Py_DECREF(t2o);
+        return 0;
+    }
+    /* order-preserving expiry filter, in place (identity-stable) */
+    Py_ssize_t ln = PyList_GET_SIZE(e->pf_inflight);
+    if (ln) {
+        PyObject *keep = PyList_New(0);
+        if (keep == NULL) {
+            Py_DECREF(t2o);
+            return -1;
+        }
+        for (Py_ssize_t q = 0; q < ln; q++) {
+            PyObject *x = PyList_GET_ITEM(e->pf_inflight, q);
+            double xv = PyFloat_AsDouble(x);
+            if (xv == -1.0 && PyErr_Occurred()) {
+                Py_DECREF(keep);
+                Py_DECREF(t2o);
+                return -1;
+            }
+            if (xv > t && PyList_Append(keep, x) < 0) {
+                Py_DECREF(keep);
+                Py_DECREF(t2o);
+                return -1;
+            }
+        }
+        int r = PyList_SetSlice(e->pf_inflight, 0, ln, keep);
+        Py_DECREF(keep);
+        if (r < 0) {
+            Py_DECREF(t2o);
+            return -1;
+        }
+    }
+    if (PyList_GET_SIZE(e->pf_inflight) >= e->pf_max) {
+        e->pfdq++;
+        Py_DECREF(t2o);
+        return 0;
+    }
+    if (e->md_nf - ((t + 1.0) + (double)e->mem_lat) > e->pf_busy_thr) {
+        e->pfdb++;
+        Py_DECREF(t2o);
+        return 0;
+    }
+    /* MainMemory.fetch, inlined */
+    double tq = t + (double)e->l2_lat;
+    double st = tq > e->ma_nf ? tq : e->ma_nf;
+    e->ma_nf = st + 1.0;
+    e->ma_by += 1.0;
+    e->ma_qc += st - tq;
+    e->ma_tr += 1;
+    double start = st + 1.0;
+    if (PyList_GET_SIZE(e->mem_comp) >= e->mem_maxc) {
+        if (PyList_Sort(e->mem_comp) < 0) {
+            Py_DECREF(t2o);
+            return -1;
+        }
+        double first = PyFloat_AsDouble(PyList_GET_ITEM(e->mem_comp, 0));
+        if (first == -1.0 && PyErr_Occurred()) {
+            Py_DECREF(t2o);
+            return -1;
+        }
+        if (first > start)
+            start = first;
+        if (memcomp_prefix_filter(e, start) < 0) {
+            Py_DECREF(t2o);
+            return -1;
+        }
+    }
+    double ready = start + (double)e->mem_lat;
+    st = ready > e->md_nf ? ready : e->md_nf;
+    e->md_nf = st + (double)e->mem_beats;
+    e->md_by += (double)e->mem_beats;
+    e->md_qc += st - ready;
+    e->md_tr += 1;
+    double done = st + (double)e->mem_beats;
+    if (list_append_double(e->mem_comp, done) < 0) {
+        Py_DECREF(t2o);
+        return -1;
+    }
+    e->mem_acc++;
+    if (list_append_double(e->pf_inflight, done) < 0) {
+        Py_DECREF(t2o);
+        return -1;
+    }
+    e->pfi++;
+    /* _fill_l2, prefetch insert */
+    PyObject *newline =
+        PyObject_CallFunction(e->cacheline, "Ld", t2, done);
+    if (newline == NULL) {
+        Py_DECREF(t2o);
+        return -1;
+    }
+    if (PyObject_SetAttr(newline, s_prefetched, Py_True) < 0) {
+        Py_DECREF(newline);
+        Py_DECREF(t2o);
+        return -1;
+    }
+    PyObject *victim = NULL;
+    if (PyDict_GET_SIZE(entries) >= e->l2_ways) {
+        PyObject *fk = dict_first_key(entries);
+        Py_INCREF(fk);
+        victim = PyDict_GetItem(entries, fk);
+        Py_XINCREF(victim);
+        if (PyDict_DelItem(entries, fk) < 0) {
+            Py_DECREF(fk);
+            Py_XDECREF(victim);
+            Py_DECREF(newline);
+            Py_DECREF(t2o);
+            return -1;
+        }
+        Py_DECREF(fk);
+    }
+    if (e->lru_pf) {
+        /* LRUSet.put_lru rebinds: {t2: line, **entries} */
+        PyObject *nd = PyDict_New();
+        if (nd == NULL || PyDict_SetItem(nd, t2o, newline) < 0 ||
+            PyDict_Merge(nd, entries, 1) < 0) {
+            Py_XDECREF(nd);
+            Py_XDECREF(victim);
+            Py_DECREF(newline);
+            Py_DECREF(t2o);
+            return -1;
+        }
+        PyObject *lru = PyList_GET_ITEM(e->l2_sets, i2);
+        if (PyObject_SetAttr(lru, s_entries, nd) < 0) {
+            Py_DECREF(nd);
+            Py_XDECREF(victim);
+            Py_DECREF(newline);
+            Py_DECREF(t2o);
+            return -1;
+        }
+        PyList_SetItem(e->l2_entries, i2, nd); /* steals nd */
+    }
+    else {
+        if (PyDict_SetItem(entries, t2o, newline) < 0) {
+            Py_XDECREF(victim);
+            Py_DECREF(newline);
+            Py_DECREF(t2o);
+            return -1;
+        }
+    }
+    Py_DECREF(newline);
+    Py_DECREF(t2o);
+    if (victim != NULL) {
+        int vpf = attr_true(victim, s_prefetched);
+        if (vpf < 0) {
+            Py_DECREF(victim);
+            return -1;
+        }
+        if (vpf)
+            e->pfev++;
+        int vd = attr_true(victim, s_dirty);
+        if (vd < 0) {
+            Py_DECREF(victim);
+            return -1;
+        }
+        if (vd) {
+            e->wb2++;
+            st = done > e->md_nf ? done : e->md_nf;
+            e->md_nf = st + (double)e->mem_beats;
+            e->md_by += (double)e->mem_beats;
+            e->md_qc += st - done;
+            e->md_tr += 1;
+        }
+        Py_DECREF(victim);
+    }
+    return 0;
+}
+
+static int tcp_train(EngineObject *e, long long s, long long tag,
+                     long long block, double v);
+
+/* ================= the scalar epilogue ================= */
+
+static PyObject *
+Engine_step(EngineObject *e, PyObject *args)
+{
+    Py_ssize_t i, limit, P;
+    double li, lc, nd;
+    long long last_fb;
+    if (!PyArg_ParseTuple(args, "nndddnL", &i, &limit, &li, &lc, &nd, &P,
+                          &last_fb))
+        return NULL;
+    if (i < 0 || limit > e->n || i > limit) {
+        PyErr_SetString(PyExc_ValueError, "step range out of bounds");
+        return NULL;
+    }
+    struct timespec ts0, ts1;
+    clock_gettime(CLOCK_MONOTONIC, &ts0);
+
+    for (; i < limit; i++) {
+        long long s = e->idx[i];
+        nd += e->incs[i];
+        long long floor_ = e->instr[i] - e->window;
+        while (P < i) {
+            if (e->instr[P] > floor_)
+                break;
+            double c = e->cmt_arr[P];
+            if (c > nd)
+                nd = c;
+            P++;
+        }
+        if (i >= e->lsq) {
+            double c = e->cmt_arr[i - e->lsq];
+            if (c > nd)
+                nd = c;
+        }
+        if (e->model_icache) {
+            long long fb = e->fb[i];
+            if (fb != last_fb) {
+                last_fb = fb;
+                PyObject *fbo = PyLong_FromLongLong(fb);
+                if (fbo == NULL)
+                    goto fail;
+                int res = PySet_Contains(e->resident, fbo);
+                Py_DECREF(fbo);
+                if (res < 0)
+                    goto fail;
+                if (res) {
+                    e->ifc++;
+                    PyObject *r = PyObject_CallFunction(
+                        e->l1i_lookup, "LLOd", fb & e->l1i_mask,
+                        fb >> e->l1i_bits, Py_False, nd);
+                    if (r == NULL)
+                        goto fail;
+                    Py_DECREF(r);
+                }
+                else {
+                    /* real instruction fetch: run interpreted with
+                     * component state synced around the call */
+                    if (sync_out_internal(e) < 0)
+                        goto fail;
+                    PyObject *r = PyObject_CallFunction(e->ifetch_cb, "dn",
+                                                        nd, i);
+                    if (r == NULL)
+                        goto fail;
+                    double pen = PyFloat_AsDouble(r);
+                    Py_DECREF(r);
+                    if (pen == -1.0 && PyErr_Occurred())
+                        goto fail;
+                    if (sync_in_internal(e) < 0)
+                        goto fail;
+                    if (pen > 0.0)
+                        nd += pen;
+                }
+            }
+        }
+        double v = li + e->ls_s;
+        if (nd > v)
+            v = nd;
+        long long dep = e->deps[i];
+        if (dep) {
+            Py_ssize_t j = i - (Py_ssize_t)dep;
+            if (j < 0)
+                j += e->n; /* python negative indexing */
+            double c = e->comp_arr[j];
+            if (c > v)
+                v = c;
+        }
+        li = v;
+        int load = e->load[i];
+        long long tag = e->tags[i];
+        double comp;
+        if (e->l1tag[s] == tag) {
+            /* inlined direct-mapped hit */
+            if (load) {
+                comp = v + (double)e->l1_lat;
+                e->ldc++;
+            }
+            else {
+                comp = v + 1.0;
+                e->l1dirty[s] = 1;
+                e->stc++;
+            }
+            e->l1la[s] = v;
+            e->dc++;
+            e->hc++;
+            if (PySet_GET_SIZE(e->poisoned)) {
+                PyObject *so = PyLong_FromLongLong(s);
+                if (so == NULL)
+                    goto fail;
+                int r = PySet_Discard(e->poisoned, so);
+                Py_DECREF(so);
+                if (r < 0)
+                    goto fail;
+            }
+        }
+        else {
+            /* ---- flattened demand miss ---- */
+            e->dc++;
+            if (load)
+                e->ldc++;
+            else
+                e->stc++;
+            e->l1m++;
+            long long block = e->blocks[i];
+            PyObject *blocko = PyLong_FromLongLong(block);
+            if (blocko == NULL)
+                goto fail;
+            PyObject *merged = PyDict_GetItemWithError(e->msh_inf, blocko);
+            if (merged == NULL && PyErr_Occurred()) {
+                Py_DECREF(blocko);
+                goto fail;
+            }
+            double mval = 0.0;
+            if (merged != NULL) {
+                mval = PyFloat_AsDouble(merged);
+                if (mval == -1.0 && PyErr_Occurred()) {
+                    Py_DECREF(blocko);
+                    goto fail;
+                }
+            }
+            if (merged != NULL && mval > v) {
+                /* MSHR merge */
+                e->msh_mg++;
+                e->mgd++;
+                comp = mval;
+                PyObject *so = PyLong_FromLongLong(s);
+                if (so == NULL) {
+                    Py_DECREF(blocko);
+                    goto fail;
+                }
+                int r = PySet_Add(e->poisoned, so);
+                Py_DECREF(so);
+                if (r < 0) {
+                    Py_DECREF(blocko);
+                    goto fail;
+                }
+                Py_ssize_t lp = PySet_GET_SIZE(e->poisoned);
+                if (lp > e->poison_peak)
+                    e->poison_peak = lp;
+                Py_DECREF(blocko);
+            }
+            else {
+                /* MSHR acquire (reap only when full) */
+                double start;
+                if (PyDict_GET_SIZE(e->msh_inf) < e->msh_entries)
+                    start = v;
+                else {
+                    while (e->heap_len && e->heap[0].t <= v) {
+                        HeapItem it;
+                        heap_popmin(e, &it);
+                        if (mshr_del_if_match(e, it.b, it.t) < 0) {
+                            Py_DECREF(blocko);
+                            goto fail;
+                        }
+                    }
+                    if (PyDict_GET_SIZE(e->msh_inf) < e->msh_entries)
+                        start = v;
+                    else {
+                        for (;;) {
+                            if (e->heap_len == 0) {
+                                PyErr_SetString(PyExc_RuntimeError,
+                                                "MSHR heap drained while "
+                                                "the file is full");
+                                Py_DECREF(blocko);
+                                goto fail;
+                            }
+                            HeapItem top = e->heap[0];
+                            int m = mshr_match(e, top.b, top.t);
+                            if (m < 0) {
+                                Py_DECREF(blocko);
+                                goto fail;
+                            }
+                            if (m) {
+                                start = top.t;
+                                break;
+                            }
+                            HeapItem dump;
+                            heap_popmin(e, &dump);
+                        }
+                        e->msh_fs++;
+                        while (e->heap_len && e->heap[0].t <= start) {
+                            HeapItem it;
+                            heap_popmin(e, &it);
+                            if (mshr_del_if_match(e, it.b, it.t) < 0) {
+                                Py_DECREF(blocko);
+                                goto fail;
+                            }
+                        }
+                    }
+                }
+                /* L1/L2 address channel: one command beat */
+                double t_ = start + (double)e->l1_lat;
+                double st_ = t_ > e->a_nf ? t_ : e->a_nf;
+                e->a_nf = st_ + 1.0;
+                e->a_by += 1.0;
+                e->a_qc += st_ - t_;
+                e->a_tr += 1;
+                double arrival = st_ + 1.0;
+                e->l2a++;
+                long long i2 = e->l2i[i];
+                long long t2 = e->l2t[i];
+                PyObject *l2e = PyList_GET_ITEM(e->l2_entries, i2);
+                PyObject *t2o = PyLong_FromLongLong(t2);
+                if (t2o == NULL) {
+                    Py_DECREF(blocko);
+                    goto fail;
+                }
+                PyObject *l2_line = PyDict_GetItemWithError(l2e, t2o);
+                if (l2_line == NULL && PyErr_Occurred()) {
+                    Py_DECREF(t2o);
+                    Py_DECREF(blocko);
+                    goto fail;
+                }
+                double data_ready = 0.0;
+                int fail_inner = 0;
+                if (l2_line != NULL) {
+                    Py_INCREF(l2_line);
+                    /* LRU promote: del + reinsert */
+                    if (PyDict_DelItem(l2e, t2o) < 0 ||
+                        PyDict_SetItem(l2e, t2o, l2_line) < 0 ||
+                        set_attr_double(l2_line, s_last_access, arrival) < 0)
+                        fail_inner = 1;
+                }
+                if (!fail_inner && (l2_line != NULL || e->ideal_l2)) {
+                    e->l2h++;
+                    data_ready = arrival + (double)e->l2_lat;
+                    if (l2_line != NULL) {
+                        int is_pf = attr_true(l2_line, s_prefetched);
+                        if (is_pf < 0)
+                            fail_inner = 1;
+                        else if (is_pf) {
+                            if (PyObject_SetAttr(l2_line, s_prefetched,
+                                                 Py_False) < 0)
+                                fail_inner = 1;
+                            e->pfo++;
+                            e->useful++;
+                        }
+                        if (!fail_inner) {
+                            int err = 0;
+                            double ft2 =
+                                attr_double(l2_line, s_fill_time, &err);
+                            if (err)
+                                fail_inner = 1;
+                            else if (ft2 > arrival && ft2 > data_ready)
+                                data_ready = ft2;
+                        }
+                    }
+                }
+                else if (!fail_inner) {
+                    /* L2 miss: MainMemory.fetch + _fill_l2, inlined */
+                    e->l2m++;
+                    t_ = arrival + (double)e->l2_lat;
+                    st_ = t_ > e->ma_nf ? t_ : e->ma_nf;
+                    e->ma_nf = st_ + 1.0;
+                    e->ma_by += 1.0;
+                    e->ma_qc += st_ - t_;
+                    e->ma_tr += 1;
+                    double start2 = st_ + 1.0;
+                    if (PyList_GET_SIZE(e->mem_comp) >= e->mem_maxc) {
+                        if (PyList_Sort(e->mem_comp) < 0)
+                            fail_inner = 1;
+                        else {
+                            double first = PyFloat_AsDouble(
+                                PyList_GET_ITEM(e->mem_comp, 0));
+                            if (first == -1.0 && PyErr_Occurred())
+                                fail_inner = 1;
+                            else {
+                                if (first > start2)
+                                    start2 = first;
+                                if (memcomp_prefix_filter(e, start2) < 0)
+                                    fail_inner = 1;
+                            }
+                        }
+                    }
+                    if (!fail_inner) {
+                        double ready = start2 + (double)e->mem_lat;
+                        st_ = ready > e->md_nf ? ready : e->md_nf;
+                        e->md_nf = st_ + (double)e->mem_beats;
+                        e->md_by += (double)e->mem_beats;
+                        e->md_qc += st_ - ready;
+                        e->md_tr += 1;
+                        data_ready = st_ + (double)e->mem_beats;
+                        if (list_append_double(e->mem_comp, data_ready) < 0)
+                            fail_inner = 1;
+                        e->mem_acc++;
+                    }
+                    if (!fail_inner) {
+                        PyObject *line2 = PyObject_CallFunction(
+                            e->cacheline, "Ld", t2, data_ready);
+                        if (line2 == NULL)
+                            fail_inner = 1;
+                        else {
+                            if (PyDict_GET_SIZE(l2e) >= e->l2_ways) {
+                                PyObject *fk = dict_first_key(l2e);
+                                Py_INCREF(fk);
+                                PyObject *victim = PyDict_GetItem(l2e, fk);
+                                Py_XINCREF(victim);
+                                if (PyDict_DelItem(l2e, fk) < 0 ||
+                                    PyDict_SetItem(l2e, t2o, line2) < 0)
+                                    fail_inner = 1;
+                                Py_DECREF(fk);
+                                if (!fail_inner && victim != NULL) {
+                                    int vpf =
+                                        attr_true(victim, s_prefetched);
+                                    int vd = attr_true(victim, s_dirty);
+                                    if (vpf < 0 || vd < 0)
+                                        fail_inner = 1;
+                                    else {
+                                        if (vpf)
+                                            e->pfev++;
+                                        if (vd) {
+                                            e->wb2++;
+                                            st_ = data_ready > e->md_nf
+                                                      ? data_ready
+                                                      : e->md_nf;
+                                            e->md_nf =
+                                                st_ + (double)e->mem_beats;
+                                            e->md_by +=
+                                                (double)e->mem_beats;
+                                            e->md_qc += st_ - data_ready;
+                                            e->md_tr += 1;
+                                        }
+                                    }
+                                }
+                                Py_XDECREF(victim);
+                            }
+                            else if (PyDict_SetItem(l2e, t2o, line2) < 0)
+                                fail_inner = 1;
+                            Py_DECREF(line2);
+                        }
+                    }
+                }
+                Py_XDECREF(l2_line);
+                Py_DECREF(t2o);
+                if (fail_inner) {
+                    Py_DECREF(blocko);
+                    goto fail;
+                }
+                /* data return over the L1/L2 data channel */
+                st_ = data_ready > e->d_nf ? data_ready : e->d_nf;
+                e->d_nf = st_ + (double)e->l1_beats;
+                e->d_by += (double)e->l1_beats;
+                e->d_qc += st_ - data_ready;
+                e->d_tr += 1;
+                comp = st_ + (double)e->l1_beats;
+                /* MSHR register (reap at now, then insert) */
+                while (e->heap_len && e->heap[0].t <= v) {
+                    HeapItem it;
+                    heap_popmin(e, &it);
+                    if (mshr_del_if_match(e, it.b, it.t) < 0) {
+                        Py_DECREF(blocko);
+                        goto fail;
+                    }
+                }
+                PyObject *co = PyFloat_FromDouble(comp);
+                if (co == NULL ||
+                    PyDict_SetItem(e->msh_inf, blocko, co) < 0) {
+                    Py_XDECREF(co);
+                    Py_DECREF(blocko);
+                    goto fail;
+                }
+                Py_DECREF(co);
+                if (heap_push(e, comp, block) < 0) {
+                    Py_DECREF(blocko);
+                    goto fail;
+                }
+                Py_ssize_t sz = PyDict_GET_SIZE(e->msh_inf);
+                if (sz > e->msh_pk)
+                    e->msh_pk = sz;
+                /* L1 fill on the planes (+ victim writeback) */
+                long long vt = e->l1tag[s];
+                if (vt == tag) {
+                    e->l1la[s] = comp;
+                    if (!load)
+                        e->l1dirty[s] = 1;
+                }
+                else {
+                    int vd = e->l1dirty[s];
+                    double old_ft = e->l1ft[s];
+                    double old_la = e->l1la[s];
+                    e->l1tag[s] = tag;
+                    e->l1ft[s] = comp;
+                    e->l1la[s] = comp;
+                    e->l1dirty[s] = load ? 0 : 1;
+                    if (vt >= 0) {
+                        if (vd) {
+                            e->wb1++;
+                            st_ = comp > e->d_nf ? comp : e->d_nf;
+                            e->d_nf = st_ + (double)e->l1_beats;
+                            e->d_by += (double)e->l1_beats;
+                            e->d_qc += st_ - comp;
+                            e->d_tr += 1;
+                        }
+                        if (e->needs_evict) {
+                            PyObject *r = PyObject_CallFunction(
+                                e->evict_cb, "LLddd", s, vt, comp, old_ft,
+                                old_la);
+                            if (r == NULL) {
+                                Py_DECREF(blocko);
+                                goto fail;
+                            }
+                            Py_DECREF(r);
+                        }
+                    }
+                }
+                if (PySet_GET_SIZE(e->poisoned)) {
+                    PyObject *so = PyLong_FromLongLong(s);
+                    if (so == NULL) {
+                        Py_DECREF(blocko);
+                        goto fail;
+                    }
+                    int r = PySet_Discard(e->poisoned, so);
+                    Py_DECREF(so);
+                    if (r < 0) {
+                        Py_DECREF(blocko);
+                        goto fail;
+                    }
+                }
+                /* ---- prefetcher training ---- */
+                if (e->tcp_fast) {
+                    if (tcp_train(e, s, tag, block, v) < 0) {
+                        Py_DECREF(blocko);
+                        goto fail;
+                    }
+                }
+                else if (e->has_prefetcher) {
+                    PyObject *reqs = PyObject_CallFunction(
+                        e->observe_cb, "LLLnOd", s, tag, block, i,
+                        load ? Py_False : Py_True, v);
+                    if (reqs == NULL) {
+                        Py_DECREF(blocko);
+                        goto fail;
+                    }
+                    if (reqs != Py_None) {
+                        double launch = v + (double)e->pf_delay;
+                        Py_ssize_t nr = PyList_GET_SIZE(reqs);
+                        for (Py_ssize_t q = 0; q < nr; q++) {
+                            long long pb = PyLong_AsLongLong(
+                                PyList_GET_ITEM(reqs, q));
+                            if (pb == -1 && PyErr_Occurred()) {
+                                Py_DECREF(reqs);
+                                Py_DECREF(blocko);
+                                goto fail;
+                            }
+                            if (issue_pf_c(e, pb, launch) < 0) {
+                                Py_DECREF(reqs);
+                                Py_DECREF(blocko);
+                                goto fail;
+                            }
+                        }
+                    }
+                    Py_DECREF(reqs);
+                }
+                Py_DECREF(blocko);
+            }
+            if (!load)
+                comp = v + 1.0;
+        }
+        e->sc++;
+        e->comp_arr[i] = comp;
+        double m = lc + e->inv_cr;
+        if (comp > m)
+            m = comp;
+        lc = m;
+        e->cmt_arr[i] = m;
+    }
+
+    clock_gettime(CLOCK_MONOTONIC, &ts1);
+    e->epi_ns += (long long)(ts1.tv_sec - ts0.tv_sec) * 1000000000LL +
+                 (ts1.tv_nsec - ts0.tv_nsec);
+    return Py_BuildValue("dddnL", li, lc, nd, P, last_fb);
+fail:
+    return NULL;
+}
+
+/* ================= TCP fast-path training ================= */
+
+static int
+tcp_train(EngineObject *e, long long s, long long tag, long long block,
+          double v)
+{
+    e->pfl++;
+    e->tl++;
+    PyObject *old_seq = PyList_GET_ITEM(e->tht_hist, s); /* borrowed */
+    long long old_sum = e->thtsum[s];
+    /* PHT update: learn old_seq -> tag */
+    e->pu++;
+    long long hi = old_sum & e->seq_mask;
+    long long pidx =
+        e->n_bits == 0 ? hi : ((hi << e->n_bits) | (s & e->miss_mask));
+    PyObject *lru = PyList_GET_ITEM(e->pht_sets, pidx);
+    PyObject *entries = PyObject_GetAttr(lru, s_entries);
+    if (entries == NULL)
+        return -1;
+    Py_ssize_t klen = PyTuple_GET_SIZE(old_seq);
+    PyObject *et = PyTuple_GET_ITEM(old_seq, klen - 1); /* borrowed */
+    PyObject *succ = PyDict_GetItemWithError(entries, et);
+    if (succ == NULL && PyErr_Occurred()) {
+        Py_DECREF(entries);
+        return -1;
+    }
+    PyObject *tago = PyLong_FromLongLong(tag);
+    if (tago == NULL) {
+        Py_DECREF(entries);
+        return -1;
+    }
+    if (succ == NULL) {
+        if (PyDict_GET_SIZE(entries) >= e->pht_ways) {
+            PyObject *fk = dict_first_key(entries);
+            Py_INCREF(fk);
+            int r = PyDict_DelItem(entries, fk);
+            Py_DECREF(fk);
+            if (r < 0)
+                goto fail;
+        }
+        PyObject *lst = PyList_New(1);
+        if (lst == NULL)
+            goto fail;
+        Py_INCREF(tago);
+        PyList_SET_ITEM(lst, 0, tago);
+        int r = PyDict_SetItem(entries, et, lst);
+        Py_DECREF(lst);
+        if (r < 0)
+            goto fail;
+    }
+    else {
+        /* LRU promote, then MRU-front the successor list */
+        Py_INCREF(succ);
+        if (PyDict_DelItem(entries, et) < 0 ||
+            PyDict_SetItem(entries, et, succ) < 0) {
+            Py_DECREF(succ);
+            goto fail;
+        }
+        long long s0 = PyLong_AsLongLong(PyList_GET_ITEM(succ, 0));
+        if (s0 == -1 && PyErr_Occurred()) {
+            Py_DECREF(succ);
+            goto fail;
+        }
+        if (s0 != tag) {
+            Py_ssize_t len = PyList_GET_SIZE(succ);
+            for (Py_ssize_t q = 0; q < len; q++) {
+                long long qv =
+                    PyLong_AsLongLong(PyList_GET_ITEM(succ, q));
+                if (qv == -1 && PyErr_Occurred()) {
+                    Py_DECREF(succ);
+                    goto fail;
+                }
+                if (qv == tag) {
+                    if (PyList_SetSlice(succ, q, q + 1, NULL) < 0) {
+                        Py_DECREF(succ);
+                        goto fail;
+                    }
+                    break;
+                }
+            }
+            if (PyList_Insert(succ, 0, tago) < 0) {
+                Py_DECREF(succ);
+                goto fail;
+            }
+            Py_ssize_t ln2 = PyList_GET_SIZE(succ);
+            if (ln2 > e->pht_targets &&
+                PyList_SetSlice(succ, e->pht_targets, ln2, NULL) < 0) {
+                Py_DECREF(succ);
+                goto fail;
+            }
+        }
+        Py_DECREF(succ);
+    }
+    /* THT push: new row = old_seq[1:] + (tag,), running sum updated */
+    {
+        PyObject *newseq = PyTuple_New(klen);
+        if (newseq == NULL)
+            goto fail;
+        for (Py_ssize_t q = 1; q < klen; q++) {
+            PyObject *it = PyTuple_GET_ITEM(old_seq, q);
+            Py_INCREF(it);
+            PyTuple_SET_ITEM(newseq, q - 1, it);
+        }
+        Py_INCREF(tago);
+        PyTuple_SET_ITEM(newseq, klen - 1, tago);
+        long long seq0 = PyLong_AsLongLong(PyTuple_GET_ITEM(old_seq, 0));
+        if (seq0 == -1 && PyErr_Occurred()) {
+            Py_DECREF(newseq);
+            goto fail;
+        }
+        if (PyList_SetItem(e->tht_hist, s, newseq) < 0) /* steals */
+            goto fail;
+        old_sum = old_sum - seq0 + tag;
+        e->thtsum[s] = old_sum;
+    }
+    e->tp++;
+    e->pfu++;
+    /* PHT predict on the new sequence (new_seq[-1] == tag) */
+    e->pl++;
+    hi = old_sum & e->seq_mask;
+    pidx = e->n_bits == 0 ? hi : ((hi << e->n_bits) | (s & e->miss_mask));
+    Py_DECREF(entries);
+    lru = PyList_GET_ITEM(e->pht_sets, pidx);
+    entries = PyObject_GetAttr(lru, s_entries);
+    if (entries == NULL) {
+        Py_DECREF(tago);
+        return -1;
+    }
+    succ = PyDict_GetItemWithError(entries, tago);
+    if (succ == NULL && PyErr_Occurred())
+        goto fail;
+    if (succ != NULL) {
+        Py_INCREF(succ);
+        if (PyDict_DelItem(entries, tago) < 0 ||
+            PyDict_SetItem(entries, tago, succ) < 0) {
+            Py_DECREF(succ);
+            goto fail;
+        }
+        e->ph++;
+        double launch = v + (double)e->pf_delay;
+        long long npred = 0;
+        Py_ssize_t nsucc = PyList_GET_SIZE(succ);
+        for (Py_ssize_t q = 0; q < nsucc; q++) {
+            long long nt = PyLong_AsLongLong(PyList_GET_ITEM(succ, q));
+            if (nt == -1 && PyErr_Occurred()) {
+                Py_DECREF(succ);
+                goto fail;
+            }
+            long long pb = (nt << e->tht_ib) | s;
+            if (pb == block)
+                continue;
+            npred++;
+            if (issue_pf_c(e, pb, launch) < 0) {
+                Py_DECREF(succ);
+                goto fail;
+            }
+        }
+        e->pfp += npred;
+        Py_DECREF(succ);
+    }
+    Py_DECREF(entries);
+    Py_DECREF(tago);
+    return 0;
+fail:
+    Py_DECREF(entries);
+    Py_DECREF(tago);
+    return -1;
+}
+
+/* ================= methods ================= */
+
+static PyObject *
+Engine_sync_out(EngineObject *e, PyObject *Py_UNUSED(ignored))
+{
+    if (sync_out_internal(e) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Engine_sync_in(EngineObject *e, PyObject *Py_UNUSED(ignored))
+{
+    if (sync_in_internal(e) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Engine_set_callbacks(EngineObject *e, PyObject *args)
+{
+    PyObject *ifetch_cb, *observe_cb, *evict_cb;
+    if (!PyArg_ParseTuple(args, "OOO", &ifetch_cb, &observe_cb, &evict_cb))
+        return NULL;
+    Py_INCREF(ifetch_cb);
+    Py_XSETREF(e->ifetch_cb, ifetch_cb);
+    Py_INCREF(observe_cb);
+    Py_XSETREF(e->observe_cb, observe_cb);
+    Py_INCREF(evict_cb);
+    Py_XSETREF(e->evict_cb, evict_cb);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Engine_take_stats(EngineObject *e, PyObject *Py_UNUSED(ignored))
+{
+    PyObject *d = PyDict_New();
+    if (d == NULL)
+        return NULL;
+#define PUT(name, val)                                                   \
+    do {                                                                 \
+        PyObject *o = PyLong_FromLongLong((long long)(val));             \
+        if (o == NULL || PyDict_SetItemString(d, name, o) < 0) {         \
+            Py_XDECREF(o);                                               \
+            Py_DECREF(d);                                                \
+            return NULL;                                                 \
+        }                                                                \
+        Py_DECREF(o);                                                    \
+    } while (0)
+    PUT("demand", e->dc);
+    PUT("loads", e->ldc);
+    PUT("stores", e->stc);
+    PUT("hits", e->hc);
+    PUT("ifetch", e->ifc);
+    PUT("l1m", e->l1m);
+    PUT("l2a", e->l2a);
+    PUT("l2h", e->l2h);
+    PUT("l2m", e->l2m);
+    PUT("pfo", e->pfo);
+    PUT("useful", e->useful);
+    PUT("mgd", e->mgd);
+    PUT("wb1", e->wb1);
+    PUT("wb2", e->wb2);
+    PUT("pfr", e->pfr);
+    PUT("pfi", e->pfi);
+    PUT("pfred", e->pfred);
+    PUT("pfdq", e->pfdq);
+    PUT("pfdb", e->pfdb);
+    PUT("pfev", e->pfev);
+    PUT("pfl", e->pfl);
+    PUT("pfu", e->pfu);
+    PUT("pfp", e->pfp);
+    PUT("tl", e->tl);
+    PUT("tp", e->tp);
+    PUT("pu", e->pu);
+    PUT("pl", e->pl);
+    PUT("ph", e->ph);
+    PUT("sc", e->sc);
+    PUT("mshr_full_stalls", e->msh_fs);
+    PUT("poisoned_peak", e->poison_peak);
+    PUT("epi_ns", e->epi_ns);
+#undef PUT
+    e->dc = e->ldc = e->stc = e->hc = e->ifc = 0;
+    e->l1m = e->l2a = e->l2h = e->l2m = 0;
+    e->pfo = e->useful = e->mgd = e->wb1 = e->wb2 = 0;
+    e->pfr = e->pfi = e->pfred = e->pfdq = e->pfdb = e->pfev = 0;
+    e->pfl = e->pfu = e->pfp = e->tl = e->tp = 0;
+    e->pu = e->pl = e->ph = 0;
+    e->sc = 0;
+    return d;
+}
+
+/* ================= construction / teardown ================= */
+
+static int
+get_buffer(PyObject *spec, const char *key, Py_buffer *view, int writable,
+           Py_ssize_t itemsize, void *ptr_out, int *have)
+{
+    PyObject *obj = PyDict_GetItemString(spec, key);
+    if (obj == NULL || obj == Py_None) {
+        if (have != NULL) {
+            *have = 0;
+            *(void **)ptr_out = NULL;
+            return 0;
+        }
+        PyErr_Format(PyExc_KeyError, "spec missing array %s", key);
+        return -1;
+    }
+    int flags = writable ? PyBUF_CONTIG : PyBUF_CONTIG_RO;
+    if (PyObject_GetBuffer(obj, view, flags) < 0)
+        return -1;
+    if (view->itemsize != itemsize) {
+        PyErr_Format(PyExc_TypeError, "spec array %s: itemsize %zd != %zd",
+                     key, view->itemsize, itemsize);
+        PyBuffer_Release(view);
+        view->obj = NULL;
+        return -1;
+    }
+    *(void **)ptr_out = view->buf;
+    if (have != NULL)
+        *have = 1;
+    return 0;
+}
+
+static int
+get_obj(PyObject *spec, const char *key, PyObject **out, int optional)
+{
+    PyObject *obj = PyDict_GetItemString(spec, key);
+    if (obj == NULL || (optional && obj == Py_None)) {
+        if (!optional && obj == NULL) {
+            PyErr_Format(PyExc_KeyError, "spec missing object %s", key);
+            return -1;
+        }
+        *out = NULL;
+        return 0;
+    }
+    Py_INCREF(obj);
+    *out = obj;
+    return 0;
+}
+
+static int
+get_ll(PyObject *spec, const char *key, long long *out)
+{
+    PyObject *obj = PyDict_GetItemString(spec, key);
+    if (obj == NULL) {
+        PyErr_Format(PyExc_KeyError, "spec missing int %s", key);
+        return -1;
+    }
+    long long v = PyLong_AsLongLong(obj);
+    if (v == -1 && PyErr_Occurred())
+        return -1;
+    *out = v;
+    return 0;
+}
+
+static int
+get_f(PyObject *spec, const char *key, double *out)
+{
+    PyObject *obj = PyDict_GetItemString(spec, key);
+    if (obj == NULL) {
+        PyErr_Format(PyExc_KeyError, "spec missing float %s", key);
+        return -1;
+    }
+    double v = PyFloat_AsDouble(obj);
+    if (v == -1.0 && PyErr_Occurred())
+        return -1;
+    *out = v;
+    return 0;
+}
+
+static int
+Engine_init(EngineObject *e, PyObject *args, PyObject *kwds)
+{
+    PyObject *spec;
+    static char *kwlist[] = {"spec", NULL};
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O!", kwlist, &PyDict_Type,
+                                     &spec))
+        return -1;
+    long long tmp;
+#define GETBUF(key, view, writable, isz, field, have)                    \
+    if (get_buffer(spec, key, &e->view, writable, isz, &e->field, have) < 0) \
+        return -1
+    GETBUF("idx", idx_b, 0, 8, idx, NULL);
+    GETBUF("instr", instr_b, 0, 8, instr, NULL);
+    GETBUF("blocks", blocks_b, 0, 8, blocks, NULL);
+    GETBUF("tags", tags_b, 0, 8, tags, NULL);
+    GETBUF("deps", deps_b, 0, 8, deps, NULL);
+    GETBUF("load", load_b, 0, 1, load, NULL);
+    GETBUF("incs", incs_b, 0, 8, incs, NULL);
+    GETBUF("l2i", l2i_b, 0, 8, l2i, NULL);
+    GETBUF("l2t", l2t_b, 0, 8, l2t, NULL);
+    GETBUF("fb", fb_b, 0, 8, fb, &e->have_fb);
+    GETBUF("completions", comp_b, 1, 8, comp_arr, NULL);
+    GETBUF("commits", cmt_b, 1, 8, cmt_arr, NULL);
+    GETBUF("l1_tag", l1tag_b, 1, 8, l1tag, NULL);
+    GETBUF("l1_la", l1la_b, 1, 8, l1la, NULL);
+    GETBUF("l1_ft", l1ft_b, 1, 8, l1ft, NULL);
+    GETBUF("l1_dirty", l1dirty_b, 1, 1, l1dirty, NULL);
+    GETBUF("tht_sums", thtsum_b, 1, 8, thtsum, &e->have_thtsum);
+#undef GETBUF
+    e->n = e->comp_b.len / (Py_ssize_t)sizeof(double);
+
+    if (get_obj(spec, "msh_inf", &e->msh_inf, 0) < 0 ||
+        get_obj(spec, "mem_comp", &e->mem_comp, 0) < 0 ||
+        get_obj(spec, "pf_inflight", &e->pf_inflight, 0) < 0 ||
+        get_obj(spec, "l2_entries", &e->l2_entries, 0) < 0 ||
+        get_obj(spec, "l2_sets", &e->l2_sets, 0) < 0 ||
+        get_obj(spec, "pht_sets", &e->pht_sets, 1) < 0 ||
+        get_obj(spec, "tht_hist", &e->tht_hist, 1) < 0 ||
+        get_obj(spec, "poisoned", &e->poisoned, 0) < 0 ||
+        get_obj(spec, "resident", &e->resident, 0) < 0 ||
+        get_obj(spec, "cacheline", &e->cacheline, 0) < 0 ||
+        get_obj(spec, "l1i_lookup", &e->l1i_lookup, 0) < 0 ||
+        get_obj(spec, "ab", &e->ab, 0) < 0 ||
+        get_obj(spec, "db", &e->db, 0) < 0 ||
+        get_obj(spec, "mab", &e->mab, 0) < 0 ||
+        get_obj(spec, "mdb", &e->mdb, 0) < 0 ||
+        get_obj(spec, "mshr", &e->mshr, 0) < 0 ||
+        get_obj(spec, "memory", &e->memory, 0) < 0 ||
+        get_obj(spec, "hierarchy", &e->hierarchy, 0) < 0)
+        return -1;
+
+#define GETLL(key, field)                                                \
+    do {                                                                 \
+        if (get_ll(spec, key, &tmp) < 0)                                 \
+            return -1;                                                   \
+        e->field = tmp;                                                  \
+    } while (0)
+    GETLL("window", window);
+    GETLL("lsq", lsq);
+    GETLL("l1_lat", l1_lat);
+    GETLL("l2_lat", l2_lat);
+    GETLL("l1_beats", l1_beats);
+    GETLL("mem_beats", mem_beats);
+    GETLL("mem_lat", mem_lat);
+    GETLL("mem_maxc", mem_maxc);
+    GETLL("msh_entries", msh_entries);
+    GETLL("l2_ways", l2_ways);
+    GETLL("pf_max", pf_max);
+    GETLL("pht_ways", pht_ways);
+    GETLL("pht_targets", pht_targets);
+    GETLL("l2_shift", l2_shift);
+    GETLL("l2_imask", l2_imask);
+    GETLL("l2_ibits", l2_ibits);
+    GETLL("l1_ib", l1_ib);
+    GETLL("l1i_mask", l1i_mask);
+    GETLL("l1i_bits", l1i_bits);
+    GETLL("seq_mask", seq_mask);
+    GETLL("miss_mask", miss_mask);
+    GETLL("n_bits", n_bits);
+    GETLL("tht_ib", tht_ib);
+    GETLL("pf_delay", pf_delay);
+    GETLL("lru_pf", lru_pf);
+    GETLL("ideal_l2", ideal_l2);
+    GETLL("model_icache", model_icache);
+    GETLL("tcp_fast", tcp_fast);
+    GETLL("has_prefetcher", has_prefetcher);
+    GETLL("needs_evict", needs_evict);
+#undef GETLL
+    if (get_f(spec, "ls_s", &e->ls_s) < 0 ||
+        get_f(spec, "inv_cr", &e->inv_cr) < 0 ||
+        get_f(spec, "pf_busy_thr", &e->pf_busy_thr) < 0)
+        return -1;
+    if (e->model_icache && !e->have_fb) {
+        PyErr_SetString(PyExc_ValueError, "model_icache without fb plane");
+        return -1;
+    }
+    if (e->tcp_fast && (e->pht_sets == NULL || e->tht_hist == NULL ||
+                        !e->have_thtsum)) {
+        PyErr_SetString(PyExc_ValueError, "tcp_fast without THT/PHT state");
+        return -1;
+    }
+    return 0;
+}
+
+static void
+Engine_dealloc(EngineObject *e)
+{
+    Py_buffer *views[] = {
+        &e->idx_b, &e->instr_b, &e->blocks_b, &e->tags_b, &e->deps_b,
+        &e->load_b, &e->incs_b, &e->l2i_b, &e->l2t_b, &e->fb_b,
+        &e->comp_b, &e->cmt_b, &e->l1tag_b, &e->l1la_b, &e->l1ft_b,
+        &e->l1dirty_b, &e->thtsum_b,
+    };
+    for (size_t q = 0; q < sizeof(views) / sizeof(views[0]); q++) {
+        if (views[q]->obj != NULL)
+            PyBuffer_Release(views[q]);
+    }
+    Py_XDECREF(e->msh_inf);
+    Py_XDECREF(e->mem_comp);
+    Py_XDECREF(e->pf_inflight);
+    Py_XDECREF(e->l2_entries);
+    Py_XDECREF(e->l2_sets);
+    Py_XDECREF(e->pht_sets);
+    Py_XDECREF(e->tht_hist);
+    Py_XDECREF(e->poisoned);
+    Py_XDECREF(e->resident);
+    Py_XDECREF(e->cacheline);
+    Py_XDECREF(e->l1i_lookup);
+    Py_XDECREF(e->ab);
+    Py_XDECREF(e->db);
+    Py_XDECREF(e->mab);
+    Py_XDECREF(e->mdb);
+    Py_XDECREF(e->mshr);
+    Py_XDECREF(e->memory);
+    Py_XDECREF(e->hierarchy);
+    Py_XDECREF(e->ifetch_cb);
+    Py_XDECREF(e->observe_cb);
+    Py_XDECREF(e->evict_cb);
+    PyMem_Free(e->heap);
+    Py_TYPE(e)->tp_free((PyObject *)e);
+}
+
+static PyMethodDef Engine_methods[] = {
+    {"step", (PyCFunction)Engine_step, METH_VARARGS,
+     "step(i, limit, li, lc, nd, P, last_fb) -> (li, lc, nd, P, last_fb)\n"
+     "Run the scalar epilogue for accesses [i, limit)."},
+    {"sync_out", (PyCFunction)Engine_sync_out, METH_NOARGS,
+     "Write mirrored component scalars back to the live objects."},
+    {"sync_in", (PyCFunction)Engine_sync_in, METH_NOARGS,
+     "Reload mirrored component scalars and rebuild the MSHR heap."},
+    {"set_callbacks", (PyCFunction)Engine_set_callbacks, METH_VARARGS,
+     "set_callbacks(ifetch_cb, observe_cb, evict_cb)"},
+    {"take_stats", (PyCFunction)Engine_take_stats, METH_NOARGS,
+     "Drain accumulated stat deltas as a dict (and reset them)."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyTypeObject EngineType = {
+    PyVarObject_HEAD_INIT(NULL, 0).tp_name = "repro.backend.native._native.Engine",
+    .tp_basicsize = sizeof(EngineObject),
+    .tp_itemsize = 0,
+    .tp_flags = Py_TPFLAGS_DEFAULT,
+    .tp_doc = "Compiled scalar epilogue operating on live simulator state.",
+    .tp_new = PyType_GenericNew,
+    .tp_init = (initproc)Engine_init,
+    .tp_dealloc = (destructor)Engine_dealloc,
+    .tp_methods = Engine_methods,
+};
+
+static struct PyModuleDef native_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "_native",
+    .m_doc = "Compiled scalar epilogue for the native simulation backend.",
+    .m_size = -1,
+};
+
+PyMODINIT_FUNC
+PyInit__native(void)
+{
+#define INTERN(var, text)                                                \
+    do {                                                                 \
+        var = PyUnicode_InternFromString(text);                          \
+        if (var == NULL)                                                 \
+            return NULL;                                                 \
+    } while (0)
+    INTERN(s_entries, "_entries");
+    INTERN(s_last_access, "last_access");
+    INTERN(s_prefetched, "prefetched");
+    INTERN(s_fill_time, "fill_time");
+    INTERN(s_dirty, "dirty");
+    INTERN(s_next_free, "next_free");
+    INTERN(s_busy_cycles, "busy_cycles");
+    INTERN(s_queued_cycles, "queued_cycles");
+    INTERN(s_transfers, "transfers");
+    INTERN(s_earliest, "_earliest");
+    INTERN(s_full_stalls, "full_stalls");
+    INTERN(s_merges, "merges");
+    INTERN(s_peak_occupancy, "peak_occupancy");
+    INTERN(s_completions_attr, "_completions");
+    INTERN(s_accesses, "accesses");
+    INTERN(s_pf_inflight_attr, "_pf_inflight");
+#undef INTERN
+    if (PyType_Ready(&EngineType) < 0)
+        return NULL;
+    PyObject *m = PyModule_Create(&native_module);
+    if (m == NULL)
+        return NULL;
+    Py_INCREF(&EngineType);
+    if (PyModule_AddObject(m, "Engine", (PyObject *)&EngineType) < 0) {
+        Py_DECREF(&EngineType);
+        Py_DECREF(m);
+        return NULL;
+    }
+    if (PyModule_AddIntConstant(m, "ABI_VERSION", 1) < 0) {
+        Py_DECREF(m);
+        return NULL;
+    }
+    return m;
+}

@@ -163,8 +163,12 @@ def _trace_planes(trace: Trace, hierarchy: MemoryHierarchy) -> dict:
         # block), resolved per run.
         change_rest = (np.flatnonzero(fb_arr[1:] != fb_arr[:-1]) + 1).tolist()
     else:
+        fb_arr = None
         fb_l = []
         change_rest = []
+    l2i_arr = np.ascontiguousarray(l2b & hierarchy._l2_index_mask)
+    l2t_arr = np.ascontiguousarray(l2b >> hierarchy._l2_index_bits)
+    deps_arr = np.ascontiguousarray(trace.deps, dtype=np.int64)
     planes = {
         "indices_arr": indices_arr,
         "instr_arr": instr_arr,
@@ -181,11 +185,20 @@ def _trace_planes(trace: Trace, hierarchy: MemoryHierarchy) -> dict:
         "deps_l": trace.deps.tolist(),
         "load_l": load_arr.tolist(),
         "pcs_l": trace.pcs.tolist(),
-        "l2i_l": (l2b & hierarchy._l2_index_mask).tolist(),
-        "l2t_l": (l2b >> hierarchy._l2_index_bits).tolist(),
+        "l2i_l": l2i_arr.tolist(),
+        "l2t_l": l2t_arr.tolist(),
         "fb_l": fb_l,
         "change_rest": change_rest,
         "incs": {},  # dispatch_rate -> (incs_arr, incs_l)
+        # ndarray mirrors for the native backend's compiled epilogue
+        # (zero-copy buffer views; the list mirrors above stay the
+        # scalar-path masters for this engine).
+        "blocks_arr": blocks_arr,
+        "tags_arr": tags_arr,
+        "deps_arr": deps_arr,
+        "l2i_arr": l2i_arr,
+        "l2t_arr": l2t_arr,
+        "fb_arr": fb_arr,
     }
     _PLANE_SLOT = (key, trace, planes)
     return planes

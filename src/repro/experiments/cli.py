@@ -194,7 +194,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=sorted(PREFETCHERS), metavar="NAME",
                        help="hot-path prefetchers to time "
                             "(default none/nextline/tcp-8k)")
-    bench.add_argument("--backend", choices=available_backends(), default=None,
+    # Free-form on purpose: backends register at import time, so a
+    # frozen choices= tuple here would go stale (and argparse's
+    # "invalid choice" names the flag, not the registry).  _cmd_bench
+    # validates explicitly and lists what is actually registered.
+    bench.add_argument("--backend", default=None, metavar="NAME",
                        help="without --campaign: pit this backend against the "
                             "python reference per (workload, prefetcher) cell "
                             "and write BENCH_backend.json; with --campaign: "
@@ -612,6 +616,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.backend is not None and args.backend not in available_backends():
+        registered = ", ".join(available_backends())
+        print(
+            f"error: unknown backend {args.backend!r} "
+            f"(registered backends: {registered})",
+            file=sys.stderr,
+        )
+        return 2
     if args.campaign:
         _apply_backend(args.backend)
         return _cmd_bench_campaign(args)
@@ -647,6 +659,14 @@ def _cmd_bench_backend(args: argparse.Namespace) -> int:
         run_backend_bench,
     )
 
+    if args.backend == "python":
+        print(
+            "error: the python backend is the bench's reference arm; "
+            "pick a contender (numpy, native) or use --campaign",
+            file=sys.stderr,
+        )
+        return 2
+
     output = args.output if args.output is not None else "BENCH_backend.json"
     output = None if output == "-" else output
     document = run_backend_bench(
@@ -654,7 +674,7 @@ def _cmd_bench_backend(args: argparse.Namespace) -> int:
         prefetchers=args.prefetchers or DEFAULT_PREFETCHERS,
         scale=args.scale if args.scale is not None else Scale.STANDARD,
         repeats=args.repeats,
-        contender=args.backend,
+        contenders=(args.backend,),
         output=output,
         log=sys.stdout,
     )

@@ -33,6 +33,13 @@ class SimResult:
     prefetcher_storage_bytes: int
     prefetcher_predictions: int
 
+    def __post_init__(self) -> None:
+        # Provenance, not a dataclass field: results are bit-identical
+        # across backends by contract, so which engine produced a run
+        # (and whether it degraded to a slower one) must never enter
+        # equality, hashing, or ``dataclasses.asdict`` fingerprints.
+        self.backend_fallback: Optional[str] = None
+
     @property
     def ipc(self) -> float:
         return self.core.ipc
@@ -57,7 +64,7 @@ class SimResult:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable form (the on-disk store's payload)."""
-        return {
+        payload = {
             "workload": self.workload,
             "config_label": self.config_label,
             "core": asdict(self.core),
@@ -66,6 +73,9 @@ class SimResult:
             "prefetcher_storage_bytes": self.prefetcher_storage_bytes,
             "prefetcher_predictions": self.prefetcher_predictions,
         }
+        if self.backend_fallback is not None:
+            payload["backend_fallback"] = self.backend_fallback
+        return payload
 
     @staticmethod
     def from_dict(payload: Mapping[str, Any]) -> "SimResult":
@@ -75,7 +85,7 @@ class SimResult:
         fields) so the store can quarantine the record.
         """
         try:
-            return SimResult(
+            result = SimResult(
                 workload=str(payload["workload"]),
                 config_label=str(payload["config_label"]),
                 core=CoreResult(**payload["core"]),
@@ -86,6 +96,10 @@ class SimResult:
             )
         except (KeyError, TypeError) as exc:
             raise ValueError(f"malformed SimResult payload: {exc}") from exc
+        fallback = payload.get("backend_fallback")
+        if fallback is not None:
+            result.backend_fallback = str(fallback)
+        return result
 
     def validate(self) -> None:
         """Check the invariants every genuine run satisfies.

@@ -133,7 +133,7 @@ def _execute(
     for probe in probes:
         probe.on_finalize(hierarchy)
 
-    return SimResult(
+    result = SimResult(
         workload=trace.name,
         config_label=config.resolved_label(),
         core=core_result,
@@ -142,6 +142,9 @@ def _execute(
         prefetcher_storage_bytes=prefetcher.storage_bytes(),
         prefetcher_predictions=prefetcher.stats.predictions,
     )
+    engine_stats = getattr(backend, "last_engine_stats", None) or {}
+    result.backend_fallback = engine_stats.get("fallback")
+    return result
 
 
 def _obs_scope(stack: ExitStack):

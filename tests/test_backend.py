@@ -29,13 +29,16 @@ import pytest
 
 from repro.backend import (
     BACKEND_ENV,
+    NativeBackend,
     NumpyBackend,
     available_backends,
     backend_name,
     get_backend,
     resolve_backend,
 )
+from repro.backend import native as native_mod
 from repro.backend import vector as vector_mod
+from repro.backend.native import build as native_build
 from repro.cpu.core import CoreParams, OutOfOrderCore
 from repro.engine.probes import ProgressProbe
 from repro.memory import MemoryHierarchy
@@ -57,11 +60,19 @@ def _clean_state(monkeypatch):
     sanitizer_mod.consume_scheduled_corruption()
 
 
+#: every backend the differential tests compare against the reference:
+#: numpy always, native when the compiled extension loads on this host.
+CONTENDERS = ("numpy",) + (
+    ("native",) if native_build.load() is not None else ()
+)
+
+
 def _run_pair(trace, config, params=None, warmup=0, probes=None):
-    """One trace under both backends; returns (results, machines)."""
+    """One trace under the reference and every contender backend;
+    returns (results, machines)."""
     params = params or config.core
     results, machines = {}, {}
-    for name in ("python", "numpy"):
+    for name in ("python",) + CONTENDERS:
         machine = MemoryHierarchy(config.hierarchy)
         machine.attach_prefetcher(config.build_prefetcher())
         with warnings.catch_warnings():
@@ -75,8 +86,9 @@ def _run_pair(trace, config, params=None, warmup=0, probes=None):
 
 
 def _assert_identical(results, machines):
-    assert results["numpy"] == results["python"]
-    assert machines["numpy"].stats == machines["python"].stats
+    for name in CONTENDERS:
+        assert results[name] == results["python"], name
+        assert machines[name].stats == machines["python"].stats, name
 
 
 def _loop_trace(n=6000, blocks=8, name="loop"):
@@ -95,9 +107,9 @@ def _loop_trace(n=6000, blocks=8, name="loop"):
 
 
 class TestSelection:
-    def test_registry_lists_both_backends(self):
+    def test_registry_lists_all_backends(self):
         names = available_backends()
-        assert "python" in names and "numpy" in names
+        assert "python" in names and "numpy" in names and "native" in names
 
     def test_default_is_python(self):
         assert backend_name() == "python"
@@ -138,15 +150,16 @@ class TestGoldenParity:
 
     CELLS = (("swim", "tcp-8k"), ("mcf", "tcp-8m"), ("gcc", "dbcp-2m"))
 
+    @pytest.mark.parametrize("contender", CONTENDERS)
     @pytest.mark.parametrize("bench,label", CELLS)
-    def test_simresults_match_bit_for_bit(self, bench, label):
+    def test_simresults_match_bit_for_bit(self, bench, label, contender):
         config = SimulationConfig.for_prefetcher(label)
         ref = simulate(bench, config, Scale.QUICK, use_cache=False)
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", RuntimeWarning)
             new = simulate(
                 bench,
-                dataclasses.replace(config, backend="numpy"),
+                dataclasses.replace(config, backend=contender),
                 Scale.QUICK,
                 use_cache=False,
             )
@@ -258,7 +271,7 @@ class TestBatchBoundaries:
         """Progress probes fire at the shared periodic marks with the
         same (done, total, sim_time) under either backend."""
         trace = generate("fma3d", Scale.QUICK)
-        marks = {"python": [], "numpy": []}
+        marks = {name: [] for name in ("python",) + CONTENDERS}
         probes = {
             name: [ProgressProbe(
                 lambda done, total, sim_time, _n=name:
@@ -270,7 +283,8 @@ class TestBatchBoundaries:
             trace, SimulationConfig.for_prefetcher("tcp-8k"), probes=probes
         )
         _assert_identical(results, machines)
-        assert marks["numpy"] == marks["python"]
+        for name in CONTENDERS:
+            assert marks[name] == marks["python"], name
         assert marks["python"], "no progress marks fired at all"
 
 
@@ -339,6 +353,115 @@ class TestFallbacks:
                 backend.run(trace, machine, config.core)
         relevant = [w for w in caught if "numpy backend" in str(w.message)]
         assert len(relevant) == 1
+
+
+class TestNativeFallbacks:
+    """The native backend's two-tier degradation: config-level
+    fallbacks to the reference loop, extension-unavailable fallbacks
+    to the numpy engine — loud once, then silent, never wrong."""
+
+    @pytest.mark.parametrize("label,reason", (
+        ("dbcp-2m", "prefetcher observes the access stream"),
+        ("hybrid-8k", "gated L1 promotions"),
+    ))
+    def test_config_fallback_reason_reported(self, label, reason, monkeypatch):
+        monkeypatch.setattr(native_mod, "_WARNED_FALLBACKS", set())
+        trace = generate("swim", Scale.QUICK)
+        config = SimulationConfig.for_prefetcher(label)
+        machine = MemoryHierarchy(config.hierarchy)
+        machine.attach_prefetcher(config.build_prefetcher())
+        backend = NativeBackend()
+        with pytest.warns(RuntimeWarning, match=reason):
+            backend.run(trace, machine, config.core)
+        assert backend.last_engine_stats == {"fallback": reason}
+
+    def test_unavailable_extension_falls_back_to_numpy(self, monkeypatch):
+        """With the extension refused (``REPRO_NATIVE=0``) the native
+        backend runs the numpy engine, warns once, and records why —
+        and the results are still bit-identical to the reference."""
+        monkeypatch.setenv(native_build.NATIVE_ENV, "0")
+        monkeypatch.setattr(native_build, "_MODULE", None)
+        monkeypatch.setattr(native_build, "_ERROR", None)
+        monkeypatch.setattr(native_build, "_TRIED", False)
+        monkeypatch.setattr(native_mod, "_WARNED_FALLBACKS", set())
+        try:
+            trace = generate("swim", Scale.QUICK)
+            config = SimulationConfig.for_prefetcher("tcp-8k")
+            machine = MemoryHierarchy(config.hierarchy)
+            machine.attach_prefetcher(config.build_prefetcher())
+            backend = NativeBackend()
+            with pytest.warns(RuntimeWarning, match="native extension "
+                                                    "unavailable"):
+                result = backend.run(trace, machine, config.core)
+            stats = backend.last_engine_stats
+            assert "disabled by REPRO_NATIVE=0" in stats["fallback"]
+            # the numpy engine really ran: its accounting is present
+            assert stats["batched_accesses"] + stats["scalar_accesses"] == len(
+                trace
+            )
+            ref_machine = MemoryHierarchy(config.hierarchy)
+            ref_machine.attach_prefetcher(config.build_prefetcher())
+            ref = get_backend("python").run(trace, ref_machine, config.core)
+            assert result == ref
+            assert machine.stats == ref_machine.stats
+        finally:
+            # un-memoise the refused probe so later tests see the real
+            # availability again (monkeypatch restores the env var)
+            native_build.reset()
+
+    def test_unavailable_warns_once_per_process(self, monkeypatch):
+        monkeypatch.setenv(native_build.NATIVE_ENV, "0")
+        monkeypatch.setattr(native_build, "_MODULE", None)
+        monkeypatch.setattr(native_build, "_ERROR", None)
+        monkeypatch.setattr(native_build, "_TRIED", False)
+        monkeypatch.setattr(native_mod, "_WARNED_FALLBACKS", set())
+        try:
+            trace = generate("swim", Scale.QUICK)
+            config = SimulationConfig.for_prefetcher("nextline")
+            backend = NativeBackend()
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                for _ in range(3):
+                    machine = MemoryHierarchy(config.hierarchy)
+                    machine.attach_prefetcher(config.build_prefetcher())
+                    backend.run(trace, machine, config.core)
+            relevant = [
+                w for w in caught
+                if "native extension unavailable" in str(w.message)
+            ]
+            assert len(relevant) == 1
+        finally:
+            native_build.reset()
+
+    def test_fallback_recorded_in_simresult(self, monkeypatch):
+        """The runner copies the engine's fallback reason into
+        ``SimResult.backend_fallback`` (provenance metadata only — it
+        stays out of equality and asdict fingerprints)."""
+        config = dataclasses.replace(
+            SimulationConfig.for_prefetcher("hybrid-8k"), backend="native"
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result = simulate("swim", config, Scale.QUICK, use_cache=False)
+        assert result.backend_fallback == "gated L1 promotions"
+        payload = result.to_dict()
+        assert payload["backend_fallback"] == "gated L1 promotions"
+        from repro.sim.results import SimResult
+
+        rebuilt = SimResult.from_dict(payload)
+        assert rebuilt.backend_fallback == "gated L1 promotions"
+        assert rebuilt == result
+        # a non-degraded run records nothing
+        clean = simulate(
+            "swim",
+            dataclasses.replace(
+                SimulationConfig.for_prefetcher("tcp-8k"), backend="numpy"
+            ),
+            Scale.QUICK,
+            use_cache=False,
+        )
+        assert clean.backend_fallback is None
+        assert "backend_fallback" not in clean.to_dict()
 
 
 class TestPlaneCache:

@@ -1,17 +1,18 @@
 """Randomized differential testing of the simulation backends.
 
 Hypothesis drives arbitrary small traces and machine shapes through
-the ``python`` and ``numpy`` backends and requires bit-identical
-outcomes — the randomized counterpart to the hand-picked boundary
-cases in ``tests/test_backend.py``.  Shrinking makes a divergence
-actionable: the reported counterexample is the shortest trace that
-still splits the backends.
+the ``python`` reference backend and every contender (``numpy``, and
+``native`` when the compiled extension is available) and requires
+bit-identical outcomes — the randomized counterpart to the
+hand-picked boundary cases in ``tests/test_backend.py``.  Shrinking
+makes a divergence actionable: the reported counterexample is the
+shortest trace that still splits the backends.
 
 The module also carries the full-surface oracle: every suite benchmark
-under every paper configuration (26 x 6 = 156 runs at QUICK scale),
-compared across backends.  That is minutes of work, so it only runs
-when ``REPRO_BACKEND_ORACLE=1`` is set — CI and pre-release checks opt
-in; the default tier-1 run keeps the fuzz tests only.
+under every paper configuration (26 x 6 = 156 runs at QUICK scale per
+contender), compared across backends.  That is minutes of work, so it
+only runs when ``REPRO_BACKEND_ORACLE=1`` is set — CI and pre-release
+checks opt in; the default tier-1 run keeps the fuzz tests only.
 """
 
 import dataclasses
@@ -24,6 +25,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.backend import get_backend
+from repro.backend.native import build as native_build
 from repro.cpu.core import CoreParams
 from repro.memory import MemoryHierarchy
 from repro.sim import SimulationConfig, simulate
@@ -37,6 +39,16 @@ FUZZ_LABELS = ("none", "nextline", "tcp-8k", "hybrid-8k")
 
 #: the oracle grid: the paper's headline configurations.
 ORACLE_LABELS = ("none", "nextline", "tcp-8k", "tcp-8m", "dbcp-2m", "hybrid-8k")
+
+#: every backend compared against the reference.  ``native`` stays in
+#: the grid even when the extension is missing — those cells skip with
+#: the reason, so a CI log shows exactly what was not covered.
+CONTENDERS = ("numpy", "native")
+
+
+def _require(contender):
+    if contender == "native" and native_build.load() is None:
+        pytest.skip(f"native extension unavailable ({native_build.load_error()})")
 
 
 @st.composite
@@ -73,6 +85,7 @@ def _run_backend(name, trace, config, params, warmup):
     return result, machine
 
 
+@pytest.mark.parametrize("contender", CONTENDERS)
 @settings(deadline=None, max_examples=60)
 @given(
     trace=traces(),
@@ -81,12 +94,15 @@ def _run_backend(name, trace, config, params, warmup):
     lsq=st.sampled_from((2, 128)),
     warmup_frac=st.sampled_from((0.0, 0.3)),
 )
-def test_backends_agree_on_arbitrary_traces(trace, label, window, lsq, warmup_frac):
+def test_backends_agree_on_arbitrary_traces(
+    contender, trace, label, window, lsq, warmup_frac
+):
+    _require(contender)
     config = SimulationConfig.for_prefetcher(label)
     params = CoreParams(window=window, lsq=lsq)
     warmup = int(len(trace) * warmup_frac)
     ref, ref_machine = _run_backend("python", trace, config, params, warmup)
-    new, new_machine = _run_backend("numpy", trace, config, params, warmup)
+    new, new_machine = _run_backend(contender, trace, config, params, warmup)
     assert new == ref
     assert new_machine.stats == ref_machine.stats
     assert new_machine.warmup_stats == ref_machine.warmup_stats
@@ -96,11 +112,13 @@ def test_backends_agree_on_arbitrary_traces(trace, label, window, lsq, warmup_fr
     os.environ.get("REPRO_BACKEND_ORACLE") != "1",
     reason="156-run oracle is minutes of work; set REPRO_BACKEND_ORACLE=1",
 )
+@pytest.mark.parametrize("contender", CONTENDERS)
 @pytest.mark.parametrize("label", ORACLE_LABELS)
 @pytest.mark.parametrize("bench", BENCHMARK_ORDER)
-def test_oracle_cell(bench, label):
+def test_oracle_cell(bench, label, contender):
     """Full-surface differential: every benchmark x configuration cell
-    produces asdict-identical SimResults under both backends."""
+    produces asdict-identical SimResults under every backend."""
+    _require(contender)
     clear_cache()
     config = SimulationConfig.for_prefetcher(label)
     ref = simulate(bench, config, Scale.QUICK, use_cache=False)
@@ -108,7 +126,7 @@ def test_oracle_cell(bench, label):
         warnings.simplefilter("ignore", RuntimeWarning)
         new = simulate(
             bench,
-            dataclasses.replace(config, backend="numpy"),
+            dataclasses.replace(config, backend=contender),
             Scale.QUICK,
             use_cache=False,
         )
