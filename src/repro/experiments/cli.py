@@ -109,6 +109,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="quick | standard | full (default standard)")
     run.add_argument("--benchmarks", nargs="*", default=None,
                      help="subset of benchmarks (default: whole suite)")
+    run.add_argument("--mix", default=None, metavar="MIX",
+                     help="workload mix for the 'mix' experiment: a named "
+                          "mix (mix1..mix7) or benchmarks joined with '+' "
+                          "(default mix2)")
     run.add_argument("--jobs", type=int, default=1,
                      help="parallel workers to pre-warm simulations (0 = cpus)")
     run.add_argument("--worker-mode", choices=WORKER_MODES, default=None,
@@ -155,10 +159,21 @@ def _build_parser() -> argparse.ArgumentParser:
                           "(default: $REPRO_OBS or off)")
     run.set_defaults(func=_cmd_run)
 
-    simulate_cmd = sub.add_parser("simulate", help="simulate one benchmark")
-    simulate_cmd.add_argument("benchmark", choices=sorted(SUITE))
+    simulate_cmd = sub.add_parser(
+        "simulate", help="simulate one benchmark or one workload mix"
+    )
+    simulate_cmd.add_argument("benchmark", nargs="?", default=None,
+                              choices=sorted(SUITE))
+    simulate_cmd.add_argument("--mix", default=None, metavar="MIX",
+                              help="co-schedule a workload mix instead of one "
+                                   "benchmark: a named mix (mix1..mix7) or "
+                                   "benchmarks joined with '+' (one core "
+                                   "each, shared L2/bus/DRAM)")
     simulate_cmd.add_argument("--prefetcher", default="none",
                               choices=sorted(PREFETCHERS))
+    simulate_cmd.add_argument("--shared-pht", action="store_true",
+                              help="with --mix: all cores share core 0's "
+                                   "pattern history table")
     simulate_cmd.add_argument("--scale", type=_parse_scale, default=Scale.STANDARD)
     simulate_cmd.add_argument("--backend", choices=available_backends(),
                               default=None,
@@ -269,6 +284,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.multicore import MIXES
+
     print("experiments:")
     for name in EXPERIMENTS:
         print(f"  {name}")
@@ -278,6 +295,9 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print("\nprefetchers:")
     for name in sorted(PREFETCHERS):
         print(f"  {name}")
+    print("\nmixes (ascending aggregate MPKI; one core per benchmark):")
+    for spec in MIXES.values():
+        print(f"  {spec.name:6s} {'+'.join(spec.benchmarks)}")
     return 0
 
 
@@ -455,6 +475,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"error: unknown experiment {name!r}", file=sys.stderr)
             return 2
 
+    mix_spec = None
+    if "mix" in names:
+        from repro.experiments.figure_mix import DEFAULT_MIX
+        from repro.multicore import resolve_mix
+
+        if args.experiment == "mix" and args.benchmarks:
+            print(
+                "error: the 'mix' experiment draws its benchmarks from "
+                "--mix, not --benchmarks",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            mix_spec = resolve_mix(args.mix or DEFAULT_MIX)
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    elif args.mix is not None:
+        print(
+            "error: --mix only applies to the 'mix' experiment",
+            file=sys.stderr,
+        )
+        return 2
+
     _apply_backend(args.backend)
     _apply_sanitize(args.sanitize)
     _apply_obs(args.obs)
@@ -488,77 +532,100 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.jobs != 1 or hosts:
         from repro.sim import prewarm
 
-        started = time.time()
-        report = prewarm(
-            scale=args.scale,
-            benchmarks=args.benchmarks,
-            jobs=args.jobs,
-            retries=args.retries,
-            timeout=args.timeout,
-            stall_timeout=args.stall_timeout,
-            progress=_campaign_progress,
-            worker_mode=args.worker_mode,
-            hosts=hosts,
-            max_failures=args.max_failures,
-        )
-        recycled = (
-            f", {report.recycled} worker(s) recycled" if report.recycled else ""
-        )
-        print(
-            f"pre-warmed {report.executed} simulation(s) in "
-            f"{time.time() - started:.1f}s with jobs={args.jobs} "
-            f"({report.skipped} skipped, {report.retried} attempt(s) "
-            f"retried{recycled})"
-        )
-        if report.per_host:
-            shares = ", ".join(
-                f"{host}={count}" for host, count in sorted(report.per_host.items())
+        # One campaign per cell family: the standing experiment configs
+        # cross the benchmark list; the mix experiment warms its solo
+        # baselines (per prefetcher, mix members only) plus one mix cell
+        # per prefetcher (a mix config is a single cell — see prewarm).
+        campaigns = []
+        if any(name != "mix" for name in names):
+            campaigns.append({"benchmarks": args.benchmarks})
+        if mix_spec is not None:
+            from repro.multicore import mix_config
+
+            campaigns.append({
+                "configs": (
+                    [SimulationConfig.for_prefetcher(p) for p in PREFETCHERS]
+                    + [mix_config(mix_spec, prefetcher=p) for p in PREFETCHERS]
+                ),
+                "benchmarks": list(dict.fromkeys(mix_spec.benchmarks)),
+            })
+        for campaign in campaigns:
+            started = time.time()
+            report = prewarm(
+                scale=args.scale,
+                jobs=args.jobs,
+                retries=args.retries,
+                timeout=args.timeout,
+                stall_timeout=args.stall_timeout,
+                progress=_campaign_progress,
+                worker_mode=args.worker_mode,
+                hosts=hosts,
+                max_failures=args.max_failures,
+                **campaign,
             )
-            print(f"fleet: {shares}")
-        if report.hosts_lost:
+            recycled = (
+                f", {report.recycled} worker(s) recycled" if report.recycled else ""
+            )
             print(
-                f"fleet losses: {report.hosts_lost} host(s) lost, "
-                f"{report.reassigned} job(s) reassigned"
+                f"pre-warmed {report.executed} simulation(s) in "
+                f"{time.time() - started:.1f}s with jobs={args.jobs} "
+                f"({report.skipped} skipped, {report.retried} attempt(s) "
+                f"retried{recycled})"
             )
-        health_line = report.store_health_line()
-        if health_line:
-            print(health_line)
-        if report.trace_path:
-            print(f"campaign trace: {report.trace_path}")
-            print("  (inspect with: repro-tcp trace summarize)")
-        if report.profile_dir:
-            print(f"profiles: {report.profile_dir}")
-        print()
-        if report.interrupted:
-            # A graceful SIGTERM/SIGINT: completed work is checkpointed;
-            # resume with the same command to pick up where it stopped.
-            print(report.summary(), file=sys.stderr)
-            print(
-                "interrupted: campaign stopped by signal; completed results "
-                "were checkpointed — re-run with --resume to continue",
-                file=sys.stderr,
-            )
-            return 130
-        if report.aborted is not None:
-            print(report.summary(), file=sys.stderr)
-            print(f"error: campaign aborted: {report.aborted}", file=sys.stderr)
-            return 1
-        if report.fleet_degraded is not None:
-            # The campaign completed, but not on the fleet the user
-            # asked for: report it under its taxonomy name and fail.
-            print(
-                f"error: FleetDegraded: {report.fleet_degraded}",
-                file=sys.stderr,
-            )
-            failures += 1
-        if not report.ok:
-            print(report.summary(), file=sys.stderr)
-            failures += report.failed
+            if report.per_host:
+                shares = ", ".join(
+                    f"{host}={count}" for host, count in sorted(report.per_host.items())
+                )
+                print(f"fleet: {shares}")
+            if report.hosts_lost:
+                print(
+                    f"fleet losses: {report.hosts_lost} host(s) lost, "
+                    f"{report.reassigned} job(s) reassigned"
+                )
+            health_line = report.store_health_line()
+            if health_line:
+                print(health_line)
+            if report.trace_path:
+                print(f"campaign trace: {report.trace_path}")
+                print("  (inspect with: repro-tcp trace summarize)")
+            if report.profile_dir:
+                print(f"profiles: {report.profile_dir}")
+            print()
+            if report.interrupted:
+                # A graceful SIGTERM/SIGINT: completed work is checkpointed;
+                # resume with the same command to pick up where it stopped.
+                print(report.summary(), file=sys.stderr)
+                print(
+                    "interrupted: campaign stopped by signal; completed results "
+                    "were checkpointed — re-run with --resume to continue",
+                    file=sys.stderr,
+                )
+                return 130
+            if report.aborted is not None:
+                print(report.summary(), file=sys.stderr)
+                print(f"error: campaign aborted: {report.aborted}", file=sys.stderr)
+                return 1
+            if report.fleet_degraded is not None:
+                # The campaign completed, but not on the fleet the user
+                # asked for: report it under its taxonomy name and fail.
+                print(
+                    f"error: FleetDegraded: {report.fleet_degraded}",
+                    file=sys.stderr,
+                )
+                failures += 1
+            if not report.ok:
+                print(report.summary(), file=sys.stderr)
+                failures += report.failed
 
     for name in names:
         started = time.time()
         try:
-            result = run_experiment(name, scale=args.scale, benchmarks=args.benchmarks)
+            result = run_experiment(
+                name,
+                scale=args.scale,
+                benchmarks=None if name == "mix" else args.benchmarks,
+                mix=args.mix if name == "mix" else None,
+            )
         except SimulationError as exc:
             print(
                 f"error: experiment {name} failed with "
@@ -593,10 +660,63 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simulate_mix(args: argparse.Namespace) -> int:
+    from repro.multicore import mix_config, resolve_mix
+
+    if args.benchmark is not None:
+        print(
+            "error: pass either a benchmark or --mix, not both",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        spec = resolve_mix(args.mix)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = mix_config(
+        spec, prefetcher=args.prefetcher, shared_pht=args.shared_pht
+    )
+    result = simulate(spec.canonical, config, args.scale)
+    solos = {
+        name: simulate(
+            name, SimulationConfig.for_prefetcher(args.prefetcher), args.scale
+        )
+        for name in dict.fromkeys(spec.benchmarks)
+    }
+    print(result.summary())
+    for core, rel in zip(result.per_core, result.speedups(solos)):
+        att = core.attribution
+        print(
+            f"  core {core.core_id} {core.workload:10s} "
+            f"ipc {core.ipc:.3f} ({rel:.3f}x solo)  "
+            f"L2 share {att.l2_occupancy_share:5.1%}  "
+            f"bus stalls {att.bus_stall_cycles:,.0f}  "
+            f"evicted-by-others {att.prefetches_evicted_by_others}"
+        )
+    print(
+        f"weighted speedup {result.weighted_speedup(solos):.3f} "
+        f"(max {result.cores}.0), harmonic-mean fairness "
+        f"{result.hmean_fairness(solos):.3f}"
+    )
+    mode = obs_metrics.resolve_obs()
+    if mode.metrics or mode.trace:
+        print(f"observability artifacts: {store_mod.default_obs_dir()}")
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     _apply_backend(args.backend)
     _apply_sanitize(args.sanitize)
     _apply_obs(args.obs)
+    if args.mix is not None:
+        return _cmd_simulate_mix(args)
+    if args.benchmark is None:
+        print("error: pass a benchmark name or --mix", file=sys.stderr)
+        return 2
+    if args.shared_pht:
+        print("error: --shared-pht requires --mix", file=sys.stderr)
+        return 2
     base = simulate(args.benchmark, SimulationConfig.baseline(), args.scale)
     config = SimulationConfig.for_prefetcher(args.prefetcher)
     result = simulate(args.benchmark, config, args.scale)

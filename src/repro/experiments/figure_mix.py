@@ -1,0 +1,130 @@
+"""Mix contention figure: prefetchers under shared-L2 co-scheduling.
+
+The paper evaluates every prefetcher on a single core; this figure
+co-schedules a workload mix (default ``mix2``) on one core per member
+over the shared L2 + bus + DRAM fabric and compares prefetchers by how
+much of each member's solo performance survives the contention:
+
+* per-core **relative IPC** — IPC in the mix over the same benchmark's
+  solo IPC under the same prefetcher (1.0 = no interference);
+* **weighted speedup** — the sum of relative IPCs (system throughput,
+  upper bound = number of cores);
+* **harmonic-mean fairness** — cores over the sum of inverse relative
+  IPCs, which punishes any one member being starved.
+
+Solo baselines are ordinary single-core cells, so the result cache and
+the store share them with every other figure.  Notes carry the
+shared-resource attribution for the paper's realistic design point
+(TCP-8K): L2 occupancy share, bus stall cycles, and prefetches evicted
+by other cores, per core.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+from repro.experiments.base import ExperimentResult
+from repro.multicore import MixSpec, mix_config, resolve_mix
+from repro.sim import PREFETCHERS, SimulationConfig, simulate
+from repro.workloads import Scale
+
+__all__ = ["DEFAULT_MIX", "run"]
+
+DEFAULT_MIX = "mix2"
+
+#: prefetcher highlighted in the attribution notes (the paper's
+#: realistic design point); falls back to the first column if absent.
+_SPOTLIGHT = "tcp-8k"
+
+
+def _attribution_notes(mix_result, spec: MixSpec, label: str) -> list:
+    lines = []
+    for core in mix_result.per_core:
+        att = core.attribution
+        lines.append(
+            f"{label} core {core.core_id} ({core.workload}): "
+            f"L2 share {att.l2_occupancy_share * 100.0:.1f}%, "
+            f"bus stalls {att.bus_stall_cycles / 1000.0:.0f}k cycles, "
+            f"prefetches evicted by others {att.prefetches_evicted_by_others}"
+        )
+    return lines
+
+
+def run(
+    scale: Scale = Scale.STANDARD,
+    benchmarks: Optional[Sequence[str]] = None,
+    mix: Union[str, Sequence[str], MixSpec, None] = None,
+    prefetchers: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    """Contention comparison across prefetchers for one workload mix.
+
+    ``mix`` accepts anything :func:`repro.multicore.resolve_mix` does
+    (a named mix, ``"a+b"``, or a benchmark sequence); ``benchmarks``
+    is accepted for registry uniformity but must stay ``None`` — the
+    mix fixes its own members.
+    """
+    if benchmarks is not None:
+        raise ValueError(
+            "figure_mix draws its benchmarks from the mix; pass --mix "
+            "instead of a benchmark list"
+        )
+    spec = resolve_mix(mix if mix is not None else DEFAULT_MIX)
+    labels = tuple(prefetchers) if prefetchers is not None else tuple(PREFETCHERS)
+    unknown = [label for label in labels if label not in PREFETCHERS]
+    if unknown:
+        raise KeyError(f"unknown prefetchers: {unknown}")
+
+    series: Dict[str, Dict[str, float]] = {
+        "weighted_speedup": {},
+        "hmean_fairness": {},
+    }
+    rows = []
+    spotlight_notes: list = []
+    for label in labels:
+        solos = {
+            name: simulate(name, SimulationConfig.for_prefetcher(label), scale)
+            for name in dict.fromkeys(spec.benchmarks)
+        }
+        result = simulate(
+            spec.canonical, mix_config(spec, prefetcher=label), scale
+        )
+        speedups = result.speedups(solos)
+        ws = result.weighted_speedup(solos)
+        fairness = result.hmean_fairness(solos)
+        series["weighted_speedup"][label] = ws
+        series["hmean_fairness"][label] = fairness
+        for core, rel in zip(result.per_core, speedups):
+            series.setdefault(f"rel_ipc/{label}", {})[
+                f"core{core.core_id}:{core.workload}"
+            ] = rel
+        rows.append(
+            [label]
+            + [round(rel, 4) for rel in speedups]
+            + [round(ws, 4), round(fairness, 4)]
+        )
+        if label == _SPOTLIGHT or (_SPOTLIGHT not in labels and label == labels[0]):
+            spotlight_notes = _attribution_notes(result, spec, label)
+
+    best = max(series["weighted_speedup"], key=series["weighted_speedup"].get)
+    notes = [
+        f"Mix {spec.name} = {spec.canonical} on {spec.cores} cores "
+        f"(shared L2/bus/DRAM, private L1s and prefetchers).",
+        "Relative IPC = IPC in the mix / solo IPC under the same "
+        f"prefetcher; weighted speedup sums them (max {spec.cores}.0), "
+        "harmonic-mean fairness punishes starvation.",
+        f"Best weighted speedup: {best} "
+        f"({series['weighted_speedup'][best]:.3f}) vs no-prefetch "
+        f"({series['weighted_speedup'].get('none', float('nan')):.3f}).",
+    ] + spotlight_notes
+    return ExperimentResult(
+        experiment="mix",
+        title=f"Shared-L2 contention on {spec.name}: per-core relative IPC",
+        headers=(
+            ["prefetcher"]
+            + [f"core{i}:{name}" for i, name in enumerate(spec.benchmarks)]
+            + ["weighted speedup", "hmean fairness"]
+        ),
+        rows=rows,
+        series=series,
+        notes=notes,
+    )

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.experiments import (
@@ -17,6 +18,7 @@ from repro.experiments import (
     figure13,
     figure14,
     figure15,
+    figure_mix,
     table01,
 )
 from repro.experiments.base import ExperimentResult
@@ -40,6 +42,7 @@ EXPERIMENTS: Dict[str, Runner] = {
     "fig13": figure13.run,
     "fig14": figure14.run,
     "fig15": figure15.run,
+    "mix": figure_mix.run,
 }
 
 
@@ -47,12 +50,24 @@ def run_experiment(
     name: str,
     scale: Scale = Scale.STANDARD,
     benchmarks: Optional[Sequence[str]] = None,
+    mix: Optional[str] = None,
 ) -> ExperimentResult:
-    """Run one experiment by its paper label (e.g. ``"fig11"``)."""
+    """Run one experiment by its paper label (e.g. ``"fig11"``).
+
+    ``mix`` selects the workload mix for experiments that take one
+    (currently ``"mix"``); passing it to an experiment that does not is
+    an error rather than a silent ignore.
+    """
     try:
         runner = EXPERIMENTS[name]
     except KeyError:
         raise KeyError(
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
-    return runner(scale=scale, benchmarks=benchmarks)
+    kwargs = {"scale": scale, "benchmarks": benchmarks}
+    takes_mix = "mix" in inspect.signature(runner).parameters
+    if takes_mix:
+        kwargs["mix"] = mix
+    elif mix is not None:
+        raise ValueError(f"experiment {name!r} does not take a --mix")
+    return runner(**kwargs)

@@ -1,0 +1,43 @@
+"""Multi-core workload mixes over a shared L2/bus/DRAM hierarchy.
+
+The multicore front end: named workload mixes (:data:`MIXES`,
+``mix1``–``mix7``), the per-core/shared-fabric engine, and the
+:class:`MixResult` containers with weighted-speedup and fairness
+metrics.  Entry points:
+
+* :func:`mix_config` — a fingerprinted ``SimulationConfig`` for a mix;
+* :func:`repro.sim.simulate` with that config and the mix's canonical
+  name runs it (caching/checkpointing like any other cell);
+* :func:`execute_mix` — the raw uncached engine entry.
+"""
+
+from repro.multicore.mix import (
+    MIXES,
+    MixSpec,
+    canonical_mix_name,
+    mix_config,
+    resolve_mix,
+)
+from repro.multicore.results import CoreAttribution, MixCoreResult, MixResult
+
+__all__ = [
+    "MIXES",
+    "CoreAttribution",
+    "MixCoreResult",
+    "MixResult",
+    "MixSpec",
+    "canonical_mix_name",
+    "execute_mix",
+    "mix_config",
+    "resolve_mix",
+]
+
+
+def __getattr__(name: str):
+    # execute_mix pulls in the engine (and repro.sim.runner); loaded
+    # lazily so `import repro.multicore` stays light.
+    if name == "execute_mix":
+        from repro.multicore.runner import execute_mix
+
+        return execute_mix
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,498 @@
+"""The N-core interleaving engine: private L1s over a shared L2.
+
+Machine model
+-------------
+Each core owns the private half of the paper's Table 1 machine — L1D,
+L1I, MSHR file, prefetcher (THT always private; the PHT can be shared
+at the runner's discretion) — while the L2 data/instruction caches,
+the L1/L2 bus, the L2/memory bus, and DRAM are one physical instance
+shared by every core.  :class:`CoreHierarchy` realises this by
+aliasing the shared components out of a :class:`SharedFabric` after
+normal construction; every inherited access path (demand, prefetch,
+ifetch, writeback) then contends on the shared schedule automatically.
+
+Address disjointness
+--------------------
+Core ``c``'s addresses and PCs are offset by ``c << CORE_ADDR_BITS``
+(bit 44 — far above every index bit in the hierarchy).  Consequences:
+
+* index functions are unchanged, so each stream maps onto the shared
+  L2 sets exactly as it would alone (set *contention* is real);
+* tags differ across cores, so streams never alias (no false sharing
+  of lines, and the per-core conservation laws stay exact);
+* core 0's offset is zero, so a 1-core mix performs bit-for-bit the
+  same hierarchy calls as the single-core engine — the differential
+  oracle the test suite pins.
+
+Interleaving rule
+-----------------
+The scheduler steps one memory access at a time on the core whose
+core-local dispatch clock is smallest, tie-broken by benchmark name
+and then core id.  The name in the key makes distinct-benchmark mixes
+*permutation-equivariant*: reordering the core slots reorders which
+core performs each global event but not the event sequence itself, so
+per-core statistics follow the permutation exactly.
+
+Shared-L2 ownership
+-------------------
+``SharedFabric.owner`` maps each resident L2D line ``(set, tag)`` to
+the core that filled it.  Every fill goes through the overridden
+:meth:`CoreHierarchy._fill_l2`, and — because the demand path fills
+only after an L2 miss and the prefetch path probes first — a fill
+always inserts a non-resident line, so the owner map is an exact
+bijection with the resident lines (the sanitizer's shared-L2
+invariant).  Eviction accounting is charged to the *owner* of the
+victim line, which keeps the per-core prefetch conservation law
+(issued == useful + evicted unused + residual unused) exact even when
+another core's fill performs the eviction; cross-core evictions are
+additionally recorded as interference attribution.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cpu.core import CoreParams, CoreResult
+from repro.engine.probes import CoreMark, Probe
+from repro.memory.bus import Bus
+from repro.memory.hierarchy import HierarchyParams, MemoryHierarchy
+from repro.multicore.results import CoreAttribution
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "CORE_ADDR_BITS",
+    "AttributedBus",
+    "CoreHierarchy",
+    "CoreRunner",
+    "SharedFabric",
+    "offset_trace",
+    "run_cores",
+]
+
+#: bit position of the per-core address offset.  Must sit above every
+#: index bit of every cache level (the L2's top index bit is ~18) and
+#: leave room for 2**20 cores below the uint64 ceiling.
+CORE_ADDR_BITS = 44
+
+
+def offset_trace(trace: Trace, core_id: int) -> Trace:
+    """``trace`` relocated into core ``core_id``'s address space.
+
+    Core 0 gets the trace object back untouched (bit-identity with the
+    single-core engine); other cores get copies with addresses and PCs
+    offset by ``core_id << CORE_ADDR_BITS``.
+    """
+    if core_id == 0:
+        return trace
+    if len(trace) and int(trace.addrs.max()) >> CORE_ADDR_BITS:
+        raise ValueError(
+            f"trace {trace.name!r} addresses collide with the per-core "
+            f"offset space (>= 2**{CORE_ADDR_BITS})"
+        )
+    offset = np.uint64(core_id) << np.uint64(CORE_ADDR_BITS)
+    return Trace(
+        name=trace.name,
+        addrs=trace.addrs.astype(np.uint64) + offset,
+        pcs=trace.pcs.astype(np.uint64) + offset,
+        is_load=trace.is_load,
+        gaps=trace.gaps,
+        deps=trace.deps,
+        base_ipc=trace.base_ipc,
+    )
+
+
+class AttributedBus:
+    """Per-core view of a shared :class:`~repro.memory.bus.Bus`.
+
+    Timing-transparent: every call delegates to the underlying bus, so
+    the schedule is identical to calling the bus directly.  The wrapper
+    only *observes* — before delegating it reads the shared
+    ``next_free`` and books the queueing delay this core is about to
+    pay into its :class:`~repro.multicore.results.CoreAttribution`
+    (``bus_stall_cycles``), which is how bus interference is attributed
+    per core without touching the bus model.
+    """
+
+    __slots__ = ("_bus", "_attribution")
+
+    def __init__(self, bus: Bus, attribution: CoreAttribution) -> None:
+        self._bus = bus
+        self._attribution = attribution
+
+    def request(self, now: float, payload_bytes: int) -> float:
+        wait = self._bus.next_free - now
+        if wait > 0.0:
+            self._attribution.bus_stall_cycles += wait
+        return self._bus.request(now, payload_bytes)
+
+    def transfer(self, now: float, payload_bytes: int) -> float:
+        wait = self._bus.next_free - now
+        if wait > 0.0:
+            self._attribution.bus_stall_cycles += wait
+        return self._bus.transfer(now, payload_bytes)
+
+    # Read-only passthroughs for observers (sanitizer bus monotonicity,
+    # metrics probe totals).
+    @property
+    def name(self) -> str:
+        return self._bus.name
+
+    @property
+    def next_free(self) -> float:
+        return self._bus.next_free
+
+    @property
+    def transfers(self) -> int:
+        return self._bus.transfers
+
+    @property
+    def busy_cycles(self) -> float:
+        return self._bus.busy_cycles
+
+    @property
+    def queued_cycles(self) -> float:
+        return self._bus.queued_cycles
+
+
+class SharedFabric:
+    """The components all cores share, plus L2 ownership tracking."""
+
+    def __init__(self, params: HierarchyParams, cores: int) -> None:
+        if cores < 1:
+            raise ValueError(f"a fabric needs at least one core, got {cores}")
+        self.params = params
+        self.cores = cores
+        # Build one donor hierarchy and strip the shared pieces out of
+        # it: this reuses the exact construction (bus widths, memory
+        # concurrency, geometry) of the single-core machine.
+        donor = MemoryHierarchy(params)
+        self.l2d = donor.l2d
+        self.l2i = donor.l2i
+        self.l1l2_addr_bus = donor.l1l2_addr_bus
+        self.l1l2_data_bus = donor.l1l2_data_bus
+        self.mem_addr_bus = donor.mem_addr_bus
+        self.mem_data_bus = donor.mem_data_bus
+        self.memory = donor.memory
+        self.prefetch_bus = donor.prefetch_bus
+        #: (l2 set index, l2 tag) -> core id of the line's filler.
+        self.owner: Dict[Tuple[int, int], int] = {}
+        self.hierarchies: List["CoreHierarchy"] = []
+        self.attributions: List[CoreAttribution] = [
+            CoreAttribution() for _ in range(cores)
+        ]
+        self._finalized = False
+
+    def register(self, hierarchy: "CoreHierarchy") -> None:
+        if hierarchy.core_id != len(self.hierarchies):
+            raise ValueError(
+                f"cores must register in id order: got {hierarchy.core_id}, "
+                f"expected {len(self.hierarchies)}"
+            )
+        self.hierarchies.append(hierarchy)
+
+    def resident_line_count(self) -> int:
+        """Total lines resident in the shared L2D (full scan)."""
+        total = 0
+        for index in range(self.params.l2.sets):
+            total += len(self.l2d.resident_lines(index))
+        return total
+
+    def finalize(self) -> None:
+        """One shared end-of-run scan over the L2D.
+
+        Replaces the per-core :meth:`MemoryHierarchy.finalize` scan:
+        residual unused prefetches are attributed to the *owner* of
+        each line (completing that core's prefetch conservation law),
+        and end-of-run occupancy shares are computed per core.
+        Idempotent — every core's ``finalize()`` delegates here, and
+        only the first call does the work.
+        """
+        if self._finalized:
+            return
+        self._finalized = True
+        counts = [0] * self.cores
+        total = 0
+        owner_of = self.owner.get
+        for index in range(self.params.l2.sets):
+            for line in self.l2d.resident_lines(index):
+                owner = owner_of((index, line.tag), 0)
+                counts[owner] += 1
+                total += 1
+                if line.prefetched:
+                    self.hierarchies[owner].stats.prefetch_residual_unused += 1
+        for core_id, attribution in enumerate(self.attributions):
+            attribution.l2_lines_owned = counts[core_id]
+            attribution.l2_occupancy_share = (
+                counts[core_id] / total if total else 0.0
+            )
+
+
+class CoreHierarchy(MemoryHierarchy):
+    """One core's hierarchy view: private L1/MSHR, shared L2 and below.
+
+    Construction builds a normal single-core hierarchy, then aliases
+    the L2 caches, buses, and DRAM to the fabric's shared instances
+    (the L1/L2 links through per-core :class:`AttributedBus` wrappers
+    so queueing delay is attributed).  All inherited logic — the
+    demand fast path, prefetch issue, promotions, ifetch — then runs
+    unmodified against the shared components.
+    """
+
+    __slots__ = ("core_id", "fabric", "attribution")
+
+    def __init__(
+        self, params: HierarchyParams, fabric: SharedFabric, core_id: int
+    ) -> None:
+        super().__init__(params)
+        self.core_id = core_id
+        self.fabric = fabric
+        self.attribution = fabric.attributions[core_id]
+        self.l2d = fabric.l2d
+        self.l2i = fabric.l2i
+        self.memory = fabric.memory
+        self.mem_addr_bus = fabric.mem_addr_bus
+        self.mem_data_bus = fabric.mem_data_bus
+        self.l1l2_addr_bus = AttributedBus(fabric.l1l2_addr_bus, self.attribution)
+        self.l1l2_data_bus = AttributedBus(fabric.l1l2_data_bus, self.attribution)
+        if fabric.prefetch_bus is not None:
+            self.prefetch_bus = AttributedBus(fabric.prefetch_bus, self.attribution)
+        fabric.register(self)
+
+    def _fill_l2(self, index: int, tag: int, now: float, prefetched: bool) -> None:
+        """Shared-L2 fill with ownership tracking and owner-charged
+        eviction accounting.
+
+        Identical cache/bus/memory behaviour to the base method; the
+        differences are purely in *attribution*: the evicted line's
+        statistics (unused-prefetch fate, writeback count) are charged
+        to the core that owns it, and a cross-core eviction increments
+        both sides' interference counters.
+        """
+        lru_insert = prefetched and self.params.prefetch_insert_policy == "lru"
+        eviction = self.l2d.fill(
+            index, tag, now, prefetched=prefetched, lru_insert=lru_insert
+        )
+        fabric = self.fabric
+        owners = fabric.owner
+        if eviction is not None:
+            victim_owner = owners.pop((index, eviction.line.tag), self.core_id)
+            victim_stats = fabric.hierarchies[victim_owner].stats
+            if eviction.line.prefetched:
+                victim_stats.prefetch_evicted_unused += 1
+                if victim_owner != self.core_id:
+                    fabric.attributions[victim_owner].prefetches_evicted_by_others += 1
+                    self.attribution.cross_core_evictions += 1
+            if eviction.dirty:
+                victim_stats.writebacks_l2 += 1
+                self.memory.writeback(now, self._l2_block_bytes)
+        owners[(index, tag)] = self.core_id
+
+    def finalize(self) -> None:
+        # The L2 is shared: exactly one residual scan for the whole
+        # fabric, with per-owner attribution (idempotent).
+        self.fabric.finalize()
+
+
+class CoreRunner:
+    """One core's trace walk as a resumable stream of accesses.
+
+    The body of :meth:`repro.cpu.core.OutOfOrderCore.run` transcribed
+    into a generator that yields the core-local dispatch clock after
+    every access — the scheduler's interleaving key.  The float-op
+    sequence is kept identical to the reference loop so a 1-core mix
+    is bit-identical to the single-core engine.
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        trace: Trace,
+        hierarchy: CoreHierarchy,
+        params: CoreParams,
+        warmup: int = 0,
+        probes: Optional[Sequence[Probe]] = None,
+    ) -> None:
+        n = len(trace)
+        if not 0 <= warmup < max(n, 1):
+            raise ValueError(f"warmup ({warmup}) must be < trace length ({n})")
+        self.core_id = core_id
+        self.workload = trace.name
+        self.trace = trace
+        self.hierarchy = hierarchy
+        self.params = params
+        self.warmup = warmup
+        self.probes = tuple(probes or ())
+        self.clock = float(params.frontend_depth)
+        self.result: Optional[CoreResult] = None
+        self._gen = self._run()
+
+    def step(self) -> bool:
+        """Advance one access; False when the core has finished."""
+        try:
+            self.clock = next(self._gen)
+            return True
+        except StopIteration:
+            return False
+
+    def _run(self):
+        params = self.params
+        trace = self.trace
+        hierarchy = self.hierarchy
+        warmup = self.warmup
+        active_probes = self.probes
+        n = len(trace)
+        if n == 0:
+            self.result = CoreResult(0, 0.0, 0)
+            return
+
+        geometry = hierarchy.params.l1d
+        blocks_arr, indices_arr, tags_arr = geometry.decompose_array(trace.addrs)
+        max_dep = int(trace.deps.max()) if n else 0
+        blocks = blocks_arr.tolist()
+        indices = indices_arr.tolist()
+        tags = tags_arr.tolist()
+        gaps = trace.gaps.tolist()
+        deps = trace.deps.tolist()
+        is_load = trace.is_load.tolist()
+        pcs = trace.pcs.tolist()
+        model_icache = hierarchy.params.model_icache
+        access_time = hierarchy.access_time
+        ifetch = hierarchy.instruction_fetch
+        ifetch_offset_bits = hierarchy.params.l1i.offset_bits
+        last_ifetch_block = hierarchy._last_ifetch_block
+
+        dispatch_rate = min(float(params.issue_width), trace.base_ipc)
+        commit_rate = float(params.issue_width)
+        window = params.window
+        lsq = params.lsq
+        ls_interval = 1.0 / params.ls_units
+
+        ring = 1
+        while ring < max(lsq, max_dep + 1, 512):
+            ring <<= 1
+        ring_mask = ring - 1
+        completions = [0.0] * ring
+        commits = [0.0] * ring
+
+        rob: deque = deque()
+        rob_append = rob.append
+        rob_popleft = rob.popleft
+
+        now_dispatch = float(params.frontend_depth)
+        last_mem_issue = 0.0
+        last_commit = 0.0
+        instr_num = 0
+        warmup_instr = 0
+        warmup_commit = 0.0
+        inv_commit_rate = 1.0 / commit_rate
+
+        if active_probes:
+            mark_interval = min(probe.interval for probe in active_probes)
+            next_mark = mark_interval
+        else:
+            mark_interval = 0
+            next_mark = n + 1
+
+        for i in range(n):
+            if i == warmup and warmup:
+                warmup_instr = instr_num
+                warmup_commit = last_commit
+                hierarchy.mark_warmup_end()
+            gap = gaps[i]
+            instr_num += gap + 1
+
+            # --- dispatch: frontend bandwidth + window occupancy ------
+            now_dispatch += (gap + 1) / dispatch_rate
+            window_floor = instr_num - window
+            while rob and rob[0][0] <= window_floor:
+                entry = rob_popleft()
+                if entry[1] > now_dispatch:
+                    now_dispatch = entry[1]
+            if i >= lsq:
+                lsq_release = commits[(i - lsq) & ring_mask]
+                if lsq_release > now_dispatch:
+                    now_dispatch = lsq_release
+
+            if model_icache:
+                pc = pcs[i]
+                fetch_block = pc >> ifetch_offset_bits
+                if fetch_block != last_ifetch_block:
+                    last_ifetch_block = fetch_block
+                    penalty = ifetch(now_dispatch, pc)
+                    if penalty > 0.0:
+                        now_dispatch += penalty
+
+            # --- issue: LS-unit throughput + address dependence -------
+            issue = now_dispatch
+            if last_mem_issue + ls_interval > issue:
+                issue = last_mem_issue + ls_interval
+            dep = deps[i]
+            if dep:
+                data_ready = completions[(i - dep) & ring_mask]
+                if data_ready > issue:
+                    issue = data_ready
+            last_mem_issue = issue
+
+            # --- memory access ----------------------------------------
+            load = is_load[i]
+            completion = access_time(
+                issue, indices[i], tags[i], blocks[i], not load, pcs[i]
+            )
+            if not load:
+                completion = issue + 1.0
+            completions[i & ring_mask] = completion
+
+            # --- in-order commit --------------------------------------
+            commit = last_commit + inv_commit_rate
+            if completion > commit:
+                commit = completion
+            last_commit = commit
+            commits[i & ring_mask] = commit
+            rob_append((instr_num, commit))
+
+            if i + 1 == next_mark:
+                next_mark += mark_interval
+                mark = CoreMark(i + 1, n, len(rob), window, last_commit, now_dispatch)
+                for probe in active_probes:
+                    probe.on_mark(mark, hierarchy)
+
+            # Hand the interleaver this core's local frontend time: the
+            # next access cannot dispatch before it.
+            yield now_dispatch
+
+        total_instructions = trace.instruction_count
+        trailing = total_instructions - instr_num
+        measured_instructions = total_instructions - warmup_instr
+        cycles = last_commit + trailing / dispatch_rate - warmup_commit
+        self.result = CoreResult(measured_instructions, cycles, n - warmup)
+
+
+def run_cores(runners: Sequence[CoreRunner]) -> List[CoreResult]:
+    """Interleave the cores to completion; per-core results in order.
+
+    Scheduling: one access at a time on the core with the smallest
+    ``(local clock, benchmark name, core id)`` key.  The comparison is
+    pure — no randomness, no wall-clock — so the interleaving (and
+    hence every shared-state mutation order) is a deterministic
+    function of the mix.
+    """
+    if not runners:
+        return []
+    active = [runner for runner in runners if runner.result is None]
+    while active:
+        runner = min(
+            active, key=lambda r: (r.clock, r.workload, r.core_id)
+        )
+        if not runner.step():
+            active.remove(runner)
+    results = []
+    for runner in runners:
+        if runner.result is None:
+            raise RuntimeError(
+                f"core {runner.core_id} finished without a result"
+            )
+        results.append(runner.result)
+    return results

@@ -1,0 +1,140 @@
+"""Workload mixes: named co-scheduled benchmark groups.
+
+The paper evaluates TCP one core at a time; contention studies need
+*mixes* — N benchmarks co-scheduled onto N cores sharing an L2, the
+L1/L2 bus, and DRAM.  Following the rising-MPKI methodology common in
+multi-core prefetching evaluations, ``mix1``–``mix7`` are four-way
+windows over the suite's Figure 1 ordering (ascending L2-miss
+potential): ``mix1`` groups the four most cache-friendly benchmarks,
+``mix7`` the four most memory-bound, and aggregate MPKI rises
+monotonically in between.
+
+A :class:`MixSpec` is pure workload-layer data (names only, no
+simulation state), so the configuration layer can embed its benchmark
+tuple without importing the multicore engine.  The *canonical name*
+of a mix — ``"+".join(benchmarks)`` — is the store/cache cell name for
+its simulation results: two users naming the same combination share
+checkpoints, and core order is preserved (``a+b`` and ``b+a`` are
+different cells, because core slots are part of the experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.sim.config import SimulationConfig
+from repro.workloads import BENCHMARK_ORDER
+from repro.workloads.suite import SUITE
+
+__all__ = [
+    "MIXES",
+    "MixSpec",
+    "canonical_mix_name",
+    "mix_config",
+    "resolve_mix",
+]
+
+
+@dataclass(frozen=True)
+class MixSpec:
+    """One named co-schedule: ``benchmarks[i]`` runs on core ``i``."""
+
+    name: str
+    benchmarks: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.benchmarks:
+            raise ValueError("a mix needs at least one benchmark")
+        unknown = [name for name in self.benchmarks if name not in SUITE]
+        if unknown:
+            raise KeyError(f"unknown benchmarks in mix {self.name!r}: {unknown}")
+
+    @property
+    def cores(self) -> int:
+        return len(self.benchmarks)
+
+    @property
+    def canonical(self) -> str:
+        """The store/cache cell name for this combination."""
+        return "+".join(self.benchmarks)
+
+    def describe(self) -> str:
+        return f"{self.name}: {', '.join(self.benchmarks)} ({self.cores} cores)"
+
+
+#: window starts into ``BENCHMARK_ORDER`` for mix1..mix7.  Seven 4-wide
+#: windows over 26 benchmarks must overlap by two slots total (28 > 26);
+#: these starts repeat only bzip2 (11) and mgrid (22) and cover every
+#: benchmark, with aggregate MPKI rising monotonically mix1 -> mix7.
+_MIX_STARTS = (0, 4, 8, 11, 15, 19, 22)
+_MIX_WIDTH = 4
+
+MIXES: Dict[str, MixSpec] = {
+    f"mix{i + 1}": MixSpec(
+        f"mix{i + 1}", tuple(BENCHMARK_ORDER[start : start + _MIX_WIDTH])
+    )
+    for i, start in enumerate(_MIX_STARTS)
+}
+
+
+def canonical_mix_name(benchmarks: Sequence[str]) -> str:
+    """The cell name a mix of ``benchmarks`` is keyed under."""
+    return "+".join(benchmarks)
+
+
+def resolve_mix(spec: Union[str, MixSpec, Sequence[str]]) -> MixSpec:
+    """Resolve a mix argument to a :class:`MixSpec`.
+
+    Accepts a named mix (``"mix3"``), a separator-joined benchmark list
+    (``"swim+mcf"`` or ``"swim,mcf"`` — one core per benchmark, order =
+    core slot), a sequence of benchmark names, or an existing spec.
+    """
+    if isinstance(spec, MixSpec):
+        return spec
+    if isinstance(spec, str):
+        name = spec.strip()
+        if name in MIXES:
+            return MIXES[name]
+        parts = tuple(
+            part.strip()
+            for part in name.replace(",", "+").split("+")
+            if part.strip()
+        )
+        if not parts:
+            raise ValueError(f"empty mix spec {spec!r}")
+        if len(parts) == 1 and parts[0] not in SUITE:
+            raise KeyError(
+                f"unknown mix {spec!r}; choose from {sorted(MIXES)} or join "
+                f"benchmark names with '+'"
+            )
+        return MixSpec(canonical_mix_name(parts), parts)
+    parts = tuple(spec)
+    return MixSpec(canonical_mix_name(parts), parts)
+
+
+def mix_config(
+    spec: Union[str, MixSpec, Sequence[str]],
+    prefetcher: str = "none",
+    shared_pht: bool = False,
+    label: Optional[str] = None,
+    sanitize: Optional[str] = None,
+) -> SimulationConfig:
+    """A :class:`SimulationConfig` running ``spec`` on N cores.
+
+    The returned configuration carries the mix's benchmark tuple (and
+    core count) as fingerprinted dimensions, so the store, fabric, and
+    campaign machinery shard and resume mix cells like any other cell.
+    Pair it with the mix's :attr:`MixSpec.canonical` name when calling
+    :func:`repro.sim.simulate`.
+    """
+    resolved = resolve_mix(spec)
+    config = SimulationConfig.for_prefetcher(prefetcher)
+    return replace(
+        config,
+        cores=resolved.cores,
+        mix=resolved.benchmarks,
+        shared_pht=shared_pht,
+        label=label,
+        sanitize=sanitize,
+    )

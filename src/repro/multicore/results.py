@@ -1,0 +1,291 @@
+"""Result containers for multi-core mix runs.
+
+A :class:`MixResult` is the multicore analogue of
+:class:`repro.sim.results.SimResult`: one cell = one mix (N benchmarks
+co-scheduled on N cores sharing L2/bus/DRAM) under one configuration.
+It carries one :class:`MixCoreResult` per core — the core timing
+outcome, the core's private :class:`~repro.memory.hierarchy.
+HierarchyStats`, its prefetcher counters, and the shared-resource
+:class:`CoreAttribution` — plus the mix-level metric helpers (weighted
+speedup and harmonic-mean fairness against solo baselines).
+
+``MixResult`` is store/fabric compatible by construction: it offers
+the same ``to_dict`` / ``from_dict`` / ``validate`` / ``summary``
+surface as ``SimResult`` (including the ``backend_fallback``
+provenance attribute), and ``SimResult.from_dict`` dispatches mix
+payloads here, so mix cells ride the persistent store, the shard
+merge, and the fleet wire without any machinery changes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.cpu.core import CoreResult
+from repro.memory.hierarchy import HierarchyStats
+
+__all__ = ["CoreAttribution", "MixCoreResult", "MixResult"]
+
+
+@dataclass
+class CoreAttribution:
+    """Shared-resource attribution for one core of a mix run.
+
+    These counters exist only in multicore runs: they say how much of
+    the *shared* hierarchy a core consumed or lost to its neighbours.
+    They are observation-only — accumulating them never changes
+    simulated timing (the 1-core differential oracle pins that).
+    """
+
+    #: cycles this core's L1/L2 bus commands and data returns spent
+    #: queued behind transfers already occupying the shared bus.
+    bus_stall_cycles: float = 0.0
+    #: shared-L2 lines this core owned when the run ended.
+    l2_lines_owned: int = 0
+    #: fraction of all resident shared-L2 lines owned at end of run.
+    l2_occupancy_share: float = 0.0
+    #: this core's prefetched L2 lines evicted unused by *another*
+    #: core's fill (the canonical cross-core interference event).
+    prefetches_evicted_by_others: int = 0
+    #: other cores' L2 lines this core's fills evicted.
+    cross_core_evictions: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class MixCoreResult:
+    """Outcome of one core (one benchmark stream) inside a mix."""
+
+    core_id: int
+    workload: str
+    core: CoreResult
+    memory: HierarchyStats
+    prefetcher_name: str
+    prefetcher_storage_bytes: int
+    prefetcher_predictions: int
+    attribution: CoreAttribution = field(default_factory=CoreAttribution)
+
+    @property
+    def ipc(self) -> float:
+        return self.core.ipc
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "core_id": self.core_id,
+            "workload": self.workload,
+            "core": asdict(self.core),
+            "memory": asdict(self.memory),
+            "prefetcher_name": self.prefetcher_name,
+            "prefetcher_storage_bytes": self.prefetcher_storage_bytes,
+            "prefetcher_predictions": self.prefetcher_predictions,
+            "attribution": self.attribution.to_dict(),
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "MixCoreResult":
+        try:
+            return MixCoreResult(
+                core_id=int(payload["core_id"]),
+                workload=str(payload["workload"]),
+                core=CoreResult(**payload["core"]),
+                memory=HierarchyStats(**payload["memory"]),
+                prefetcher_name=str(payload["prefetcher_name"]),
+                prefetcher_storage_bytes=int(payload["prefetcher_storage_bytes"]),
+                prefetcher_predictions=int(payload["prefetcher_predictions"]),
+                attribution=CoreAttribution(**payload["attribution"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed MixCoreResult payload: {exc}") from exc
+
+    def validate(self) -> None:
+        """Per-core invariants (mirrors ``SimResult.validate``)."""
+        core = self.core
+        if core.instructions <= 0 or core.accesses <= 0:
+            raise ValueError(
+                f"core {self.core_id} ({self.workload}): non-positive work: "
+                f"instructions={core.instructions}, accesses={core.accesses}"
+            )
+        if not math.isfinite(core.cycles) or core.cycles <= 0:
+            raise ValueError(
+                f"core {self.core_id}: cycles must be finite and positive, "
+                f"got {core.cycles}"
+            )
+        if not math.isfinite(self.ipc) or self.ipc <= 0:
+            raise ValueError(
+                f"core {self.core_id}: IPC must be finite and positive, "
+                f"got {self.ipc}"
+            )
+        m = self.memory
+        for stat_field in fields(m):
+            value = getattr(m, stat_field.name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise ValueError(
+                    f"core {self.core_id}: counter {stat_field.name} must be "
+                    f"a non-negative int, got {value!r}"
+                )
+        if m.l1_hits + m.l1_misses != m.demand_accesses:
+            raise ValueError(
+                f"core {self.core_id}: L1 hits+misses ({m.l1_hits}+"
+                f"{m.l1_misses}) != demand accesses ({m.demand_accesses})"
+            )
+        if m.loads + m.stores != m.demand_accesses:
+            raise ValueError(
+                f"core {self.core_id}: loads+stores ({m.loads}+{m.stores}) "
+                f"!= demand accesses ({m.demand_accesses})"
+            )
+        if m.l2_demand_hits + m.l2_demand_misses != m.l2_demand_accesses:
+            raise ValueError(
+                f"core {self.core_id}: L2 hits+misses != L2 demand accesses"
+            )
+        if self.prefetcher_storage_bytes < 0 or self.prefetcher_predictions < 0:
+            raise ValueError(
+                f"core {self.core_id}: prefetcher counters must be non-negative"
+            )
+        a = self.attribution
+        if not math.isfinite(a.bus_stall_cycles) or a.bus_stall_cycles < 0:
+            raise ValueError(
+                f"core {self.core_id}: bus_stall_cycles must be finite and "
+                f"non-negative, got {a.bus_stall_cycles}"
+            )
+        if a.l2_lines_owned < 0 or a.prefetches_evicted_by_others < 0:
+            raise ValueError(
+                f"core {self.core_id}: attribution counters must be non-negative"
+            )
+        if not 0.0 <= a.l2_occupancy_share <= 1.0:
+            raise ValueError(
+                f"core {self.core_id}: l2_occupancy_share outside [0, 1]: "
+                f"{a.l2_occupancy_share}"
+            )
+
+
+@dataclass
+class MixResult:
+    """Outcome of simulating one workload mix under one configuration."""
+
+    workload: str  # canonical mix cell name ("a+b+c")
+    config_label: str
+    per_core: List[MixCoreResult]
+    shared_pht: bool = False
+
+    def __post_init__(self) -> None:
+        # Provenance, not a dataclass field (same contract as
+        # SimResult): mix runs always execute on the reference core
+        # engine, and that fact must never enter equality or hashing.
+        self.backend_fallback: Optional[str] = None
+
+    @property
+    def cores(self) -> int:
+        return len(self.per_core)
+
+    @property
+    def ipc(self) -> float:
+        """Aggregate throughput: sum of per-core IPC."""
+        return sum(core.ipc for core in self.per_core)
+
+    def core_for(self, core_id: int) -> MixCoreResult:
+        return self.per_core[core_id]
+
+    # -- mix-level metrics (need solo baselines) -----------------------
+
+    def speedups(self, solos: Mapping[str, Any]) -> List[float]:
+        """Per-core slowdown-adjusted speedups ``IPC_mix / IPC_solo``.
+
+        ``solos`` maps benchmark name -> solo result (anything with an
+        ``ipc`` attribute) for every benchmark in the mix; values below
+        1.0 mean the core ran slower under contention than alone.
+        """
+        ratios = []
+        for core in self.per_core:
+            solo = solos.get(core.workload)
+            if solo is None:
+                raise KeyError(
+                    f"no solo baseline for {core.workload!r} "
+                    f"(core {core.core_id})"
+                )
+            ratios.append(core.ipc / solo.ipc)
+        return ratios
+
+    def weighted_speedup(self, solos: Mapping[str, Any]) -> float:
+        """Sum of per-core ``IPC_mix / IPC_solo`` (system throughput)."""
+        return sum(self.speedups(solos))
+
+    def hmean_fairness(self, solos: Mapping[str, Any]) -> float:
+        """Harmonic mean of the per-core speedups (fairness metric).
+
+        Dominated by the slowest core: a mix that starves one stream
+        scores low even when aggregate throughput is high.
+        """
+        ratios = self.speedups(solos)
+        return len(ratios) / sum(1.0 / r for r in ratios)
+
+    # -- SimResult-compatible surface ----------------------------------
+
+    def summary(self) -> str:
+        cores = " ".join(
+            f"c{core.core_id}:{core.workload}={core.ipc:.3f}"
+            for core in self.per_core
+        )
+        return (
+            f"{self.workload:<24} {self.config_label:<10} "
+            f"ipc_sum={self.ipc:6.3f} {cores}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form; ``per_core`` marks it as a mix
+        payload for ``SimResult.from_dict`` dispatch."""
+        payload: Dict[str, Any] = {
+            "workload": self.workload,
+            "config_label": self.config_label,
+            "per_core": [core.to_dict() for core in self.per_core],
+            "shared_pht": self.shared_pht,
+        }
+        if self.backend_fallback is not None:
+            payload["backend_fallback"] = self.backend_fallback
+        return payload
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "MixResult":
+        try:
+            result = MixResult(
+                workload=str(payload["workload"]),
+                config_label=str(payload["config_label"]),
+                per_core=[
+                    MixCoreResult.from_dict(core) for core in payload["per_core"]
+                ],
+                shared_pht=bool(payload.get("shared_pht", False)),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed MixResult payload: {exc}") from exc
+        fallback = payload.get("backend_fallback")
+        if fallback is not None:
+            result.backend_fallback = str(fallback)
+        return result
+
+    def validate(self) -> None:
+        """Check the invariants every genuine mix run satisfies."""
+        if not self.per_core:
+            raise ValueError("a mix result needs at least one core")
+        expected = self.workload.split("+")
+        if len(expected) == len(self.per_core):
+            for core, name in zip(self.per_core, expected):
+                if core.workload != name:
+                    raise ValueError(
+                        f"core {core.core_id} runs {core.workload!r} but the "
+                        f"cell name says {name!r}"
+                    )
+        for position, core in enumerate(self.per_core):
+            if core.core_id != position:
+                raise ValueError(
+                    f"per-core results out of order: position {position} "
+                    f"holds core {core.core_id}"
+                )
+            core.validate()
+        share = sum(core.attribution.l2_occupancy_share for core in self.per_core)
+        if share > 1.0 + 1e-9:
+            raise ValueError(
+                f"per-core L2 occupancy shares sum to {share} > 1"
+            )

@@ -50,15 +50,24 @@ def __getattr__(name):
     # Lazy re-exports: fabric must stay importable as ``python -m
     # repro.sim.fabric`` (the agent entry point) without tripping
     # runpy's already-in-sys.modules warning, so the package does not
-    # import it eagerly.
+    # import it eagerly.  The multicore names live in repro.multicore
+    # (which imports this package), so they are lazy for the same
+    # cycle-avoidance reason.
     if name in ("HostSpec", "parse_hosts"):
         from repro.sim import fabric
 
         return getattr(fabric, name)
+    if name in ("MIXES", "MixResult", "MixSpec", "mix_config", "resolve_mix"):
+        from repro import multicore
+
+        return getattr(multicore, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
+    "MIXES",
+    "MixResult",
+    "MixSpec",
     "PREFETCHERS",
     "CampaignInterrupted",
     "CampaignReport",
@@ -86,9 +95,11 @@ __all__ = [
     "build_sanitizer",
     "experiment_configs",
     "improvement_table",
+    "mix_config",
     "parse_hosts",
     "prefetcher_factory",
     "prewarm",
+    "resolve_mix",
     "resolve_worker_mode",
     "sanitize_level",
     "set_active_store",

@@ -15,7 +15,7 @@ the benches, and the examples: ``none``, ``tcp-8k``, ``tcp-8m``,
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.core import (
     ConfidenceFilteredTCP,
@@ -104,6 +104,19 @@ class SimulationConfig:
     #: hashing still include it, so the in-process result cache keys
     #: runs per backend (the differential tests rely on that).
     backend: Optional[str] = field(default=None, repr=False)
+    #: number of cores sharing the L2/bus/DRAM; 1 = the classic
+    #: single-core machine.  ``repr=False`` plus the custom
+    #: ``__repr__`` below keep single-core fingerprints byte-identical
+    #: to what they were before the multicore dimension existed —
+    #: the dimension only enters ``repr()`` (and hence store/golden
+    #: fingerprints) when a mix is actually configured.
+    cores: int = field(default=1, repr=False)
+    #: benchmark per core (``mix[i]`` runs on core ``i``); None for
+    #: single-core runs.  Fingerprinted via the custom ``__repr__``.
+    mix: Optional[Tuple[str, ...]] = field(default=None, repr=False)
+    #: share one PHT across all cores' prefetchers (private per-core
+    #: PHTs otherwise).  Only meaningful with a mix.
+    shared_pht: bool = field(default=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.sanitize is not None and self.sanitize not in ("off", "cheap", "full"):
@@ -112,6 +125,40 @@ class SimulationConfig:
             )
         if self.backend is not None and not isinstance(self.backend, str):
             raise ValueError(f"backend must be a name or None, got {self.backend!r}")
+        if self.mix is not None and not isinstance(self.mix, tuple):
+            # JSON wire round-trips deliver lists; keep the config
+            # hashable by coercing through the frozen-dataclass wall.
+            object.__setattr__(self, "mix", tuple(self.mix))
+        if not isinstance(self.cores, int) or self.cores < 1:
+            raise ValueError(f"cores must be a positive int, got {self.cores!r}")
+        if self.mix is not None and len(self.mix) != self.cores:
+            raise ValueError(
+                f"mix has {len(self.mix)} benchmarks but cores={self.cores}"
+            )
+        if self.mix is None and self.cores != 1:
+            raise ValueError("cores > 1 requires a mix (one benchmark per core)")
+        if self.shared_pht and self.mix is None:
+            raise ValueError("shared_pht is only meaningful with a mix")
+
+    def __repr__(self) -> str:
+        # Reproduce the pre-multicore auto-repr byte-for-byte for
+        # single-core configs: store fingerprints and golden-corpus
+        # filenames are repr-derived, and every existing checkpoint
+        # must keep its key.  The multicore dimension is appended only
+        # when actually in use.
+        base = (
+            f"{self.__class__.__name__}("
+            f"prefetcher={self.prefetcher!r}, core={self.core!r}, "
+            f"hierarchy={self.hierarchy!r}, label={self.label!r}, "
+            f"sanitize={self.sanitize!r})"
+        )
+        if self.mix is None and self.cores == 1 and not self.shared_pht:
+            return base
+        return (
+            base[:-1]
+            + f", cores={self.cores!r}, mix={self.mix!r}, "
+            + f"shared_pht={self.shared_pht!r})"
+        )
 
     def resolved_label(self) -> str:
         return self.label if self.label is not None else self.prefetcher

@@ -221,6 +221,9 @@ def config_to_wire(config: SimulationConfig) -> Dict[str, Any]:
         "label": config.label,
         "sanitize": config.sanitize,
         "backend": config.backend,
+        "cores": config.cores,
+        "mix": list(config.mix) if config.mix is not None else None,
+        "shared_pht": config.shared_pht,
     }
 
 
@@ -240,6 +243,9 @@ def config_from_wire(payload: Dict[str, Any]) -> SimulationConfig:
         label=payload.get("label"),
         sanitize=payload.get("sanitize"),
         backend=payload.get("backend"),
+        cores=int(payload.get("cores", 1)),
+        mix=tuple(payload["mix"]) if payload.get("mix") is not None else None,
+        shared_pht=bool(payload.get("shared_pht", False)),
     )
 
 

@@ -86,11 +86,16 @@ def _expected_cost(name: str, njobs: int) -> float:
 
     Memory-bound benchmarks (low ``base_ipc``) drive far more hierarchy
     activity per access and therefore simulate slower, so expected cost
-    scales with the group size over the benchmark's base IPC.
+    scales with the group size over the benchmark's base IPC.  A mix
+    cell (``"a+b+c"``) simulates every member stream, so its cost is
+    the sum over its parts.
     """
-    spec = SUITE.get(name)
-    ipc = spec.base_ipc if spec is not None else 4.0
-    return njobs / ipc
+    cost = 0.0
+    for part in name.split("+"):
+        spec = SUITE.get(part)
+        ipc = spec.base_ipc if spec is not None else 4.0
+        cost += 1.0 / ipc
+    return njobs * cost
 
 
 def _affinity_order(pending: Sequence[Job]) -> List[Job]:
@@ -215,7 +220,14 @@ def prewarm(
     report = CampaignReport()
     pending: List[Job] = []
     for config in config_list:
-        for name in names:
+        if config.mix is not None:
+            # A mix configuration is a single campaign cell keyed by its
+            # canonical name ("a+b+c"), never crossed with the benchmark
+            # list (its member streams are fixed by the config itself).
+            cell_names = ["+".join(config.mix)]
+        else:
+            cell_names = names
+        for name in cell_names:
             key = (name, accesses, config)
             if key in _RESULT_CACHE:
                 report.skipped += 1
@@ -341,7 +353,10 @@ def prewarm(
             # children inherit the generated pages, spawn-mode children
             # mmap the archive instead of regenerating it per attempt.
             with obs_spans.span("trace-precache", scale=accesses):
-                for name in dict.fromkeys(job[0] for job in pending):
+                parts = (
+                    part for job in pending for part in job[0].split("+")
+                )
+                for name in dict.fromkeys(parts):
                     cache_trace(name, accesses)
         # One signal interrupts cleanly (checkpoint, reap workers, exit
         # 130 upstream); a second of the same kind is immediately fatal.

@@ -82,8 +82,15 @@ class SimResult:
         """Rebuild a result from :meth:`to_dict` output.
 
         Raises ``ValueError`` on any shape mismatch (missing/unknown
-        fields) so the store can quarantine the record.
+        fields) so the store can quarantine the record.  Mix payloads
+        (marked by a ``per_core`` key) dispatch to
+        :meth:`repro.multicore.results.MixResult.from_dict`, so every
+        store/fabric decode path handles multicore cells transparently.
         """
+        if "per_core" in payload:
+            from repro.multicore.results import MixResult
+
+            return MixResult.from_dict(payload)  # type: ignore[return-value]
         try:
             result = SimResult(
                 workload=str(payload["workload"]),
@@ -147,9 +154,19 @@ class SimResult:
 
 
 def validate_result(result: SimResult) -> SimResult:
-    """Validate and return ``result`` (chaining form of ``validate``)."""
+    """Validate and return ``result`` (chaining form of ``validate``).
+
+    Accepts :class:`SimResult` and its multicore analogue
+    :class:`repro.multicore.results.MixResult` (imported lazily —
+    results.py must stay importable without the multicore package).
+    """
     if not isinstance(result, SimResult):
-        raise ValueError(f"expected a SimResult, got {type(result).__name__}")
+        from repro.multicore.results import MixResult
+
+        if not isinstance(result, MixResult):
+            raise ValueError(
+                f"expected a SimResult, got {type(result).__name__}"
+            )
     result.validate()
     return result
 

@@ -229,6 +229,22 @@ def simulate(
     if not 0 <= warmup_fraction < 1:
         raise ValueError(f"warmup fraction must be in [0, 1), got {warmup_fraction}")
 
+    if config.mix is not None:
+        # A mix cell is keyed by its canonical name ("a+b+c") so two
+        # spellings of the same combination share checkpoints; the
+        # workload argument must agree with the config's mix.
+        canonical = "+".join(config.mix)
+        if not isinstance(workload, str):
+            raise ValueError(
+                "a mix configuration takes the canonical mix name "
+                f"({canonical!r}), not a prebuilt Trace"
+            )
+        if workload != canonical:
+            raise ValueError(
+                f"workload {workload!r} does not match the configuration's "
+                f"mix cell {canonical!r}"
+            )
+
     store = None
     accesses = None
     if isinstance(workload, str):
@@ -258,13 +274,21 @@ def simulate(
     label = config.resolved_label()
     with ExitStack() as stack:
         registry, owns_registry, collector = _obs_scope(stack)
-        if isinstance(workload, str):
-            with obs_spans.span("generate", workload=name, accesses=accesses):
-                trace = generate(workload, accesses)
+        if config.mix is not None:
+            # Multicore front end: per-core traces are generated inside
+            # execute_mix (one per mix member, relocated per core).
+            from repro.multicore.runner import execute_mix
+
+            with obs_spans.span("simulate", workload=name, config=label):
+                result = execute_mix(config, accesses, warmup_fraction)
         else:
-            trace = workload
-        with obs_spans.span("simulate", workload=name, config=label):
-            result = _execute(trace, config, warmup_fraction)
+            if isinstance(workload, str):
+                with obs_spans.span("generate", workload=name, accesses=accesses):
+                    trace = generate(workload, accesses)
+            else:
+                trace = workload
+            with obs_spans.span("simulate", workload=name, config=label):
+                result = _execute(trace, config, warmup_fraction)
         if key is not None and use_cache:
             # Validate BEFORE caching or checkpointing: a silently-wrong
             # result must never poison the cache or the on-disk store.

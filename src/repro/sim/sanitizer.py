@@ -201,6 +201,47 @@ class Sanitizer:
         if self.level == "full":
             self._scan_structures(hierarchy, sample=None)
 
+    # -- multicore shared-L2 -------------------------------------------
+
+    def check_shared_l2(self, fabric: Any, sample: Optional[int] = None) -> None:
+        """Shared-L2 invariants for a multicore fabric.
+
+        Per set: occupancy within associativity, and every resident
+        line has a valid owner in the fabric's ownership map.  With
+        ``sample=None`` (the end-of-run call) the scan is complete and
+        additionally proves the owner map is an exact *bijection* with
+        the resident lines — a stale owner entry means an eviction was
+        attributed to the wrong core.
+        """
+        l2d = fabric.l2d
+        geometry = l2d.geometry
+        owners = fabric.owner
+        cores = fabric.cores
+        for index in self._scan_range("shared-l2", geometry.sets, sample):
+            lines = l2d.resident_lines(index)
+            self.require(
+                len(lines) <= geometry.ways,
+                "shared-l2-occupancy",
+                "shared L2 set holds more lines than its associativity",
+                set=index, occupancy=len(lines), ways=geometry.ways,
+            )
+            for line in lines:
+                owner = owners.get((index, line.tag))
+                self.require(
+                    owner is not None and 0 <= owner < cores,
+                    "shared-l2-owner",
+                    "resident shared-L2 line has no valid owner",
+                    set=index, tag=line.tag, owner=owner, cores=cores,
+                )
+        if sample is None:
+            resident = fabric.resident_line_count()
+            self.require(
+                len(owners) == resident,
+                "shared-l2-owner-bijection",
+                "ownership map does not match the resident shared-L2 lines",
+                owners=len(owners), resident=resident,
+            )
+
     # -- cheap tier ----------------------------------------------------
 
     def _check_stats(self, hierarchy: Any) -> None:

@@ -574,6 +574,7 @@ class ResultStore:
                                 "workload": key[0],
                                 "accesses": key[1],
                                 "config": key[2],
+                                "config_label": result.config_label,
                                 "result": result.to_dict(),
                             }
                         )

@@ -12,7 +12,7 @@ SUBSET = ("fma3d", "art", "mcf")
 
 class TestRegistry:
     def test_all_paper_experiments_present(self):
-        expected = {"table1"} | {f"fig{i}" for i in (1, 2, 3, 4, 5, 6, 7, 11, 12, 13, 14, 15)}
+        expected = {"table1", "mix"} | {f"fig{i}" for i in (1, 2, 3, 4, 5, 6, 7, 11, 12, 13, 14, 15)}
         assert set(EXPERIMENTS) == expected
 
     def test_unknown_experiment_rejected(self):

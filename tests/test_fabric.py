@@ -372,3 +372,84 @@ class TestShardMerging:
         assert status["main_live"] == 0
         assert [s["host"] for s in status["shards"]] == ["node-a"]
         assert status["shards"][0]["live"] == 1
+
+
+class TestFallbackProvenance:
+    """ISSUE 10 satellite: ``backend_fallback`` provenance must survive
+    every fleet path a result can take — the agent's ``ok`` frame, the
+    host store shard, the shard merge into the main log, and
+    ``merge_from``'s re-frame fallback (which used to emit records
+    without a ``config_label``)."""
+
+    def test_fallback_crosses_the_agent_ok_frame_and_shard(self, tmp_path):
+        from repro.multicore import mix_config
+
+        config = mix_config(("swim",), prefetcher="none")
+        host = parse_hosts("local")[0]
+        proc = LocalTransport().launch(host, str(tmp_path))
+        try:
+            json.loads(proc.stdout.readline())  # ready
+            job = ("swim", config, QUICK)
+            proc.stdin.write(
+                json.dumps(["job", _job_key(job), job_to_wire(job), 1]) + "\n"
+            )
+            proc.stdin.flush()
+            while True:
+                message = json.loads(proc.stdout.readline())
+                if message[0] != "hb":
+                    break
+            assert message[0] == "ok"
+            result = SimResult.from_dict(message[2])
+            assert result.backend_fallback == "multicore"
+            shard = ResultStore(tmp_path, results_name="shard-local.jsonl")
+            stored = shard.get("swim", QUICK, config)
+            assert stored is not None
+            assert stored.backend_fallback == "multicore"
+            proc.stdin.write(json.dumps(["stop"]) + "\n")
+            proc.stdin.flush()
+            assert proc.wait(timeout=10) == 0
+        finally:
+            proc.kill()
+            proc.wait()
+
+    def test_fleet_mix_campaign_preserves_fallback(self, tmp_path):
+        from repro.multicore import mix_config
+
+        config = mix_config(("gzip", "swim"), prefetcher="none")
+        store = ResultStore(tmp_path)
+        with store_mod.use_store(store):
+            report = prewarm([config], scale=QUICK, jobs=1, hosts="local:2")
+        assert report.ok
+        for result in report.completed.values():
+            assert result.backend_fallback == "multicore"
+        reloaded = ResultStore(tmp_path)  # fresh scan of the merged log
+        stored = reloaded.get("gzip+swim", QUICK, config)
+        assert stored.backend_fallback == "multicore"
+
+    def test_merge_from_reframe_keeps_fallback_and_config_label(
+        self, tmp_path
+    ):
+        from repro.multicore import mix_config
+
+        config = mix_config(("swim",), prefetcher="none")
+        result = simulate("swim", config, QUICK, use_cache=False)
+        assert result.backend_fallback == "multicore"
+        shard = ResultStore(tmp_path / "shard")
+        shard.put("swim", QUICK, config, result)
+        # Drop the shard's cached frames so merge_from must re-frame
+        # each record from the decoded result (the path that used to
+        # lose the record-level config_label).
+        shard._latest.clear()
+        main = ResultStore(tmp_path / "main")
+        assert main.merge_from(shard) == 1
+        records = [
+            json.loads(line)
+            for line in main.path.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+        assert records[-1]["config_label"] == config.resolved_label()
+        reloaded = ResultStore(tmp_path / "main")
+        stored = reloaded.get("swim", QUICK, config)
+        assert stored.backend_fallback == "multicore"
+        assert stored.config_label == config.resolved_label()
+        assert not reloaded.verify()["bad"]
